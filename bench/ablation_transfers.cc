@@ -1,0 +1,136 @@
+// Ablation: PCI-Express traffic of the maintenance schemes (Section 4.2).
+//
+// The Karma scheme exists because classic sample maintenance would stream
+// the sample over the bus. This harness runs the evolving workload and
+// meters, via the device transfer ledger, the per-query bus traffic of:
+//   * adaptive + Karma/reservoir (the paper's design);
+//   * adaptive without maintenance (lower bound);
+//   * a strawman that re-uploads a fresh sample every K queries (what
+//     "periodic rebuild" would cost).
+//
+// Expected result: Karma's traffic is within a small constant of the
+// no-maintenance lower bound (bitmap + replaced rows), orders of
+// magnitude below periodic re-upload.
+
+#include <cstdio>
+
+#include "harness.h"
+#include "kde/kde_estimator.h"
+#include "runtime/evolving_runner.h"
+#include "workload/evolving.h"
+
+namespace {
+
+using namespace fkde;
+using namespace fkde::bench;
+
+struct Config {
+  std::string name;
+  bool karma = true;
+  bool reservoir = true;
+  std::size_t reupload_every = 0;  // 0 = never.
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CommonFlags common;
+  std::int64_t dims = 5;
+  std::int64_t sample_size = 1024;
+  FlagParser parser;
+  common.Register(&parser);
+  parser.AddInt64("dims", &dims, "dataset dimensionality");
+  parser.AddInt64("sample-size", &sample_size, "KDE sample rows");
+  parser.Parse(argc, argv).AbortIfError("flags");
+  common.Finalize();
+
+  const std::vector<Config> configs = {
+      {"karma + reservoir (paper)", true, true, 0},
+      {"reservoir only", false, true, 0},
+      {"no maintenance", false, false, 0},
+      {"re-upload every 10 queries", false, false, 10},
+      {"re-upload every query", false, false, 1},
+  };
+
+  EvolvingParams params;
+  params.dims = static_cast<std::size_t>(dims);
+  params.cycles = 6;
+
+  TablePrinter printer;
+  printer.SetHeader({"strategy", "bytes_down/query", "bytes_up/query",
+                     "late_error"});
+
+  for (const Config& config : configs) {
+    Table table(params.dims);
+    Executor executor(&table);
+    EvolvingWorkload workload(params, static_cast<std::uint64_t>(common.seed));
+    EvolvingEvent event;
+    std::size_t pending = params.initial_clusters * params.tuples_per_cluster;
+    while (pending > 0 && workload.Next(table, &event)) {
+      if (event.kind == EvolvingEvent::Kind::kInsert) {
+        executor.Insert(event.row, event.tag);
+        --pending;
+      }
+    }
+
+    KdeConfig kde;
+    kde.sample_size = static_cast<std::size_t>(sample_size);
+    kde.seed = static_cast<std::uint64_t>(common.seed);
+    kde.enable_karma = config.karma;
+    kde.enable_reservoir = config.reservoir;
+    Device device(DeviceProfile::SimulatedGtx460());
+    auto estimator =
+        KdeSelectivityEstimator::Create(
+            KdeSelectivityEstimator::Mode::kAdaptive, &device, &table, kde)
+            .MoveValueOrDie();
+
+    // Run the rest of the stream manually so the strawman can re-upload.
+    device.ResetLedger();
+    Rng rng(static_cast<std::uint64_t>(common.seed) + 5);
+    std::size_t queries = 0;
+    std::vector<double> errors;
+    while (workload.Next(table, &event)) {
+      switch (event.kind) {
+        case EvolvingEvent::Kind::kInsert:
+          executor.Insert(event.row, event.tag);
+          estimator->OnInsert(event.row, table.num_rows());
+          break;
+        case EvolvingEvent::Kind::kDeleteCluster:
+          executor.DeleteByTag(event.tag);
+          estimator->OnDelete(0, table.num_rows());
+          break;
+        case EvolvingEvent::Kind::kQuery: {
+          ++queries;
+          if (config.reupload_every > 0 &&
+              queries % config.reupload_every == 0) {
+            // Strawman: keep the sample fresh by re-drawing it.
+            FKDE_CHECK_OK(
+                estimator->engine()->sample()->LoadFromTable(table, &rng));
+          }
+          const double estimate =
+              estimator->EstimateSelectivity(event.query.box);
+          estimator->ObserveTrueSelectivity(event.query.box,
+                                            event.query.selectivity);
+          errors.push_back(std::abs(estimate - event.query.selectivity));
+          break;
+        }
+      }
+    }
+    const TransferLedger& ledger = device.ledger();
+    double late = 0.0;
+    for (std::size_t i = 2 * errors.size() / 3; i < errors.size(); ++i) {
+      late += errors[i];
+    }
+    late /= static_cast<double>(errors.size() - 2 * errors.size() / 3);
+    printer.AddRow(
+        {config.name,
+         TablePrinter::Num(
+             static_cast<double>(ledger.bytes_to_device) / queries, 5),
+         TablePrinter::Num(
+             static_cast<double>(ledger.bytes_to_host) / queries, 5),
+         TablePrinter::Num(late, 4)});
+    std::fprintf(stderr, "  done: %s\n", config.name.c_str());
+  }
+  printer.Print(common.csv);
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Figure 7: estimator runtime with growing model size.
+//
+// Measures the per-query estimation overhead of Heuristic and Adaptive on
+// the CPU and the (simulated) GPU as the KDE sample grows 1K -> 256K
+// points, plus STHoles under the equivalent memory budget, on a synthetic
+// 8D table with random-volume (UV) queries — the paper's Section 6.4
+// setup.
+//
+// Reported times:
+//   * ms_modeled  — the device cost model (launch latency + transfers +
+//     compute throughput); this is the Figure 7 y-axis. The GPU backend
+//     executes on host threads, so only its modeled time is meaningful.
+//   * ms_measured — wall-clock on this machine (CPU rows only,
+//     informational).
+//
+// Expected qualitative result (paper):
+//   * flat, latency-dominated region up to ~16-32K points, then linear;
+//   * GPU ~4x faster than CPU in the linear regime; Adaptive within 1 ms
+//     at 128K points on the GPU;
+//   * the Adaptive-Heuristic gap is a constant (hidden gradient work,
+//     only extra launch latencies remain);
+//   * STHoles is faster for small models but 3-10x slower at large ones.
+
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "harness.h"
+
+namespace {
+
+using namespace fkde;
+using namespace fkde::bench;
+
+struct Row {
+  std::string model_points;
+  std::string estimator;
+  std::string device;
+  double ms_modeled = 0.0;
+  double ms_measured = 0.0;
+  std::string note;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CommonFlags common;
+  common.rows = 300000;
+  std::string sizes_flag = "1024,4096,16384,65536,131072,262144";
+  std::int64_t dims = 8;
+  std::int64_t queries = 100;
+  std::int64_t sth_train = 1500;
+  FlagParser parser;
+  common.Register(&parser);
+  parser.AddString("sizes", &sizes_flag, "comma-separated model sizes");
+  parser.AddInt64("dims", &dims, "dataset dimensionality");
+  parser.AddInt64("queries", &queries, "measured queries per configuration");
+  parser.AddInt64("sth-train", &sth_train,
+                  "feedback queries used to fill the STHoles model");
+  parser.Parse(argc, argv).AbortIfError("flags");
+  common.Finalize();
+  if (common.full) {
+    common.rows = 3000000;  // The paper's 3M-row table.
+    sth_train = 10000;
+  }
+
+  Table table = GenerateDataset("synthetic", common.rows, dims, common.seed)
+                    .MoveValueOrDie();
+  Executor executor(&table);
+  executor.BuildIndex();
+  WorkloadGenerator generator(table);
+  Rng rng(static_cast<std::uint64_t>(common.seed) + 1);
+  const WorkloadSpec uv = ParseWorkloadName("uv").ValueOrDie();
+  const std::vector<Query> workload =
+      generator.Generate(uv, static_cast<std::size_t>(queries), &rng);
+
+  std::vector<Row> rows;
+  for (const std::string& size_str : SplitCsv(sizes_flag)) {
+    const std::size_t points = std::stoul(size_str);
+    const std::size_t bytes = points * dims * sizeof(float);
+
+    for (const std::string device_name : {"cpu", "gpu"}) {
+      for (const std::string estimator_name :
+           {"kde_heuristic", "kde_adaptive"}) {
+        Device device(ProfileByName(device_name));
+        EstimatorBuildContext context;
+        context.device = &device;
+        context.executor = &executor;
+        context.memory_bytes = bytes;
+        context.seed = static_cast<std::uint64_t>(common.seed);
+        auto estimator =
+            BuildEstimator(estimator_name, context).MoveValueOrDie();
+
+        // Warm once, then measure the estimate+feedback loop.
+        (void)estimator->EstimateSelectivity(workload[0].box);
+        estimator->ObserveTrueSelectivity(workload[0].box,
+                                          workload[0].selectivity);
+        device.ResetModeledTime();
+        Stopwatch watch;
+        for (const Query& query : workload) {
+          (void)estimator->EstimateSelectivity(query.box);
+          estimator->ObserveTrueSelectivity(query.box, query.selectivity);
+        }
+        Row row;
+        row.model_points = size_str;
+        row.estimator = estimator_name;
+        row.device = device_name;
+        row.ms_modeled = device.ModeledSeconds() * 1e3 / workload.size();
+        row.ms_measured =
+            device_name == "cpu" ? watch.ElapsedMillis() / workload.size()
+                                 : 0.0;
+        rows.push_back(row);
+      }
+    }
+
+    // STHoles under the same memory budget: filled by a training
+    // workload, then measured on estimation only (the paper excludes
+    // its maintenance time).
+    {
+      SthOptions options;
+      options.max_buckets = SthBucketBudgetForBytes(bytes, dims);
+      STHoles histogram(table.Bounds(), table.num_rows(),
+                        executor.MakeRegionCounter(), options);
+      Rng train_rng(static_cast<std::uint64_t>(common.seed) + 2);
+      const WorkloadSpec dt = ParseWorkloadName("dt").ValueOrDie();
+      Stopwatch maintenance_watch;
+      double maintenance_ms = 0.0;
+      std::int64_t trained = 0;
+      for (; trained < sth_train &&
+             histogram.NumBuckets() < options.max_buckets;
+           ++trained) {
+        const Query query = generator.GenerateOne(dt, &train_rng);
+        (void)histogram.EstimateSelectivity(query.box);
+        maintenance_watch.Reset();
+        histogram.ObserveTrueSelectivity(query.box, query.selectivity);
+        maintenance_ms += maintenance_watch.ElapsedMillis();
+      }
+      Stopwatch watch;
+      for (const Query& query : workload) {
+        (void)histogram.EstimateSelectivity(query.box);
+      }
+      Row row;
+      row.model_points = size_str;
+      row.estimator = "stholes";
+      row.device = "cpu";
+      row.ms_measured = watch.ElapsedMillis() / workload.size();
+      row.ms_modeled = row.ms_measured;  // Host structure: measured = model.
+      char note[96];
+      std::snprintf(note, sizeof(note),
+                    "%zu/%zu buckets, maintenance %.2f ms/query",
+                    histogram.NumBuckets(), options.max_buckets,
+                    trained > 0 ? maintenance_ms / trained : 0.0);
+      row.note = note;
+      rows.push_back(row);
+    }
+    std::fprintf(stderr, "  done: %zu points\n", points);
+  }
+
+  TablePrinter printer;
+  printer.SetHeader({"model_points", "estimator", "device", "ms_modeled",
+                     "ms_measured", "note"});
+  for (const Row& row : rows) {
+    printer.AddRow({row.model_points, row.estimator, row.device,
+                    TablePrinter::Num(row.ms_modeled, 4),
+                    row.ms_measured > 0.0
+                        ? TablePrinter::Num(row.ms_measured, 4)
+                        : "-",
+                    row.note.empty() ? "-" : row.note});
+  }
+  printer.Print(common.csv);
+  return 0;
+}

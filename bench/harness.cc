@@ -1,0 +1,117 @@
+#include "harness.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fkde {
+namespace bench {
+
+DeviceProfile ProfileByName(const std::string& name) {
+  if (name == "gpu") return DeviceProfile::SimulatedGtx460();
+  FKDE_CHECK_MSG(name == "cpu", "unknown device profile: " + name);
+  return DeviceProfile::OpenClCpu();
+}
+
+CellResult RunCell(const CellSpec& spec,
+                   const std::vector<std::string>& estimators) {
+  CellResult result;
+  Table table =
+      GenerateDataset(spec.dataset, spec.rows, spec.dims, spec.seed)
+          .MoveValueOrDie();
+  Executor executor(&table);
+  executor.BuildIndex();
+  const WorkloadGenerator generator(table);
+  Device device(ProfileByName(spec.device));
+
+  for (std::size_t rep = 0; rep < spec.repetitions; ++rep) {
+    const std::uint64_t rep_seed = spec.seed * 7919 + rep;
+    Rng workload_rng(rep_seed);
+    const std::vector<Query> training =
+        generator.Generate(spec.workload, spec.training_queries,
+                           &workload_rng);
+    const std::vector<Query> test =
+        generator.Generate(spec.workload, spec.test_queries, &workload_rng);
+
+    EstimatorBuildContext context;
+    context.device = &device;
+    context.executor = &executor;
+    context.memory_bytes = spec.memory_bytes;
+    context.seed = rep_seed;  // Same seed => same sample for all KDEs.
+    context.training = training;
+
+    for (const std::string& name : estimators) {
+      auto estimator = BuildEstimator(name, context).MoveValueOrDie();
+      // Self-tuning estimators absorb the training stream as feedback,
+      // mirroring how the paper warms up STHoles and Adaptive.
+      if (name == "kde_adaptive" || name == "stholes") {
+        FeedbackDriver::Train(estimator.get(), training);
+      }
+      const RunStats stats =
+          FeedbackDriver::RunPrecomputed(estimator.get(), test);
+      result.errors_by_estimator[name].push_back(stats.MeanAbsoluteError());
+    }
+  }
+  return result;
+}
+
+void CommonFlags::Register(FlagParser* parser) {
+  parser->AddInt64("reps", &reps, "repetitions per experiment cell");
+  parser->AddInt64("rows", &rows, "rows per generated dataset");
+  parser->AddInt64("train", &train, "training queries per repetition");
+  parser->AddInt64("test", &test, "test queries per repetition");
+  parser->AddInt64("seed", &seed, "base random seed");
+  parser->AddBool("csv", &csv, "emit CSV instead of an aligned table");
+  parser->AddBool("full", &full,
+                  "paper-sized preset (25 reps, more rows; slow)");
+  parser->AddString("datasets", &datasets, "comma-separated dataset names");
+  parser->AddString("workloads", &workloads,
+                    "comma-separated workload names (dt,dv,ut,uv)");
+  parser->AddString("estimators", &estimators,
+                    "comma-separated estimator names");
+}
+
+void CommonFlags::Finalize() {
+  if (full) {
+    reps = 25;
+    rows = std::max<std::int64_t>(rows, 500000);
+  }
+}
+
+std::vector<std::string> SplitCsv(const std::string& value) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : value) {
+    if (c == ',') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+std::vector<std::string> SummaryHeader(std::vector<std::string> prefix) {
+  for (const char* col :
+       {"mean", "min", "p25", "median", "p75", "max", "stddev"}) {
+    prefix.emplace_back(col);
+  }
+  return prefix;
+}
+
+void AddSummaryColumns(TablePrinter* printer, std::vector<std::string> prefix,
+                       const Summary& summary) {
+  prefix.push_back(TablePrinter::Num(summary.mean));
+  prefix.push_back(TablePrinter::Num(summary.min));
+  prefix.push_back(TablePrinter::Num(summary.p25));
+  prefix.push_back(TablePrinter::Num(summary.median));
+  prefix.push_back(TablePrinter::Num(summary.p75));
+  prefix.push_back(TablePrinter::Num(summary.max));
+  prefix.push_back(TablePrinter::Num(summary.stddev));
+  printer->AddRow(std::move(prefix));
+}
+
+}  // namespace bench
+}  // namespace fkde

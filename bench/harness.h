@@ -1,0 +1,107 @@
+/// \file harness.h
+/// \brief Shared experiment protocol for the paper-reproduction benches.
+///
+/// Implements the Section 6.2 measurement protocol once so every figure
+/// binary agrees on it:
+///
+///   1. generate the dataset (fixed per experiment cell);
+///   2. per repetition: draw fresh training (default 100) and test
+///      (default 300) queries from the workload;
+///   3. build every estimator under the d*4kB memory budget; all KDE
+///      variants share one sample per repetition (same construction seed);
+///   4. give self-tuning estimators (Adaptive, STHoles) the training
+///      stream as feedback; Batch receives it at construction;
+///   5. measure the mean absolute selectivity error on the test stream
+///      (feedback stays on, as in the paper's deployment scenario).
+
+#ifndef FKDE_BENCH_HARNESS_H_
+#define FKDE_BENCH_HARNESS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "data/generators.h"
+#include "parallel/device.h"
+#include "runtime/driver.h"
+#include "runtime/executor.h"
+#include "runtime/factory.h"
+#include "workload/workload.h"
+
+namespace fkde {
+namespace bench {
+
+/// \brief One experiment cell of the Figure 4/5 grid.
+struct CellSpec {
+  std::string dataset = "synthetic";
+  std::size_t rows = 100000;
+  std::size_t dims = 3;
+  WorkloadSpec workload;
+  std::size_t training_queries = 100;
+  std::size_t test_queries = 300;
+  std::size_t repetitions = 5;
+  std::uint64_t seed = 1;
+  /// Memory budget per estimator; 0 means the paper's d * 4kB.
+  std::size_t memory_bytes = 0;
+  /// Device profile for KDE variants ("cpu" or "gpu").
+  std::string device = "cpu";
+};
+
+/// \brief Per-estimator outcome of one cell.
+struct CellResult {
+  /// Mean absolute error per repetition (boxplot raw data).
+  std::map<std::string, std::vector<double>> errors_by_estimator;
+
+  Summary SummaryFor(const std::string& estimator) const {
+    auto it = errors_by_estimator.find(estimator);
+    return it == errors_by_estimator.end() ? Summary()
+                                           : Summarize(it->second);
+  }
+};
+
+/// Resolves "cpu"/"gpu" into a device profile.
+DeviceProfile ProfileByName(const std::string& name);
+
+/// Runs one cell for the named estimators and returns the per-repetition
+/// mean absolute errors. Estimators see identical queries within a
+/// repetition (the paper's fairness rule).
+CellResult RunCell(const CellSpec& spec,
+                   const std::vector<std::string>& estimators);
+
+/// Standard flag pack shared by the experiment binaries.
+struct CommonFlags {
+  std::int64_t reps = 3;
+  std::int64_t rows = 50000;
+  std::int64_t train = 100;
+  std::int64_t test = 200;
+  std::int64_t seed = 1;
+  bool csv = false;
+  bool full = false;  ///< Paper-sized preset (25 reps etc).
+  std::string datasets = "synthetic,bike,forest,power,protein";
+  std::string workloads = "dt,dv,ut,uv";
+  std::string estimators =
+      "stholes,kde_heuristic,kde_scv,kde_batch,kde_adaptive";
+
+  void Register(FlagParser* parser);
+  /// Applies the --full preset (call after Parse).
+  void Finalize();
+};
+
+/// Splits a comma-separated flag value.
+std::vector<std::string> SplitCsv(const std::string& value);
+
+/// Formats a Summary as boxplot columns.
+void AddSummaryColumns(TablePrinter* printer, std::vector<std::string> prefix,
+                       const Summary& summary);
+
+/// Boxplot header suffix used with AddSummaryColumns.
+std::vector<std::string> SummaryHeader(std::vector<std::string> prefix);
+
+}  // namespace bench
+}  // namespace fkde
+
+#endif  // FKDE_BENCH_HARNESS_H_

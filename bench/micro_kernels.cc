@@ -1,0 +1,122 @@
+// Microbenchmarks (google-benchmark) for the device kernels behind
+// Figure 7: the estimate kernel (eq. 13), the fused estimate+gradient
+// kernel (eq. 17), the binary-tree reduction, Scott's rule, and the Karma
+// update pass. These give the per-point costs that the Figure 7 cost
+// model is built from.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "kde/engine.h"
+#include "kde/karma.h"
+
+namespace fkde {
+namespace {
+
+struct MicroFixture {
+  MicroFixture(std::size_t sample_size, std::size_t dims)
+      : device(DeviceProfile::OpenClCpu()),
+        sample(&device, sample_size, dims) {
+    ClusterBoxesParams params;
+    params.rows = sample_size * 2;
+    params.dims = dims;
+    const Table table = GenerateClusterBoxes(params, 7);
+    Rng rng(8);
+    FKDE_CHECK_OK(sample.LoadFromTable(table, &rng));
+    engine = std::make_unique<KdeEngine>(&sample, KernelType::kGaussian);
+    std::vector<double> lo(dims, 0.25), hi(dims, 0.75);
+    box = Box(lo, hi);
+  }
+
+  Device device;
+  DeviceSample sample;
+  std::unique_ptr<KdeEngine> engine;
+  Box box;
+};
+
+void BM_Estimate(benchmark::State& state) {
+  MicroFixture fixture(static_cast<std::size_t>(state.range(0)),
+                       static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.engine->Estimate(fixture.box));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(1));
+}
+BENCHMARK(BM_Estimate)
+    ->ArgsProduct({{1024, 16384, 131072}, {3, 8}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EstimateWithGradient(benchmark::State& state) {
+  MicroFixture fixture(static_cast<std::size_t>(state.range(0)),
+                       static_cast<std::size_t>(state.range(1)));
+  std::vector<double> gradient;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture.engine->EstimateWithGradient(fixture.box, &gradient));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(1));
+}
+BENCHMARK(BM_EstimateWithGradient)
+    ->ArgsProduct({{1024, 16384, 131072}, {3, 8}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ReduceSum(benchmark::State& state) {
+  Device device(DeviceProfile::OpenClCpu());
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto buffer = device.CreateBuffer<double>(n);
+  std::vector<double> data(n, 1.0);
+  device.CopyToDevice(data.data(), n, &buffer);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReduceSum(&device, buffer, 0, n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ReduceSum)
+    ->Arg(1024)
+    ->Arg(65536)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ScottBandwidth(benchmark::State& state) {
+  MicroFixture fixture(static_cast<std::size_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.engine->ComputeScottBandwidth());
+  }
+}
+BENCHMARK(BM_ScottBandwidth)
+    ->Arg(1024)
+    ->Arg(65536)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_KarmaUpdate(benchmark::State& state) {
+  MicroFixture fixture(static_cast<std::size_t>(state.range(0)), 5);
+  KarmaMaintainer karma(fixture.engine.get(), KarmaOptions());
+  (void)fixture.engine->Estimate(fixture.box);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(karma.Update(fixture.box, 0.01));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KarmaUpdate)
+    ->Arg(1024)
+    ->Arg(65536)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SampleReplaceRow(benchmark::State& state) {
+  MicroFixture fixture(1024, 8);
+  const std::vector<double> row(8, 0.5);
+  std::size_t slot = 0;
+  for (auto _ : state) {
+    fixture.sample.ReplaceRow(slot, row);
+    slot = (slot + 1) % fixture.sample.size();
+  }
+}
+BENCHMARK(BM_SampleReplaceRow)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+}  // namespace fkde
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Table 1: pairwise win-rate matrix.
+//
+// Runs the full static-quality grid (both 3D and 8D, all datasets and
+// workloads) and reports, for each ordered estimator pair (A, B), the
+// percentage of (cell, repetition) experiments in which A's mean absolute
+// error was strictly lower than B's — the paper's Table 1.
+//
+// Expected qualitative result (paper):
+//   Batch > Heuristic in >90%; Batch > SCV in ~63%; Batch > STHoles in
+//   ~84%; Adaptive > STHoles in ~71%; Adaptive between Batch and SCV.
+
+#include <cstdio>
+#include <map>
+
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace fkde;
+  using namespace fkde::bench;
+
+  CommonFlags common;
+  // The win-rate matrix runs the whole 3D+8D grid; default to a lighter
+  // per-cell setting than the figure binaries (--full restores 25 reps).
+  common.reps = 2;
+  common.rows = 30000;
+  common.test = 150;
+  std::string dims_flag = "3,8";
+  FlagParser parser;
+  common.Register(&parser);
+  parser.AddString("dims", &dims_flag, "comma-separated dimensionalities");
+  parser.Parse(argc, argv).AbortIfError("flags");
+  common.Finalize();
+
+  const auto datasets = SplitCsv(common.datasets);
+  const auto workloads = SplitCsv(common.workloads);
+  const auto estimators = SplitCsv(common.estimators);
+  const auto dims_list = SplitCsv(dims_flag);
+
+  // wins[a][b] = experiments where a beat b; ties count for neither.
+  std::map<std::string, std::map<std::string, std::size_t>> wins;
+  std::size_t experiments = 0;
+
+  for (const std::string& dims_str : dims_list) {
+    const std::size_t dims = std::stoul(dims_str);
+    for (const std::string& dataset : datasets) {
+      for (const std::string& workload : workloads) {
+        CellSpec spec;
+        spec.dataset = dataset;
+        spec.rows = static_cast<std::size_t>(common.rows);
+        spec.dims = dims;
+        spec.workload = ParseWorkloadName(workload).ValueOrDie();
+        spec.training_queries = static_cast<std::size_t>(common.train);
+        spec.test_queries = static_cast<std::size_t>(common.test);
+        spec.repetitions = static_cast<std::size_t>(common.reps);
+        spec.seed = static_cast<std::uint64_t>(common.seed) + dims;
+        const CellResult cell = RunCell(spec, estimators);
+        for (std::size_t rep = 0; rep < spec.repetitions; ++rep) {
+          ++experiments;
+          for (const std::string& a : estimators) {
+            for (const std::string& b : estimators) {
+              if (a == b) continue;
+              const double ea = cell.errors_by_estimator.at(a)[rep];
+              const double eb = cell.errors_by_estimator.at(b)[rep];
+              if (ea < eb) ++wins[a][b];
+            }
+          }
+        }
+        std::fprintf(stderr, "  done: %zuD %s %s\n", dims, dataset.c_str(),
+                     spec.workload.Name().c_str());
+      }
+    }
+  }
+
+  TablePrinter printer;
+  std::vector<std::string> header = {"wins \\ over"};
+  for (const std::string& b : estimators) header.push_back(b);
+  printer.SetHeader(header);
+  const double total = static_cast<double>(experiments);
+  for (const std::string& a : estimators) {
+    std::vector<std::string> row = {a};
+    for (const std::string& b : estimators) {
+      if (a == b) {
+        row.push_back("-");
+      } else {
+        row.push_back(
+            TablePrinter::Num(100.0 * wins[a][b] / total, 3) + "%");
+      }
+    }
+    printer.AddRow(row);
+  }
+  std::printf("pairwise win rates over %zu experiments "
+              "(row beat column in X%% of runs):\n",
+              experiments);
+  printer.Print(common.csv);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Evolving database demo (paper Section 6.5 in miniature).
+//
+// An archive-style workload: clusters of fresh data arrive, old clusters
+// are deleted, and queries favor recent data. A static Scott's-rule model
+// goes stale; the self-tuning estimator tracks the changes through
+// RMSprop bandwidth updates, reservoir inserts, and Karma-based sample
+// replacement.
+
+#include <cstdio>
+
+#include "kde/kde_estimator.h"
+#include "parallel/device.h"
+#include "runtime/evolving_runner.h"
+#include "runtime/executor.h"
+#include "runtime/factory.h"
+#include "workload/evolving.h"
+
+int main() {
+  using namespace fkde;
+
+  EvolvingParams params;
+  params.dims = 5;
+  params.cycles = 6;
+
+  // Phase 0: load the initial clusters so the estimators have data to
+  // sample at construction time (the paper builds after the initial load).
+  Table table(params.dims);
+  Executor executor(&table);
+  EvolvingWorkload preload(params, /*seed=*/5);
+  {
+    EvolvingEvent event;
+    std::size_t initial =
+        params.initial_clusters * params.tuples_per_cluster;
+    while (initial > 0 && preload.Next(table, &event)) {
+      if (event.kind == EvolvingEvent::Kind::kInsert) {
+        executor.Insert(event.row, event.tag);
+        --initial;
+      }
+      // Pre-load queries are dropped; the run below records everything.
+    }
+  }
+
+  Device device(DeviceProfile::SimulatedGtx460());
+  EstimatorBuildContext context;
+  context.device = &device;
+  context.executor = &executor;
+
+  auto run = [&](const char* name) {
+    // Fresh copy of the workload stream and table for each estimator so
+    // the comparisons see identical histories.
+    Table run_table = table;
+    Executor run_executor(&run_table);
+    EstimatorBuildContext run_context = context;
+    run_context.executor = &run_executor;
+    auto estimator = BuildEstimator(name, run_context).MoveValueOrDie();
+    EvolvingWorkload workload(params, /*seed=*/5);
+    // Skip the preload part of the stream (already applied to the table).
+    EvolvingEvent event;
+    std::size_t initial =
+        params.initial_clusters * params.tuples_per_cluster;
+    Table scratch(params.dims);
+    while (initial > 0 && workload.Next(scratch, &event)) {
+      if (event.kind == EvolvingEvent::Kind::kInsert) {
+        scratch.Insert(event.row, event.tag);
+        --initial;
+      }
+    }
+    const EvolvingTrace trace =
+        RunEvolving(estimator.get(), &run_executor, &workload);
+    std::printf("%-14s", name);
+    const std::size_t window = trace.absolute_errors.size() / 6;
+    for (std::size_t w = 0; w < 6; ++w) {
+      std::printf("  %.4f",
+                  trace.WindowMean(w * window, (w + 1) * window));
+    }
+    std::printf("\n");
+  };
+
+  std::printf("mean absolute error per sixth of the evolving run "
+              "(%zu cycles of insert+archive):\n", params.cycles);
+  std::printf("%-14s  %s\n", "estimator",
+              "early  ->                              late");
+  run("kde_heuristic");
+  run("stholes");
+  run("kde_adaptive");
+  std::printf("\nkde_adaptive tracks the moving clusters; the static "
+              "heuristic model drifts off.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// GPU offload anatomy (paper Section 5).
+//
+// Dissects one estimate + feedback round trip on the simulated GPU: which
+// kernels launch, what crosses the PCI-Express bus, and what the device
+// cost model charges. Demonstrates the transfer-efficiency claim — after
+// the one-time sample upload, per-query traffic is a few hundred bytes.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "kde/kde_estimator.h"
+#include "parallel/device.h"
+#include "runtime/executor.h"
+#include "workload/workload.h"
+
+namespace {
+
+void PrintDelta(const char* stage, const fkde::TransferLedger& before,
+                const fkde::TransferLedger& after, double modeled_ms) {
+  std::printf("  %-28s %3llu launches  %6llu B down  %6llu B up   %.3f ms\n",
+              stage,
+              static_cast<unsigned long long>(after.kernel_launches -
+                                              before.kernel_launches),
+              static_cast<unsigned long long>(after.bytes_to_device -
+                                              before.bytes_to_device),
+              static_cast<unsigned long long>(after.bytes_to_host -
+                                              before.bytes_to_host),
+              modeled_ms);
+}
+
+}  // namespace
+
+int main() {
+  using namespace fkde;
+
+  ClusterBoxesParams params;
+  params.rows = 200000;
+  params.dims = 8;
+  Table table = GenerateClusterBoxes(params, /*seed=*/3);
+  Executor executor(&table);
+  executor.BuildIndex();
+
+  Device device(DeviceProfile::SimulatedGtx460());
+  std::printf("device: %s  (launch %.0f us, transfer %.0f us + %.1f GB/s, "
+              "%.2g point-attrs/s)\n\n",
+              device.profile().name.c_str(),
+              device.profile().launch_latency_s * 1e6,
+              device.profile().transfer_latency_s * 1e6,
+              device.profile().transfer_bandwidth / 1e9,
+              device.profile().compute_throughput);
+
+  // Model construction: the ONE bulk transfer of the estimator's life.
+  TransferLedger before = device.ledger();
+  double t0 = device.ModeledSeconds();
+  KdeConfig config;
+  config.sample_size = 16384;
+  auto estimator = KdeSelectivityEstimator::Create(
+                       KdeSelectivityEstimator::Mode::kAdaptive, &device,
+                       &table, config)
+                       .MoveValueOrDie();
+  PrintDelta("ANALYZE (sample upload)", before, device.ledger(),
+             (device.ModeledSeconds() - t0) * 1e3);
+
+  // One query through the full Figure 3 pipeline.
+  Rng rng(4);
+  WorkloadGenerator generator(table);
+  const Query query =
+      generator.GenerateOne(ParseWorkloadName("dt").ValueOrDie(), &rng);
+
+  before = device.ledger();
+  t0 = device.ModeledSeconds();
+  const double estimate = estimator->EstimateSelectivity(query.box);
+  PrintDelta("estimate (bounds->scalar)", before, device.ledger(),
+             (device.ModeledSeconds() - t0) * 1e3);
+
+  before = device.ledger();
+  t0 = device.ModeledSeconds();
+  estimator->ObserveTrueSelectivity(query.box, query.selectivity);
+  PrintDelta("feedback (adapt + karma)", before, device.ledger(),
+             (device.ModeledSeconds() - t0) * 1e3);
+
+  std::printf("\nestimate %.5f vs true %.5f  (sample %zu x %zud floats "
+              "stays resident)\n",
+              estimate, query.selectivity, config.sample_size,
+              table.num_cols());
+
+  // Steady-state traffic over 100 queries.
+  const std::vector<Query> workload = generator.Generate(
+      ParseWorkloadName("dt").ValueOrDie(), 100, &rng);
+  before = device.ledger();
+  for (const Query& q : workload) {
+    (void)estimator->EstimateSelectivity(q.box);
+    estimator->ObserveTrueSelectivity(q.box, q.selectivity);
+  }
+  const TransferLedger& after = device.ledger();
+  std::printf("steady state: %.0f B/query down, %.0f B/query up "
+              "(vs %.0f kB to re-upload the sample)\n",
+              (after.bytes_to_device - before.bytes_to_device) / 100.0,
+              (after.bytes_to_host - before.bytes_to_host) / 100.0,
+              config.sample_size * table.num_cols() * 4 / 1024.0);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Join selectivity estimation (the paper's Section 8 future-work item).
+//
+// PK-FK joins have a known result distribution: |R JOIN S| = |S| and a
+// uniform sample of S joined to its PK partners is a uniform sample of
+// the join result. Feeding that sample into the KDE machinery yields
+// selectivity estimates for multidimensional predicates over the join —
+// here, a customers/orders schema where order value correlates with
+// customer income, which a per-table independence approach cannot see.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "data/join.h"
+#include "histogram/avi.h"
+#include "kde/batch.h"
+#include "kde/engine.h"
+#include "workload/workload.h"
+
+int main() {
+  using namespace fkde;
+  Rng rng(1);
+
+  // Customers: key, income, age. Orders: customer_key, amount, quantity.
+  // Order amounts scale with the customer's income (cross-table
+  // correlation, invisible to independent per-table statistics).
+  const std::size_t num_customers = 20000;
+  const std::size_t num_orders = 120000;
+  Table customers(3);
+  for (std::size_t i = 0; i < num_customers; ++i) {
+    const double income = std::exp(rng.Gaussian(10.5, 0.6));
+    const double age = std::clamp(rng.Gaussian(42.0, 14.0), 18.0, 95.0);
+    customers.Insert(std::vector<double>{static_cast<double>(i), income,
+                                         age});
+  }
+  Table orders(3);
+  for (std::size_t i = 0; i < num_orders; ++i) {
+    const std::size_t customer = rng.UniformInt(num_customers);
+    const double income = customers.At(customer, 1);
+    const double amount =
+        income * rng.Uniform(0.001, 0.01) + rng.Exponential(1.0 / 20.0);
+    const double quantity = 1.0 + rng.Exponential(0.5);
+    orders.Insert(std::vector<double>{static_cast<double>(customer), amount,
+                                      quantity});
+  }
+
+  JoinSpec spec;
+  spec.pk_table = &customers;
+  spec.pk_column = 0;
+  spec.fk_table = &orders;
+  spec.fk_column = 0;
+  spec.pk_attributes = {1, 2};  // income, age
+  spec.fk_attributes = {1, 2};  // amount, quantity
+
+  // Sample the join result (no materialization needed) and build the KDE
+  // model on it; materialize only to compute exact truths for evaluation.
+  Table join_sample = SampleJoin(spec, 1024, &rng).MoveValueOrDie();
+  Table join_full = MaterializeJoin(spec).MoveValueOrDie();
+
+  Device device(DeviceProfile::SimulatedGtx460());
+  DeviceSample sample(&device, join_sample.num_rows(),
+                      join_sample.num_cols());
+  sample.LoadRows(join_sample.raw(), join_sample.num_rows())
+      .AbortIfError("sample upload");
+  KdeEngine engine(&sample, KernelType::kGaussian);
+
+  // Predicates over the join: "income in [..] AND amount in [..] AND ...".
+  WorkloadGenerator generator(join_full);
+  const WorkloadSpec dt = ParseWorkloadName("dt").ValueOrDie();
+  const std::vector<Query> training = generator.Generate(dt, 80, &rng);
+  const std::vector<Query> test = generator.Generate(dt, 200, &rng);
+
+  // Independence baseline: per-attribute histograms over the join sample.
+  AviHistogram avi = AviHistogram::Build(join_sample, 64).ValueOrDie();
+
+  auto evaluate = [&](auto&& estimate) {
+    double total = 0.0;
+    for (const Query& q : test) total += std::abs(estimate(q) - q.selectivity);
+    return total / static_cast<double>(test.size());
+  };
+
+  const double scott_error =
+      evaluate([&](const Query& q) { return engine.Estimate(q.box); });
+  BatchOptions options;
+  const BatchReport report =
+      OptimizeBandwidthBatch(&engine, training, options, &rng).ValueOrDie();
+  const double tuned_error =
+      evaluate([&](const Query& q) { return engine.Estimate(q.box); });
+  const double avi_error = evaluate(
+      [&](const Query& q) { return avi.EstimateSelectivity(q.box); });
+
+  std::printf("selectivity estimation over customers JOIN orders "
+              "(4 joined attributes, %zu test queries):\n",
+              test.size());
+  std::printf("  %-34s %.5f\n", "AVI on join sample (independence)",
+              avi_error);
+  std::printf("  %-34s %.5f\n", "KDE on join sample (Scott)", scott_error);
+  std::printf("  %-34s %.5f   (%zu objective evals)\n",
+              "KDE on join sample (optimized)", tuned_error,
+              report.evaluations);
+  std::printf("\njoin sample: %zu rows drawn from a %zu-row join result "
+              "without materializing it\n",
+              join_sample.num_rows(), join_full.num_rows());
+  return 0;
+}

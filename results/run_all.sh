@@ -1,0 +1,20 @@
+#!/bin/bash
+# Runs every paper-reproduction bench with quick presets, teeing outputs.
+set -u
+cd "$(dirname "$0")/.."
+B=build/bench
+R=results
+run() { name=$1; shift; echo "=== $name: $* ==="; "$@" > "$R/$name.txt" 2> "$R/$name.log" || echo "FAILED: $name"; }
+run fig4 $B/fig4_static_quality --dims=3
+run fig5 $B/fig4_static_quality --dims=8
+run table1 $B/table1_winrates --reps=2 --rows=30000 --test=150
+run fig6 $B/fig6_model_size
+run fig7 $B/fig7_performance
+run fig8 $B/fig8_adaptivity
+run ablation_log_updates $B/ablation_log_updates
+run ablation_karma $B/ablation_karma
+run ablation_transfers $B/ablation_transfers
+run ablation_variable_kde $B/ablation_variable_kde
+run ablation_workload_shift $B/ablation_workload_shift
+run micro_kernels $B/micro_kernels --benchmark_min_time=0.2
+echo ALL_DONE

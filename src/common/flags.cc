@@ -1,0 +1,125 @@
+#include "common/flags.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+
+namespace fkde {
+
+void FlagParser::AddInt64(const std::string& name, std::int64_t* target,
+                          const std::string& help) {
+  entries_[name] = Entry{Kind::kInt64, target, help, std::to_string(*target)};
+}
+
+void FlagParser::AddDouble(const std::string& name, double* target,
+                           const std::string& help) {
+  entries_[name] = Entry{Kind::kDouble, target, help, std::to_string(*target)};
+}
+
+void FlagParser::AddString(const std::string& name, std::string* target,
+                           const std::string& help) {
+  entries_[name] = Entry{Kind::kString, target, help, *target};
+}
+
+void FlagParser::AddBool(const std::string& name, bool* target,
+                         const std::string& help) {
+  entries_[name] = Entry{Kind::kBool, target, help, *target ? "true" : "false"};
+}
+
+Status FlagParser::SetValue(const std::string& name, const std::string& value) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name + "\n" + Help());
+  }
+  Entry& e = it->second;
+  switch (e.kind) {
+    case Kind::kInt64: {
+      std::int64_t v = 0;
+      auto [ptr, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), v);
+      if (ec != std::errc() || ptr != value.data() + value.size()) {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects an integer, got '" + value +
+                                       "'");
+      }
+      *static_cast<std::int64_t*>(e.target) = v;
+      break;
+    }
+    case Kind::kDouble: {
+      char* end = nullptr;
+      const double v = std::strtod(value.c_str(), &end);
+      if (end != value.c_str() + value.size() || value.empty()) {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects a number, got '" + value +
+                                       "'");
+      }
+      *static_cast<double*>(e.target) = v;
+      break;
+    }
+    case Kind::kString:
+      *static_cast<std::string*>(e.target) = value;
+      break;
+    case Kind::kBool:
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(e.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(e.target) = false;
+      } else {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects true/false, got '" + value +
+                                       "'");
+      }
+      break;
+  }
+  return Status::OK();
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      FKDE_RETURN_NOT_OK(SetValue(arg.substr(0, eq), arg.substr(eq + 1)));
+      continue;
+    }
+    // --name value, --bool, or --no-bool.
+    auto it = entries_.find(arg);
+    if (it != entries_.end() && it->second.kind == Kind::kBool) {
+      *static_cast<bool*>(it->second.target) = true;
+      continue;
+    }
+    if (arg.rfind("no-", 0) == 0) {
+      auto neg = entries_.find(arg.substr(3));
+      if (neg != entries_.end() && neg->second.kind == Kind::kBool) {
+        *static_cast<bool*>(neg->second.target) = false;
+        continue;
+      }
+    }
+    if (it == entries_.end()) {
+      return Status::InvalidArgument("unknown flag --" + arg + "\n" + Help());
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag --" + arg + " is missing a value");
+    }
+    FKDE_RETURN_NOT_OK(SetValue(arg, argv[++i]));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Help() const {
+  std::ostringstream out;
+  out << "flags:\n";
+  for (const auto& [name, e] : entries_) {
+    out << "  --" << name << " (default: " << e.default_repr << ")  " << e.help
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace fkde

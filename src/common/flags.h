@@ -1,0 +1,71 @@
+/// \file flags.h
+/// \brief Minimal command-line flag parsing for examples and benchmarks.
+///
+/// Supports `--name=value`, `--name value`, and boolean `--name` /
+/// `--no-name` forms. Unknown flags are an error so typos fail loudly.
+
+#ifndef FKDE_COMMON_FLAGS_H_
+#define FKDE_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fkde {
+
+/// \brief Declarative flag registry and parser.
+///
+/// Usage:
+/// \code
+///   FlagParser flags;
+///   int64_t dims = 3;
+///   bool csv = false;
+///   flags.AddInt64("dims", &dims, "dataset dimensionality");
+///   flags.AddBool("csv", &csv, "emit CSV instead of a table");
+///   flags.Parse(argc, argv).AbortIfError("flag parsing");
+/// \endcode
+class FlagParser {
+ public:
+  /// Registers an int64 flag with a default taken from *target.
+  void AddInt64(const std::string& name, std::int64_t* target,
+                const std::string& help);
+  /// Registers a double flag with a default taken from *target.
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  /// Registers a string flag with a default taken from *target.
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+  /// Registers a bool flag; `--name` sets true, `--no-name` sets false.
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+
+  /// Parses argv. Returns InvalidArgument on unknown flags or bad values.
+  /// Positional (non-flag) arguments are collected into positional().
+  Status Parse(int argc, char** argv);
+
+  /// Non-flag arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders a usage/help string listing all registered flags.
+  std::string Help() const;
+
+ private:
+  enum class Kind { kInt64, kDouble, kString, kBool };
+  struct Entry {
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fkde
+
+#endif  // FKDE_COMMON_FLAGS_H_

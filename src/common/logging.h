@@ -1,0 +1,80 @@
+/// \file logging.h
+/// \brief Logging and invariant-check macros.
+///
+/// `FKDE_CHECK*` macros abort on violation in every build type and are meant
+/// for cheap checks guarding memory safety or API contracts. `FKDE_DCHECK*`
+/// compile away in NDEBUG builds and are meant for expensive internal
+/// invariants.
+
+#ifndef FKDE_COMMON_LOGGING_H_
+#define FKDE_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace fkde {
+namespace internal {
+
+/// Terminates the process after printing `file:line: msg` to stderr.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "%s:%d: check failed: %s %s\n", file, line, expr,
+               msg.c_str());
+  std::abort();
+}
+
+/// Stream-style message builder used by the CHECK macros.
+class LogMessage {
+ public:
+  LogMessage(const char* level) { stream_ << "[" << level << "] "; }
+  ~LogMessage() {
+    stream_ << "\n";
+    std::fputs(stream_.str().c_str(), stderr);
+  }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace fkde
+
+/// Unconditional stderr log line, e.g. `FKDE_LOG(INFO) << "built " << n;`.
+#define FKDE_LOG(level) ::fkde::internal::LogMessage(#level)
+
+#define FKDE_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::fkde::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+  } while (false)
+
+#define FKDE_CHECK_MSG(cond, msg)                                      \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::fkde::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+  } while (false)
+
+#define FKDE_CHECK_OK(expr)                                            \
+  do {                                                                 \
+    ::fkde::Status _fkde_chk = (expr);                                 \
+    if (!_fkde_chk.ok())                                               \
+      ::fkde::internal::CheckFailed(__FILE__, __LINE__, #expr,         \
+                                    _fkde_chk.ToString());             \
+  } while (false)
+
+#ifdef NDEBUG
+#define FKDE_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define FKDE_DCHECK(cond) FKDE_CHECK(cond)
+#endif
+
+#endif  // FKDE_COMMON_LOGGING_H_

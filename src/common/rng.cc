@@ -1,0 +1,21 @@
+#include "common/rng.h"
+
+namespace fkde {
+
+std::size_t Rng::Categorical(const std::vector<double>& weights) {
+  FKDE_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    FKDE_DCHECK(w >= 0.0);
+    total += w;
+  }
+  FKDE_CHECK_MSG(total > 0.0, "categorical weights must have a positive sum");
+  double r = Uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // Guard against accumulated rounding.
+}
+
+}  // namespace fkde

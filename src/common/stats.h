@@ -1,0 +1,68 @@
+/// \file stats.h
+/// \brief Summary statistics used by the evaluation harness.
+
+#ifndef FKDE_COMMON_STATS_H_
+#define FKDE_COMMON_STATS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace fkde {
+
+/// \brief Single-pass accumulator for mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (count_ == 1 || x < min_) min_ = x;
+    if (count_ == 1 || x > max_) max_ = x;
+  }
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void Merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Five-number summary plus mean, as used by the paper's boxplots.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+/// \brief Returns the q-quantile (q in [0,1]) of `values` using linear
+/// interpolation between order statistics. `values` need not be sorted.
+double Quantile(std::vector<double> values, double q);
+
+/// \brief Computes the full Summary of `values`.
+Summary Summarize(const std::vector<double>& values);
+
+}  // namespace fkde
+
+#endif  // FKDE_COMMON_STATS_H_

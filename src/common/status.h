@@ -1,0 +1,185 @@
+/// \file status.h
+/// \brief Error model for the library: `Status` and `Result<T>`.
+///
+/// Follows the Arrow/RocksDB idiom: fallible public APIs return a `Status`
+/// (or a `Result<T>` when they produce a value) instead of throwing.
+/// Exceptions never cross a library boundary; invariant violations are
+/// handled by the FKDE_CHECK/FKDE_DCHECK macros in logging.h.
+
+#ifndef FKDE_COMMON_STATUS_H_
+#define FKDE_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fkde {
+
+/// Machine-readable error category carried by a non-OK Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kInternal = 7,
+  kNotImplemented = 8,
+};
+
+/// \brief Returns a short human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Success-or-error outcome of an operation.
+///
+/// `Status` is cheap to copy in the OK case (no allocation) and carries a
+/// code plus message otherwise. Use the factory functions
+/// (`Status::InvalidArgument(...)` etc.) to construct errors.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory for the OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// Error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsNotImplemented() const { return code_ == StatusCode::kNotImplemented; }
+
+  /// Aborts the process if this status is not OK. Use at the top level of
+  /// examples/benches where an error is unrecoverable.
+  void AbortIfError(const char* context = nullptr) const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Value-or-error outcome of an operation.
+///
+/// Holds either a `T` or a non-OK `Status`. Access to the value when the
+/// result holds an error aborts (checked access); call `ok()` first or use
+/// the FKDE_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (error).
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(payload_).ok()) {
+      std::fprintf(stderr, "Result constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Status of the result; OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(payload_);
+  }
+
+  /// Returns the held value; aborts if the result holds an error.
+  const T& ValueOrDie() const {
+    EnsureOk();
+    return std::get<T>(payload_);
+  }
+  T& ValueOrDie() {
+    EnsureOk();
+    return std::get<T>(payload_);
+  }
+
+  /// Moves the held value out; aborts if the result holds an error.
+  T MoveValueOrDie() {
+    EnsureOk();
+    return std::move(std::get<T>(payload_));
+  }
+
+  /// Returns the value or `fallback` when the result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   std::get<Status>(payload_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace fkde
+
+/// Propagates a non-OK status to the caller.
+#define FKDE_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::fkde::Status _fkde_status = (expr);        \
+    if (!_fkde_status.ok()) return _fkde_status; \
+  } while (false)
+
+#define FKDE_CONCAT_IMPL(a, b) a##b
+#define FKDE_CONCAT(a, b) FKDE_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result-returning expression; on success binds the value to
+/// `lhs`, on error returns the status to the caller.
+#define FKDE_ASSIGN_OR_RETURN(lhs, expr)                        \
+  auto FKDE_CONCAT(_fkde_result_, __LINE__) = (expr);           \
+  if (!FKDE_CONCAT(_fkde_result_, __LINE__).ok())               \
+    return FKDE_CONCAT(_fkde_result_, __LINE__).status();       \
+  lhs = FKDE_CONCAT(_fkde_result_, __LINE__).MoveValueOrDie()
+
+#endif  // FKDE_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+/// \file stopwatch.h
+/// \brief Wall-clock timing helper for the benchmark harness.
+
+#ifndef FKDE_COMMON_STOPWATCH_H_
+#define FKDE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace fkde {
+
+/// \brief Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Microseconds elapsed since construction or the last Reset().
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fkde
+
+#endif  // FKDE_COMMON_STOPWATCH_H_

@@ -1,0 +1,50 @@
+/// \file table_printer.h
+/// \brief Aligned text-table and CSV emission for the benchmark harness.
+
+#ifndef FKDE_COMMON_TABLE_PRINTER_H_
+#define FKDE_COMMON_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fkde {
+
+/// \brief Collects rows of string cells and renders them either as an
+/// aligned ASCII table (human consumption) or CSV (plotting scripts).
+class TablePrinter {
+ public:
+  /// Sets the column headers; must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string Num(double v, int precision = 5);
+
+  /// Renders an aligned table to `out` (default stdout).
+  void PrintTable(std::FILE* out = stdout) const;
+
+  /// Renders CSV to `out` (default stdout).
+  void PrintCsv(std::FILE* out = stdout) const;
+
+  /// Renders as table or CSV depending on `csv`.
+  void Print(bool csv, std::FILE* out = stdout) const {
+    if (csv) {
+      PrintCsv(out);
+    } else {
+      PrintTable(out);
+    }
+  }
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fkde
+
+#endif  // FKDE_COMMON_TABLE_PRINTER_H_

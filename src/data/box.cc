@@ -1,0 +1,30 @@
+#include "data/box.h"
+
+#include <cstdio>
+
+namespace fkde {
+
+Box Box::ScaledAboutCenter(double factor) const {
+  FKDE_CHECK(factor >= 0.0);
+  std::vector<double> lo(dims()), hi(dims());
+  for (std::size_t i = 0; i < dims(); ++i) {
+    const double c = Center(i);
+    const double half = 0.5 * Extent(i) * factor;
+    lo[i] = c - half;
+    hi[i] = c + half;
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+std::string Box::ToString() const {
+  std::string out;
+  char buf[80];
+  for (std::size_t i = 0; i < dims(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s[%g,%g]", i == 0 ? "" : "x", lower_[i],
+                  upper_[i]);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace fkde

@@ -1,0 +1,142 @@
+/// \file box.h
+/// \brief Axis-aligned hyper-rectangles — the query regions of the paper.
+///
+/// A range query Omega = (l_1,u_1) x ... x (l_d,u_d) over d real-valued
+/// attributes (paper Section 2.1). Bounds are treated as a closed box for
+/// point-containment; with continuous data the boundary has measure zero,
+/// so closed-vs-open does not affect selectivities.
+
+#ifndef FKDE_DATA_BOX_H_
+#define FKDE_DATA_BOX_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fkde {
+
+/// \brief Axis-aligned box in R^d, stored as parallel lower/upper arrays.
+class Box {
+ public:
+  Box() = default;
+
+  /// Creates a box with the given per-dimension bounds. Requires
+  /// lower.size() == upper.size() and lower[i] <= upper[i].
+  Box(std::vector<double> lower, std::vector<double> upper)
+      : lower_(std::move(lower)), upper_(std::move(upper)) {
+    FKDE_CHECK(lower_.size() == upper_.size());
+    for (std::size_t i = 0; i < lower_.size(); ++i) {
+      FKDE_CHECK_MSG(lower_[i] <= upper_[i], "box with inverted bounds");
+    }
+  }
+
+  /// Creates the degenerate box containing exactly `point`.
+  static Box FromPoint(std::span<const double> point) {
+    std::vector<double> p(point.begin(), point.end());
+    return Box(p, p);
+  }
+
+  std::size_t dims() const { return lower_.size(); }
+
+  double lower(std::size_t i) const { return lower_[i]; }
+  double upper(std::size_t i) const { return upper_[i]; }
+  const std::vector<double>& lower_bounds() const { return lower_; }
+  const std::vector<double>& upper_bounds() const { return upper_; }
+
+  /// Side length along dimension i.
+  double Extent(std::size_t i) const { return upper_[i] - lower_[i]; }
+
+  /// Product of side lengths.
+  double Volume() const {
+    double v = 1.0;
+    for (std::size_t i = 0; i < dims(); ++i) v *= Extent(i);
+    return v;
+  }
+
+  /// Center of the box along dimension i.
+  double Center(std::size_t i) const { return 0.5 * (lower_[i] + upper_[i]); }
+
+  /// True iff `point` lies inside the closed box.
+  bool Contains(std::span<const double> point) const {
+    FKDE_DCHECK(point.size() == dims());
+    for (std::size_t i = 0; i < dims(); ++i) {
+      if (point[i] < lower_[i] || point[i] > upper_[i]) return false;
+    }
+    return true;
+  }
+
+  /// True iff `other` lies entirely inside this (closed) box.
+  bool ContainsBox(const Box& other) const {
+    FKDE_DCHECK(other.dims() == dims());
+    for (std::size_t i = 0; i < dims(); ++i) {
+      if (other.lower_[i] < lower_[i] || other.upper_[i] > upper_[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// True iff this box and `other` share any volume (closed intersection).
+  bool Intersects(const Box& other) const {
+    FKDE_DCHECK(other.dims() == dims());
+    for (std::size_t i = 0; i < dims(); ++i) {
+      if (other.upper_[i] < lower_[i] || other.lower_[i] > upper_[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Intersection of two overlapping boxes. Requires Intersects(other).
+  Box Intersection(const Box& other) const {
+    FKDE_DCHECK(Intersects(other));
+    std::vector<double> lo(dims()), hi(dims());
+    for (std::size_t i = 0; i < dims(); ++i) {
+      lo[i] = std::max(lower_[i], other.lower_[i]);
+      hi[i] = std::min(upper_[i], other.upper_[i]);
+    }
+    return Box(std::move(lo), std::move(hi));
+  }
+
+  /// Smallest box containing both this box and `other`.
+  Box Union(const Box& other) const {
+    FKDE_DCHECK(other.dims() == dims());
+    std::vector<double> lo(dims()), hi(dims());
+    for (std::size_t i = 0; i < dims(); ++i) {
+      lo[i] = std::min(lower_[i], other.lower_[i]);
+      hi[i] = std::max(upper_[i], other.upper_[i]);
+    }
+    return Box(std::move(lo), std::move(hi));
+  }
+
+  /// Grows the box (in place) to contain `point`.
+  void ExpandToContain(std::span<const double> point) {
+    FKDE_DCHECK(point.size() == dims());
+    for (std::size_t i = 0; i < dims(); ++i) {
+      lower_[i] = std::min(lower_[i], point[i]);
+      upper_[i] = std::max(upper_[i], point[i]);
+    }
+  }
+
+  /// Returns the box scaled about its center by `factor` per dimension.
+  Box ScaledAboutCenter(double factor) const;
+
+  /// "[l1,u1]x[l2,u2]x..." for debugging.
+  std::string ToString() const;
+
+  bool operator==(const Box& other) const {
+    return lower_ == other.lower_ && upper_ == other.upper_;
+  }
+
+ private:
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+};
+
+}  // namespace fkde
+
+#endif  // FKDE_DATA_BOX_H_

@@ -1,0 +1,296 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace fkde {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}  // namespace
+
+Table GenerateClusterBoxes(const ClusterBoxesParams& params,
+                           std::uint64_t seed) {
+  FKDE_CHECK(params.dims > 0 && params.num_clusters > 0);
+  FKDE_CHECK(params.noise_fraction >= 0.0 && params.noise_fraction <= 1.0);
+  Rng rng(seed);
+  const std::size_t d = params.dims;
+
+  // Place the cluster boxes inside the unit cube.
+  std::vector<Box> clusters;
+  clusters.reserve(params.num_clusters);
+  for (std::size_t c = 0; c < params.num_clusters; ++c) {
+    std::vector<double> lo(d), hi(d);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double side = rng.Uniform(params.min_side, params.max_side);
+      const double start = rng.Uniform(0.0, 1.0 - side);
+      lo[j] = start;
+      hi[j] = start + side;
+    }
+    clusters.emplace_back(std::move(lo), std::move(hi));
+  }
+
+  Table table(d);
+  table.Reserve(params.rows);
+  std::vector<double> row(d);
+  for (std::size_t i = 0; i < params.rows; ++i) {
+    if (rng.Bernoulli(params.noise_fraction)) {
+      for (std::size_t j = 0; j < d; ++j) row[j] = rng.Uniform();
+      table.Insert(row, static_cast<std::uint32_t>(params.num_clusters));
+    } else {
+      const std::size_t c = rng.UniformInt(params.num_clusters);
+      const Box& box = clusters[c];
+      for (std::size_t j = 0; j < d; ++j) {
+        row[j] = rng.Uniform(box.lower(j), box.upper(j));
+      }
+      table.Insert(row, static_cast<std::uint32_t>(c));
+    }
+  }
+  return table;
+}
+
+Table GenerateBikeLike(std::size_t rows, std::uint64_t seed) {
+  Rng rng(seed);
+  Table table(16);
+  table.Reserve(rows);
+  std::vector<double> r(16);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double t = static_cast<double>(i);          // Hour index.
+    const double hour = std::fmod(t, 24.0);
+    const double day = std::floor(t / 24.0);
+    const double weekday = std::fmod(day, 7.0);
+    const double season = std::sin(kTwoPi * t / 8766.0);   // Yearly cycle.
+    const double diurnal = std::sin(kTwoPi * (hour - 6.0) / 24.0);
+    const double temp = 15.0 + 12.0 * season + 4.0 * diurnal +
+                        rng.Gaussian(0.0, 2.5);
+    const double atemp = temp + rng.Gaussian(0.0, 1.5);
+    const double humidity =
+        std::clamp(62.0 - 0.9 * (temp - 15.0) + rng.Gaussian(0.0, 9.0), 5.0,
+                   100.0);
+    const double wind = std::abs(rng.Gaussian(11.0, 6.0));
+    const double workday = (weekday < 5.0) ? 1.0 : 0.0;
+    const double commute =
+        std::exp(-0.5 * std::pow((hour - 8.0) / 1.5, 2.0)) +
+        std::exp(-0.5 * std::pow((hour - 17.5) / 1.8, 2.0));
+    const double leisure = std::exp(-0.5 * std::pow((hour - 14.0) / 3.0, 2.0));
+    const double casual = std::max(
+        0.0, 8.0 + 2.2 * temp * leisure * (1.4 - workday) - 0.15 * humidity -
+                 0.4 * wind + rng.Gaussian(0.0, 12.0));
+    const double registered = std::max(
+        0.0, 20.0 + 140.0 * commute * workday + 1.8 * temp - 0.2 * humidity +
+                 rng.Gaussian(0.0, 25.0));
+    r[0] = hour + rng.Uniform(0.0, 1.0);                 // Jittered hour.
+    r[1] = weekday + rng.Uniform(0.0, 1.0);
+    r[2] = std::fmod(day / 30.44, 12.0) + rng.Uniform(0.0, 1.0);  // Month.
+    r[3] = season + rng.Gaussian(0.0, 0.05);
+    r[4] = workday + rng.Uniform(0.0, 0.1);
+    r[5] = temp;
+    r[6] = atemp;
+    r[7] = humidity;
+    r[8] = wind;
+    r[9] = casual;
+    r[10] = registered;
+    r[11] = casual + registered + rng.Gaussian(0.0, 3.0);  // Total count.
+    r[12] = diurnal + rng.Gaussian(0.0, 0.05);
+    r[13] = commute + rng.Gaussian(0.0, 0.03);
+    r[14] = temp * humidity / 100.0 + rng.Gaussian(0.0, 1.0);  // Heat index.
+    r[15] = t / 24.0 + rng.Uniform(0.0, 0.04);           // Day number.
+    table.Insert(r);
+  }
+  return table;
+}
+
+Table GenerateForestLike(std::size_t rows, std::uint64_t seed) {
+  Rng rng(seed);
+  // Terrain archetypes: (elevation mean, elevation sd, slope mean, weight).
+  struct Terrain {
+    double elev_mu, elev_sd, slope_mu;
+    double weight;
+  };
+  const std::vector<Terrain> terrains = {
+      {2600.0, 120.0, 8.0, 0.35},  {2950.0, 90.0, 14.0, 0.3},
+      {3250.0, 140.0, 22.0, 0.2},  {2100.0, 180.0, 5.0, 0.1},
+      {3500.0, 80.0, 30.0, 0.05},
+  };
+  std::vector<double> weights;
+  for (const auto& t : terrains) weights.push_back(t.weight);
+
+  Table table(10);
+  table.Reserve(rows);
+  std::vector<double> r(10);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const Terrain& t = terrains[rng.Categorical(weights)];
+    const double elev = rng.Gaussian(t.elev_mu, t.elev_sd);
+    const double slope = std::abs(rng.Gaussian(t.slope_mu, 5.0));
+    const double aspect = rng.Uniform(0.0, 360.0);
+    // Hydrology is closer at low elevations; roads cluster in valleys.
+    const double hydro_h =
+        std::abs(rng.Gaussian(0.08 * (elev - 1800.0), 60.0));
+    const double hydro_v = hydro_h * rng.Uniform(0.05, 0.35) *
+                           ((rng.Bernoulli(0.8)) ? 1.0 : -1.0);
+    const double road = rng.Exponential(1.0 / (800.0 + 1.2 * (elev - 2000.0)));
+    const double fire = rng.Exponential(1.0 / 1400.0) + 0.2 * road;
+    // Hillshade values depend on aspect and slope (morning vs afternoon).
+    const double aspect_rad = aspect * kTwoPi / 360.0;
+    const double shade9 =
+        std::clamp(220.0 + 30.0 * std::cos(aspect_rad - 0.8) -
+                       1.2 * slope + rng.Gaussian(0.0, 8.0),
+                   0.0, 254.0);
+    const double shade12 = std::clamp(
+        235.0 - 0.9 * slope + rng.Gaussian(0.0, 6.0), 0.0, 254.0);
+    const double shade15 =
+        std::clamp(210.0 - 30.0 * std::cos(aspect_rad - 0.8) -
+                       1.1 * slope + rng.Gaussian(0.0, 8.0),
+                   0.0, 254.0);
+    r[0] = elev;
+    r[1] = aspect;
+    r[2] = slope;
+    r[3] = hydro_h;
+    r[4] = hydro_v;
+    r[5] = road;
+    r[6] = shade9;
+    r[7] = shade12;
+    r[8] = shade15;
+    r[9] = fire;
+    table.Insert(r);
+  }
+  return table;
+}
+
+Table GeneratePowerLike(std::size_t rows, std::uint64_t seed) {
+  Rng rng(seed);
+  Table table(9);
+  table.Reserve(rows);
+  std::vector<double> r(9);
+  double ar = 0.0;  // AR(1) state for the active-power baseline.
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double minute = static_cast<double>(i);
+    const double tod = std::fmod(minute, 1440.0);  // Minute of day.
+    ar = 0.97 * ar + rng.Gaussian(0.0, 0.12);
+    const double daily = 0.9 + 0.7 * std::sin(kTwoPi * (tod - 420.0) / 1440.0);
+    const double active = std::max(0.05, daily + ar + rng.Gaussian(0.0, 0.1));
+    const double reactive =
+        std::max(0.0, 0.12 * active + rng.Gaussian(0.05, 0.04));
+    const double voltage = 241.0 - 1.8 * active + rng.Gaussian(0.0, 1.2);
+    const double intensity = active * 1000.0 / voltage + rng.Gaussian(0.0, 0.2);
+    // Sub-meters: kitchen (spiky), laundry (occasional), heater (evening).
+    const double sub1 =
+        rng.Bernoulli(0.12) ? rng.Uniform(20.0, 40.0) : rng.Uniform(0.0, 1.5);
+    const double sub2 =
+        rng.Bernoulli(0.06) ? rng.Uniform(15.0, 35.0) : rng.Uniform(0.0, 2.0);
+    const double evening =
+        std::exp(-0.5 * std::pow((tod - 1230.0) / 150.0, 2.0));
+    const double sub3 =
+        std::max(0.0, 17.0 * evening * active / 2.0 + rng.Gaussian(0.0, 2.0));
+    r[0] = active;
+    r[1] = reactive;
+    r[2] = voltage;
+    r[3] = intensity;
+    r[4] = sub1;
+    r[5] = sub2;
+    r[6] = sub3;
+    r[7] = tod + rng.Uniform(0.0, 1.0);
+    r[8] = minute / 1440.0 + rng.Uniform(0.0, 0.01);  // Day number.
+    table.Insert(r);
+  }
+  return table;
+}
+
+Table GenerateProteinLike(std::size_t rows, std::uint64_t seed) {
+  Rng rng(seed);
+  Table table(9);
+  table.Reserve(rows);
+  std::vector<double> r(9);
+  for (std::size_t i = 0; i < rows; ++i) {
+    // Two latent factors: protein size and packing quality.
+    const double size = std::exp(rng.Gaussian(5.0, 0.5));       // Residues.
+    const double quality = rng.Gaussian(0.0, 1.0);
+    const double area_total = size * rng.Uniform(28.0, 36.0);   // F1.
+    const double area_exposed =
+        area_total * std::clamp(0.45 - 0.05 * quality +
+                                    rng.Gaussian(0.0, 0.04),
+                                0.1, 0.9);                      // F2-ish.
+    const double frac_exposed = area_exposed / area_total;
+    const double energy = -0.9 * size * (1.0 + 0.12 * quality) +
+                          rng.Gaussian(0.0, 25.0);              // F5-ish.
+    const double spatial = std::exp(rng.Gaussian(2.2, 0.35)) +
+                           0.002 * size;                        // F4-ish.
+    const double contacts = size * rng.Uniform(3.4, 4.2) +
+                            40.0 * quality;                     // F6-ish.
+    const double sec_struct =
+        std::clamp(0.55 + 0.1 * quality + rng.Gaussian(0.0, 0.08), 0.0, 1.0);
+    const double rmsd =
+        std::abs(rng.Gaussian(5.0 - 1.8 * quality, 1.6));       // Target.
+    r[0] = rmsd;
+    r[1] = area_total;
+    r[2] = area_exposed;
+    r[3] = frac_exposed;
+    r[4] = spatial;
+    r[5] = energy;
+    r[6] = contacts;
+    r[7] = sec_struct;
+    r[8] = size;
+    table.Insert(r);
+  }
+  return table;
+}
+
+Table ProjectRandomAttributes(const Table& table, std::size_t dims,
+                              std::uint64_t seed) {
+  FKDE_CHECK_MSG(dims <= table.num_cols(),
+                 "cannot project to more dims than the table has");
+  Rng rng(seed);
+  std::vector<std::size_t> cols(table.num_cols());
+  std::iota(cols.begin(), cols.end(), 0);
+  rng.Shuffle(cols);
+  cols.resize(dims);
+  std::sort(cols.begin(), cols.end());
+
+  Table out(dims);
+  out.Reserve(table.num_rows());
+  std::vector<double> row(dims);
+  for (std::size_t i = 0; i < table.num_rows(); ++i) {
+    for (std::size_t j = 0; j < dims; ++j) row[j] = table.At(i, cols[j]);
+    out.Insert(row, table.Tag(i));
+  }
+  return out;
+}
+
+std::vector<std::string> DatasetNames() {
+  return {"synthetic", "bike", "forest", "power", "protein"};
+}
+
+Result<Table> GenerateDataset(const std::string& name, std::size_t rows,
+                              std::size_t dims, std::uint64_t seed) {
+  if (rows == 0 || dims == 0) {
+    return Status::InvalidArgument("rows and dims must be positive");
+  }
+  if (name == "synthetic") {
+    ClusterBoxesParams params;
+    params.rows = rows;
+    params.dims = dims;
+    return GenerateClusterBoxes(params, seed);
+  }
+  Table full = [&]() -> Table {
+    if (name == "bike") return GenerateBikeLike(rows, seed);
+    if (name == "forest") return GenerateForestLike(rows, seed);
+    if (name == "power") return GeneratePowerLike(rows, seed);
+    if (name == "protein") return GenerateProteinLike(rows, seed);
+    return Table(1);
+  }();
+  if (full.num_cols() == 1) {
+    return Status::InvalidArgument("unknown dataset name: " + name);
+  }
+  if (dims > full.num_cols()) {
+    return Status::InvalidArgument("dataset " + name + " has only " +
+                                   std::to_string(full.num_cols()) +
+                                   " attributes");
+  }
+  if (dims == full.num_cols()) return full;
+  return ProjectRandomAttributes(full, dims, seed ^ 0xABCDEF12345ULL);
+}
+
+}  // namespace fkde

@@ -1,0 +1,104 @@
+#include "data/join.h"
+
+#include <unordered_map>
+
+namespace fkde {
+
+namespace {
+
+/// Hash index from PK value (exact double bits) to row index.
+Result<std::unordered_map<double, std::size_t>> BuildPkIndex(
+    const JoinSpec& spec) {
+  std::unordered_map<double, std::size_t> index;
+  index.reserve(spec.pk_table->num_rows());
+  for (std::size_t i = 0; i < spec.pk_table->num_rows(); ++i) {
+    const double key = spec.pk_table->At(i, spec.pk_column);
+    if (!index.emplace(key, i).second) {
+      return Status::InvalidArgument(
+          "pk_column is not unique: duplicate key " + std::to_string(key));
+    }
+  }
+  return index;
+}
+
+void EmitJoinedRow(const JoinSpec& spec, std::size_t pk_row,
+                   std::size_t fk_row, std::vector<double>* out) {
+  out->clear();
+  for (std::size_t column : spec.pk_attributes) {
+    out->push_back(spec.pk_table->At(pk_row, column));
+  }
+  for (std::size_t column : spec.fk_attributes) {
+    out->push_back(spec.fk_table->At(fk_row, column));
+  }
+}
+
+}  // namespace
+
+Status ValidateJoinSpec(const JoinSpec& spec) {
+  if (spec.pk_table == nullptr || spec.fk_table == nullptr) {
+    return Status::InvalidArgument("join spec tables must be non-null");
+  }
+  if (spec.pk_column >= spec.pk_table->num_cols() ||
+      spec.fk_column >= spec.fk_table->num_cols()) {
+    return Status::OutOfRange("join key column out of range");
+  }
+  for (std::size_t column : spec.pk_attributes) {
+    if (column >= spec.pk_table->num_cols()) {
+      return Status::OutOfRange("pk attribute out of range");
+    }
+  }
+  for (std::size_t column : spec.fk_attributes) {
+    if (column >= spec.fk_table->num_cols()) {
+      return Status::OutOfRange("fk attribute out of range");
+    }
+  }
+  if (spec.result_dims() == 0) {
+    return Status::InvalidArgument("join projects no attributes");
+  }
+  FKDE_ASSIGN_OR_RETURN(const auto index, BuildPkIndex(spec));
+  for (std::size_t i = 0; i < spec.fk_table->num_rows(); ++i) {
+    if (index.find(spec.fk_table->At(i, spec.fk_column)) == index.end()) {
+      return Status::FailedPrecondition(
+          "dangling foreign key in row " + std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+Result<Table> SampleJoin(const JoinSpec& spec, std::size_t sample_rows,
+                         Rng* rng) {
+  FKDE_RETURN_NOT_OK(ValidateJoinSpec(spec));
+  if (spec.fk_table->empty()) {
+    return Status::FailedPrecondition("fk table is empty");
+  }
+  FKDE_ASSIGN_OR_RETURN(const auto index, BuildPkIndex(spec));
+
+  Table out(spec.result_dims());
+  const std::vector<std::size_t> fk_rows =
+      spec.fk_table->SampleWithoutReplacement(sample_rows, rng);
+  out.Reserve(fk_rows.size());
+  std::vector<double> row;
+  for (std::size_t fk_row : fk_rows) {
+    const double key = spec.fk_table->At(fk_row, spec.fk_column);
+    const std::size_t pk_row = index.at(key);
+    EmitJoinedRow(spec, pk_row, fk_row, &row);
+    out.Insert(row);
+  }
+  return out;
+}
+
+Result<Table> MaterializeJoin(const JoinSpec& spec) {
+  FKDE_RETURN_NOT_OK(ValidateJoinSpec(spec));
+  FKDE_ASSIGN_OR_RETURN(const auto index, BuildPkIndex(spec));
+  Table out(spec.result_dims());
+  out.Reserve(spec.fk_table->num_rows());
+  std::vector<double> row;
+  for (std::size_t i = 0; i < spec.fk_table->num_rows(); ++i) {
+    const double key = spec.fk_table->At(i, spec.fk_column);
+    EmitJoinedRow(spec, index.at(key), i, &row);
+    out.Insert(row);
+  }
+  return out;
+}
+
+}  // namespace fkde

@@ -1,0 +1,64 @@
+/// \file join.h
+/// \brief PK-FK join sampling — the paper's Section 8 future-work item.
+///
+/// "If the predicate is known beforehand — for instance in case of PK-FK
+/// joins — [join selectivity estimation] can be done by building the
+/// estimator based on a sample collected directly from the join result,
+/// e.g. by using the sampling algorithms presented in [9]."
+///
+/// For a PK-FK equi-join R ⋈ S (R holds the primary key, S the foreign
+/// key), every S row matches exactly one R row, so |R ⋈ S| = |S| and a
+/// uniform sample of S rows joined to their R partners is a uniform
+/// sample of the join result (Chaudhuri, Motwani & Narasayya, SIGMOD'99).
+/// The sampled join rows feed a `DeviceSample`/`KdeEngine` exactly like a
+/// base-table sample, giving KDE selectivity estimates over the join.
+
+#ifndef FKDE_DATA_JOIN_H_
+#define FKDE_DATA_JOIN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/table.h"
+
+namespace fkde {
+
+/// \brief A PK-FK equi-join between two tables.
+///
+/// The joined row layout is [pk_attributes..., fk_attributes...] (key
+/// columns are only included if listed explicitly).
+struct JoinSpec {
+  const Table* pk_table = nullptr;  ///< Relation holding the primary key.
+  std::size_t pk_column = 0;        ///< Key column in pk_table (unique).
+  const Table* fk_table = nullptr;  ///< Relation holding the foreign key.
+  std::size_t fk_column = 0;        ///< Foreign-key column in fk_table.
+  /// Attributes projected into the join result, per side.
+  std::vector<std::size_t> pk_attributes;
+  std::vector<std::size_t> fk_attributes;
+
+  std::size_t result_dims() const {
+    return pk_attributes.size() + fk_attributes.size();
+  }
+};
+
+/// Validates a spec: non-null tables, in-range columns, unique PK values,
+/// and every FK value having a PK partner (referential integrity).
+Status ValidateJoinSpec(const JoinSpec& spec);
+
+/// Draws a uniform sample of `sample_rows` join-result rows without
+/// materializing the join: samples fk_table rows without replacement and
+/// hash-joins each to its unique PK partner. Returns a table with
+/// `spec.result_dims()` columns. The sample is exactly uniform over the
+/// join result because the join is PK-FK (see file comment).
+Result<Table> SampleJoin(const JoinSpec& spec, std::size_t sample_rows,
+                         Rng* rng);
+
+/// Materializes the full join result (|fk_table| rows). Intended for
+/// truth computation in tests and examples, not production use.
+Result<Table> MaterializeJoin(const JoinSpec& spec);
+
+}  // namespace fkde
+
+#endif  // FKDE_DATA_JOIN_H_

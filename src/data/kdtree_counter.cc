@@ -1,0 +1,115 @@
+#include "data/kdtree_counter.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fkde {
+
+KdTreeCounter::KdTreeCounter(const Table& table)
+    : KdTreeCounter(
+          std::vector<double>(table.raw().begin(), table.raw().end()),
+          table.num_cols()) {}
+
+KdTreeCounter::KdTreeCounter(std::vector<double> points, std::size_t dims)
+    : dims_(dims), points_(std::move(points)) {
+  FKDE_CHECK(dims_ > 0);
+  FKDE_CHECK(points_.size() % dims_ == 0);
+  count_ = points_.size() / dims_;
+  if (count_ > 0) {
+    nodes_.reserve(2 * count_ / kLeafSize + 2);
+    root_ = Build(0, count_);
+  }
+}
+
+Box KdTreeCounter::ComputeBounds(std::size_t begin, std::size_t end) const {
+  std::vector<double> lo(dims_), hi(dims_);
+  for (std::size_t c = 0; c < dims_; ++c) {
+    lo[c] = hi[c] = points_[begin * dims_ + c];
+  }
+  for (std::size_t i = begin + 1; i < end; ++i) {
+    for (std::size_t c = 0; c < dims_; ++c) {
+      const double v = points_[i * dims_ + c];
+      lo[c] = std::min(lo[c], v);
+      hi[c] = std::max(hi[c], v);
+    }
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+int KdTreeCounter::Build(std::size_t begin, std::size_t end) {
+  Node node;
+  node.begin = begin;
+  node.end = end;
+  node.bounds = ComputeBounds(begin, end);
+  const int index = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+
+  if (end - begin <= kLeafSize) return index;
+
+  // Split on the widest dimension at the median.
+  std::size_t split_dim = 0;
+  double widest = -1.0;
+  for (std::size_t c = 0; c < dims_; ++c) {
+    const double extent = nodes_[index].bounds.Extent(c);
+    if (extent > widest) {
+      widest = extent;
+      split_dim = c;
+    }
+  }
+  if (widest <= 0.0) return index;  // All points identical: keep as leaf.
+
+  const std::size_t mid = (begin + end) / 2;
+  // nth_element over row indexes would need an indirection layer; instead
+  // we sort rows in place by swapping whole rows via an index permutation.
+  std::vector<std::size_t> order(end - begin);
+  std::iota(order.begin(), order.end(), begin);
+  std::nth_element(order.begin(), order.begin() + (mid - begin), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return points_[a * dims_ + split_dim] <
+                            points_[b * dims_ + split_dim];
+                   });
+  // Materialize the permutation.
+  std::vector<double> scratch((end - begin) * dims_);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    std::copy(points_.begin() + order[i] * dims_,
+              points_.begin() + (order[i] + 1) * dims_,
+              scratch.begin() + i * dims_);
+  }
+  std::copy(scratch.begin(), scratch.end(), points_.begin() + begin * dims_);
+
+  nodes_[index].split_dim = split_dim;
+  nodes_[index].split_value = points_[mid * dims_ + split_dim];
+  const int left = Build(begin, mid);
+  const int right = Build(mid, end);
+  nodes_[index].left = left;
+  nodes_[index].right = right;
+  return index;
+}
+
+void KdTreeCounter::CountRec(int node_index, const Box& box,
+                             std::size_t* acc) const {
+  const Node& node = nodes_[node_index];
+  if (!box.Intersects(node.bounds)) return;
+  if (box.ContainsBox(node.bounds)) {
+    *acc += node.end - node.begin;
+    return;
+  }
+  if (node.left < 0) {  // Leaf: scan.
+    for (std::size_t i = node.begin; i < node.end; ++i) {
+      if (box.Contains({points_.data() + i * dims_, dims_})) ++*acc;
+    }
+    return;
+  }
+  CountRec(node.left, box, acc);
+  CountRec(node.right, box, acc);
+}
+
+std::size_t KdTreeCounter::Count(const Box& box) const {
+  FKDE_CHECK(box.dims() == dims_);
+  if (root_ < 0) return 0;
+  std::size_t acc = 0;
+  CountRec(root_, box, &acc);
+  return acc;
+}
+
+}  // namespace fkde

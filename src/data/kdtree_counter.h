@@ -1,0 +1,68 @@
+/// \file kdtree_counter.h
+/// \brief Static k-d tree for fast exact range counting.
+///
+/// Workload generation (binary search on query extent to hit a target
+/// selectivity, workload/generator.cc) and truth computation in the
+/// feedback loop issue many thousands of range-count queries against the
+/// same table snapshot. A balanced k-d tree with subtree counts answers
+/// COUNT(*) WHERE x IN box in sublinear time: fully-contained subtrees
+/// contribute their size without descending.
+
+#ifndef FKDE_DATA_KDTREE_COUNTER_H_
+#define FKDE_DATA_KDTREE_COUNTER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/box.h"
+#include "data/table.h"
+
+namespace fkde {
+
+/// \brief Immutable range-count index over a table snapshot.
+///
+/// Build is O(n log n); Count is O(n^(1-1/d) + k) worst case and far
+/// faster on clustered data. The index copies the points, so later table
+/// mutations do not affect it — rebuild after bulk changes.
+class KdTreeCounter {
+ public:
+  /// Builds the index over all current rows of `table`.
+  explicit KdTreeCounter(const Table& table);
+
+  /// Builds the index over an explicit row-major point array.
+  KdTreeCounter(std::vector<double> points, std::size_t dims);
+
+  std::size_t num_points() const { return count_; }
+  std::size_t dims() const { return dims_; }
+
+  /// Number of indexed points inside the closed box.
+  std::size_t Count(const Box& box) const;
+
+ private:
+  struct Node {
+    // Children at 2i+1 / 2i+2 (implicit heap layout is wasteful for
+    // unbalanced trees, so we store explicit indexes).
+    int left = -1;
+    int right = -1;
+    std::size_t begin = 0;   // Range of points_ covered by this subtree.
+    std::size_t end = 0;
+    std::size_t split_dim = 0;
+    double split_value = 0.0;
+    Box bounds;              // Tight bounding box of the subtree's points.
+  };
+
+  int Build(std::size_t begin, std::size_t end);
+  void CountRec(int node, const Box& box, std::size_t* acc) const;
+  Box ComputeBounds(std::size_t begin, std::size_t end) const;
+
+  std::size_t dims_ = 0;
+  std::size_t count_ = 0;
+  std::vector<double> points_;  // Row-major, permuted during build.
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  static constexpr std::size_t kLeafSize = 32;
+};
+
+}  // namespace fkde
+
+#endif  // FKDE_DATA_KDTREE_COUNTER_H_

@@ -1,0 +1,90 @@
+#include "data/table.h"
+
+#include <algorithm>
+
+namespace fkde {
+
+void Table::Insert(std::span<const double> row, std::uint32_t tag) {
+  FKDE_CHECK_MSG(row.size() == num_cols_, "row arity mismatch");
+  data_.insert(data_.end(), row.begin(), row.end());
+  tags_.push_back(tag);
+}
+
+void Table::Update(std::size_t i, std::span<const double> row) {
+  FKDE_CHECK(i < num_rows());
+  FKDE_CHECK_MSG(row.size() == num_cols_, "row arity mismatch");
+  std::copy(row.begin(), row.end(), data_.begin() + i * num_cols_);
+}
+
+void Table::Delete(std::size_t i) {
+  FKDE_CHECK(i < num_rows());
+  const std::size_t last = num_rows() - 1;
+  if (i != last) {
+    std::copy(data_.begin() + last * num_cols_,
+              data_.begin() + (last + 1) * num_cols_,
+              data_.begin() + i * num_cols_);
+    tags_[i] = tags_[last];
+  }
+  data_.resize(last * num_cols_);
+  tags_.pop_back();
+}
+
+std::size_t Table::DeleteByTag(std::uint32_t tag) {
+  std::size_t removed = 0;
+  std::size_t i = 0;
+  while (i < num_rows()) {
+    if (tags_[i] == tag) {
+      Delete(i);  // Swaps the last row into slot i; re-examine slot i.
+      ++removed;
+    } else {
+      ++i;
+    }
+  }
+  return removed;
+}
+
+std::size_t Table::CountInBox(const Box& box) const {
+  FKDE_CHECK(box.dims() == num_cols_);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < num_rows(); ++i) {
+    if (box.Contains(Row(i))) ++count;
+  }
+  return count;
+}
+
+std::vector<std::size_t> Table::SampleWithoutReplacement(std::size_t k,
+                                                         Rng* rng) const {
+  const std::size_t n = num_rows();
+  k = std::min(k, n);
+  // Floyd's algorithm would avoid the O(n) shuffle, but reservoir-style
+  // selection keeps the draw order uniform as well, which sample
+  // construction relies on.
+  std::vector<std::size_t> reservoir;
+  reservoir.reserve(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (reservoir.size() < k) {
+      reservoir.push_back(i);
+    } else {
+      const std::size_t j = rng->UniformInt(static_cast<std::uint64_t>(i + 1));
+      if (j < k) reservoir[j] = i;
+    }
+  }
+  rng->Shuffle(reservoir);
+  return reservoir;
+}
+
+Box Table::Bounds() const {
+  FKDE_CHECK(!empty());
+  std::vector<double> lo(num_cols_), hi(num_cols_);
+  for (std::size_t c = 0; c < num_cols_; ++c) lo[c] = hi[c] = At(0, c);
+  for (std::size_t i = 1; i < num_rows(); ++i) {
+    for (std::size_t c = 0; c < num_cols_; ++c) {
+      const double v = At(i, c);
+      lo[c] = std::min(lo[c], v);
+      hi[c] = std::max(hi[c], v);
+    }
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+}  // namespace fkde

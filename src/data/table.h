@@ -1,0 +1,107 @@
+/// \file table.h
+/// \brief Minimal in-memory relation with insert/delete/update support.
+///
+/// This is the "database" side of the reproduction: the paper integrates
+/// its estimator into Postgres, but only ever interacts with the engine
+/// through (a) drawing random samples, (b) receiving notification of
+/// inserts/deletes/updates, and (c) exact selectivities coming back as
+/// query feedback. `Table` (here) plus `Executor` (runtime/executor.h)
+/// provide exactly those interfaces.
+
+#ifndef FKDE_DATA_TABLE_H_
+#define FKDE_DATA_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/box.h"
+
+namespace fkde {
+
+/// \brief Row-major table of real-valued attributes.
+///
+/// Rows carry an optional user tag (e.g. a cluster id in the Section 6.5
+/// evolving-data workload) that predicated deletes can target. Deletion
+/// compacts by swapping with the last row, so row indexes are not stable
+/// across deletes; random sampling only needs uniformity, not stability.
+class Table {
+ public:
+  /// Creates an empty table with `num_cols` attributes.
+  explicit Table(std::size_t num_cols) : num_cols_(num_cols) {
+    FKDE_CHECK(num_cols > 0);
+  }
+
+  std::size_t num_cols() const { return num_cols_; }
+  std::size_t num_rows() const { return tags_.size(); }
+  bool empty() const { return tags_.empty(); }
+
+  /// Appends a row. `row.size()` must equal num_cols().
+  void Insert(std::span<const double> row, std::uint32_t tag = 0);
+
+  /// Reserves storage for `n` rows.
+  void Reserve(std::size_t n) {
+    data_.reserve(n * num_cols_);
+    tags_.reserve(n);
+  }
+
+  /// Returns row `i` as a span over `num_cols()` doubles.
+  std::span<const double> Row(std::size_t i) const {
+    FKDE_DCHECK(i < num_rows());
+    return {data_.data() + i * num_cols_, num_cols_};
+  }
+
+  /// Value of attribute `col` in row `i`.
+  double At(std::size_t i, std::size_t col) const {
+    FKDE_DCHECK(i < num_rows() && col < num_cols_);
+    return data_[i * num_cols_ + col];
+  }
+
+  std::uint32_t Tag(std::size_t i) const {
+    FKDE_DCHECK(i < num_rows());
+    return tags_[i];
+  }
+
+  /// Overwrites row `i` in place (an UPDATE).
+  void Update(std::size_t i, std::span<const double> row);
+
+  /// Deletes row `i` by swapping with the last row and popping.
+  void Delete(std::size_t i);
+
+  /// Deletes every row whose tag equals `tag`; returns the count removed.
+  std::size_t DeleteByTag(std::uint32_t tag);
+
+  /// Number of rows inside the (inclusive) box — the true selectivity
+  /// numerator. O(rows * dims); use KdTreeCounter for repeated counting.
+  std::size_t CountInBox(const Box& box) const;
+
+  /// Draws one uniform random row index. Table must be non-empty.
+  std::size_t RandomRowIndex(Rng* rng) const {
+    FKDE_CHECK(!empty());
+    return rng->UniformInt(static_cast<std::uint64_t>(num_rows()));
+  }
+
+  /// Draws a uniform sample of `k` rows without replacement
+  /// (k > num_rows() returns all rows in random order).
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t k,
+                                                    Rng* rng) const;
+
+  /// Per-attribute minimum/maximum over current rows. Table must be
+  /// non-empty.
+  Box Bounds() const;
+
+  /// Direct read-only access to the row-major payload (rows*cols doubles).
+  std::span<const double> raw() const { return data_; }
+
+ private:
+  std::size_t num_cols_;
+  std::vector<double> data_;       // row-major, num_rows * num_cols
+  std::vector<std::uint32_t> tags_;
+};
+
+}  // namespace fkde
+
+#endif  // FKDE_DATA_TABLE_H_

@@ -1,0 +1,85 @@
+#include "histogram/avi.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fkde {
+
+Result<AviHistogram> AviHistogram::Build(const Table& table,
+                                         std::size_t buckets_per_dim) {
+  if (table.empty()) {
+    return Status::FailedPrecondition("cannot build AVI on an empty table");
+  }
+  if (buckets_per_dim == 0) {
+    return Status::InvalidArgument("buckets_per_dim must be positive");
+  }
+  AviHistogram avi;
+  const std::size_t n = table.num_rows();
+  const std::size_t d = table.num_cols();
+  avi.histograms_.resize(d);
+  std::vector<double> column(n);
+  for (std::size_t c = 0; c < d; ++c) {
+    for (std::size_t i = 0; i < n; ++i) column[i] = table.At(i, c);
+    std::sort(column.begin(), column.end());
+
+    Marginal& marginal = avi.histograms_[c];
+    const std::size_t buckets = std::min(buckets_per_dim, n);
+    marginal.edges.reserve(buckets + 1);
+    marginal.fractions.reserve(buckets);
+    marginal.edges.push_back(column.front());
+    std::size_t start = 0;
+    for (std::size_t b = 1; b <= buckets; ++b) {
+      std::size_t end = (n * b) / buckets;
+      if (b == buckets) end = n;
+      if (end <= start) continue;
+      // Extend the bucket so equal values never straddle an edge.
+      while (end < n && column[end] == column[end - 1]) ++end;
+      marginal.edges.push_back(column[end - 1]);
+      marginal.fractions.push_back(static_cast<double>(end - start) /
+                                   static_cast<double>(n));
+      start = end;
+      if (end == n) break;
+    }
+  }
+  return avi;
+}
+
+double AviHistogram::MarginalSelectivity(std::size_t dim, double lo,
+                                         double hi) const {
+  const Marginal& marginal = histograms_[dim];
+  if (marginal.fractions.empty() || hi < lo) return 0.0;
+  double fraction = 0.0;
+  for (std::size_t b = 0; b < marginal.fractions.size(); ++b) {
+    const double b_lo = marginal.edges[b];
+    const double b_hi = marginal.edges[b + 1];
+    const double overlap_lo = std::max(lo, b_lo);
+    const double overlap_hi = std::min(hi, b_hi);
+    if (overlap_hi < overlap_lo) continue;
+    const double width = b_hi - b_lo;
+    const double share =
+        width > 0.0 ? (overlap_hi - overlap_lo) / width : 1.0;
+    fraction += marginal.fractions[b] * std::min(share, 1.0);
+  }
+  return std::clamp(fraction, 0.0, 1.0);
+}
+
+double AviHistogram::EstimateSelectivity(const Box& box) {
+  FKDE_CHECK(box.dims() == dims());
+  double selectivity = 1.0;
+  for (std::size_t c = 0; c < dims(); ++c) {
+    selectivity *= MarginalSelectivity(c, box.lower(c), box.upper(c));
+    if (selectivity == 0.0) break;
+  }
+  return selectivity;
+}
+
+std::size_t AviHistogram::ModelBytes() const {
+  std::size_t bytes = 0;
+  for (const Marginal& marginal : histograms_) {
+    bytes += (marginal.edges.size() + marginal.fractions.size()) *
+             sizeof(double);
+  }
+  return bytes;
+}
+
+}  // namespace fkde

@@ -1,0 +1,203 @@
+#include "histogram/genhist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace fkde {
+
+namespace {
+
+double IntersectionVolume(const Box& a, const Box& b) {
+  double volume = 1.0;
+  for (std::size_t j = 0; j < a.dims(); ++j) {
+    const double lo = std::max(a.lower(j), b.lower(j));
+    const double hi = std::min(a.upper(j), b.upper(j));
+    if (hi <= lo) return 0.0;
+    volume *= hi - lo;
+  }
+  return volume;
+}
+
+}  // namespace
+
+Result<GenHist> GenHist::Build(const Table& table,
+                               const GenHistOptions& options) {
+  if (table.empty()) {
+    return Status::FailedPrecondition("cannot build GenHist on empty data");
+  }
+  if (options.max_buckets < 2) {
+    return Status::InvalidArgument("max_buckets must be at least 2");
+  }
+  if (options.initial_resolution < 2) {
+    return Status::InvalidArgument("initial_resolution must be >= 2");
+  }
+  if (options.resolution_decay <= 0.0 || options.resolution_decay >= 1.0) {
+    return Status::InvalidArgument("resolution_decay must be in (0, 1)");
+  }
+  if (options.density_threshold <= 1.0) {
+    return Status::InvalidArgument("density_threshold must exceed 1");
+  }
+
+  GenHist hist;
+  hist.dims_ = table.num_cols();
+  hist.total_rows_ = table.num_rows();
+  const std::size_t d = hist.dims_;
+  Box bounds = table.Bounds();
+  // Pad degenerate (constant) dimensions so cell volumes stay positive.
+  {
+    std::vector<double> lo = bounds.lower_bounds();
+    std::vector<double> hi = bounds.upper_bounds();
+    for (std::size_t j = 0; j < d; ++j) {
+      if (hi[j] <= lo[j]) {
+        const double pad = std::max(std::abs(lo[j]), 1.0) * 1e-9;
+        lo[j] -= pad;
+        hi[j] += pad;
+      }
+    }
+    bounds = Box(std::move(lo), std::move(hi));
+  }
+
+  // Working copy of all points (row-major) that buckets progressively
+  // absorb.
+  std::vector<double> live(table.raw().begin(), table.raw().end());
+  std::size_t live_count = table.num_rows();
+  Rng rng(options.seed);
+
+  auto cell_of = [&](const double* point, std::size_t resolution) {
+    std::size_t id = 0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double w = bounds.Extent(j) / static_cast<double>(resolution);
+      std::size_t c = w > 0.0 ? static_cast<std::size_t>(
+                                    (point[j] - bounds.lower(j)) / w)
+                              : 0;
+      c = std::min(c, resolution - 1);
+      id = id * resolution + c;
+    }
+    return id;
+  };
+  auto cell_box = [&](std::size_t id, std::size_t resolution) {
+    std::vector<double> lo(d), hi(d);
+    for (std::size_t j = d; j-- > 0;) {
+      const std::size_t c = id % resolution;
+      id /= resolution;
+      const double w = bounds.Extent(j) / static_cast<double>(resolution);
+      lo[j] = bounds.lower(j) + static_cast<double>(c) * w;
+      hi[j] = lo[j] + w;
+    }
+    return Box(std::move(lo), std::move(hi));
+  };
+  auto remove_point = [&](std::size_t index) {
+    // Swap-delete from the live set.
+    --live_count;
+    for (std::size_t j = 0; j < d; ++j) {
+      live[index * d + j] = live[live_count * d + j];
+    }
+  };
+
+  // Reserve one slot for the catch-all residual bucket so total mass is
+  // always conserved.
+  const std::size_t bucket_budget = options.max_buckets - 1;
+  double resolution_f = static_cast<double>(options.initial_resolution);
+  // Cap the finest grid so cell ids fit in size_t (resolution^d).
+  while (std::pow(resolution_f, static_cast<double>(d)) > 1e16) {
+    resolution_f *= options.resolution_decay;
+  }
+
+  while (resolution_f >= 2.0 && live_count > 0 &&
+         hist.buckets_.size() < bucket_budget) {
+    const std::size_t resolution = static_cast<std::size_t>(resolution_f);
+    // Bucket points by cell.
+    std::unordered_map<std::size_t, std::vector<std::size_t>> cells;
+    cells.reserve(live_count / 4 + 1);
+    for (std::size_t i = 0; i < live_count; ++i) {
+      cells[cell_of(live.data() + i * d, resolution)].push_back(i);
+    }
+    const double average =
+        static_cast<double>(live_count) / static_cast<double>(cells.size());
+
+    // Dense cells first, by count.
+    std::vector<std::pair<std::size_t, std::size_t>> dense;  // (count, id)
+    for (const auto& [id, members] : cells) {
+      if (static_cast<double>(members.size()) >
+          options.density_threshold * average) {
+        dense.emplace_back(members.size(), id);
+      }
+    }
+    std::sort(dense.rbegin(), dense.rend());
+
+    // Convert dense cells into buckets holding their excess mass; the
+    // absorbed tuples leave the working set so coarser levels see the
+    // smoothed residual. Removals invalidate `cells` indices, so collect
+    // candidate members first.
+    for (const auto& [count, id] : dense) {
+      if (hist.buckets_.size() >= bucket_budget) break;
+      const std::size_t excess = count - static_cast<std::size_t>(average);
+      if (excess == 0) continue;
+      // Remove up to `excess` random members that still map to this cell
+      // (the live set shifts under swap-deletes, so scan with a wrapping
+      // cursor and a random start to avoid positional bias); the bucket's
+      // frequency is exactly the mass actually absorbed, so the total
+      // mass across buckets + residual is conserved.
+      std::size_t removed = 0;
+      std::size_t scanned = 0;
+      std::size_t cursor =
+          live_count > 0 ? rng.UniformInt(live_count) : 0;
+      while (removed < excess && scanned <= live_count && live_count > 0) {
+        if (cursor >= live_count) cursor = 0;
+        if (cell_of(live.data() + cursor * d, resolution) == id) {
+          remove_point(cursor);
+          ++removed;
+          scanned = 0;  // The swapped-in point is re-examined in place.
+        } else {
+          ++cursor;
+          ++scanned;
+        }
+      }
+      if (removed > 0) {
+        hist.buckets_.push_back(
+            {cell_box(id, resolution), static_cast<double>(removed)});
+      }
+    }
+    resolution_f *= options.resolution_decay;
+  }
+
+  // Residual mass: a single catch-all bucket over the whole domain (the
+  // uniform background assumption of the coarsest level).
+  if (live_count > 0) {
+    hist.buckets_.push_back({bounds, static_cast<double>(live_count)});
+  }
+  return hist;
+}
+
+double GenHist::EstimateSelectivity(const Box& box) {
+  FKDE_CHECK(box.dims() == dims_);
+  if (total_rows_ == 0) return 0.0;
+  double tuples = 0.0;
+  for (const Bucket& bucket : buckets_) {
+    const double volume = bucket.box.Volume();
+    if (volume <= 0.0) {
+      // Degenerate bucket: counts iff its (point-like) box is inside.
+      std::vector<double> center(dims_);
+      for (std::size_t j = 0; j < dims_; ++j) center[j] = bucket.box.Center(j);
+      if (box.Contains(center)) tuples += bucket.frequency;
+      continue;
+    }
+    tuples += bucket.frequency * IntersectionVolume(bucket.box, box) / volume;
+  }
+  return std::clamp(tuples / static_cast<double>(total_rows_), 0.0, 1.0);
+}
+
+double GenHist::TotalFrequency() const {
+  double total = 0.0;
+  for (const Bucket& bucket : buckets_) total += bucket.frequency;
+  return total;
+}
+
+std::size_t GenHist::ModelBytes() const {
+  return buckets_.size() * 4 * (2 * dims_ + 1);
+}
+
+}  // namespace fkde

@@ -1,0 +1,552 @@
+#include "histogram/stholes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace fkde {
+
+namespace {
+
+constexpr double kVolumeEps = 1e-12;
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Volume of the (closed) intersection of two boxes; 0 when disjoint.
+double IntersectionVolume(const Box& a, const Box& b) {
+  double volume = 1.0;
+  for (std::size_t j = 0; j < a.dims(); ++j) {
+    const double lo = std::max(a.lower(j), b.lower(j));
+    const double hi = std::min(a.upper(j), b.upper(j));
+    if (hi <= lo) return 0.0;
+    volume *= hi - lo;
+  }
+  return volume;
+}
+
+/// True when the boxes overlap with positive volume (touching faces do
+/// not count — bucket disjointness is about interiors).
+bool OverlapsInterior(const Box& a, const Box& b) {
+  return IntersectionVolume(a, b) > 0.0;
+}
+
+}  // namespace
+
+std::size_t SthBucketBudgetForBytes(std::size_t bytes, std::size_t dims) {
+  // A bucket stores 2d box coordinates plus a frequency, 4 bytes each
+  // (matching the paper's single-precision accounting for the KDE sample).
+  const std::size_t per_bucket = 4 * (2 * dims + 1);
+  return std::max<std::size_t>(4, bytes / per_bucket);
+}
+
+STHoles::STHoles(Box domain, std::size_t total_rows, RegionCounter counter,
+                 const SthOptions& options)
+    : total_rows_(total_rows),
+      counter_(std::move(counter)),
+      options_(options) {
+  FKDE_CHECK(domain.dims() > 0);
+  FKDE_CHECK(options_.max_buckets >= 1);
+  root_ = std::make_unique<Bucket>();
+  root_->box = std::move(domain);
+  root_->frequency = static_cast<double>(total_rows);
+}
+
+double STHoles::RegionVolume(const Bucket& bucket) {
+  double volume = bucket.box.Volume();
+  for (const auto& child : bucket.children) {
+    volume -= child->box.Volume();
+  }
+  return std::max(volume, 0.0);
+}
+
+double STHoles::QueryRegionVolume(const Bucket& bucket, const Box& query) {
+  double volume = IntersectionVolume(bucket.box, query);
+  for (const auto& child : bucket.children) {
+    volume -= IntersectionVolume(child->box, query);
+  }
+  return std::max(volume, 0.0);
+}
+
+double STHoles::EstimateTuplesRec(const Bucket& bucket,
+                                  const Box& query) const {
+  if (!bucket.box.Intersects(query)) return 0.0;
+  double tuples = 0.0;
+  const double region_volume = RegionVolume(bucket);
+  if (region_volume > kVolumeEps) {
+    // Uniformity assumption inside the bucket's region.
+    tuples +=
+        bucket.frequency * QueryRegionVolume(bucket, query) / region_volume;
+  } else if (IntersectionVolume(bucket.box, query) >=
+             bucket.box.Volume() - kVolumeEps) {
+    // Degenerate region fully covered by the query.
+    tuples += bucket.frequency;
+  }
+  for (const auto& child : bucket.children) {
+    tuples += EstimateTuplesRec(*child, query);
+  }
+  return tuples;
+}
+
+double STHoles::EstimateTuples(const Box& box) const {
+  return EstimateTuplesRec(*root_, box);
+}
+
+double STHoles::EstimateSelectivity(const Box& box) {
+  if (total_rows_ == 0) return 0.0;
+  const double tuples = EstimateTuplesRec(*root_, box);
+  return std::clamp(tuples / static_cast<double>(total_rows_), 0.0, 1.0);
+}
+
+double STHoles::SubtreeFrequency(const Bucket& bucket) {
+  double total = bucket.frequency;
+  for (const auto& child : bucket.children) {
+    total += SubtreeFrequency(*child);
+  }
+  return total;
+}
+
+double STHoles::TotalFrequency() const { return SubtreeFrequency(*root_); }
+
+std::size_t STHoles::CountBuckets(const Bucket& bucket) const {
+  std::size_t count = 1;
+  for (const auto& child : bucket.children) count += CountBuckets(*child);
+  return count;
+}
+
+std::size_t STHoles::NumBuckets() const {
+  FKDE_DCHECK(num_buckets_ == CountBuckets(*root_));
+  return num_buckets_;
+}
+
+std::size_t STHoles::ModelBytes() const {
+  return NumBuckets() * 4 * (2 * dims() + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Refinement
+// ---------------------------------------------------------------------------
+
+bool STHoles::ShrinkCandidate(const Bucket& bucket, Box* candidate) const {
+  // Repeatedly cut the candidate along one dimension to exclude a child it
+  // partially intersects, choosing the cut that keeps the most volume
+  // (paper Section 4.2).
+  for (;;) {
+    const Bucket* offender = nullptr;
+    for (const auto& child : bucket.children) {
+      if (OverlapsInterior(child->box, *candidate) &&
+          !candidate->ContainsBox(child->box)) {
+        offender = child.get();
+        break;
+      }
+    }
+    if (offender == nullptr) return candidate->Volume() > kVolumeEps;
+
+    // Best single-dimension cut excluding the offender.
+    double best_volume = -1.0;
+    std::size_t best_dim = 0;
+    double best_lo = 0.0, best_hi = 0.0;
+    for (std::size_t j = 0; j < candidate->dims(); ++j) {
+      // Cut away the high side: candidate upper drops to offender lower.
+      if (offender->box.lower(j) > candidate->lower(j) &&
+          offender->box.lower(j) < candidate->upper(j)) {
+        double volume = 1.0;
+        for (std::size_t k = 0; k < candidate->dims(); ++k) {
+          const double hi =
+              (k == j) ? offender->box.lower(j) : candidate->upper(k);
+          volume *= hi - candidate->lower(k);
+        }
+        if (volume > best_volume) {
+          best_volume = volume;
+          best_dim = j;
+          best_lo = candidate->lower(j);
+          best_hi = offender->box.lower(j);
+        }
+      }
+      // Cut away the low side: candidate lower rises to offender upper.
+      if (offender->box.upper(j) < candidate->upper(j) &&
+          offender->box.upper(j) > candidate->lower(j)) {
+        double volume = 1.0;
+        for (std::size_t k = 0; k < candidate->dims(); ++k) {
+          const double lo =
+              (k == j) ? offender->box.upper(j) : candidate->lower(k);
+          volume *= candidate->upper(k) - lo;
+        }
+        if (volume > best_volume) {
+          best_volume = volume;
+          best_dim = j;
+          best_lo = offender->box.upper(j);
+          best_hi = candidate->upper(j);
+        }
+      }
+    }
+    if (best_volume <= kVolumeEps) return false;  // Offender covers us.
+    std::vector<double> lo = candidate->lower_bounds();
+    std::vector<double> hi = candidate->upper_bounds();
+    lo[best_dim] = best_lo;
+    hi[best_dim] = best_hi;
+    *candidate = Box(std::move(lo), std::move(hi));
+  }
+}
+
+void STHoles::DrillHole(Bucket* bucket, const Box& candidate, double tuples) {
+  auto hole = std::make_unique<Bucket>();
+  hole->box = candidate;
+  hole->frequency = tuples;
+  hole->parent = bucket;
+  // Children fully inside the candidate migrate into the new hole.
+  std::vector<std::unique_ptr<Bucket>> keep;
+  for (auto& child : bucket->children) {
+    if (candidate.ContainsBox(child->box)) {
+      child->parent = hole.get();
+      hole->children.push_back(std::move(child));
+    } else {
+      keep.push_back(std::move(child));
+    }
+  }
+  bucket->children = std::move(keep);
+  bucket->frequency = std::max(0.0, bucket->frequency - tuples);
+  bucket->children.push_back(std::move(hole));
+  ++num_buckets_;
+}
+
+void STHoles::RefineRec(Bucket* bucket, const Box& query) {
+  if (!OverlapsInterior(bucket->box, query)) return;
+
+  // Children first: drilling below must not see this bucket's new holes.
+  // Snapshot, since drilling may restructure the child list.
+  std::vector<Bucket*> snapshot;
+  snapshot.reserve(bucket->children.size());
+  for (auto& child : bucket->children) snapshot.push_back(child.get());
+  for (Bucket* child : snapshot) {
+    // The child may have been re-parented by a drill on an earlier
+    // sibling; only recurse if it is still ours.
+    bool still_child = false;
+    for (auto& c : bucket->children) {
+      if (c.get() == child) {
+        still_child = true;
+        break;
+      }
+    }
+    if (still_child) RefineRec(child, query);
+  }
+
+  Box candidate = query.Intersection(bucket->box);
+  const bool covers_whole_box =
+      IntersectionVolume(candidate, bucket->box) >=
+      bucket->box.Volume() - kVolumeEps;
+
+  if (covers_whole_box) {
+    // Exact feedback for the entire bucket box: reset the region count.
+    const double in_box = static_cast<double>(counter_(bucket->box));
+    double in_children = 0.0;
+    for (const auto& child : bucket->children) {
+      in_children += SubtreeFrequency(*child);
+    }
+    bucket->frequency = std::max(0.0, in_box - in_children);
+    return;
+  }
+
+  if (!ShrinkCandidate(*bucket, &candidate)) return;
+
+  // Tuples in the candidate region (candidate box minus enclosed holes).
+  const double in_candidate = static_cast<double>(counter_(candidate));
+  double in_enclosed = 0.0;
+  for (const auto& child : bucket->children) {
+    if (candidate.ContainsBox(child->box)) {
+      in_enclosed += SubtreeFrequency(*child);
+    }
+  }
+  const double observed = std::max(0.0, in_candidate - in_enclosed);
+
+  // Current estimate for the same region under the uniformity assumption.
+  const double region_volume = RegionVolume(*bucket);
+  double candidate_region_volume = candidate.Volume();
+  for (const auto& child : bucket->children) {
+    candidate_region_volume -= IntersectionVolume(child->box, candidate);
+  }
+  candidate_region_volume = std::max(candidate_region_volume, 0.0);
+  const double current = region_volume > kVolumeEps
+                             ? bucket->frequency * candidate_region_volume /
+                                   region_volume
+                             : 0.0;
+
+  // Only drill when the observation meaningfully disagrees (paper drills
+  // unconditionally; the epsilon avoids churning on exact buckets).
+  if (std::abs(observed - current) <=
+      options_.drill_epsilon * std::max(1.0, observed)) {
+    return;
+  }
+  if (candidate_region_volume <= kVolumeEps) return;
+  DrillHole(bucket, candidate, observed);
+}
+
+void STHoles::ObserveTrueSelectivity(const Box& box, double selectivity) {
+  (void)selectivity;  // STHoles consumes counts via the RegionCounter.
+  // Grow the root to cover queries beyond the original domain (the data
+  // space may drift under updates).
+  if (!root_->box.ContainsBox(box)) {
+    root_->box = root_->box.Union(box);
+  }
+  RefineRec(root_.get(), box);
+  EnforceBudget();
+}
+
+void STHoles::OnInsert(std::span<const double> row,
+                       std::size_t table_rows_after) {
+  total_rows_ = table_rows_after;
+  // Keep the domain covering all data; frequencies adapt via feedback.
+  if (!root_->box.Contains(row)) {
+    Box grown = root_->box;
+    grown.ExpandToContain(row);
+    root_->box = grown;
+  }
+}
+
+void STHoles::OnDelete(std::size_t rows_deleted, std::size_t table_rows_after) {
+  (void)rows_deleted;
+  total_rows_ = table_rows_after;
+}
+
+// ---------------------------------------------------------------------------
+// Merging
+// ---------------------------------------------------------------------------
+
+double STHoles::ParentChildPenalty(const Bucket& parent,
+                                   const Bucket& child) const {
+  const double vp = RegionVolume(parent);
+  const double vc = RegionVolume(child);
+  const double vn = vp + vc;
+  if (vn <= kVolumeEps) return 0.0;  // Degenerate: merging is free.
+  const double fn = parent.frequency + child.frequency;
+  return std::abs(parent.frequency - fn * vp / vn) +
+         std::abs(child.frequency - fn * vc / vn);
+}
+
+double STHoles::SiblingPenalty(const Bucket& parent, const Bucket& b1,
+                               const Bucket& b2, Box* merged_box,
+                               std::vector<const Bucket*>* pulled) const {
+  // Smallest box covering both siblings, expanded until it partially
+  // intersects no other sibling (those it swallows become participants).
+  Box bn = b1.box.Union(b2.box);
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const auto& sibling : parent.children) {
+      if (sibling.get() == &b1 || sibling.get() == &b2) continue;
+      if (OverlapsInterior(sibling->box, bn) &&
+          !bn.ContainsBox(sibling->box)) {
+        bn = bn.Union(sibling->box);
+        changed = true;
+      }
+    }
+  }
+  pulled->clear();
+  for (const auto& sibling : parent.children) {
+    if (sibling.get() == &b1 || sibling.get() == &b2) continue;
+    if (bn.ContainsBox(sibling->box)) pulled->push_back(sibling.get());
+  }
+
+  // Share of the parent's own region absorbed by bn.
+  double vp_in = bn.Volume() - b1.box.Volume() - b2.box.Volume();
+  for (const Bucket* p : *pulled) vp_in -= p->box.Volume();
+  vp_in = std::max(vp_in, 0.0);
+
+  const double vp = RegionVolume(parent);
+  const double f_p_in =
+      vp > kVolumeEps ? parent.frequency * vp_in / vp : 0.0;
+  const double f_bn = b1.frequency + b2.frequency + f_p_in;
+  const double v1 = RegionVolume(b1);
+  const double v2 = RegionVolume(b2);
+  const double v_bn = vp_in + v1 + v2;
+  if (v_bn <= kVolumeEps) return kInfinity;
+
+  *merged_box = bn;
+  return std::abs(f_p_in - f_bn * vp_in / v_bn) +
+         std::abs(b1.frequency - f_bn * v1 / v_bn) +
+         std::abs(b2.frequency - f_bn * v2 / v_bn);
+}
+
+void STHoles::MergeParentChild(Bucket* parent, Bucket* child) {
+  parent->frequency += child->frequency;
+  std::vector<std::unique_ptr<Bucket>> keep;
+  std::unique_ptr<Bucket> removed;
+  for (auto& c : parent->children) {
+    if (c.get() == child) {
+      removed = std::move(c);
+    } else {
+      keep.push_back(std::move(c));
+    }
+  }
+  FKDE_CHECK(removed != nullptr);
+  for (auto& grandchild : removed->children) {
+    grandchild->parent = parent;
+    keep.push_back(std::move(grandchild));
+  }
+  parent->children = std::move(keep);
+  --num_buckets_;
+}
+
+void STHoles::MergeSiblings(Bucket* parent, Bucket* b1, Bucket* b2,
+                            const Box& merged_box,
+                            const std::vector<const Bucket*>& pulled) {
+  // Recompute the absorbed parent share against the current state.
+  double vp_in = merged_box.Volume() - b1->box.Volume() - b2->box.Volume();
+  for (const Bucket* p : pulled) vp_in -= p->box.Volume();
+  vp_in = std::max(vp_in, 0.0);
+  const double vp = RegionVolume(*parent);
+  const double f_p_in =
+      vp > kVolumeEps ? parent->frequency * vp_in / vp : 0.0;
+
+  auto merged = std::make_unique<Bucket>();
+  merged->box = merged_box;
+  merged->frequency = b1->frequency + b2->frequency + f_p_in;
+  merged->parent = parent;
+
+  std::vector<std::unique_ptr<Bucket>> keep;
+  for (auto& child : parent->children) {
+    Bucket* raw = child.get();
+    const bool absorbed =
+        raw == b1 || raw == b2 ||
+        std::find(pulled.begin(), pulled.end(), raw) != pulled.end();
+    if (!absorbed) {
+      keep.push_back(std::move(child));
+      continue;
+    }
+    if (raw == b1 || raw == b2) {
+      // Their children become children of the merged bucket.
+      for (auto& grandchild : raw->children) {
+        grandchild->parent = merged.get();
+        merged->children.push_back(std::move(grandchild));
+      }
+    } else {
+      // Pulled participants survive as holes of the merged bucket.
+      child->parent = merged.get();
+      merged->children.push_back(std::move(child));
+    }
+  }
+  parent->frequency = std::max(0.0, parent->frequency - f_p_in);
+  keep.push_back(std::move(merged));
+  parent->children = std::move(keep);
+  --num_buckets_;  // b1 and b2 die, bn is born; pulled survive.
+}
+
+std::vector<STHoles::MergeCandidate> STHoles::CollectMergeCandidates(
+    std::size_t limit) {
+  std::vector<MergeCandidate> candidates;
+  std::vector<Bucket*> stack = {root_.get()};
+  std::vector<const Bucket*> pulled;
+  Box merged_box;
+  while (!stack.empty()) {
+    Bucket* bucket = stack.back();
+    stack.pop_back();
+    for (auto& child : bucket->children) {
+      stack.push_back(child.get());
+      const double penalty = ParentChildPenalty(*bucket, *child);
+      candidates.push_back(
+          {penalty, bucket, child.get(), nullptr, Box(), {}});
+    }
+    // Sibling pairs: each child is only paired with its nearest siblings
+    // by box-center distance (an implementation optimization over the
+    // paper's full O(k^2) pair scan; distant sibling merges absorb huge
+    // parent regions and essentially never win the penalty comparison).
+    const std::size_t k = bucket->children.size();
+    if (k >= 2) {
+      constexpr std::size_t kNearest = 4;
+      for (std::size_t i = 0; i < k; ++i) {
+        std::vector<std::pair<double, std::size_t>> near;
+        near.reserve(k - 1);
+        for (std::size_t j = i + 1; j < k; ++j) {
+          double dist2 = 0.0;
+          for (std::size_t t = 0; t < dims(); ++t) {
+            const double delta = bucket->children[i]->box.Center(t) -
+                                 bucket->children[j]->box.Center(t);
+            dist2 += delta * delta;
+          }
+          near.emplace_back(dist2, j);
+        }
+        const std::size_t take = std::min(kNearest, near.size());
+        std::partial_sort(near.begin(), near.begin() + take, near.end());
+        for (std::size_t t = 0; t < take; ++t) {
+          Bucket* b1 = bucket->children[i].get();
+          Bucket* b2 = bucket->children[near[t].second].get();
+          const double penalty =
+              SiblingPenalty(*bucket, *b1, *b2, &merged_box, &pulled);
+          if (penalty < kInfinity) {
+            candidates.push_back(
+                {penalty, bucket, b1, b2, merged_box, pulled});
+          }
+        }
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const MergeCandidate& a, const MergeCandidate& b) {
+              return a.penalty < b.penalty;
+            });
+  if (candidates.size() > limit) candidates.resize(limit);
+  return candidates;
+}
+
+void STHoles::EnforceBudget() {
+  while (num_buckets_ > options_.max_buckets) {
+    // One scan yields a batch of cheap merges; apply them in penalty
+    // order, dropping any candidate whose parent was already touched by
+    // an earlier merge in the batch (its penalties are stale).
+    const std::size_t excess = num_buckets_ - options_.max_buckets;
+    std::vector<MergeCandidate> batch =
+        CollectMergeCandidates(std::max<std::size_t>(excess, 8) * 2);
+    if (batch.empty()) return;  // Only the root remains.
+    std::set<const Bucket*> touched;
+    std::size_t applied = 0;
+    for (MergeCandidate& candidate : batch) {
+      if (num_buckets_ <= options_.max_buckets) break;
+      if (touched.count(candidate.parent) > 0 ||
+          touched.count(candidate.b1) > 0 ||
+          (candidate.b2 != nullptr && touched.count(candidate.b2) > 0)) {
+        continue;
+      }
+      // Mark the whole neighborhood stale: the parent, the merged
+      // buckets, and (for sibling merges) the pulled participants.
+      touched.insert(candidate.parent);
+      touched.insert(candidate.b1);
+      if (candidate.b2 != nullptr) {
+        touched.insert(candidate.b2);
+        for (const Bucket* p : candidate.pulled) touched.insert(p);
+        MergeSiblings(candidate.parent, candidate.b1, candidate.b2,
+                      candidate.merged_box, candidate.pulled);
+      } else {
+        MergeParentChild(candidate.parent, candidate.b1);
+      }
+      ++applied;
+    }
+    if (applied == 0) return;  // All candidates stale: give up this round.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Invariants
+// ---------------------------------------------------------------------------
+
+void STHoles::CheckInvariants() const {
+  std::vector<const Bucket*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Bucket* bucket = stack.back();
+    stack.pop_back();
+    FKDE_CHECK_MSG(bucket->frequency >= 0.0, "negative bucket frequency");
+    for (std::size_t i = 0; i < bucket->children.size(); ++i) {
+      const Bucket* child = bucket->children[i].get();
+      FKDE_CHECK_MSG(bucket->box.ContainsBox(child->box),
+                     "child bucket escapes its parent box");
+      FKDE_CHECK_MSG(child->parent == bucket, "broken parent pointer");
+      for (std::size_t j = i + 1; j < bucket->children.size(); ++j) {
+        FKDE_CHECK_MSG(
+            !OverlapsInterior(child->box, bucket->children[j]->box),
+            "sibling buckets overlap");
+      }
+      stack.push_back(child);
+    }
+  }
+}
+
+}  // namespace fkde

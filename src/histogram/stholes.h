@@ -1,0 +1,151 @@
+/// \file stholes.h
+/// \brief STHoles: the self-tuning multidimensional histogram baseline.
+///
+/// Reimplementation of Bruno, Chaudhuri & Gravano, "STHoles: A
+/// Multidimensional Workload-Aware Histogram" (SIGMOD 2001) — the
+/// histogram the paper compares against (Section 6.1.1).
+///
+/// An STHoles histogram is a tree of buckets. Each bucket owns a
+/// hyper-rectangular box and a tuple frequency for its *region* — its box
+/// minus the boxes of its children (the "holes" drilled into it).
+/// The histogram refines itself from query feedback:
+///
+///  * for every bucket a query partially intersects, a *candidate hole*
+///    (the intersection, shrunk so it does not partially cut any child)
+///    is drilled as a new child carrying the observed tuple count;
+///  * when the bucket budget is exceeded, the pair of buckets whose merge
+///    changes the histogram the least (parent-child or sibling-sibling
+///    penalty) is merged until the budget holds.
+///
+/// Feedback granularity: like the original system — which inspects the
+/// query's result stream to count tuples per candidate hole — this
+/// implementation needs exact counts for sub-regions of executed queries.
+/// The driver provides a `RegionCounter` backed by the live table; it is
+/// only ever invoked for regions inside the just-executed query box, which
+/// is exactly the information the result stream exposes.
+
+#ifndef FKDE_HISTOGRAM_STHOLES_H_
+#define FKDE_HISTOGRAM_STHOLES_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/box.h"
+#include "estimator/estimator.h"
+
+namespace fkde {
+
+/// Counts the tuples of the relation currently inside a box. See the file
+/// comment for why STHoles receives this (result-stream inspection).
+using RegionCounter = std::function<std::size_t(const Box&)>;
+
+/// \brief STHoles configuration.
+struct SthOptions {
+  /// Maximum number of buckets (the memory budget). The Section 6.2
+  /// parity budget d*4kB with (2d+1) 4-byte values per bucket yields
+  /// 4096*d / (4*(2d+1)) buckets.
+  std::size_t max_buckets = 500;
+  /// Relative frequency deviation below which a candidate hole is not
+  /// worth drilling (avoids churn on already-accurate buckets).
+  double drill_epsilon = 0.05;
+};
+
+/// Bucket budget that matches the paper's d*4kB memory parity rule.
+std::size_t SthBucketBudgetForBytes(std::size_t bytes, std::size_t dims);
+
+/// \brief Self-tuning multidimensional histogram.
+class STHoles : public SelectivityEstimator {
+ public:
+  /// Creates a histogram whose root covers `domain`. `total_rows` is the
+  /// relation cardinality (maintained via OnInsert/OnDelete); `counter`
+  /// supplies result-stream counts during refinement.
+  STHoles(Box domain, std::size_t total_rows, RegionCounter counter,
+          const SthOptions& options = {});
+
+  std::string name() const override { return "stholes"; }
+  std::size_t dims() const override { return root_->box.dims(); }
+  double EstimateSelectivity(const Box& box) override;
+  void ObserveTrueSelectivity(const Box& box, double selectivity) override;
+  void OnInsert(std::span<const double> row,
+                std::size_t table_rows_after) override;
+  void OnDelete(std::size_t rows_deleted,
+                std::size_t table_rows_after) override;
+  std::size_t ModelBytes() const override;
+
+  /// Current number of buckets in the tree.
+  std::size_t NumBuckets() const;
+
+  /// Estimated tuple count inside `box` (the un-normalized estimate).
+  double EstimateTuples(const Box& box) const;
+
+  /// Validates structural invariants (children nested & disjoint,
+  /// non-negative frequencies). Aborts on violation; used by tests.
+  void CheckInvariants() const;
+
+  /// Sum of all bucket frequencies (should track the relation size).
+  double TotalFrequency() const;
+
+ private:
+  struct Bucket {
+    Box box;
+    double frequency = 0.0;  // Tuples in box minus children boxes.
+    std::vector<std::unique_ptr<Bucket>> children;
+    Bucket* parent = nullptr;
+  };
+
+  // --- Estimation ---
+  double EstimateTuplesRec(const Bucket& bucket, const Box& query) const;
+  /// Volume of the bucket's region (box minus child boxes).
+  static double RegionVolume(const Bucket& bucket);
+  /// Volume of query ∩ region(bucket).
+  static double QueryRegionVolume(const Bucket& bucket, const Box& query);
+
+  // --- Refinement ---
+  void RefineRec(Bucket* bucket, const Box& query);
+  /// Shrinks candidate `c` until it partially intersects no child of
+  /// `bucket` (paper Section 4.2 "shrinking"); returns an empty optional
+  /// when the candidate shrinks away.
+  bool ShrinkCandidate(const Bucket& bucket, Box* candidate) const;
+  void DrillHole(Bucket* bucket, const Box& candidate, double tuples);
+
+  // --- Merging ---
+  void EnforceBudget();
+  double ParentChildPenalty(const Bucket& parent, const Bucket& child) const;
+  /// Computes the merge penalty of two siblings; fills `merged_box` with
+  /// the (possibly expanded) merged box and `pulled` with the additional
+  /// sibling participants. Returns infinity when the merge is impossible.
+  double SiblingPenalty(const Bucket& parent, const Bucket& b1,
+                        const Bucket& b2, Box* merged_box,
+                        std::vector<const Bucket*>* pulled) const;
+  void MergeParentChild(Bucket* parent, Bucket* child);
+  void MergeSiblings(Bucket* parent, Bucket* b1, Bucket* b2,
+                     const Box& merged_box,
+                     const std::vector<const Bucket*>& pulled);
+
+  static double SubtreeFrequency(const Bucket& bucket);
+  std::size_t CountBuckets(const Bucket& bucket) const;
+
+  /// One full-tree scan collecting merge candidates, best first.
+  struct MergeCandidate {
+    double penalty;
+    Bucket* parent;
+    Bucket* b1;
+    Bucket* b2;  // nullptr for parent-child merges.
+    Box merged_box;
+    std::vector<const Bucket*> pulled;
+  };
+  std::vector<MergeCandidate> CollectMergeCandidates(std::size_t limit);
+
+  std::unique_ptr<Bucket> root_;
+  std::size_t num_buckets_ = 1;
+  std::size_t total_rows_;
+  RegionCounter counter_;
+  SthOptions options_;
+};
+
+}  // namespace fkde
+
+#endif  // FKDE_HISTOGRAM_STHOLES_H_

@@ -1,0 +1,95 @@
+#include "kde/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fkde {
+
+AdaptiveBandwidth::AdaptiveBandwidth(std::size_t dims,
+                                     const AdaptiveOptions& options)
+    : options_(options),
+      dims_(dims),
+      grad_accum_(dims, 0.0),
+      magnitude_avg_(dims, 0.0),
+      rates_(dims, options.lr_initial),
+      prev_grad_(dims, 0.0) {
+  FKDE_CHECK(dims > 0);
+  FKDE_CHECK(options.mini_batch > 0);
+  FKDE_CHECK(options.alpha > 0.0 && options.alpha < 1.0);
+  FKDE_CHECK(options.lr_min > 0.0 && options.lr_min <= options.lr_max);
+}
+
+void AdaptiveBandwidth::ResetBatch() {
+  std::fill(grad_accum_.begin(), grad_accum_.end(), 0.0);
+  batch_count_ = 0;
+}
+
+bool AdaptiveBandwidth::Observe(std::span<const double> loss_grad,
+                                std::vector<double>* bandwidth) {
+  FKDE_CHECK(loss_grad.size() == dims_);
+  FKDE_CHECK(bandwidth->size() == dims_);
+  // Listing 1, line 9: accumulate the gradient on the mini-batch. In
+  // logarithmic mode the gradient is chained to log-space first
+  // (Appendix D, eq. 18: dL/d log h = dL/dh * h).
+  for (std::size_t k = 0; k < dims_; ++k) {
+    const double g = options_.log_updates
+                         ? loss_grad[k] * (*bandwidth)[k]
+                         : loss_grad[k];
+    grad_accum_[k] += g;
+  }
+  ++batch_count_;
+  if (batch_count_ < options_.mini_batch) return false;
+
+  // Listing 1, line 12: average the accumulated gradient.
+  std::vector<double> mean_grad(dims_);
+  for (std::size_t k = 0; k < dims_; ++k) {
+    mean_grad[k] = grad_accum_[k] / static_cast<double>(batch_count_);
+  }
+  ResetBatch();
+  ApplyUpdate(mean_grad, bandwidth);
+  return true;
+}
+
+void AdaptiveBandwidth::ApplyUpdate(std::span<const double> mean_grad,
+                                    std::vector<double>* bandwidth) {
+  constexpr double kEps = 1e-12;
+  for (std::size_t k = 0; k < dims_; ++k) {
+    const double g = mean_grad[k];
+    // Line 14: running average of gradient magnitudes (RMS).
+    magnitude_avg_[k] =
+        options_.alpha * magnitude_avg_[k] + (1.0 - options_.alpha) * g * g;
+    // Lines 15-16: Rprop-style learning-rate adaptation on sign agreement.
+    if (has_prev_grad_) {
+      if (g * prev_grad_[k] > 0.0) {
+        rates_[k] = std::min(rates_[k] * options_.lr_increase,
+                             options_.lr_max);
+      } else if (g * prev_grad_[k] < 0.0) {
+        rates_[k] = std::max(rates_[k] * options_.lr_decrease,
+                             options_.lr_min);
+      }
+    }
+    prev_grad_[k] = g;
+
+    // Line 17: scaled gradient step.
+    const double step = rates_[k] * g / std::sqrt(magnitude_avg_[k] + kEps);
+    if (options_.log_updates) {
+      // Appendix D: update log h; positivity holds by construction, the
+      // half-step safeguard is removed (it would forbid h < 1). The step
+      // is clamped so one mini-batch cannot change h by more than e^10 —
+      // purely a numeric overflow guard, far beyond any sane update.
+      const double clamped = std::clamp(step, -10.0, 10.0);
+      (*bandwidth)[k] = (*bandwidth)[k] * std::exp(-clamped);
+    } else {
+      // Positivity safeguard: never move more than half way to zero.
+      const double limited = std::min(step, 0.5 * (*bandwidth)[k]);
+      (*bandwidth)[k] -= limited;
+    }
+    FKDE_DCHECK((*bandwidth)[k] > 0.0);
+  }
+  has_prev_grad_ = true;
+  ++updates_applied_;
+}
+
+}  // namespace fkde

@@ -1,0 +1,102 @@
+#include "kde/batch.h"
+
+#include <cmath>
+
+namespace fkde {
+
+double MeanWorkloadLoss(KdeEngine* engine, std::span<const Query> workload,
+                        LossType loss, double lambda) {
+  FKDE_CHECK(!workload.empty());
+  double total = 0.0;
+  for (const Query& query : workload) {
+    total += EvaluateLoss(loss, engine->Estimate(query.box),
+                          query.selectivity, lambda);
+  }
+  return total / static_cast<double>(workload.size());
+}
+
+Result<BatchReport> OptimizeBandwidthBatch(KdeEngine* engine,
+                                           std::span<const Query> training,
+                                           const BatchOptions& options,
+                                           Rng* rng) {
+  if (training.empty()) {
+    return Status::InvalidArgument("batch optimization needs training queries");
+  }
+  const std::size_t d = engine->dims();
+  const std::vector<double> start = engine->bandwidth();
+  const double q = static_cast<double>(training.size());
+
+  BatchReport report;
+  report.initial_error =
+      MeanWorkloadLoss(engine, training, options.loss, options.lambda);
+
+  // Decision variables are either h or log h; `decode` maps them back to a
+  // bandwidth vector.
+  auto decode = [&](std::span<const double> x) {
+    std::vector<double> h(d);
+    for (std::size_t k = 0; k < d; ++k) {
+      h[k] = options.log_space ? std::exp(x[k]) : x[k];
+    }
+    return h;
+  };
+
+  Problem problem;
+  problem.lower.resize(d);
+  problem.upper.resize(d);
+  std::vector<double> x0(d);
+  for (std::size_t k = 0; k < d; ++k) {
+    const double lo = start[k] * options.min_factor;
+    const double hi = start[k] * options.max_factor;
+    problem.lower[k] = options.log_space ? std::log(lo) : lo;
+    problem.upper[k] = options.log_space ? std::log(hi) : hi;
+    x0[k] = options.log_space ? std::log(start[k]) : start[k];
+  }
+
+  std::size_t evaluations = 0;
+  problem.objective = [&](std::span<const double> x,
+                          std::span<double> grad) -> double {
+    ++evaluations;
+    const std::vector<double> h = decode(x);
+    const Status set = engine->SetBandwidth(h);
+    if (!set.ok()) return std::numeric_limits<double>::infinity();
+
+    double total = 0.0;
+    std::vector<double> total_grad(d, 0.0);
+    std::vector<double> dest_dh;
+    for (const Query& query : training) {
+      double estimate;
+      if (grad.empty()) {
+        estimate = engine->Estimate(query.box);
+      } else {
+        estimate = engine->EstimateWithGradient(query.box, &dest_dh);
+      }
+      total += EvaluateLoss(options.loss, estimate, query.selectivity,
+                            options.lambda);
+      if (!grad.empty()) {
+        const double dloss = LossDerivative(options.loss, estimate,
+                                            query.selectivity, options.lambda);
+        for (std::size_t k = 0; k < d; ++k) {
+          total_grad[k] += dloss * dest_dh[k];
+        }
+      }
+    }
+    if (!grad.empty()) {
+      for (std::size_t k = 0; k < d; ++k) {
+        // Appendix D chain rule: dL/d(log h) = dL/dh * h.
+        grad[k] = total_grad[k] / q * (options.log_space ? h[k] : 1.0);
+      }
+    }
+    return total / q;
+  };
+
+  const OptimizeResult result =
+      MinimizeMlsl(problem, x0, rng, options.global, options.local);
+  FKDE_RETURN_NOT_OK(engine->SetBandwidth(decode(result.x)));
+
+  report.final_error = result.f;
+  report.evaluations = evaluations;
+  report.converged = result.converged;
+  return report;
+}
+
+}  // namespace fkde

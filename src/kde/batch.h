@@ -1,0 +1,82 @@
+/// \file batch.h
+/// \brief Batch bandwidth optimization over query feedback (paper §3.3-3.4).
+///
+/// Solves optimization problem (5): pick the positive diagonal bandwidth
+/// minimizing the average loss between the KDE estimate and the true
+/// selectivity over a training workload. The objective and its gradient
+/// (eq. 14 = loss derivative x estimator derivative eq. 17) are evaluated
+/// on the device through `KdeEngine`; the numerical search mirrors the
+/// paper's pipeline — a coarse MLSL-style global phase followed by
+/// L-BFGS-B-style local refinement — using the solvers in src/opt/.
+///
+/// Following Appendix D, the search runs in log-bandwidth space by
+/// default, which both enforces positivity and improved accuracy in 68%
+/// of the paper's experiments.
+
+#ifndef FKDE_KDE_BATCH_H_
+#define FKDE_KDE_BATCH_H_
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "kde/engine.h"
+#include "kde/loss.h"
+#include "opt/optimizer.h"
+#include "workload/workload.h"
+
+namespace fkde {
+
+/// \brief Knobs for batch bandwidth optimization.
+struct BatchOptions {
+  LossType loss = LossType::kQuadratic;
+  /// Smoothing constant for relative/Q losses.
+  double lambda = 1e-5;
+  /// Optimize log(h) instead of h (Appendix D).
+  bool log_space = true;
+  /// Per-dimension search bounds as multiples of the starting bandwidth.
+  double min_factor = 1e-3;
+  double max_factor = 1e3;
+  LocalOptions local;
+  GlobalOptions global;
+
+  BatchOptions() {
+    // The objective is an O(queries * sample) device pass per evaluation;
+    // these budgets keep construction around a second at paper scale
+    // (100 queries, 1K sample) while matching the paper's coarse-global +
+    // local-refine recipe.
+    local.max_iterations = 60;
+    local.gradient_tolerance = 1e-7;
+    local.f_tolerance = 1e-9;
+    global.num_samples = 24;
+    global.num_rounds = 1;
+    global.starts_per_round = 2;
+  }
+};
+
+/// \brief Result metadata of a batch optimization run.
+struct BatchReport {
+  double initial_error = 0.0;  ///< Mean training loss at the start.
+  double final_error = 0.0;    ///< Mean training loss at the optimum.
+  std::size_t evaluations = 0;
+  bool converged = false;
+};
+
+/// Computes the mean loss of the engine's *current* bandwidth over a
+/// workload (no optimization). Useful for reports and tests.
+double MeanWorkloadLoss(KdeEngine* engine, std::span<const Query> workload,
+                        LossType loss, double lambda = 1e-5);
+
+/// Optimizes the engine's bandwidth over `training` queries and installs
+/// the optimum into the engine. The engine's current bandwidth is the
+/// starting point (Scott's rule in the paper's protocol). Returns
+/// InvalidArgument for an empty training set.
+Result<BatchReport> OptimizeBandwidthBatch(KdeEngine* engine,
+                                           std::span<const Query> training,
+                                           const BatchOptions& options,
+                                           Rng* rng);
+
+}  // namespace fkde
+
+#endif  // FKDE_KDE_BATCH_H_

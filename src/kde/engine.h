@@ -1,0 +1,111 @@
+/// \file engine.h
+/// \brief Device-side KDE math: estimation, bandwidth gradient, Scott init.
+///
+/// `KdeEngine` is the computational core shared by every KDE estimator
+/// variant (heuristic, SCV, batch-optimal, adaptive). It owns the
+/// device-resident sample and bandwidth and implements, as device kernels:
+///
+///  * the range-selectivity estimate p̂_H(Ω) — eq. (2) with the per-point
+///    closed form eq. (13), a parallel map over sample points followed by
+///    the binary-tree reduction (paper Section 5.4, Figure 3 steps 1-4);
+///  * the estimator gradient ∂p̂_H(Ω)/∂h_i — eq. (15)-(17), optionally
+///    modeled as overlapped with query execution (Section 5.5, steps 5-6);
+///  * Scott's rule — eq. (3), via parallel sum / sum-of-squares reductions
+///    and the variance identity (Section 5.2).
+///
+/// Per-point contributions are retained on the device after each estimate
+/// so the Karma maintenance pass can reuse them (Section 5.6, step 9).
+
+#ifndef FKDE_KDE_ENGINE_H_
+#define FKDE_KDE_ENGINE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "data/box.h"
+#include "kde/kernels.h"
+#include "kde/sample.h"
+#include "parallel/device.h"
+
+namespace fkde {
+
+/// \brief KDE estimation engine over a device-resident sample.
+class KdeEngine {
+ public:
+  /// Wraps an already-loaded sample. The engine keeps a pointer; the
+  /// sample must outlive the engine. Bandwidth starts at Scott's rule.
+  KdeEngine(DeviceSample* sample, KernelType kernel);
+
+  std::size_t dims() const { return sample_->dims(); }
+  std::size_t sample_size() const { return sample_->size(); }
+  KernelType kernel() const { return kernel_; }
+  DeviceSample* sample() { return sample_; }
+  Device* device() const { return sample_->device(); }
+
+  /// Current (diagonal) bandwidth, host copy.
+  const std::vector<double>& bandwidth() const { return bandwidth_; }
+
+  /// Sets the bandwidth; values must be positive and finite. The new
+  /// bandwidth is transferred to the device (a metered 8d-byte transfer).
+  Status SetBandwidth(std::span<const double> bandwidth);
+
+  /// Variable-KDE extension (paper Section 8): installs per-point
+  /// bandwidth scale factors, so point i smooths with h_j * scale[i] in
+  /// every dimension j (Terrell & Scott's adaptive kernel model). Scales
+  /// must be positive and of arity sample_size(). One metered transfer.
+  Status SetPointScales(std::span<const double> scales);
+
+  /// Removes per-point scales (back to the fixed-bandwidth model).
+  void ClearPointScales() { has_scales_ = false; }
+  bool has_point_scales() const { return has_scales_; }
+
+  /// Computes Scott's rule (eq. 3) from the device-resident sample via
+  /// parallel reductions: h_i = s^(-1/(d+4)) * sigma_i.
+  std::vector<double> ComputeScottBandwidth();
+
+  /// Estimates the selectivity of `box` (eq. 2). Transfers the query
+  /// bounds in, runs the contribution kernel and reduction, transfers the
+  /// scalar estimate out. Per-point contributions stay on the device.
+  double Estimate(const Box& box);
+
+  /// Estimate plus the gradient ∂p̂/∂h_i (eq. 17). When `overlapped` is
+  /// true the gradient kernels are modeled as hidden behind query
+  /// execution (the adaptive path); the estimate kernels are always
+  /// charged. `gradient->size()` becomes dims().
+  double EstimateWithGradient(const Box& box, std::vector<double>* gradient,
+                              bool overlapped = false);
+
+  /// Selectivity of `box` at the last Estimate/EstimateWithGradient call.
+  double last_estimate() const { return last_estimate_; }
+
+  /// Per-point contributions p̂^(i)(Ω) of the last estimate, device
+  /// resident (for the Karma pass). Valid for sample_size() entries.
+  const DeviceBuffer<double>& contributions() const { return contributions_; }
+  DeviceBuffer<double>* mutable_contributions() { return &contributions_; }
+
+  /// Model footprint: sample payload + bandwidth + retained contributions.
+  std::size_t ModelBytes() const;
+
+ private:
+  /// Uploads box bounds into bounds_ (2d doubles, one transfer).
+  void UploadBounds(const Box& box);
+
+  DeviceSample* sample_;
+  KernelType kernel_;
+  std::vector<double> bandwidth_;          // Host copy.
+  DeviceBuffer<double> bandwidth_dev_;     // d doubles.
+  DeviceBuffer<double> bounds_dev_;        // 2d doubles: l_0..l_d-1,u_0..
+  DeviceBuffer<double> contributions_;     // s doubles.
+  DeviceBuffer<double> grad_partials_;     // d*s doubles, dim-major.
+  DeviceBuffer<float> point_scales_;       // s floats (variable KDE).
+  bool has_scales_ = false;
+  double last_estimate_ = 0.0;
+
+  static constexpr std::size_t kMaxDims = 32;
+};
+
+}  // namespace fkde
+
+#endif  // FKDE_KDE_ENGINE_H_

@@ -1,0 +1,135 @@
+#include "kde/karma.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fkde {
+
+KarmaMaintainer::KarmaMaintainer(KdeEngine* engine,
+                                 const KarmaOptions& options)
+    : engine_(engine), options_(options) {
+  FKDE_CHECK(engine != nullptr);
+  FKDE_CHECK(options.k_max > 0.0);
+  FKDE_CHECK(options.threshold < options.k_max);
+  Device* dev = engine_->device();
+  const std::size_t capacity = engine_->sample()->capacity();
+  karma_ = dev->CreateBuffer<double>(capacity);
+  flags_ = dev->CreateBuffer<std::uint32_t>((capacity + 31) / 32);
+  // Zero-initialize the Karma scores (one transfer at construction).
+  std::vector<double> zeros(capacity, 0.0);
+  dev->CopyToDevice(zeros.data(), zeros.size(), &karma_);
+}
+
+double KarmaMaintainer::InsideContributionBound(
+    const Box& box, const std::vector<double>& bandwidth) {
+  // Appendix E: the center point of the region contributes
+  //   p_max = prod_j erf((u_j - l_j) / (2 sqrt(2) h_j))            (19)
+  // and the best point just outside the region along dimension j drops
+  // that dimension's factor from erf(w/(2 sqrt(2) h)) (full width around
+  // the center) to erf(w/(sqrt(2) h)) / 2 evaluated one-sided; condition
+  // (20) bounds any outside contribution by
+  //   p_max / 2 * max_j erf(w_j/(sqrt(2) h_j)) / erf(w_j/(2 sqrt(2) h_j)).
+  const std::size_t d = box.dims();
+  FKDE_CHECK(bandwidth.size() == d);
+  constexpr double kInvSqrt2 = 0.7071067811865476;
+  double p_max = 1.0;
+  double max_ratio = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    const double width = box.Extent(j);
+    const double half_arg = width * kInvSqrt2 / (2.0 * bandwidth[j]);
+    const double full_arg = width * kInvSqrt2 / bandwidth[j];
+    const double erf_half = std::erf(half_arg);
+    p_max *= erf_half;
+    if (erf_half > 0.0) {
+      max_ratio = std::max(max_ratio, std::erf(full_arg) / erf_half);
+    }
+  }
+  return 0.5 * p_max * max_ratio;
+}
+
+std::vector<std::size_t> KarmaMaintainer::Update(const Box& box,
+                                                 double true_selectivity) {
+  Device* dev = engine_->device();
+  const std::size_t s = engine_->sample_size();
+  const double estimate = engine_->last_estimate();
+  const double ds = static_cast<double>(s);
+
+  // Appendix E shortcut: only meaningful for empty queries with the
+  // Gaussian kernel (the bound is derived from the Gaussian CDF).
+  double inside_bound = std::numeric_limits<double>::infinity();
+  if (options_.empty_region_shortcut && true_selectivity == 0.0 &&
+      engine_->kernel() == KernelType::kGaussian) {
+    inside_bound = InsideContributionBound(box, engine_->bandwidth());
+  }
+
+  const double* contrib = engine_->contributions().device_data();
+  double* karma = karma_.device_data();
+  std::uint32_t* flags = flags_.device_data();
+  const LossType loss = options_.loss;
+  const double lambda = options_.lambda;
+  const double k_max = options_.k_max;
+  const double threshold = options_.threshold;
+  const double base_loss =
+      EvaluateLoss(loss, estimate, true_selectivity, lambda);
+
+  // Figure 3, step 9: one pass over the sample updates every point's
+  // cumulative Karma and emits the replacement bitmap. Each work item
+  // owns one 32-bit bitmap word (32 sample slots), so concurrent groups
+  // never write the same word. Modeled as overlapped work: it reuses
+  // contributions retained from the estimate and runs while the database
+  // processes the next statement.
+  const std::size_t words = (s + 31) / 32;
+  dev->LaunchOverlapped(
+      "karma_update", words, [=](std::size_t begin, std::size_t end) {
+        for (std::size_t w = begin; w < end; ++w) {
+          std::uint32_t word = 0;
+          const std::size_t lo = w * 32;
+          const std::size_t hi = std::min(lo + 32, s);
+          for (std::size_t i = lo; i < hi; ++i) {
+            // Leave-one-out estimate, eq. (6).
+            const double without =
+                s > 1 ? (estimate * ds - contrib[i]) / (ds - 1.0) : estimate;
+            // Per-query Karma, eq. (7).
+            const double k_query =
+                EvaluateLoss(loss, without, true_selectivity, lambda) -
+                base_loss;
+            // Cumulative Karma with saturation, eq. (8).
+            karma[i] = std::min(karma[i] + k_query, k_max);
+            const bool below = karma[i] < threshold;
+            // Appendix E: provably inside an empty region (condition 20).
+            const bool provably_stale = contrib[i] >= inside_bound;
+            if (below || provably_stale) word |= 1u << (i - lo);
+          }
+          flags[w] = word;
+        }
+      });
+
+  // Transfer the bitmap back (s/8 bytes) and collect slots to replace.
+  std::vector<std::uint32_t> host_flags(words);
+  dev->CopyToHost(flags_, 0, words, host_flags.data());
+  std::vector<std::size_t> slots;
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint32_t word = host_flags[w];
+    while (word != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctz(word));
+      slots.push_back(w * 32 + bit);
+      word &= word - 1;
+    }
+  }
+  return slots;
+}
+
+void KarmaMaintainer::ResetSlot(std::size_t slot) {
+  FKDE_CHECK(slot < karma_.size());
+  const double zero = 0.0;
+  engine_->device()->CopyToDevice(&zero, 1, &karma_, slot);
+}
+
+std::vector<double> KarmaMaintainer::ReadKarma() {
+  const std::size_t s = engine_->sample_size();
+  std::vector<double> host(s);
+  engine_->device()->CopyToHost(karma_, 0, s, host.data());
+  return host;
+}
+
+}  // namespace fkde

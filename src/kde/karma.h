@@ -1,0 +1,90 @@
+/// \file karma.h
+/// \brief Karma-based sample maintenance (paper Section 4.2, Appendix E).
+///
+/// Database updates slowly invalidate the device-resident sample. Classic
+/// sample-maintenance algorithms would stream correction data over the
+/// bus; the Karma scheme instead piggybacks on the query feedback already
+/// sent for bandwidth adaptation:
+///
+///  * the leave-one-out estimate (6) tells how the estimator would have
+///    done without point i, using the retained per-point contributions;
+///  * the per-query Karma (7) is the loss change the point caused;
+///  * cumulative Karma (8) is clamped at K_max (saturation, default 4) so
+///    formerly-good points can be demoted quickly;
+///  * points whose cumulative Karma sinks below a threshold are marked
+///    outdated and replaced by fresh tuples sampled from the database;
+///  * the Appendix E shortcut instantly replaces points that *provably*
+///    lie inside an empty query region, by bounding the maximum
+///    contribution a point outside the region can make (eqs. 19/20).
+///
+/// The device produces a replacement bitmap; the host samples fresh rows
+/// and writes each back with a single d-float transfer.
+
+#ifndef FKDE_KDE_KARMA_H_
+#define FKDE_KDE_KARMA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/box.h"
+#include "kde/engine.h"
+#include "kde/loss.h"
+
+namespace fkde {
+
+/// \brief Karma parameters (paper defaults).
+struct KarmaOptions {
+  double k_max = 4.0;        ///< Saturation bound of cumulative Karma.
+  double threshold = -1.0;   ///< Replace points whose Karma sinks below.
+  /// Loss whose change defines the Karma score. Defaults to the squared
+  /// Q-error: its O(1)-O(10) per-query magnitudes are what make the
+  /// paper's constants (K_max = 4, a small negative threshold) meaningful;
+  /// an absolute L2 on selectivities would produce O(1e-5) Karma values
+  /// that never reach any fixed threshold.
+  LossType loss = LossType::kSquaredQ;
+  double lambda = 1e-5;
+  /// Enable the Appendix E empty-region shortcut (Gaussian kernel only;
+  /// the bound (20) is derived from the Gaussian CDF).
+  bool empty_region_shortcut = true;
+};
+
+/// \brief Tracks cumulative Karma of each sample slot on the device.
+class KarmaMaintainer {
+ public:
+  /// Tracks the engine's sample. The engine must outlive the maintainer.
+  KarmaMaintainer(KdeEngine* engine, const KarmaOptions& options);
+
+  /// Updates all Karma scores from the last estimate's retained
+  /// contributions (engine->contributions()) and the true selectivity of
+  /// the same query box. Returns the sample slots that must be replaced
+  /// (Karma below threshold, or inside a provably empty region).
+  ///
+  /// Must be called after `engine->Estimate*(box)` for the same box, while
+  /// the contributions are still valid.
+  std::vector<std::size_t> Update(const Box& box, double true_selectivity);
+
+  /// Resets the Karma of a slot that was just replaced with a fresh row.
+  void ResetSlot(std::size_t slot);
+
+  /// Reads back the full Karma vector (metered; tests/diagnostics).
+  std::vector<double> ReadKarma();
+
+  const KarmaOptions& options() const { return options_; }
+
+  /// Appendix E: the minimum contribution that proves a point lies inside
+  /// `box` (right-hand side of condition (20)), given the bandwidth.
+  /// Exposed for tests.
+  static double InsideContributionBound(const Box& box,
+                                        const std::vector<double>& bandwidth);
+
+ private:
+  KdeEngine* engine_;
+  KarmaOptions options_;
+  DeviceBuffer<double> karma_;       // One score per sample slot.
+  DeviceBuffer<std::uint32_t> flags_;  // Replacement bitmap, 32 slots/word.
+};
+
+}  // namespace fkde
+
+#endif  // FKDE_KDE_KARMA_H_

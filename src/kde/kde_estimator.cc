@@ -1,0 +1,216 @@
+#include "kde/kde_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fkde {
+
+std::string KdeModeName(KdeSelectivityEstimator::Mode mode) {
+  switch (mode) {
+    case KdeSelectivityEstimator::Mode::kHeuristic:
+      return "kde_heuristic";
+    case KdeSelectivityEstimator::Mode::kScv:
+      return "kde_scv";
+    case KdeSelectivityEstimator::Mode::kBatch:
+      return "kde_batch";
+    case KdeSelectivityEstimator::Mode::kPeriodic:
+      return "kde_periodic";
+    case KdeSelectivityEstimator::Mode::kAdaptive:
+      return "kde_adaptive";
+  }
+  return "kde_unknown";
+}
+
+KdeSelectivityEstimator::KdeSelectivityEstimator(Mode mode, Device* device,
+                                                 const Table* table,
+                                                 const KdeConfig& config)
+    : mode_(mode), table_(table), config_(config), rng_(config.seed) {
+  sample_ = std::make_unique<DeviceSample>(
+      device, std::min(config.sample_size, table->num_rows()),
+      table->num_cols());
+}
+
+Result<std::unique_ptr<KdeSelectivityEstimator>>
+KdeSelectivityEstimator::Create(Mode mode, Device* device, const Table* table,
+                                const KdeConfig& config,
+                                std::span<const Query> training) {
+  if (device == nullptr || table == nullptr) {
+    return Status::InvalidArgument("device and table must be non-null");
+  }
+  if (table->empty()) {
+    return Status::FailedPrecondition("cannot build a model on an empty table");
+  }
+  if (config.sample_size == 0) {
+    return Status::InvalidArgument("sample_size must be positive");
+  }
+
+  std::unique_ptr<KdeSelectivityEstimator> est(
+      new KdeSelectivityEstimator(mode, device, table, config));
+  // ANALYZE step: draw the sample and push it to the device in one bulk
+  // transfer; the engine then initializes the bandwidth via Scott's rule
+  // computed on the device (Section 5.2).
+  FKDE_RETURN_NOT_OK(est->sample_->LoadFromTable(*table, &est->rng_));
+  est->engine_ =
+      std::make_unique<KdeEngine>(est->sample_.get(), config.kernel);
+
+  switch (mode) {
+    case Mode::kHeuristic:
+      break;  // Scott's rule is already installed.
+    case Mode::kScv: {
+      // Read the sample back once for the host-side SCV criterion.
+      const std::size_t s = est->sample_->size();
+      const std::size_t d = est->sample_->dims();
+      std::vector<float> staging(s * d);
+      device->CopyToHost(est->sample_->buffer(), 0, staging.size(),
+                         staging.data());
+      std::vector<double> host_sample(staging.begin(), staging.end());
+      FKDE_ASSIGN_OR_RETURN(
+          std::vector<double> bandwidth,
+          ScvSelectBandwidth(host_sample, s, d, est->engine_->bandwidth(),
+                             config.scv));
+      FKDE_RETURN_NOT_OK(est->engine_->SetBandwidth(bandwidth));
+      break;
+    }
+    case Mode::kBatch: {
+      if (training.empty()) {
+        return Status::InvalidArgument(
+            "batch mode requires a training workload");
+      }
+      BatchOptions batch = config.batch;
+      batch.loss = config.loss;
+      batch.lambda = config.lambda;
+      FKDE_ASSIGN_OR_RETURN(
+          est->batch_report_,
+          OptimizeBandwidthBatch(est->engine_.get(), training, batch,
+                                 &est->rng_));
+      break;
+    }
+    case Mode::kPeriodic: {
+      if (config.feedback_window == 0 || config.reoptimize_every == 0) {
+        return Status::InvalidArgument(
+            "periodic mode needs a positive window and interval");
+      }
+      est->feedback_ring_.reserve(config.feedback_window);
+      break;  // Scott start; the first re-optimization tunes it.
+    }
+    case Mode::kAdaptive: {
+      est->adaptive_.emplace(table->num_cols(), config.adaptive);
+      if (config.enable_karma) {
+        // Karma keeps its own loss (relative-scale by default) — see
+        // KarmaOptions::loss. The bandwidth loss is independent.
+        est->karma_.emplace(est->engine_.get(), config.karma);
+      }
+      if (config.enable_reservoir) {
+        est->reservoir_.emplace(est->sample_.get(), &est->rng_);
+      }
+      break;
+    }
+  }
+  return est;
+}
+
+std::string KdeSelectivityEstimator::name() const {
+  return KdeModeName(mode_);
+}
+
+double KdeSelectivityEstimator::EstimateSelectivity(const Box& box) {
+  double estimate;
+  if (mode_ == Mode::kAdaptive) {
+    // Figure 3: the estimate kernels are charged normally; the gradient
+    // work piggybacked on the same pass is hidden behind the query's
+    // execution in the database (Section 5.5).
+    estimate = engine_->EstimateWithGradient(box, &pending_gradient_,
+                                             /*overlapped=*/true);
+    last_box_ = box;
+    has_pending_gradient_ = true;
+  } else {
+    estimate = engine_->Estimate(box);
+    last_box_ = box;
+  }
+  return std::clamp(estimate, 0.0, 1.0);
+}
+
+void KdeSelectivityEstimator::ObserveTrueSelectivity(const Box& box,
+                                                     double selectivity) {
+  if (mode_ == Mode::kPeriodic) {
+    // Section 3.4 deployment: remember the last q queries in a ring
+    // buffer and periodically re-solve optimization problem (5) over
+    // them, starting from the current bandwidth.
+    Query query;
+    query.box = box;
+    query.selectivity = selectivity;
+    if (feedback_ring_.size() < config_.feedback_window) {
+      feedback_ring_.push_back(std::move(query));
+    } else {
+      feedback_ring_[ring_next_] = std::move(query);
+      ring_next_ = (ring_next_ + 1) % config_.feedback_window;
+    }
+    ++feedback_since_optimize_;
+    if (feedback_since_optimize_ >= config_.reoptimize_every &&
+        feedback_ring_.size() >= config_.reoptimize_every) {
+      feedback_since_optimize_ = 0;
+      BatchOptions batch = config_.batch;
+      batch.loss = config_.loss;
+      batch.lambda = config_.lambda;
+      FKDE_CHECK_OK(
+          OptimizeBandwidthBatch(engine_.get(), feedback_ring_, batch, &rng_)
+              .status());
+      ++reoptimizations_;
+    }
+    return;
+  }
+  if (mode_ != Mode::kAdaptive) return;
+
+  // Out-of-order feedback (a box we did not just estimate): recompute the
+  // contributions and gradient for it so the math below is consistent.
+  if (!has_pending_gradient_ || !(box == last_box_)) {
+    engine_->EstimateWithGradient(box, &pending_gradient_,
+                                  /*overlapped=*/true);
+    last_box_ = box;
+  }
+  has_pending_gradient_ = false;
+
+  // Chain rule (eq. 14): dL/dh = dL/dp̂ * dp̂/dh. The loss factor is a
+  // host-side scalar (Section 5.5, step 7-8).
+  const double dloss = LossDerivative(config_.loss, engine_->last_estimate(),
+                                      selectivity, config_.lambda);
+  std::vector<double> loss_grad(dims());
+  for (std::size_t k = 0; k < dims(); ++k) {
+    loss_grad[k] = dloss * pending_gradient_[k];
+  }
+  std::vector<double> bandwidth = engine_->bandwidth();
+  if (adaptive_->Observe(loss_grad, &bandwidth)) {
+    FKDE_CHECK_OK(engine_->SetBandwidth(bandwidth));
+  }
+
+  // Karma maintenance (Section 5.6) reuses the retained contributions.
+  if (karma_.has_value() && table_ != nullptr && !table_->empty()) {
+    const std::vector<std::size_t> slots = karma_->Update(box, selectivity);
+    for (std::size_t slot : slots) {
+      const std::size_t row = table_->RandomRowIndex(&rng_);
+      sample_->ReplaceRow(slot, table_->Row(row));
+      karma_->ResetSlot(slot);
+      ++karma_replacements_;
+    }
+  }
+}
+
+void KdeSelectivityEstimator::OnInsert(std::span<const double> row,
+                                       std::size_t table_rows_after) {
+  if (mode_ != Mode::kAdaptive || !reservoir_.has_value()) return;
+  const std::size_t slot = reservoir_->OnInsert(row, table_rows_after);
+  if (slot != std::numeric_limits<std::size_t>::max() &&
+      karma_.has_value()) {
+    karma_->ResetSlot(slot);
+  }
+}
+
+std::size_t KdeSelectivityEstimator::ModelBytes() const {
+  std::size_t bytes = engine_->ModelBytes();
+  if (karma_.has_value()) {
+    bytes += sample_->size() * sizeof(double) + (sample_->size() + 7) / 8;
+  }
+  return bytes;
+}
+
+}  // namespace fkde

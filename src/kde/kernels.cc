@@ -1,0 +1,27 @@
+#include "kde/kernels.h"
+
+#include <cctype>
+
+namespace fkde {
+
+Result<KernelType> ParseKernelName(const std::string& name) {
+  std::string lower;
+  for (char c : name) lower += static_cast<char>(std::tolower(c));
+  if (lower == "gaussian" || lower == "gauss") return KernelType::kGaussian;
+  if (lower == "epanechnikov" || lower == "epa") {
+    return KernelType::kEpanechnikov;
+  }
+  return Status::InvalidArgument("unknown kernel: " + name);
+}
+
+const char* KernelName(KernelType type) {
+  switch (type) {
+    case KernelType::kGaussian:
+      return "gaussian";
+    case KernelType::kEpanechnikov:
+      return "epanechnikov";
+  }
+  return "unknown";
+}
+
+}  // namespace fkde

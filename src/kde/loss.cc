@@ -1,0 +1,82 @@
+#include "kde/loss.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+
+namespace fkde {
+
+Result<LossType> ParseLossName(const std::string& name) {
+  std::string lower;
+  for (char c : name) lower += static_cast<char>(std::tolower(c));
+  if (lower == "quadratic" || lower == "l2") return LossType::kQuadratic;
+  if (lower == "absolute" || lower == "l1") return LossType::kAbsolute;
+  if (lower == "relative") return LossType::kRelative;
+  if (lower == "squared_relative") return LossType::kSquaredRelative;
+  if (lower == "squared_q" || lower == "q") return LossType::kSquaredQ;
+  return Status::InvalidArgument("unknown loss: " + name);
+}
+
+const char* LossName(LossType type) {
+  switch (type) {
+    case LossType::kQuadratic:
+      return "quadratic";
+    case LossType::kAbsolute:
+      return "absolute";
+    case LossType::kRelative:
+      return "relative";
+    case LossType::kSquaredRelative:
+      return "squared_relative";
+    case LossType::kSquaredQ:
+      return "squared_q";
+  }
+  return "unknown";
+}
+
+double EvaluateLoss(LossType type, double estimate, double truth,
+                    double lambda) {
+  FKDE_DCHECK(lambda > 0.0);
+  const double diff = estimate - truth;
+  switch (type) {
+    case LossType::kQuadratic:
+      return diff * diff;
+    case LossType::kAbsolute:
+      return std::abs(diff);
+    case LossType::kRelative:
+      return std::abs(diff) / (lambda + truth);
+    case LossType::kSquaredRelative: {
+      const double r = diff / (lambda + truth);
+      return r * r;
+    }
+    case LossType::kSquaredQ: {
+      const double q =
+          std::log(lambda + estimate) - std::log(lambda + truth);
+      return q * q;
+    }
+  }
+  return 0.0;
+}
+
+double LossDerivative(LossType type, double estimate, double truth,
+                      double lambda) {
+  FKDE_DCHECK(lambda > 0.0);
+  const double diff = estimate - truth;
+  const double sign = diff > 0.0 ? 1.0 : (diff < 0.0 ? -1.0 : 0.0);
+  switch (type) {
+    case LossType::kQuadratic:
+      return 2.0 * diff;
+    case LossType::kAbsolute:
+      return sign;
+    case LossType::kRelative:
+      return sign / (lambda + truth);
+    case LossType::kSquaredRelative:
+      return 2.0 * diff / ((lambda + truth) * (lambda + truth));
+    case LossType::kSquaredQ:
+      return 2.0 *
+             (std::log(lambda + estimate) - std::log(lambda + truth)) /
+             (lambda + estimate);
+  }
+  return 0.0;
+}
+
+}  // namespace fkde

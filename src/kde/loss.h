@@ -1,0 +1,44 @@
+/// \file loss.h
+/// \brief Loss functions for bandwidth optimization (paper Appendix C.1).
+///
+/// The bandwidth gradient factors as dL/dh_i = (dL/dp̂) * (dp̂/dh_i)
+/// (eq. 14). This file supplies L and dL/dp̂ for every error metric the
+/// paper lists; the estimator supplies dp̂/dh_i. Swapping the loss swaps
+/// which metric the model optimization minimizes.
+
+#ifndef FKDE_KDE_LOSS_H_
+#define FKDE_KDE_LOSS_H_
+
+#include <cmath>
+#include <string>
+
+#include "common/status.h"
+
+namespace fkde {
+
+/// Error metrics from Appendix C.1.
+enum class LossType {
+  kQuadratic,        ///< (p̂ - p)^2
+  kAbsolute,         ///< |p̂ - p|
+  kRelative,         ///< |p̂ - p| / (lambda + p)
+  kSquaredRelative,  ///< ((p̂ - p) / (lambda + p))^2
+  kSquaredQ,         ///< (log(lambda + p̂) - log(lambda + p))^2
+};
+
+/// Parses "quadratic"/"l2", "absolute"/"l1", "relative",
+/// "squared_relative", "squared_q"/"q" (case-insensitive).
+Result<LossType> ParseLossName(const std::string& name);
+const char* LossName(LossType type);
+
+/// \brief Loss evaluation. `lambda` is the small positive smoothing
+/// constant preventing divisions by zero in the relative/Q metrics.
+double EvaluateLoss(LossType type, double estimate, double truth,
+                    double lambda = 1e-5);
+
+/// \brief dL/dp̂ at (estimate, truth) — the first factor of eq. (14).
+double LossDerivative(LossType type, double estimate, double truth,
+                      double lambda = 1e-5);
+
+}  // namespace fkde
+
+#endif  // FKDE_KDE_LOSS_H_

@@ -1,0 +1,24 @@
+#include "kde/reservoir.h"
+
+#include <limits>
+
+namespace fkde {
+
+std::size_t ReservoirMaintainer::OnInsert(std::span<const double> row,
+                                          std::size_t table_rows_after) {
+  ++observed_;
+  FKDE_CHECK(table_rows_after > 0);
+  const std::size_t s = sample_->size();
+  // Vitter's Algorithm R acceptance: probability s / |R|.
+  const double p =
+      static_cast<double>(s) / static_cast<double>(table_rows_after);
+  if (!rng_->Bernoulli(std::min(p, 1.0))) {
+    return std::numeric_limits<std::size_t>::max();
+  }
+  const std::size_t slot = rng_->UniformInt(static_cast<std::uint64_t>(s));
+  sample_->ReplaceRow(slot, row);
+  ++accepted_;
+  return slot;
+}
+
+}  // namespace fkde

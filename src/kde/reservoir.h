@@ -1,0 +1,48 @@
+/// \file reservoir.h
+/// \brief Reservoir sampling for insert-only maintenance (Vitter [43]).
+///
+/// For insertions the paper keeps the device sample fresh with classic
+/// reservoir sampling: the newly inserted tuple enters the sample with
+/// probability s/|R|, replacing a uniformly random slot. The accept/reject
+/// decision is made entirely on the host, so only tuples that actually
+/// enter the sample cross the bus — optimal in transfers (Section 5.6).
+
+#ifndef FKDE_KDE_RESERVOIR_H_
+#define FKDE_KDE_RESERVOIR_H_
+
+#include <cstddef>
+#include <span>
+
+#include "common/rng.h"
+#include "kde/sample.h"
+
+namespace fkde {
+
+/// \brief Host-side reservoir decision maker for a device sample.
+class ReservoirMaintainer {
+ public:
+  /// Maintains `sample`; `rng` provides the accept decisions. Both must
+  /// outlive the maintainer.
+  ReservoirMaintainer(DeviceSample* sample, Rng* rng)
+      : sample_(sample), rng_(rng) {}
+
+  /// Notifies the maintainer of an insert. `table_rows_after` is the
+  /// relation cardinality including the new row. Returns the replaced
+  /// sample slot, or SIZE_MAX when the row was rejected.
+  std::size_t OnInsert(std::span<const double> row,
+                       std::size_t table_rows_after);
+
+  /// Inserts accepted into the sample so far (tests/diagnostics).
+  std::size_t accepted() const { return accepted_; }
+  std::size_t observed() const { return observed_; }
+
+ private:
+  DeviceSample* sample_;
+  Rng* rng_;
+  std::size_t accepted_ = 0;
+  std::size_t observed_ = 0;
+};
+
+}  // namespace fkde
+
+#endif  // FKDE_KDE_RESERVOIR_H_

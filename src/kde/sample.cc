@@ -1,0 +1,73 @@
+#include "kde/sample.h"
+
+#include <algorithm>
+
+namespace fkde {
+
+DeviceSample::DeviceSample(Device* device, std::size_t capacity,
+                           std::size_t dims)
+    : device_(device), capacity_(capacity), dims_(dims) {
+  FKDE_CHECK(device != nullptr);
+  FKDE_CHECK(capacity > 0 && dims > 0);
+  buffer_ = device_->CreateBuffer<float>(capacity * dims);
+}
+
+Status DeviceSample::LoadFromTable(const Table& table, Rng* rng) {
+  if (table.empty()) {
+    return Status::FailedPrecondition("cannot sample an empty table");
+  }
+  if (table.num_cols() != dims_) {
+    return Status::InvalidArgument("table dims do not match sample dims");
+  }
+  const std::vector<std::size_t> rows =
+      table.SampleWithoutReplacement(capacity_, rng);
+  // Stage on the host (with double->float conversion, mirroring the
+  // paper's type transformation during ANALYZE), then one bulk transfer.
+  std::vector<float> staging(rows.size() * dims_);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto row = table.Row(rows[i]);
+    for (std::size_t j = 0; j < dims_; ++j) {
+      staging[i * dims_ + j] = static_cast<float>(row[j]);
+    }
+  }
+  device_->CopyToDevice(staging.data(), staging.size(), &buffer_);
+  size_ = rows.size();
+  return Status::OK();
+}
+
+Status DeviceSample::LoadRows(std::span<const double> rows_data,
+                              std::size_t rows) {
+  if (rows_data.size() != rows * dims_) {
+    return Status::InvalidArgument("row data size mismatch");
+  }
+  if (rows > capacity_) {
+    return Status::InvalidArgument("more rows than sample capacity");
+  }
+  std::vector<float> staging(rows_data.size());
+  for (std::size_t i = 0; i < rows_data.size(); ++i) {
+    staging[i] = static_cast<float>(rows_data[i]);
+  }
+  device_->CopyToDevice(staging.data(), staging.size(), &buffer_);
+  size_ = rows;
+  return Status::OK();
+}
+
+void DeviceSample::ReplaceRow(std::size_t slot, std::span<const double> row) {
+  FKDE_CHECK(slot < size_);
+  FKDE_CHECK(row.size() == dims_);
+  float staging[64];
+  FKDE_CHECK_MSG(dims_ <= 64, "dims beyond the stack staging buffer");
+  for (std::size_t j = 0; j < dims_; ++j) {
+    staging[j] = static_cast<float>(row[j]);
+  }
+  device_->CopyToDevice(staging, dims_, &buffer_, slot * dims_);
+}
+
+std::vector<double> DeviceSample::ReadRow(std::size_t slot) {
+  FKDE_CHECK(slot < size_);
+  std::vector<float> staging(dims_);
+  device_->CopyToHost(buffer_, slot * dims_, dims_, staging.data());
+  return std::vector<double>(staging.begin(), staging.end());
+}
+
+}  // namespace fkde

@@ -1,0 +1,75 @@
+/// \file sample.h
+/// \brief Device-resident data sample (paper Section 5.1/5.2).
+///
+/// The sample is the memory-dominant part of a KDE model. Matching the
+/// paper, it is stored *row-major in single precision* on the device: the
+/// row-major layout lets sample maintenance replace one point with a
+/// single PCI-Express transfer of d floats, which is the whole reason the
+/// Karma scheme is transfer-efficient.
+///
+/// Loading the sample at ANALYZE time is the only bulk transfer the
+/// estimator ever performs; everything afterwards is query bounds,
+/// scalars, and replaced rows.
+
+#ifndef FKDE_KDE_SAMPLE_H_
+#define FKDE_KDE_SAMPLE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/table.h"
+#include "parallel/device.h"
+
+namespace fkde {
+
+/// \brief Fixed-capacity sample of table rows resident on a device.
+class DeviceSample {
+ public:
+  /// Allocates an empty sample of `capacity` rows with `dims` attributes
+  /// on `device`.
+  DeviceSample(Device* device, std::size_t capacity, std::size_t dims);
+
+  /// Draws a uniform random sample (without replacement) of up to
+  /// `capacity()` rows from `table` and uploads it in one transfer.
+  /// Returns FailedPrecondition on an empty table.
+  Status LoadFromTable(const Table& table, Rng* rng);
+
+  /// Uploads explicit rows (row-major doubles, rows*dims values) in one
+  /// transfer; the sample size becomes `rows`.
+  Status LoadRows(std::span<const double> rows_data, std::size_t rows);
+
+  /// Replaces the row at `slot` with `row` using a single d-float
+  /// transfer (the Karma/reservoir replacement path).
+  void ReplaceRow(std::size_t slot, std::span<const double> row);
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t dims() const { return dims_; }
+  bool empty() const { return size_ == 0; }
+
+  Device* device() const { return device_; }
+
+  /// Device storage (size * dims floats, row-major). For kernel functors.
+  const DeviceBuffer<float>& buffer() const { return buffer_; }
+
+  /// Reads one sample row back to the host (a metered transfer). Intended
+  /// for tests and diagnostics, not the hot path.
+  std::vector<double> ReadRow(std::size_t slot);
+
+  /// Model bytes consumed by the sample payload.
+  std::size_t PayloadBytes() const { return size_ * dims_ * sizeof(float); }
+
+ private:
+  Device* device_;
+  std::size_t capacity_;
+  std::size_t dims_;
+  std::size_t size_ = 0;
+  DeviceBuffer<float> buffer_;
+};
+
+}  // namespace fkde
+
+#endif  // FKDE_KDE_SAMPLE_H_

@@ -1,0 +1,199 @@
+#include "kde/scv.h"
+
+#include <cmath>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "opt/optimizer.h"
+#include "parallel/thread_pool.h"
+
+namespace fkde {
+
+namespace {
+
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+constexpr std::size_t kMaxDims = 32;
+
+/// Product of per-dimension normal densities with variances var[k],
+/// evaluated at difference vector delta; optionally accumulates the
+/// h-gradient factor d log(phi)/dh_k = a*h_k*(delta_k^2/var_k^2 - 1/var_k)
+/// into dlog (for variance form var_k = a*h_k^2 + b*g_k^2).
+double ProductNormal(const double* delta, const double* var, std::size_t d,
+                     double a, const double* h, double* dlog) {
+  double log_phi = 0.0;
+  for (std::size_t k = 0; k < d; ++k) {
+    log_phi += -0.5 * std::log(var[k]) - 0.5 * delta[k] * delta[k] / var[k];
+  }
+  const double phi =
+      std::exp(log_phi) * std::pow(kInvSqrt2Pi, static_cast<double>(d));
+  if (dlog != nullptr && a != 0.0) {
+    for (std::size_t k = 0; k < d; ++k) {
+      dlog[k] = a * h[k] *
+                (delta[k] * delta[k] / (var[k] * var[k]) - 1.0 / var[k]);
+    }
+  }
+  return phi;
+}
+
+}  // namespace
+
+double ScvCriterion(std::span<const double> sample, std::size_t n,
+                    std::size_t dims, std::span<const double> bandwidth,
+                    std::span<const double> pilot,
+                    std::vector<double>* gradient) {
+  FKDE_CHECK(sample.size() == n * dims);
+  FKDE_CHECK(bandwidth.size() == dims && pilot.size() == dims);
+  FKDE_CHECK(dims <= kMaxDims);
+  const std::size_t d = dims;
+  const double* h = bandwidth.data();
+  const double* g = pilot.data();
+  const double dn = static_cast<double>(n);
+
+  // First term: (4 pi)^(-d/2) / (n prod h_k).
+  double prod_h = 1.0;
+  for (std::size_t k = 0; k < d; ++k) prod_h *= h[k];
+  const double first =
+      std::pow(4.0 * M_PI, -0.5 * static_cast<double>(d)) / (dn * prod_h);
+
+  // Per-dimension variances of the three convolution terms.
+  double var_a[kMaxDims], var_b[kMaxDims], var_c[kMaxDims];
+  for (std::size_t k = 0; k < d; ++k) {
+    var_a[k] = 2.0 * h[k] * h[k] + 2.0 * g[k] * g[k];
+    var_b[k] = h[k] * h[k] + 2.0 * g[k] * g[k];
+    var_c[k] = 2.0 * g[k] * g[k];
+  }
+
+  // Pair sum, parallelized over the first index with thread-local
+  // accumulators. Diagonal terms (delta = 0) are included once; off
+  // diagonal pairs are counted twice via symmetry.
+  double pair_sum = 0.0;
+  std::vector<double> pair_grad(d, 0.0);
+  std::mutex merge_mu;
+  ThreadPool::Global().ParallelFor(
+      n, 16, [&](std::size_t begin, std::size_t end) {
+        double local_sum = 0.0;
+        double local_grad[kMaxDims] = {};
+        double delta[kMaxDims];
+        double dlog_a[kMaxDims], dlog_b[kMaxDims];
+        for (std::size_t i = begin; i < end; ++i) {
+          const double* xi = sample.data() + i * d;
+          for (std::size_t j = i; j < n; ++j) {
+            const double* xj = sample.data() + j * d;
+            for (std::size_t k = 0; k < d; ++k) delta[k] = xi[k] - xj[k];
+            const double weight = (i == j) ? 1.0 : 2.0;
+            const double phi_a = ProductNormal(delta, var_a, d, 2.0, h,
+                                               gradient ? dlog_a : nullptr);
+            const double phi_b = ProductNormal(delta, var_b, d, 1.0, h,
+                                               gradient ? dlog_b : nullptr);
+            const double phi_c =
+                ProductNormal(delta, var_c, d, 0.0, h, nullptr);
+            local_sum += weight * (phi_a - 2.0 * phi_b + phi_c);
+            if (gradient) {
+              for (std::size_t k = 0; k < d; ++k) {
+                local_grad[k] += weight * (phi_a * dlog_a[k] -
+                                           2.0 * phi_b * dlog_b[k]);
+              }
+            }
+          }
+        }
+        std::lock_guard<std::mutex> lock(merge_mu);
+        pair_sum += local_sum;
+        for (std::size_t k = 0; k < d; ++k) pair_grad[k] += local_grad[k];
+      });
+
+  const double value = first + pair_sum / (dn * dn);
+  if (gradient) {
+    gradient->resize(d);
+    for (std::size_t k = 0; k < d; ++k) {
+      (*gradient)[k] = -first / h[k] + pair_grad[k] / (dn * dn);
+    }
+  }
+  return value;
+}
+
+Result<std::vector<double>> ScvSelectBandwidth(std::span<const double> sample,
+                                               std::size_t n,
+                                               std::size_t dims,
+                                               std::span<const double> scott,
+                                               const ScvOptions& options) {
+  if (sample.size() != n * dims) {
+    return Status::InvalidArgument("sample size mismatch");
+  }
+  if (scott.size() != dims) {
+    return Status::InvalidArgument("pilot bandwidth arity mismatch");
+  }
+  for (double h : scott) {
+    if (!(h > 0.0)) {
+      return Status::InvalidArgument("pilot bandwidth must be positive");
+    }
+  }
+
+  // Thin oversized samples: SCV is O(n^2 d) per evaluation. The selected
+  // bandwidth is rescaled from the thinned size back to the full size by
+  // the n^(-1/(d+4)) law so the returned h matches the full sample.
+  std::vector<double> thinned;
+  std::span<const double> active = sample;
+  std::size_t active_n = n;
+  double rescale = 1.0;
+  if (n > options.max_rows && options.max_rows > 0) {
+    Rng thin_rng(options.seed ^ 0x5bd1e995);
+    thinned.reserve(options.max_rows * dims);
+    // Uniform stride-free reservoir pick of max_rows rows.
+    std::vector<std::size_t> picks(n);
+    for (std::size_t i = 0; i < n; ++i) picks[i] = i;
+    thin_rng.Shuffle(picks);
+    picks.resize(options.max_rows);
+    for (std::size_t i : picks) {
+      thinned.insert(thinned.end(), sample.begin() + i * dims,
+                     sample.begin() + (i + 1) * dims);
+    }
+    active = thinned;
+    active_n = options.max_rows;
+    const double exponent = -1.0 / (static_cast<double>(dims) + 4.0);
+    rescale = std::pow(static_cast<double>(n), exponent) /
+              std::pow(static_cast<double>(active_n), exponent);
+  }
+
+  // Optimize in log space for positivity and better conditioning.
+  Problem problem;
+  problem.lower.resize(dims);
+  problem.upper.resize(dims);
+  std::vector<double> x0(dims);
+  for (std::size_t k = 0; k < dims; ++k) {
+    problem.lower[k] = std::log(scott[k] * options.min_factor);
+    problem.upper[k] = std::log(scott[k] * options.max_factor);
+    x0[k] = std::log(scott[k]);
+  }
+  std::vector<double> pilot(scott.begin(), scott.end());
+  problem.objective = [&](std::span<const double> x,
+                          std::span<double> grad) -> double {
+    std::vector<double> h(dims);
+    for (std::size_t k = 0; k < dims; ++k) h[k] = std::exp(x[k]);
+    std::vector<double> grad_h;
+    const double f = ScvCriterion(active, active_n, dims, h, pilot,
+                                  grad.empty() ? nullptr : &grad_h);
+    if (!grad.empty()) {
+      for (std::size_t k = 0; k < dims; ++k) grad[k] = grad_h[k] * h[k];
+    }
+    return f;
+  };
+
+  LocalOptions local;
+  local.max_iterations = options.max_iterations;
+  GlobalOptions global;
+  global.num_samples = 16;
+  global.num_rounds = 1;
+  global.starts_per_round = options.restarts;
+  Rng rng(options.seed);
+  const OptimizeResult result =
+      MinimizeMlsl(problem, x0, &rng, global, local);
+
+  std::vector<double> bandwidth(dims);
+  for (std::size_t k = 0; k < dims; ++k) {
+    bandwidth[k] = std::exp(result.x[k]) * rescale;
+  }
+  return bandwidth;
+}
+
+}  // namespace fkde

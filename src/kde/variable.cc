@@ -1,0 +1,103 @@
+#include "kde/variable.h"
+
+#include <cmath>
+
+namespace fkde {
+
+Result<std::vector<double>> ComputeVariableScales(
+    KdeEngine* engine, const VariableKdeOptions& options) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must be non-null");
+  }
+  if (options.sensitivity < 0.0 || options.sensitivity > 1.0) {
+    return Status::InvalidArgument("sensitivity must be in [0, 1]");
+  }
+  if (options.max_ratio < 1.0) {
+    return Status::InvalidArgument("max_ratio must be >= 1");
+  }
+  const std::size_t s = engine->sample_size();
+  const std::size_t d = engine->dims();
+  Device* device = engine->device();
+  const float* data = engine->sample()->buffer().device_data();
+  const std::vector<double>& h = engine->bandwidth();
+
+  // Pilot density at each sample point: leave-one-out Gaussian product
+  // KDE with the engine's current (fixed) bandwidth. One work item per
+  // point; O(s) inner loop (the classic O(s^2 d) pilot pass).
+  DeviceBuffer<double> densities = device->CreateBuffer<double>(s);
+  {
+    double inv_h[32];
+    double norm = 1.0;
+    constexpr double kInvSqrt2Pi = 0.3989422804014327;
+    for (std::size_t j = 0; j < d; ++j) {
+      inv_h[j] = 1.0 / h[j];
+      norm *= kInvSqrt2Pi * inv_h[j];
+    }
+    double* out = densities.device_data();
+    const double inv_h0 = inv_h[0];  // Silence unused in 1D fast path.
+    (void)inv_h0;
+    std::vector<double> inv_h_vec(inv_h, inv_h + d);
+    device->Launch(
+        "variable_pilot_density", s, static_cast<double>(s * d) / 256.0,
+        [out, data, s, d, norm, inv_h_vec](std::size_t begin,
+                                           std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const float* xi = data + i * d;
+            double total = 0.0;
+            for (std::size_t k = 0; k < s; ++k) {
+              if (k == i) continue;  // Leave-one-out.
+              const float* xk = data + k * d;
+              double exponent = 0.0;
+              for (std::size_t j = 0; j < d; ++j) {
+                const double z = (static_cast<double>(xi[j]) -
+                                  static_cast<double>(xk[j])) *
+                                 inv_h_vec[j];
+                exponent += z * z;
+              }
+              total += std::exp(-0.5 * exponent);
+            }
+            out[i] = norm * total / static_cast<double>(s > 1 ? s - 1 : 1);
+          }
+        });
+  }
+  std::vector<double> pilot(s);
+  device->CopyToHost(densities, 0, s, pilot.data());
+
+  // Geometric mean normalization (on log scale for stability); zero
+  // densities (isolated points under a tiny pilot) floor at the smallest
+  // positive density.
+  double min_positive = 0.0;
+  for (double f : pilot) {
+    if (f > 0.0 && (min_positive == 0.0 || f < min_positive)) {
+      min_positive = f;
+    }
+  }
+  if (min_positive == 0.0) {
+    return Status::FailedPrecondition(
+        "pilot density vanished everywhere; bandwidth too small");
+  }
+  double log_sum = 0.0;
+  for (double& f : pilot) {
+    if (f <= 0.0) f = min_positive;
+    log_sum += std::log(f);
+  }
+  const double log_geometric_mean = log_sum / static_cast<double>(s);
+
+  std::vector<double> scales(s);
+  for (std::size_t i = 0; i < s; ++i) {
+    const double scale = std::exp(-options.sensitivity *
+                                  (std::log(pilot[i]) - log_geometric_mean));
+    scales[i] =
+        std::clamp(scale, 1.0 / options.max_ratio, options.max_ratio);
+  }
+  return scales;
+}
+
+Status EnableVariableKde(KdeEngine* engine,
+                         const VariableKdeOptions& options) {
+  FKDE_ASSIGN_OR_RETURN(const std::vector<double> scales,
+                        ComputeVariableScales(engine, options));
+  return engine->SetPointScales(scales);
+}
+
+}  // namespace fkde

@@ -1,0 +1,50 @@
+/// \file variable.h
+/// \brief Variable (adaptive) KDE — the paper's Section 8 extension.
+///
+/// "Variable — or adaptive — KDE models are an extension of KDE using
+/// distinct bandwidth parameters for each sample point" (Terrell & Scott
+/// [41]). The classic Abramson/Breiman construction sets each point's
+/// bandwidth scale from a pilot density estimate:
+///
+///   scale_i = (f_pilot(x_i) / g) ^ (-sensitivity)
+///
+/// where g is the geometric mean of the pilot densities and sensitivity
+/// is typically 1/2: points in sparse regions smooth wider, points in
+/// dense clusters smooth tighter. The scales plug into
+/// `KdeEngine::SetPointScales`, after which estimation, gradients, and
+/// the whole feedback-optimization machinery work unchanged (the chain
+/// rule through h_j * scale_i is handled inside the engine).
+
+#ifndef FKDE_KDE_VARIABLE_H_
+#define FKDE_KDE_VARIABLE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "kde/engine.h"
+
+namespace fkde {
+
+/// \brief Knobs for pilot-density scale computation.
+struct VariableKdeOptions {
+  /// Abramson sensitivity exponent; 0 disables adaptivity, 1/2 is the
+  /// classical square-root law.
+  double sensitivity = 0.5;
+  /// Scales are clamped into [1/max_ratio, max_ratio] to keep extreme
+  /// low-density outliers from smearing mass over the whole domain.
+  double max_ratio = 8.0;
+};
+
+/// Computes per-point bandwidth scales from a pilot density estimate of
+/// the engine's own sample (leave-one-out, Gaussian pilot with the
+/// engine's current bandwidth). O(s^2 d) on the device.
+Result<std::vector<double>> ComputeVariableScales(
+    KdeEngine* engine, const VariableKdeOptions& options = {});
+
+/// Convenience: computes the scales and installs them into the engine.
+Status EnableVariableKde(KdeEngine* engine,
+                         const VariableKdeOptions& options = {});
+
+}  // namespace fkde
+
+#endif  // FKDE_KDE_VARIABLE_H_

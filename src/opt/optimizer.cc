@@ -1,0 +1,290 @@
+#include "opt/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace fkde {
+
+namespace {
+
+void ClampIntoBounds(const Problem& problem, std::vector<double>* x) {
+  for (std::size_t i = 0; i < x->size(); ++i) {
+    (*x)[i] = std::clamp((*x)[i], problem.lower[i], problem.upper[i]);
+  }
+}
+
+double InfNorm(std::span<const double> v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+/// Projected-gradient convergence measure: ||x - P(x - g)||_inf, which is
+/// zero exactly at a KKT point of the box-constrained problem.
+double ProjectedGradientNorm(const Problem& problem,
+                             std::span<const double> x,
+                             std::span<const double> g) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double stepped =
+        std::clamp(x[i] - g[i], problem.lower[i], problem.upper[i]);
+    m = std::max(m, std::abs(x[i] - stepped));
+  }
+  return m;
+}
+
+void ValidateProblem(const Problem& problem) {
+  FKDE_CHECK_MSG(static_cast<bool>(problem.objective),
+                 "problem has no objective");
+  FKDE_CHECK_MSG(problem.lower.size() == problem.upper.size(),
+                 "bound arity mismatch");
+  FKDE_CHECK_MSG(!problem.lower.empty(), "zero-dimensional problem");
+  for (std::size_t i = 0; i < problem.lower.size(); ++i) {
+    FKDE_CHECK_MSG(problem.lower[i] <= problem.upper[i],
+                   "inverted bounds in problem");
+    FKDE_CHECK_MSG(std::isfinite(problem.lower[i]) &&
+                       std::isfinite(problem.upper[i]),
+                   "bounds must be finite");
+  }
+}
+
+}  // namespace
+
+OptimizeResult MinimizeLbfgsb(const Problem& problem,
+                              std::span<const double> x0,
+                              const LocalOptions& options) {
+  ValidateProblem(problem);
+  const std::size_t d = problem.dims();
+  FKDE_CHECK_MSG(x0.size() == d, "x0 arity mismatch");
+
+  OptimizeResult result;
+  std::vector<double> x(x0.begin(), x0.end());
+  ClampIntoBounds(problem, &x);
+
+  std::vector<double> g(d), g_new(d), x_new(d), direction(d);
+  double f = problem.objective(x, g);
+  ++result.evaluations;
+
+  // L-BFGS history of (s, y, rho) triples, newest at the back.
+  struct Pair {
+    std::vector<double> s, y;
+    double rho;
+  };
+  std::deque<Pair> history;
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    if (ProjectedGradientNorm(problem, x, g) <= options.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Two-loop recursion for d = -H * g.
+    std::copy(g.begin(), g.end(), direction.begin());
+    std::vector<double> alpha(history.size());
+    for (std::size_t k = history.size(); k-- > 0;) {
+      const Pair& p = history[k];
+      alpha[k] = p.rho * Dot(p.s, direction);
+      for (std::size_t i = 0; i < d; ++i) direction[i] -= alpha[k] * p.y[i];
+    }
+    if (!history.empty()) {
+      const Pair& last = history.back();
+      const double yy = Dot(last.y, last.y);
+      const double gamma = yy > 0.0 ? Dot(last.s, last.y) / yy : 1.0;
+      for (double& v : direction) v *= gamma;
+    }
+    for (std::size_t k = 0; k < history.size(); ++k) {
+      const Pair& p = history[k];
+      const double beta = p.rho * Dot(p.y, direction);
+      for (std::size_t i = 0; i < d; ++i) {
+        direction[i] += (alpha[k] - beta) * p.s[i];
+      }
+    }
+    for (double& v : direction) v = -v;
+
+    // Fall back to steepest descent when the direction is not a descent
+    // direction (can happen with noisy curvature pairs near bounds).
+    if (Dot(direction, g) >= 0.0) {
+      history.clear();
+      for (std::size_t i = 0; i < d; ++i) direction[i] = -g[i];
+    }
+
+    // Projected backtracking line search with the Armijo condition
+    // measured against the *actual* step (after projection).
+    double step = history.empty() ? 1.0 / std::max(1.0, InfNorm(g)) : 1.0;
+    constexpr double kArmijo = 1e-4;
+    double f_new = f;
+    bool accepted = false;
+    for (std::size_t ls = 0; ls < options.max_line_search_steps; ++ls) {
+      for (std::size_t i = 0; i < d; ++i) {
+        x_new[i] = std::clamp(x[i] + step * direction[i], problem.lower[i],
+                              problem.upper[i]);
+      }
+      double gd = 0.0;  // g . (x_new - x), the projected directional deriv.
+      double moved = 0.0;
+      for (std::size_t i = 0; i < d; ++i) {
+        gd += g[i] * (x_new[i] - x[i]);
+        moved += std::abs(x_new[i] - x[i]);
+      }
+      if (moved == 0.0) break;  // Stuck on the boundary.
+      f_new = problem.objective(x_new, g_new);
+      ++result.evaluations;
+      if (std::isfinite(f_new) && f_new <= f + kArmijo * gd) {
+        accepted = true;
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!accepted) break;  // Line search failed: local flatness/noise.
+
+    // Curvature update.
+    Pair pair;
+    pair.s.resize(d);
+    pair.y.resize(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      pair.s[i] = x_new[i] - x[i];
+      pair.y[i] = g_new[i] - g[i];
+    }
+    const double sy = Dot(pair.s, pair.y);
+    // Scale-invariant curvature condition: accept the pair when s and y
+    // are positively aligned relative to their magnitudes. An absolute
+    // threshold would reject every pair for tiny-scale objectives (the
+    // bandwidth losses here are O(1e-6)) and degrade to steepest descent.
+    const double s_norm = std::sqrt(Dot(pair.s, pair.s));
+    const double y_norm = std::sqrt(Dot(pair.y, pair.y));
+    if (sy > 1e-10 * s_norm * y_norm && y_norm > 0.0) {
+      pair.rho = 1.0 / sy;
+      history.push_back(std::move(pair));
+      if (history.size() > options.history) history.pop_front();
+    }
+
+    const double improvement = f - f_new;
+    x.swap(x_new);
+    g.swap(g_new);
+    f = f_new;
+    if (improvement >= 0.0 &&
+        improvement <= options.f_tolerance * (std::abs(f) + 1e-12)) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.x = std::move(x);
+  result.f = f;
+  return result;
+}
+
+OptimizeResult MinimizeMlsl(const Problem& problem,
+                            std::span<const double> x0, Rng* rng,
+                            const GlobalOptions& global_options,
+                            const LocalOptions& local_options) {
+  ValidateProblem(problem);
+  const std::size_t d = problem.dims();
+
+  // Always refine the caller's start first — in the bandwidth problem this
+  // is Scott's rule, usually already in the right basin.
+  OptimizeResult best = MinimizeLbfgsb(problem, x0, local_options);
+  std::size_t total_iterations = best.iterations;
+  std::size_t total_evaluations = best.evaluations;
+
+  double diagonal = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    const double e = problem.upper[i] - problem.lower[i];
+    diagonal += e * e;
+  }
+  diagonal = std::sqrt(diagonal);
+  const double link_radius =
+      global_options.link_radius_fraction * std::max(diagonal, 1e-300);
+
+  struct Sample {
+    std::vector<double> x;
+    double f;
+  };
+  std::vector<std::vector<double>> searched_starts;
+  searched_starts.emplace_back(x0.begin(), x0.end());
+
+  std::vector<double> no_grad;  // Sampling phase uses value-only calls.
+  for (std::size_t round = 0; round < global_options.num_rounds; ++round) {
+    std::vector<Sample> samples(global_options.num_samples);
+    for (auto& sample : samples) {
+      sample.x.resize(d);
+      for (std::size_t i = 0; i < d; ++i) {
+        sample.x[i] = rng->Uniform(problem.lower[i], problem.upper[i]);
+      }
+      sample.f = problem.objective(sample.x, no_grad);
+      ++total_evaluations;
+    }
+    std::sort(samples.begin(), samples.end(),
+              [](const Sample& a, const Sample& b) { return a.f < b.f; });
+
+    std::size_t started = 0;
+    for (const Sample& sample : samples) {
+      if (started >= global_options.starts_per_round) break;
+      if (!std::isfinite(sample.f)) continue;
+      // Single-linkage criterion: skip samples close to an already
+      // searched start (they would converge to the same minimum).
+      bool linked = false;
+      for (const auto& start : searched_starts) {
+        double dist2 = 0.0;
+        for (std::size_t i = 0; i < d; ++i) {
+          const double delta = sample.x[i] - start[i];
+          dist2 += delta * delta;
+        }
+        if (std::sqrt(dist2) < link_radius) {
+          linked = true;
+          break;
+        }
+      }
+      if (linked) continue;
+
+      searched_starts.push_back(sample.x);
+      ++started;
+      OptimizeResult local = MinimizeLbfgsb(problem, sample.x, local_options);
+      total_iterations += local.iterations;
+      total_evaluations += local.evaluations;
+      if (local.f < best.f) best = std::move(local);
+    }
+  }
+
+  best.iterations = total_iterations;
+  best.evaluations = total_evaluations;
+  return best;
+}
+
+double MaxGradientError(const Objective& objective, std::span<const double> x,
+                        double step) {
+  const std::size_t d = x.size();
+  std::vector<double> analytic(d);
+  std::vector<double> point(x.begin(), x.end());
+  (void)objective(point, analytic);
+
+  std::vector<double> no_grad;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    const double saved = point[i];
+    const double h = step * std::max(1.0, std::abs(saved));
+    point[i] = saved + h;
+    const double f_plus = objective(point, no_grad);
+    point[i] = saved - h;
+    const double f_minus = objective(point, no_grad);
+    point[i] = saved;
+    const double numeric = (f_plus - f_minus) / (2.0 * h);
+    const double scale =
+        std::max({std::abs(numeric), std::abs(analytic[i]), 1e-8});
+    worst = std::max(worst, std::abs(numeric - analytic[i]) / scale);
+  }
+  return worst;
+}
+
+}  // namespace fkde

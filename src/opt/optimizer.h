@@ -1,0 +1,94 @@
+/// \file optimizer.h
+/// \brief Bound-constrained numerical optimization.
+///
+/// The paper plugs its bandwidth-selection problem (eq. 5) into NLopt,
+/// using MLSL [24] for a coarse global search followed by L-BFGS-B [8] for
+/// local refinement. NLopt is not available here, so this module provides
+/// from-scratch equivalents:
+///
+///  * `MinimizeLbfgsb` — projected limited-memory BFGS with Armijo
+///    backtracking, the workhorse local solver for box constraints.
+///  * `MinimizeMlsl` — a multi-level single-linkage style multistart
+///    wrapper: sample the box, start local searches from promising
+///    non-clustered points, keep the best minimum.
+
+#ifndef FKDE_OPT_OPTIMIZER_H_
+#define FKDE_OPT_OPTIMIZER_H_
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace fkde {
+
+/// \brief Differentiable objective: returns f(x) and, when `grad` is
+/// non-empty, writes the gradient into it. `grad.size()` is either 0 or
+/// `x.size()`.
+using Objective =
+    std::function<double(std::span<const double> x, std::span<double> grad)>;
+
+/// \brief A box-constrained minimization problem.
+struct Problem {
+  Objective objective;
+  std::vector<double> lower;  ///< Per-coordinate lower bounds.
+  std::vector<double> upper;  ///< Per-coordinate upper bounds.
+
+  std::size_t dims() const { return lower.size(); }
+};
+
+/// \brief Knobs for the local solver.
+struct LocalOptions {
+  std::size_t max_iterations = 200;
+  std::size_t history = 8;           ///< L-BFGS memory (m).
+  double gradient_tolerance = 1e-8;  ///< On the projected gradient, inf-norm.
+  double f_tolerance = 1e-12;        ///< Relative improvement stop.
+  std::size_t max_line_search_steps = 40;
+};
+
+/// \brief Knobs for the global (multistart) solver.
+struct GlobalOptions {
+  std::size_t num_samples = 64;   ///< Random starting candidates per round.
+  std::size_t num_rounds = 2;
+  std::size_t starts_per_round = 4;  ///< Local searches per round.
+  /// Fraction of the box diagonal within which a worse sample is linked to
+  /// a better one and skipped (the "single linkage" criterion).
+  double link_radius_fraction = 0.1;
+};
+
+/// \brief Outcome of an optimization run.
+struct OptimizeResult {
+  std::vector<double> x;       ///< Best point found (always within bounds).
+  double f = 0.0;              ///< Objective value at x.
+  std::size_t iterations = 0;  ///< Local-solver iterations (summed).
+  std::size_t evaluations = 0; ///< Objective evaluations (summed).
+  bool converged = false;      ///< Projected-gradient tolerance reached.
+};
+
+/// Minimizes `problem` starting from `x0` with projected L-BFGS.
+/// `x0` is clamped into the bounds first. Requires finite bounds with
+/// lower <= upper and a gradient-providing objective.
+OptimizeResult MinimizeLbfgsb(const Problem& problem,
+                              std::span<const double> x0,
+                              const LocalOptions& options = {});
+
+/// Global multistart minimization: MLSL-style sampling plus local
+/// refinement from `x0` and the best non-linked samples. Deterministic for
+/// a fixed `rng` state.
+OptimizeResult MinimizeMlsl(const Problem& problem,
+                            std::span<const double> x0, Rng* rng,
+                            const GlobalOptions& global_options = {},
+                            const LocalOptions& local_options = {});
+
+/// \brief Compares the objective's analytic gradient against central
+/// finite differences at `x`; returns the maximum relative component error.
+/// Used by tests to validate the closed-form KDE gradients of Appendix C.
+double MaxGradientError(const Objective& objective, std::span<const double> x,
+                        double step = 1e-5);
+
+}  // namespace fkde
+
+#endif  // FKDE_OPT_OPTIMIZER_H_

@@ -1,0 +1,94 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fkde {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (shutdown_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t max_chunks = num_threads() * 4;
+  std::size_t num_chunks = (n + grain - 1) / grain;
+  num_chunks = std::min(num_chunks, max_chunks);
+  if (num_chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
+
+  std::atomic<std::size_t> remaining{num_chunks};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  // Completion must be signalled THROUGH the mutex: if the waiter's
+  // predicate read the atomic directly, it could observe zero, return,
+  // and destroy these stack objects while the final worker is still
+  // entering the critical section — a use-after-free on the mutex. With
+  // the flag written under the lock, the waiter can only return after
+  // the last worker has fully left its critical section.
+  bool all_done = false;
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    FKDE_CHECK_MSG(!shutdown_, "ParallelFor on a shut-down pool");
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::size_t begin = c * chunk;
+      const std::size_t end = std::min(begin + chunk, n);
+      tasks_.push([&, begin, end] {
+        fn(begin, end);
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> done_lock(done_mu);
+          all_done = true;
+          done_cv.notify_one();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  std::unique_lock<std::mutex> done_lock(done_mu);
+  done_cv.wait(done_lock, [&] { return all_done; });
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+}  // namespace fkde

@@ -1,0 +1,58 @@
+/// \file thread_pool.h
+/// \brief Fixed-size thread pool with a blocking parallel-for primitive.
+///
+/// This is the execution engine behind the `Device` abstraction
+/// (see device.h). Kernels are data-parallel loops, so a chunked
+/// parallel-for is the only primitive we need.
+
+#ifndef FKDE_PARALLEL_THREAD_POOL_H_
+#define FKDE_PARALLEL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fkde {
+
+/// \brief Fixed-size pool of worker threads.
+///
+/// Thread-safe for task submission from multiple threads;
+/// `ParallelFor` blocks the calling thread until all chunks finish.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (0 = hardware concurrency).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Runs `fn(begin, end)` over [0, n) split into chunks of at least
+  /// `grain` elements, in parallel, and waits for completion.
+  /// Small ranges run inline on the caller to avoid scheduling overhead.
+  void ParallelFor(std::size_t n, std::size_t grain,
+                   const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Process-wide shared pool (constructed on first use).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace fkde
+
+#endif  // FKDE_PARALLEL_THREAD_POOL_H_

@@ -1,0 +1,58 @@
+#include "runtime/driver.h"
+
+#include <cmath>
+
+namespace fkde {
+
+double RunStats::MeanAbsoluteError() const {
+  if (absolute_errors.empty()) return 0.0;
+  double total = 0.0;
+  for (double e : absolute_errors) total += e;
+  return total / static_cast<double>(absolute_errors.size());
+}
+
+RunStats FeedbackDriver::RunPrecomputed(SelectivityEstimator* estimator,
+                                        std::span<const Query> workload,
+                                        bool feedback) {
+  RunStats stats;
+  stats.absolute_errors.reserve(workload.size());
+  stats.signed_errors.reserve(workload.size());
+  stats.truths.reserve(workload.size());
+  for (const Query& query : workload) {
+    const double estimate = estimator->EstimateSelectivity(query.box);
+    if (feedback) {
+      estimator->ObserveTrueSelectivity(query.box, query.selectivity);
+    }
+    stats.absolute_errors.push_back(std::abs(estimate - query.selectivity));
+    stats.signed_errors.push_back(estimate - query.selectivity);
+    stats.truths.push_back(query.selectivity);
+  }
+  return stats;
+}
+
+RunStats FeedbackDriver::RunLive(SelectivityEstimator* estimator,
+                                 Executor* executor,
+                                 std::span<const Box> queries,
+                                 bool feedback) {
+  RunStats stats;
+  stats.absolute_errors.reserve(queries.size());
+  for (const Box& box : queries) {
+    const double estimate = estimator->EstimateSelectivity(box);
+    const double truth = executor->TrueSelectivity(box);
+    if (feedback) estimator->ObserveTrueSelectivity(box, truth);
+    stats.absolute_errors.push_back(std::abs(estimate - truth));
+    stats.signed_errors.push_back(estimate - truth);
+    stats.truths.push_back(truth);
+  }
+  return stats;
+}
+
+void FeedbackDriver::Train(SelectivityEstimator* estimator,
+                           std::span<const Query> workload) {
+  for (const Query& query : workload) {
+    (void)estimator->EstimateSelectivity(query.box);
+    estimator->ObserveTrueSelectivity(query.box, query.selectivity);
+  }
+}
+
+}  // namespace fkde

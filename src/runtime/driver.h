@@ -1,0 +1,61 @@
+/// \file driver.h
+/// \brief Feedback-loop driver: the evaluation protocol of Section 6.
+///
+/// For each query the driver (1) asks the estimator for a selectivity,
+/// (2) "executes" the query to obtain the truth, (3) feeds the truth back
+/// (self-tuning estimators adapt here), and (4) records the absolute
+/// estimation error |p̂ - p| — the paper's quality metric.
+
+#ifndef FKDE_RUNTIME_DRIVER_H_
+#define FKDE_RUNTIME_DRIVER_H_
+
+#include <span>
+#include <vector>
+
+#include "common/stats.h"
+#include "estimator/estimator.h"
+#include "runtime/executor.h"
+#include "workload/workload.h"
+
+namespace fkde {
+
+/// \brief Per-workload error record.
+struct RunStats {
+  /// |estimate - truth| per query, in execution order.
+  std::vector<double> absolute_errors;
+  /// Signed (estimate - truth) per query.
+  std::vector<double> signed_errors;
+  /// Truths per query (for relative metrics downstream).
+  std::vector<double> truths;
+
+  double MeanAbsoluteError() const;
+  Summary AbsoluteErrorSummary() const { return Summarize(absolute_errors); }
+};
+
+/// \brief Runs workloads through estimators with query feedback.
+class FeedbackDriver {
+ public:
+  /// The queries carry their exact selectivity from generation time (the
+  /// table must be unchanged since), so no re-execution is needed. Set
+  /// `feedback` to false to measure a frozen model (no adaptation).
+  static RunStats RunPrecomputed(SelectivityEstimator* estimator,
+                                 std::span<const Query> workload,
+                                 bool feedback = true);
+
+  /// Runs a workload computing the truth against the live table via
+  /// `executor` (used when the table mutates between queries).
+  static RunStats RunLive(SelectivityEstimator* estimator,
+                          Executor* executor,
+                          std::span<const Box> queries,
+                          bool feedback = true);
+
+  /// Feeds a training workload (estimate + feedback) without recording —
+  /// the warm-up used to let self-tuning estimators (Adaptive, STHoles)
+  /// absorb the training phase that Batch receives explicitly.
+  static void Train(SelectivityEstimator* estimator,
+                    std::span<const Query> workload);
+};
+
+}  // namespace fkde
+
+#endif  // FKDE_RUNTIME_DRIVER_H_

@@ -1,0 +1,49 @@
+#include "runtime/evolving_runner.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fkde {
+
+double EvolvingTrace::WindowMean(std::size_t begin, std::size_t end) const {
+  end = std::min(end, absolute_errors.size());
+  if (begin >= end) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = begin; i < end; ++i) total += absolute_errors[i];
+  return total / static_cast<double>(end - begin);
+}
+
+EvolvingTrace RunEvolving(SelectivityEstimator* estimator, Executor* executor,
+                          EvolvingWorkload* workload) {
+  EvolvingTrace trace;
+  Table* table = executor->table();
+  EvolvingEvent event;
+  while (workload->Next(*table, &event)) {
+    switch (event.kind) {
+      case EvolvingEvent::Kind::kInsert:
+        executor->Insert(event.row, event.tag);
+        estimator->OnInsert(event.row, table->num_rows());
+        ++trace.inserts;
+        break;
+      case EvolvingEvent::Kind::kDeleteCluster: {
+        const std::size_t removed = executor->DeleteByTag(event.tag);
+        estimator->OnDelete(removed, table->num_rows());
+        trace.deletes += removed;
+        break;
+      }
+      case EvolvingEvent::Kind::kQuery: {
+        const double estimate =
+            estimator->EstimateSelectivity(event.query.box);
+        const double truth = event.query.selectivity;
+        estimator->ObserveTrueSelectivity(event.query.box, truth);
+        trace.absolute_errors.push_back(std::abs(estimate - truth));
+        trace.table_sizes.push_back(table->num_rows());
+        break;
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace fkde

@@ -1,0 +1,45 @@
+/// \file evolving_runner.h
+/// \brief Driver for the Section 6.5 evolving-database experiment.
+///
+/// Streams an `EvolvingWorkload` into the table and an estimator: inserts
+/// and cluster deletions mutate the table and notify the estimator; query
+/// events run the estimate/execute/feedback protocol. The error trace over
+/// query index is Figure 8's y-axis; the table-size trace is the black
+/// line on top of the paper's plot.
+
+#ifndef FKDE_RUNTIME_EVOLVING_RUNNER_H_
+#define FKDE_RUNTIME_EVOLVING_RUNNER_H_
+
+#include <vector>
+
+#include "estimator/estimator.h"
+#include "runtime/executor.h"
+#include "workload/evolving.h"
+
+namespace fkde {
+
+/// \brief Time series produced by the evolving run.
+struct EvolvingTrace {
+  /// One entry per query event, in order.
+  std::vector<double> absolute_errors;
+  /// Table cardinality at each query event.
+  std::vector<std::size_t> table_sizes;
+  /// Total rows inserted / deleted over the run.
+  std::size_t inserts = 0;
+  std::size_t deletes = 0;
+
+  /// Mean absolute error over a [begin, end) window of query indexes.
+  double WindowMean(std::size_t begin, std::size_t end) const;
+};
+
+/// Runs the workload to exhaustion against `estimator`, mutating the
+/// executor's table in place. The estimator must have been built over the
+/// table's initial contents (which may be empty only if the estimator
+/// tolerates it; the Figure 8 protocol builds after the initial load —
+/// see bench/fig8_adaptivity.cc).
+EvolvingTrace RunEvolving(SelectivityEstimator* estimator,
+                          Executor* executor, EvolvingWorkload* workload);
+
+}  // namespace fkde
+
+#endif  // FKDE_RUNTIME_EVOLVING_RUNNER_H_

@@ -1,0 +1,35 @@
+#include "runtime/executor.h"
+
+namespace fkde {
+
+std::size_t Executor::Count(const Box& box) const {
+  if (index_ != nullptr) return index_->Count(box);
+  return table_->CountInBox(box);
+}
+
+double Executor::TrueSelectivity(const Box& box) const {
+  if (table_->empty()) return 0.0;
+  return static_cast<double>(Count(box)) /
+         static_cast<double>(table_->num_rows());
+}
+
+void Executor::BuildIndex() {
+  index_ = std::make_unique<KdTreeCounter>(*table_);
+}
+
+void Executor::Insert(std::span<const double> row, std::uint32_t tag) {
+  table_->Insert(row, tag);
+  index_.reset();
+}
+
+std::size_t Executor::DeleteByTag(std::uint32_t tag) {
+  const std::size_t removed = table_->DeleteByTag(tag);
+  if (removed > 0) index_.reset();
+  return removed;
+}
+
+RegionCounter Executor::MakeRegionCounter() const {
+  return [this](const Box& box) { return this->Count(box); };
+}
+
+}  // namespace fkde

@@ -1,0 +1,59 @@
+/// \file executor.h
+/// \brief The "database side" of the feedback loop.
+///
+/// The paper's estimator lives inside Postgres and sees three things from
+/// the engine: random samples at ANALYZE time, update notifications, and
+/// true selectivities after query execution. `Executor` supplies the
+/// latter two over a `Table`, standing in for the Postgres executor
+/// (DESIGN.md §1).
+
+#ifndef FKDE_RUNTIME_EXECUTOR_H_
+#define FKDE_RUNTIME_EXECUTOR_H_
+
+#include <memory>
+
+#include "data/box.h"
+#include "data/kdtree_counter.h"
+#include "data/table.h"
+#include "histogram/stholes.h"
+
+namespace fkde {
+
+/// \brief Exact range execution over a table, with an optional static
+/// index for repeated counting.
+class Executor {
+ public:
+  /// Wraps `table`; the table must outlive the executor.
+  explicit Executor(Table* table) : table_(table) {
+    FKDE_CHECK(table != nullptr);
+  }
+
+  Table* table() { return table_; }
+  const Table* table() const { return table_; }
+
+  /// Exact number of rows inside the box right now.
+  std::size_t Count(const Box& box) const;
+
+  /// Exact selectivity (fraction of rows) of the box right now.
+  double TrueSelectivity(const Box& box) const;
+
+  /// Builds (or rebuilds) a k-d index over the current table snapshot so
+  /// subsequent counting is sublinear. Must be re-armed after mutations;
+  /// any mutation through the executor drops the index automatically.
+  void BuildIndex();
+
+  /// Mutations (forwarded to the table; they invalidate the index).
+  void Insert(std::span<const double> row, std::uint32_t tag = 0);
+  std::size_t DeleteByTag(std::uint32_t tag);
+
+  /// A RegionCounter view for STHoles' result-stream counting.
+  RegionCounter MakeRegionCounter() const;
+
+ private:
+  Table* table_;
+  std::unique_ptr<KdTreeCounter> index_;
+};
+
+}  // namespace fkde
+
+#endif  // FKDE_RUNTIME_EXECUTOR_H_

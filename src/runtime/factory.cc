@@ -1,0 +1,83 @@
+#include "runtime/factory.h"
+
+#include <algorithm>
+
+#include "histogram/avi.h"
+#include "histogram/genhist.h"
+#include "histogram/stholes.h"
+
+namespace fkde {
+
+std::vector<std::string> EstimatorNames() {
+  return {"stholes", "kde_heuristic", "kde_scv", "kde_batch", "kde_adaptive"};
+}
+
+Result<std::unique_ptr<SelectivityEstimator>> BuildEstimator(
+    const std::string& name, const EstimatorBuildContext& context) {
+  if (context.executor == nullptr) {
+    return Status::InvalidArgument("context.executor must be set");
+  }
+  const Table* table = context.executor->table();
+  if (table->empty()) {
+    return Status::FailedPrecondition("cannot build estimators on empty data");
+  }
+  const std::size_t d = table->num_cols();
+  const std::size_t bytes =
+      context.memory_bytes > 0 ? context.memory_bytes : d * 4096;
+
+  auto build_kde = [&](KdeSelectivityEstimator::Mode mode)
+      -> Result<std::unique_ptr<SelectivityEstimator>> {
+    if (context.device == nullptr) {
+      return Status::InvalidArgument("KDE estimators need context.device");
+    }
+    KdeConfig config = context.kde;
+    config.sample_size = std::max<std::size_t>(16, bytes / (sizeof(float) * d));
+    config.seed = context.seed;
+    FKDE_ASSIGN_OR_RETURN(
+        std::unique_ptr<KdeSelectivityEstimator> kde,
+        KdeSelectivityEstimator::Create(mode, context.device, table, config,
+                                        context.training));
+    return std::unique_ptr<SelectivityEstimator>(std::move(kde));
+  };
+
+  if (name == "kde_heuristic") {
+    return build_kde(KdeSelectivityEstimator::Mode::kHeuristic);
+  }
+  if (name == "kde_scv") {
+    return build_kde(KdeSelectivityEstimator::Mode::kScv);
+  }
+  if (name == "kde_batch") {
+    return build_kde(KdeSelectivityEstimator::Mode::kBatch);
+  }
+  if (name == "kde_periodic") {
+    return build_kde(KdeSelectivityEstimator::Mode::kPeriodic);
+  }
+  if (name == "kde_adaptive") {
+    return build_kde(KdeSelectivityEstimator::Mode::kAdaptive);
+  }
+  if (name == "stholes") {
+    SthOptions options;
+    options.max_buckets = SthBucketBudgetForBytes(bytes, d);
+    return std::unique_ptr<SelectivityEstimator>(std::make_unique<STHoles>(
+        table->Bounds(), table->num_rows(),
+        context.executor->MakeRegionCounter(), options));
+  }
+  if (name == "genhist") {
+    GenHistOptions options;
+    options.max_buckets = SthBucketBudgetForBytes(bytes, d);
+    options.seed = context.seed;
+    FKDE_ASSIGN_OR_RETURN(GenHist hist, GenHist::Build(*table, options));
+    return std::unique_ptr<SelectivityEstimator>(
+        std::make_unique<GenHist>(std::move(hist)));
+  }
+  if (name == "avi") {
+    const std::size_t buckets = std::max<std::size_t>(8, bytes / (d * 16));
+    FKDE_ASSIGN_OR_RETURN(AviHistogram avi,
+                          AviHistogram::Build(*table, buckets));
+    return std::unique_ptr<SelectivityEstimator>(
+        std::make_unique<AviHistogram>(std::move(avi)));
+  }
+  return Status::InvalidArgument("unknown estimator: " + name);
+}
+
+}  // namespace fkde

@@ -1,0 +1,54 @@
+/// \file factory.h
+/// \brief Uniform construction of every evaluated estimator.
+///
+/// The benchmarks of Section 6.2 compare five estimators under a common
+/// memory budget of d*4kB. This factory builds any of them by name with
+/// that budget translated into the model-specific size knob:
+///
+///   kde_heuristic | kde_scv | kde_batch | kde_adaptive :
+///       sample rows = bytes / (4 * d)  (float storage)
+///   stholes : buckets = bytes / (4 * (2d + 1))
+///   genhist : buckets = bytes / (4 * (2d + 1))
+///   avi     : buckets/dim = bytes / (d * 16)
+
+#ifndef FKDE_RUNTIME_FACTORY_H_
+#define FKDE_RUNTIME_FACTORY_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "estimator/estimator.h"
+#include "kde/kde_estimator.h"
+#include "parallel/device.h"
+#include "runtime/executor.h"
+#include "workload/workload.h"
+
+namespace fkde {
+
+/// \brief Everything needed to build any evaluated estimator.
+struct EstimatorBuildContext {
+  Device* device = nullptr;        ///< For KDE variants.
+  Executor* executor = nullptr;    ///< Table access + STHoles counting.
+  std::size_t memory_bytes = 0;    ///< Paper budget: d * 4096.
+  std::uint64_t seed = 7;
+  /// Training workload (required by kde_batch; ignored by others —
+  /// self-tuning estimators are warmed up by the driver instead).
+  std::span<const Query> training;
+  /// Overrides for the KDE configuration (loss, kernel, adaptive knobs);
+  /// sample_size is recomputed from memory_bytes.
+  KdeConfig kde;
+};
+
+/// Names accepted by BuildEstimator, in the paper's presentation order.
+std::vector<std::string> EstimatorNames();
+
+/// Builds the named estimator over the context's table.
+Result<std::unique_ptr<SelectivityEstimator>> BuildEstimator(
+    const std::string& name, const EstimatorBuildContext& context);
+
+}  // namespace fkde
+
+#endif  // FKDE_RUNTIME_FACTORY_H_

@@ -1,0 +1,107 @@
+/// \file evolving.h
+/// \brief The Section 6.5 evolving-database workload.
+///
+/// The paper's final experiment mirrors "an evolving database where new
+/// data is queried more frequently, and older data is periodically moved
+/// into an archive": the workload loads three random clusters, then runs
+/// ten cycles of gradually inserting a new cluster followed by deleting the
+/// oldest one, interleaved with DT queries whose centers favor newer
+/// clusters.
+///
+/// The workload is produced as a lazy event stream so the driver can apply
+/// each event to the live table and estimator in order.
+
+#ifndef FKDE_WORKLOAD_EVOLVING_H_
+#define FKDE_WORKLOAD_EVOLVING_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/box.h"
+#include "data/table.h"
+#include "workload/workload.h"
+
+namespace fkde {
+
+/// \brief One step of the evolving workload.
+struct EvolvingEvent {
+  enum class Kind {
+    kInsert,         ///< Insert `row` (tagged `tag`) into the table.
+    kDeleteCluster,  ///< Delete all rows tagged `tag`.
+    kQuery,          ///< Run `query` and feed the estimator its result.
+  };
+  Kind kind = Kind::kQuery;
+  std::vector<double> row;
+  std::uint32_t tag = 0;
+  Query query;
+};
+
+/// \brief Parameters of the evolving workload (paper defaults).
+struct EvolvingParams {
+  std::size_t dims = 5;
+  std::size_t initial_clusters = 3;
+  std::size_t tuples_per_cluster = 1500;
+  std::size_t cycles = 10;
+  /// Queries emitted per batch of inserts.
+  std::size_t inserts_per_query = 25;
+  /// DT target selectivity of the interleaved queries.
+  double target_selectivity = 0.01;
+  /// Recency bias: the weight of a cluster decays by this factor per
+  /// cluster age step, so newer clusters are queried more often.
+  double recency_decay = 0.45;
+  /// Probability that a query probes a recently archived (deleted)
+  /// cluster instead of live data. Such probes usually return empty
+  /// results — the signal that drives Karma decay and the Appendix E
+  /// shortcut for sample points stranded in archived regions.
+  double archive_probe_probability = 0.1;
+  /// Cluster side-length range relative to the unit domain.
+  double min_side = 0.1;
+  double max_side = 0.3;
+};
+
+/// \brief Lazy generator of the evolving event stream.
+///
+/// Usage: repeatedly call `Next(table, &event)`; apply insert/delete events
+/// to the table (and notify the estimator), and run query events through
+/// the feedback loop. `Next` computes query selectivities against the
+/// *current* table contents, so events must be applied in order.
+class EvolvingWorkload {
+ public:
+  EvolvingWorkload(const EvolvingParams& params, std::uint64_t seed);
+
+  /// Produces the next event; returns false when the stream is exhausted.
+  bool Next(const Table& table, EvolvingEvent* event);
+
+  /// Total number of query events the full stream will contain.
+  std::size_t TotalQueries() const;
+
+ private:
+  struct Cluster {
+    Box box;
+    std::uint32_t tag;
+  };
+
+  Box NewClusterBox();
+  std::vector<double> DrawRowIn(const Box& box);
+  EvolvingEvent MakeQuery(const Table& table);
+
+  EvolvingParams params_;
+  Rng rng_;
+  std::deque<Cluster> live_clusters_;  // Oldest at the front.
+  std::deque<Box> archived_boxes_;     // Recently deleted cluster regions.
+  std::uint32_t next_tag_ = 0;
+
+  // Phase state machine.
+  enum class Phase { kInitialLoad, kGrow, kDelete, kDone };
+  Phase phase_ = Phase::kInitialLoad;
+  std::size_t phase_inserts_done_ = 0;
+  std::size_t inserts_since_query_ = 0;
+  std::size_t cycles_done_ = 0;
+  Box grow_box_;  // Cluster currently being filled.
+};
+
+}  // namespace fkde
+
+#endif  // FKDE_WORKLOAD_EVOLVING_H_

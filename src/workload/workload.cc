@@ -1,0 +1,158 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace fkde {
+
+std::string WorkloadSpec::Name() const {
+  std::string out;
+  out += (center == CenterDistribution::kData) ? 'D' : 'U';
+  out += (target == TargetType::kSelectivity) ? 'T' : 'V';
+  if (target_value != 0.01) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "(%g)", target_value);
+    out += buf;
+  }
+  return out;
+}
+
+Result<WorkloadSpec> ParseWorkloadName(const std::string& name) {
+  std::string lower;
+  for (char c : name) lower += static_cast<char>(std::tolower(c));
+  WorkloadSpec spec;
+  if (lower == "dt") {
+    spec.center = CenterDistribution::kData;
+    spec.target = TargetType::kSelectivity;
+  } else if (lower == "dv") {
+    spec.center = CenterDistribution::kData;
+    spec.target = TargetType::kVolume;
+  } else if (lower == "ut") {
+    spec.center = CenterDistribution::kUniform;
+    spec.target = TargetType::kSelectivity;
+  } else if (lower == "uv") {
+    spec.center = CenterDistribution::kUniform;
+    spec.target = TargetType::kVolume;
+  } else {
+    return Status::InvalidArgument("unknown workload: " + name +
+                                   " (expected DT, DV, UT or UV)");
+  }
+  return spec;
+}
+
+std::vector<WorkloadSpec> AllWorkloads() {
+  std::vector<WorkloadSpec> out;
+  for (const char* name : {"dt", "dv", "ut", "uv"}) {
+    out.push_back(ParseWorkloadName(name).ValueOrDie());
+  }
+  return out;
+}
+
+WorkloadGenerator::WorkloadGenerator(const Table& table)
+    : table_(table), counter_(table), bounds_(table.Bounds()) {
+  FKDE_CHECK_MSG(!table.empty(), "cannot generate workloads on an empty table");
+}
+
+std::vector<double> WorkloadGenerator::DrawCenter(const WorkloadSpec& spec,
+                                                  Rng* rng) const {
+  const std::size_t d = table_.num_cols();
+  std::vector<double> center(d);
+  if (spec.center == CenterDistribution::kData) {
+    const std::size_t row = table_.RandomRowIndex(rng);
+    const auto r = table_.Row(row);
+    std::copy(r.begin(), r.end(), center.begin());
+  } else {
+    for (std::size_t j = 0; j < d; ++j) {
+      center[j] = rng->Uniform(bounds_.lower(j), bounds_.upper(j));
+    }
+  }
+  return center;
+}
+
+Box WorkloadGenerator::MakeBox(const std::vector<double>& center,
+                               const std::vector<double>& shape,
+                               double scale) const {
+  const std::size_t d = center.size();
+  std::vector<double> lo(d), hi(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    const double half = scale * shape[j];
+    lo[j] = center[j] - half;
+    hi[j] = center[j] + half;
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+Query WorkloadGenerator::GenerateOne(const WorkloadSpec& spec,
+                                     Rng* rng) const {
+  const std::size_t d = table_.num_cols();
+  const std::vector<double> center = DrawCenter(spec, rng);
+
+  // Random aspect ratios: per-dimension half-extents proportional to the
+  // domain extent, perturbed by a uniform factor so query shapes vary.
+  std::vector<double> shape(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    double extent = bounds_.Extent(j);
+    if (extent <= 0.0) extent = 1.0;  // Degenerate attribute: unit scale.
+    shape[j] = 0.5 * extent * rng->Uniform(0.5, 1.5);
+  }
+
+  Query query;
+  if (spec.target == TargetType::kVolume) {
+    // Scale so the box volume is target_value * domain volume. Every
+    // factor of `scale` multiplies the volume by scale^d.
+    double domain_volume = 1.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      domain_volume *= std::max(bounds_.Extent(j), 1e-300);
+    }
+    double shape_volume = 1.0;
+    for (std::size_t j = 0; j < d; ++j) shape_volume *= 2.0 * shape[j];
+    const double scale = std::pow(
+        spec.target_value * domain_volume / shape_volume, 1.0 / double(d));
+    query.box = MakeBox(center, shape, scale);
+  } else {
+    // Binary search the scale so the selectivity hits the target. The
+    // scale is bounded above by a box covering the whole domain several
+    // times over; centers in empty regions may never reach the target, in
+    // which case the closest achievable scale is used (matching how such
+    // workloads behave on real data).
+    const double n = static_cast<double>(table_.num_rows());
+    const double target = spec.target_value;
+    double lo = 0.0;
+    double hi = 1e-3;
+    // Grow until we bracket the target (or hit the cap).
+    for (int i = 0; i < 40; ++i) {
+      const double sel =
+          static_cast<double>(counter_.Count(MakeBox(center, shape, hi))) / n;
+      if (sel >= target || hi > 8.0) break;
+      hi *= 2.0;
+    }
+    for (int i = 0; i < 40; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      const double sel =
+          static_cast<double>(counter_.Count(MakeBox(center, shape, mid))) /
+          n;
+      if (sel < target) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    query.box = MakeBox(center, shape, hi);
+  }
+  query.selectivity =
+      static_cast<double>(counter_.Count(query.box)) /
+      static_cast<double>(table_.num_rows());
+  return query;
+}
+
+std::vector<Query> WorkloadGenerator::Generate(const WorkloadSpec& spec,
+                                               std::size_t count,
+                                               Rng* rng) const {
+  std::vector<Query> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(GenerateOne(spec, rng));
+  return out;
+}
+
+}  // namespace fkde

@@ -1,0 +1,104 @@
+/// \file workload.h
+/// \brief Query workload generation following Bruno et al. [7].
+///
+/// The paper's Section 6.1.3 workloads are specified by (a) a distribution
+/// for query centers — following the data, or uniform over the data space —
+/// and (b) a target the queries must meet — a target selectivity or a
+/// target fraction of the data-space volume:
+///
+///   * DT: data-centered, target selectivity 1%
+///   * DV: data-centered, target volume 1%
+///   * UT: uniform-centered, target selectivity 1%
+///   * UV: uniform-centered, target volume 1% (mostly empty queries)
+///
+/// Target-selectivity queries are built by binary-searching a scale factor
+/// for a randomly-proportioned box around the center until the true
+/// selectivity (via KdTreeCounter) hits the target.
+
+#ifndef FKDE_WORKLOAD_WORKLOAD_H_
+#define FKDE_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/box.h"
+#include "data/kdtree_counter.h"
+#include "data/table.h"
+
+namespace fkde {
+
+/// \brief A range query with its exact selectivity on the source table.
+struct Query {
+  Box box;
+  /// True fraction of table rows inside `box` at generation time.
+  double selectivity = 0.0;
+};
+
+/// Where query centers are drawn from.
+enum class CenterDistribution {
+  kData,     ///< Centers follow the data distribution (sampled rows).
+  kUniform,  ///< Centers uniform over the data bounding box.
+};
+
+/// What the generated queries must achieve.
+enum class TargetType {
+  kSelectivity,  ///< Fraction of tuples returned.
+  kVolume,       ///< Fraction of the data-space volume covered.
+};
+
+/// \brief Full specification of a workload class.
+struct WorkloadSpec {
+  CenterDistribution center = CenterDistribution::kData;
+  TargetType target = TargetType::kSelectivity;
+  double target_value = 0.01;
+
+  /// Canonical name: "DT", "DV", "UT" or "UV" (plus the target value when
+  /// it differs from the paper's 1%).
+  std::string Name() const;
+};
+
+/// Parses "dt"/"dv"/"ut"/"uv" (case-insensitive) into a spec with the
+/// paper's 1% target.
+Result<WorkloadSpec> ParseWorkloadName(const std::string& name);
+
+/// The four paper workloads in presentation order.
+std::vector<WorkloadSpec> AllWorkloads();
+
+/// \brief Generates queries of a given class against a table snapshot.
+///
+/// Builds a KdTreeCounter over the table once; each generated query records
+/// its exact selectivity.
+class WorkloadGenerator {
+ public:
+  /// Indexes the current contents of `table`. The table must be non-empty
+  /// and must not be mutated while this generator is in use.
+  explicit WorkloadGenerator(const Table& table);
+
+  /// Generates `count` queries according to `spec`.
+  std::vector<Query> Generate(const WorkloadSpec& spec, std::size_t count,
+                              Rng* rng) const;
+
+  /// Generates a single query.
+  Query GenerateOne(const WorkloadSpec& spec, Rng* rng) const;
+
+  /// The data bounding box queries are generated within.
+  const Box& data_bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> DrawCenter(const WorkloadSpec& spec, Rng* rng) const;
+  /// Box around `center` with per-dimension half-extents
+  /// `scale * shape[j]`.
+  Box MakeBox(const std::vector<double>& center,
+              const std::vector<double>& shape, double scale) const;
+
+  const Table& table_;
+  KdTreeCounter counter_;
+  Box bounds_;
+};
+
+}  // namespace fkde
+
+#endif  // FKDE_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,124 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace fkde {
+namespace {
+
+// Helper building argv from string literals.
+class ArgvBuilder {
+ public:
+  explicit ArgvBuilder(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    pointers_.push_back(const_cast<char*>("prog"));
+    for (auto& s : storage_) pointers_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(Flags, EqualsSyntax) {
+  FlagParser parser;
+  std::int64_t n = 1;
+  double x = 0.5;
+  std::string s = "a";
+  parser.AddInt64("n", &n, "");
+  parser.AddDouble("x", &x, "");
+  parser.AddString("s", &s, "");
+  ArgvBuilder args({"--n=42", "--x=2.5", "--s=hello"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(x, 2.5);
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Flags, SpaceSyntax) {
+  FlagParser parser;
+  std::int64_t n = 1;
+  parser.AddInt64("n", &n, "");
+  ArgvBuilder args({"--n", "99"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(n, 99);
+}
+
+TEST(Flags, BoolForms) {
+  FlagParser parser;
+  bool a = false, b = true, c = false;
+  parser.AddBool("a", &a, "");
+  parser.AddBool("b", &b, "");
+  parser.AddBool("c", &c, "");
+  ArgvBuilder args({"--a", "--no-b", "--c=true"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(a);
+  EXPECT_FALSE(b);
+  EXPECT_TRUE(c);
+}
+
+TEST(Flags, DefaultsSurviveWhenUnset) {
+  FlagParser parser;
+  std::int64_t n = 7;
+  parser.AddInt64("n", &n, "");
+  ArgvBuilder args({});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(n, 7);
+}
+
+TEST(Flags, UnknownFlagFails) {
+  FlagParser parser;
+  std::int64_t n = 0;
+  parser.AddInt64("n", &n, "");
+  ArgvBuilder args({"--typo=1"});
+  const Status status = parser.Parse(args.argc(), args.argv());
+  EXPECT_TRUE(status.IsInvalidArgument());
+}
+
+TEST(Flags, BadIntegerFails) {
+  FlagParser parser;
+  std::int64_t n = 0;
+  parser.AddInt64("n", &n, "");
+  ArgvBuilder args({"--n=12abc"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(Flags, BadDoubleFails) {
+  FlagParser parser;
+  double x = 0;
+  parser.AddDouble("x", &x, "");
+  ArgvBuilder args({"--x=not_a_number"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(Flags, MissingValueFails) {
+  FlagParser parser;
+  std::int64_t n = 0;
+  parser.AddInt64("n", &n, "");
+  ArgvBuilder args({"--n"});
+  EXPECT_FALSE(parser.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(Flags, PositionalArgumentsCollected) {
+  FlagParser parser;
+  std::int64_t n = 0;
+  parser.AddInt64("n", &n, "");
+  ArgvBuilder args({"first", "--n=3", "second"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(Flags, HelpListsFlagsWithDefaults) {
+  FlagParser parser;
+  std::int64_t dims = 3;
+  parser.AddInt64("dims", &dims, "dataset dimensionality");
+  const std::string help = parser.Help();
+  EXPECT_NE(help.find("--dims"), std::string::npos);
+  EXPECT_NE(help.find("3"), std::string::npos);
+  EXPECT_NE(help.find("dataset dimensionality"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fkde

@@ -1,0 +1,48 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace fkde {
+namespace {
+
+TEST(Check, PassingConditionIsSilent) {
+  FKDE_CHECK(1 + 1 == 2);
+  FKDE_CHECK_MSG(true, "never shown");
+  FKDE_CHECK_OK(Status::OK());
+  SUCCEED();
+}
+
+TEST(CheckDeath, FailingConditionAborts) {
+  EXPECT_DEATH(FKDE_CHECK(1 == 2), "1 == 2");
+}
+
+TEST(CheckDeath, MessageIsIncluded) {
+  EXPECT_DEATH(FKDE_CHECK_MSG(false, "buffer overrun detected"),
+               "buffer overrun detected");
+}
+
+TEST(CheckDeath, StatusMessageIsIncluded) {
+  EXPECT_DEATH(FKDE_CHECK_OK(Status::Internal("disk on fire")),
+               "disk on fire");
+}
+
+TEST(Dcheck, EnabledMatchesBuildType) {
+#ifdef NDEBUG
+  FKDE_DCHECK(false);  // Compiled away in release builds.
+  SUCCEED();
+#else
+  EXPECT_DEATH(FKDE_DCHECK(false), "false");
+#endif
+}
+
+TEST(Log, StreamsToStderr) {
+  testing::internal::CaptureStderr();
+  FKDE_LOG(INFO) << "built " << 42 << " buckets";
+  const std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("[INFO] built 42 buckets"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fkde

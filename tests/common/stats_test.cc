@@ -1,0 +1,99 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fkde {
+namespace {
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> values = {1.0, 4.0, 2.0, 8.0, 5.0};
+  RunningStats stats;
+  for (double v : values) stats.Add(v);
+  EXPECT_EQ(stats.count(), 5u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.0);
+  // Sample variance: sum((x-4)^2)/4 = (9+0+4+16+1)/4 = 7.5.
+  EXPECT_DOUBLE_EQ(stats.variance(), 7.5);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 8.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.Add(3.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(1);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Gaussian(5.0, 2.0);
+    whole.Add(v);
+    (i < 400 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(2.0);
+  const double mean = a.mean();
+  a.Merge(b);  // No-op.
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.Merge(a);  // Adopt.
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Quantile, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(Quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStatistics) {
+  // Sorted: 1,2,3,4. q=0.5 -> position 1.5 -> 2.5.
+  EXPECT_DOUBLE_EQ(Quantile({4.0, 1.0, 3.0, 2.0}, 0.5), 2.5);
+}
+
+TEST(Quantile, Extremes) {
+  const std::vector<double> v = {5.0, -1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), -1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+}
+
+TEST(Quantile, SingleElement) {
+  EXPECT_DOUBLE_EQ(Quantile({7.0}, 0.25), 7.0);
+}
+
+TEST(Summary, FiveNumberSummary) {
+  std::vector<double> values;
+  for (int i = 1; i <= 101; ++i) values.push_back(static_cast<double>(i));
+  const Summary s = Summarize(values);
+  EXPECT_EQ(s.count, 101u);
+  EXPECT_DOUBLE_EQ(s.median, 51.0);
+  EXPECT_DOUBLE_EQ(s.p25, 26.0);
+  EXPECT_DOUBLE_EQ(s.p75, 76.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 101.0);
+  EXPECT_DOUBLE_EQ(s.mean, 51.0);
+}
+
+TEST(Summary, EmptyInput) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace fkde

@@ -1,0 +1,104 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace fkde {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+  EXPECT_TRUE(status.message().empty());
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status status = Status::InvalidArgument("bad dims");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_EQ(status.message(), "bad dims");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad dims");
+}
+
+TEST(Status, AllCodePredicates) {
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+}
+
+TEST(Status, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie(), 42);
+  EXPECT_TRUE(result.status().ok());
+  EXPECT_EQ(result.ValueOr(-1), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> result(Status::NotFound("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_EQ(result.ValueOr(-1), -1);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  const std::string moved = result.MoveValueOrDie();
+  EXPECT_EQ(moved, "payload");
+}
+
+Status FailThrough() { return Status::Internal("inner"); }
+
+Status Propagates() {
+  FKDE_RETURN_NOT_OK(FailThrough());
+  return Status::OK();
+}
+
+TEST(Macros, ReturnNotOkPropagates) {
+  EXPECT_TRUE(Propagates().IsInternal());
+}
+
+Result<int> ProduceValue(bool fail) {
+  if (fail) return Status::OutOfRange("nope");
+  return 7;
+}
+
+Status ConsumeValue(bool fail, int* out) {
+  FKDE_ASSIGN_OR_RETURN(const int value, ProduceValue(fail));
+  *out = value;
+  return Status::OK();
+}
+
+TEST(Macros, AssignOrReturnSuccess) {
+  int out = 0;
+  EXPECT_TRUE(ConsumeValue(false, &out).ok());
+  EXPECT_EQ(out, 7);
+}
+
+TEST(Macros, AssignOrReturnPropagatesError) {
+  int out = 0;
+  EXPECT_TRUE(ConsumeValue(true, &out).IsOutOfRange());
+  EXPECT_EQ(out, 0);
+}
+
+TEST(Result, DiesOnValueAccessOfError) {
+  Result<int> result(Status::Internal("boom"));
+  EXPECT_DEATH((void)result.ValueOrDie(), "boom");
+}
+
+TEST(Status, AbortIfErrorDiesOnError) {
+  EXPECT_DEATH(Status::Internal("fatal case").AbortIfError("test"),
+               "fatal case");
+}
+
+}  // namespace
+}  // namespace fkde

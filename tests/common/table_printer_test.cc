@@ -1,0 +1,62 @@
+#include "common/table_printer.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace fkde {
+namespace {
+
+std::string Capture(const TablePrinter& printer, bool csv) {
+  char buffer[4096] = {};
+  std::FILE* f = tmpfile();
+  printer.Print(csv, f);
+  std::rewind(f);
+  const std::size_t n = std::fread(buffer, 1, sizeof(buffer) - 1, f);
+  std::fclose(f);
+  return std::string(buffer, n);
+}
+
+TEST(TablePrinter, CsvOutput) {
+  TablePrinter printer;
+  printer.SetHeader({"name", "value"});
+  printer.AddRow({"a", "1"});
+  printer.AddRow({"b", "2.5"});
+  EXPECT_EQ(Capture(printer, true), "name,value\na,1\nb,2.5\n");
+}
+
+TEST(TablePrinter, TableAligned) {
+  TablePrinter printer;
+  printer.SetHeader({"n", "long_header"});
+  printer.AddRow({"xxxxx", "1"});
+  const std::string out = Capture(printer, false);
+  // Columns padded to max width: "n" padded to 5, value to 11.
+  EXPECT_NE(out.find("n      long_header"), std::string::npos);
+  EXPECT_NE(out.find("xxxxx  1"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinter, NumFormatsCompactly) {
+  EXPECT_EQ(TablePrinter::Num(0.123456789, 3), "0.123");
+  EXPECT_EQ(TablePrinter::Num(1000000.0, 5), "1e+06");
+  EXPECT_EQ(TablePrinter::Num(2.0), "2");
+}
+
+TEST(TablePrinter, RowCountTracked) {
+  TablePrinter printer;
+  printer.SetHeader({"a"});
+  EXPECT_EQ(printer.num_rows(), 0u);
+  printer.AddRow({"1"});
+  printer.AddRow({"2"});
+  EXPECT_EQ(printer.num_rows(), 2u);
+}
+
+TEST(TablePrinterDeath, ArityMismatchChecks) {
+  TablePrinter printer;
+  printer.SetHeader({"a", "b"});
+  EXPECT_DEATH(printer.AddRow({"only_one"}), "arity");
+}
+
+}  // namespace
+}  // namespace fkde

@@ -1,0 +1,150 @@
+#include "data/box.h"
+
+#include <gtest/gtest.h>
+
+namespace fkde {
+namespace {
+
+Box UnitSquare() { return Box({0.0, 0.0}, {1.0, 1.0}); }
+
+TEST(Box, BasicAccessors) {
+  const Box box({1.0, 2.0}, {3.0, 6.0});
+  EXPECT_EQ(box.dims(), 2u);
+  EXPECT_DOUBLE_EQ(box.Extent(0), 2.0);
+  EXPECT_DOUBLE_EQ(box.Extent(1), 4.0);
+  EXPECT_DOUBLE_EQ(box.Volume(), 8.0);
+  EXPECT_DOUBLE_EQ(box.Center(0), 2.0);
+  EXPECT_DOUBLE_EQ(box.Center(1), 4.0);
+}
+
+TEST(Box, ContainsPointClosed) {
+  const Box box = UnitSquare();
+  const double inside[] = {0.5, 0.5};
+  const double edge[] = {0.0, 1.0};
+  const double outside[] = {1.5, 0.5};
+  EXPECT_TRUE(box.Contains({inside, 2}));
+  EXPECT_TRUE(box.Contains({edge, 2}));
+  EXPECT_FALSE(box.Contains({outside, 2}));
+}
+
+TEST(Box, FromPointIsDegenerate) {
+  const double p[] = {2.0, 3.0};
+  const Box box = Box::FromPoint({p, 2});
+  EXPECT_DOUBLE_EQ(box.Volume(), 0.0);
+  EXPECT_TRUE(box.Contains({p, 2}));
+}
+
+TEST(Box, ContainsBox) {
+  const Box outer = UnitSquare();
+  EXPECT_TRUE(outer.ContainsBox(Box({0.2, 0.2}, {0.8, 0.8})));
+  EXPECT_TRUE(outer.ContainsBox(outer));
+  EXPECT_FALSE(outer.ContainsBox(Box({0.5, 0.5}, {1.5, 0.9})));
+}
+
+TEST(Box, IntersectsSymmetric) {
+  const Box a = UnitSquare();
+  const Box b({0.5, 0.5}, {2.0, 2.0});
+  const Box c({2.0, 2.0}, {3.0, 3.0});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(c.Intersects(a));
+  // Touching at a corner counts as (closed) intersection.
+  const Box d({1.0, 1.0}, {2.0, 2.0});
+  EXPECT_TRUE(a.Intersects(d));
+}
+
+TEST(Box, IntersectionIsCommutativeAndContained) {
+  const Box a({0.0, 0.0}, {2.0, 2.0});
+  const Box b({1.0, -1.0}, {3.0, 1.0});
+  const Box ab = a.Intersection(b);
+  const Box ba = b.Intersection(a);
+  EXPECT_TRUE(ab == ba);
+  EXPECT_TRUE(a.ContainsBox(ab));
+  EXPECT_TRUE(b.ContainsBox(ab));
+  EXPECT_DOUBLE_EQ(ab.Volume(), 1.0);
+}
+
+TEST(Box, UnionCoversBoth) {
+  const Box a = UnitSquare();
+  const Box b({2.0, 2.0}, {3.0, 3.0});
+  const Box u = a.Union(b);
+  EXPECT_TRUE(u.ContainsBox(a));
+  EXPECT_TRUE(u.ContainsBox(b));
+  EXPECT_DOUBLE_EQ(u.Volume(), 9.0);
+}
+
+TEST(Box, ExpandToContain) {
+  Box box = UnitSquare();
+  const double p[] = {2.0, -1.0};
+  box.ExpandToContain({p, 2});
+  EXPECT_TRUE(box.Contains({p, 2}));
+  EXPECT_DOUBLE_EQ(box.lower(1), -1.0);
+  EXPECT_DOUBLE_EQ(box.upper(0), 2.0);
+}
+
+TEST(Box, ScaledAboutCenterPreservesCenter) {
+  const Box box({0.0, 2.0}, {4.0, 6.0});
+  const Box scaled = box.ScaledAboutCenter(0.5);
+  EXPECT_DOUBLE_EQ(scaled.Center(0), box.Center(0));
+  EXPECT_DOUBLE_EQ(scaled.Center(1), box.Center(1));
+  EXPECT_DOUBLE_EQ(scaled.Volume(), box.Volume() * 0.25);
+}
+
+TEST(Box, ScaleToZeroIsDegenerate) {
+  const Box box = UnitSquare().ScaledAboutCenter(0.0);
+  EXPECT_DOUBLE_EQ(box.Volume(), 0.0);
+}
+
+TEST(Box, EqualityAndToString) {
+  const Box a = UnitSquare();
+  const Box b = UnitSquare();
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.ToString(), "[0,1]x[0,1]");
+}
+
+TEST(BoxDeath, InvertedBoundsCheck) {
+  EXPECT_DEATH(Box({1.0}, {0.0}), "inverted");
+}
+
+TEST(BoxDeath, ArityMismatchCheck) {
+  EXPECT_DEATH(Box({1.0, 2.0}, {3.0}), "");
+}
+
+// Property sweep: intersection volume never exceeds either operand.
+class BoxIntersectionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoxIntersectionSweep, IntersectionVolumeBounded) {
+  // Deterministic pseudo-random boxes from the seed parameter.
+  const int seed = GetParam();
+  auto next = [state = static_cast<unsigned>(seed * 2654435761u)]() mutable {
+    state = state * 1664525u + 1013904223u;
+    return (state >> 8) / 16777216.0;
+  };
+  for (int round = 0; round < 50; ++round) {
+    std::vector<double> lo1(3), hi1(3), lo2(3), hi2(3);
+    for (int j = 0; j < 3; ++j) {
+      const double a = next() * 10.0, b = next() * 10.0;
+      lo1[j] = std::min(a, b);
+      hi1[j] = std::max(a, b);
+      const double c = next() * 10.0, d = next() * 10.0;
+      lo2[j] = std::min(c, d);
+      hi2[j] = std::max(c, d);
+    }
+    const Box box1(lo1, hi1), box2(lo2, hi2);
+    if (!box1.Intersects(box2)) continue;
+    const Box inter = box1.Intersection(box2);
+    EXPECT_LE(inter.Volume(), box1.Volume() + 1e-12);
+    EXPECT_LE(inter.Volume(), box2.Volume() + 1e-12);
+    EXPECT_GE(inter.Volume(), 0.0);
+    const Box un = box1.Union(box2);
+    EXPECT_GE(un.Volume(), box1.Volume() - 1e-12);
+    EXPECT_GE(un.Volume(), box2.Volume() - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoxIntersectionSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace fkde

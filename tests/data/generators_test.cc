@@ -1,0 +1,229 @@
+#include "data/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fkde {
+namespace {
+
+double Correlation(const Table& table, std::size_t a, std::size_t b) {
+  const std::size_t n = table.num_rows();
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += table.At(i, a);
+    mb += table.At(i, b);
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = table.At(i, a) - ma;
+    const double db = table.At(i, b) - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  return cov / std::sqrt(va * vb);
+}
+
+TEST(ClusterBoxes, RespectsSizeAndDomain) {
+  ClusterBoxesParams params;
+  params.rows = 10000;
+  params.dims = 4;
+  const Table table = GenerateClusterBoxes(params, 1);
+  EXPECT_EQ(table.num_rows(), 10000u);
+  EXPECT_EQ(table.num_cols(), 4u);
+  const Box bounds = table.Bounds();
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_GE(bounds.lower(j), 0.0);
+    EXPECT_LE(bounds.upper(j), 1.0);
+  }
+}
+
+TEST(ClusterBoxes, DeterministicPerSeed) {
+  ClusterBoxesParams params;
+  params.rows = 500;
+  params.dims = 3;
+  const Table a = GenerateClusterBoxes(params, 42);
+  const Table b = GenerateClusterBoxes(params, 42);
+  const Table c = GenerateClusterBoxes(params, 43);
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  bool all_equal_ab = true, all_equal_ac = true;
+  for (std::size_t i = 0; i < a.num_rows(); ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      all_equal_ab &= a.At(i, j) == b.At(i, j);
+      all_equal_ac &= a.At(i, j) == c.At(i, j);
+    }
+  }
+  EXPECT_TRUE(all_equal_ab);
+  EXPECT_FALSE(all_equal_ac);
+}
+
+TEST(ClusterBoxes, TagsIdentifyClustersAndNoise) {
+  ClusterBoxesParams params;
+  params.rows = 20000;
+  params.dims = 2;
+  params.num_clusters = 4;
+  params.noise_fraction = 0.2;
+  const Table table = GenerateClusterBoxes(params, 7);
+  std::vector<std::size_t> counts(params.num_clusters + 1, 0);
+  for (std::size_t i = 0; i < table.num_rows(); ++i) {
+    const std::uint32_t tag = table.Tag(i);
+    ASSERT_LE(tag, params.num_clusters);
+    ++counts[tag];
+  }
+  // Noise fraction ~20%.
+  EXPECT_NEAR(counts[4] / 20000.0, 0.2, 0.02);
+  // Clusters share the rest roughly evenly.
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(counts[c] / 20000.0, 0.2, 0.03);
+  }
+}
+
+TEST(ClusterBoxes, DataIsClustered) {
+  // Clustered data occupies far less volume than uniform data: the mean
+  // nearest-grid-cell occupancy must be highly skewed. Cheap proxy: the
+  // per-dimension variance is much smaller than uniform's 1/12 for at
+  // least some dimensions... instead check that a small random box around
+  // a data point usually contains many more points than a uniform box.
+  ClusterBoxesParams params;
+  params.rows = 20000;
+  params.dims = 3;
+  params.noise_fraction = 0.05;
+  const Table table = GenerateClusterBoxes(params, 3);
+  Rng rng(4);
+  double data_centered = 0.0, uniform_centered = 0.0;
+  for (int round = 0; round < 50; ++round) {
+    auto make_box = [&](const std::vector<double>& center) {
+      std::vector<double> lo(3), hi(3);
+      for (int j = 0; j < 3; ++j) {
+        lo[j] = center[j] - 0.02;
+        hi[j] = center[j] + 0.02;
+      }
+      return Box(lo, hi);
+    };
+    const auto row = table.Row(table.RandomRowIndex(&rng));
+    data_centered +=
+        table.CountInBox(make_box({row[0], row[1], row[2]}));
+    uniform_centered += table.CountInBox(
+        make_box({rng.Uniform(), rng.Uniform(), rng.Uniform()}));
+  }
+  EXPECT_GT(data_centered, 5.0 * uniform_centered);
+}
+
+TEST(BikeLike, ShapeAndCorrelations) {
+  const Table table = GenerateBikeLike(8000, 2);
+  EXPECT_EQ(table.num_cols(), 16u);
+  EXPECT_EQ(table.num_rows(), 8000u);
+  // Temperature and feels-like temperature are nearly collinear.
+  EXPECT_GT(Correlation(table, 5, 6), 0.9);
+  // Total count equals casual + registered up to noise.
+  EXPECT_GT(Correlation(table, 10, 11), 0.8);
+  // Humidity is anti-correlated with temperature.
+  EXPECT_LT(Correlation(table, 5, 7), -0.2);
+}
+
+TEST(ForestLike, MultiModalElevation) {
+  const Table table = GenerateForestLike(20000, 3);
+  EXPECT_EQ(table.num_cols(), 10u);
+  // Elevation spans multiple terrain modes: large overall spread vs the
+  // per-mode sd of ~180 max.
+  double mn = 1e18, mx = -1e18;
+  for (std::size_t i = 0; i < table.num_rows(); ++i) {
+    mn = std::min(mn, table.At(i, 0));
+    mx = std::max(mx, table.At(i, 0));
+  }
+  EXPECT_GT(mx - mn, 1200.0);
+}
+
+TEST(PowerLike, TemporalAutocorrelation) {
+  const Table table = GeneratePowerLike(20000, 4);
+  EXPECT_EQ(table.num_cols(), 9u);
+  // Lag-1 autocorrelation of active power is strong (AR process).
+  const std::size_t n = table.num_rows() - 1;
+  double m = 0.0;
+  for (std::size_t i = 0; i <= n; ++i) m += table.At(i, 0);
+  m /= (n + 1);
+  double cov = 0.0, var = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (table.At(i, 0) - m) * (table.At(i + 1, 0) - m);
+    var += (table.At(i, 0) - m) * (table.At(i, 0) - m);
+  }
+  EXPECT_GT(cov / var, 0.8);
+}
+
+TEST(ProteinLike, HeavyTailsAndCorrelation) {
+  const Table table = GenerateProteinLike(20000, 5);
+  EXPECT_EQ(table.num_cols(), 9u);
+  // Total area and size are strongly correlated through the latent factor.
+  EXPECT_GT(Correlation(table, 1, 8), 0.9);
+  // Lognormal size: mean well above median (right skew).
+  std::vector<double> sizes;
+  for (std::size_t i = 0; i < table.num_rows(); ++i) {
+    sizes.push_back(table.At(i, 8));
+  }
+  std::sort(sizes.begin(), sizes.end());
+  double mean = 0.0;
+  for (double s : sizes) mean += s;
+  mean /= sizes.size();
+  EXPECT_GT(mean, sizes[sizes.size() / 2] * 1.05);
+}
+
+TEST(Projection, SelectsSubsetOfColumns) {
+  const Table full = GenerateBikeLike(1000, 6);
+  const Table projected = ProjectRandomAttributes(full, 3, 77);
+  EXPECT_EQ(projected.num_cols(), 3u);
+  EXPECT_EQ(projected.num_rows(), full.num_rows());
+  // Every projected column must match some source column exactly.
+  for (std::size_t pc = 0; pc < 3; ++pc) {
+    bool matched = false;
+    for (std::size_t fc = 0; fc < full.num_cols() && !matched; ++fc) {
+      bool equal = true;
+      for (std::size_t i = 0; i < 100; ++i) {
+        if (projected.At(i, pc) != full.At(i, fc)) {
+          equal = false;
+          break;
+        }
+      }
+      matched = equal;
+    }
+    EXPECT_TRUE(matched) << "projected column " << pc;
+  }
+}
+
+TEST(Projection, DifferentSeedsPickDifferentColumns) {
+  const Table full = GenerateBikeLike(50, 6);
+  const Table a = ProjectRandomAttributes(full, 3, 1);
+  const Table b = ProjectRandomAttributes(full, 3, 2);
+  bool differs = false;
+  for (std::size_t i = 0; i < 50 && !differs; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      differs |= a.At(i, j) != b.At(i, j);
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GenerateDataset, AllNamesWork) {
+  for (const std::string& name : DatasetNames()) {
+    const Result<Table> result = GenerateDataset(name, 2000, 3, 5);
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_EQ(result.ValueOrDie().num_cols(), 3u) << name;
+    EXPECT_EQ(result.ValueOrDie().num_rows(), 2000u) << name;
+  }
+}
+
+TEST(GenerateDataset, RejectsUnknownAndOversizedDims) {
+  EXPECT_FALSE(GenerateDataset("no_such_dataset", 100, 3, 1).ok());
+  EXPECT_FALSE(GenerateDataset("protein", 100, 30, 1).ok());
+  EXPECT_FALSE(GenerateDataset("bike", 0, 3, 1).ok());
+}
+
+TEST(GenerateDataset, SyntheticSupportsAnyDims) {
+  const Table table = GenerateDataset("synthetic", 100, 12, 1).ValueOrDie();
+  EXPECT_EQ(table.num_cols(), 12u);
+}
+
+}  // namespace
+}  // namespace fkde

@@ -1,0 +1,148 @@
+#include "data/join.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fkde {
+namespace {
+
+struct JoinFixture {
+  JoinFixture() : pk(2), fk(2) {
+    // PK table: key in column 0, attribute 10*key in column 1.
+    for (int i = 0; i < 10; ++i) {
+      pk.Insert(std::vector<double>{static_cast<double>(i), 10.0 * i});
+    }
+    // FK table: skewed references (key i appears i+1 times).
+    for (int i = 0; i < 10; ++i) {
+      for (int r = 0; r <= i; ++r) {
+        fk.Insert(std::vector<double>{static_cast<double>(i),
+                                      100.0 * i + r});
+      }
+    }
+    spec.pk_table = &pk;
+    spec.pk_column = 0;
+    spec.fk_table = &fk;
+    spec.fk_column = 0;
+    spec.pk_attributes = {1};
+    spec.fk_attributes = {1};
+  }
+
+  Table pk, fk;
+  JoinSpec spec;
+};
+
+TEST(Join, ValidateAcceptsWellFormedSpec) {
+  JoinFixture f;
+  EXPECT_TRUE(ValidateJoinSpec(f.spec).ok());
+}
+
+TEST(Join, ValidateRejectsNullsAndRanges) {
+  JoinFixture f;
+  JoinSpec bad = f.spec;
+  bad.pk_table = nullptr;
+  EXPECT_TRUE(ValidateJoinSpec(bad).IsInvalidArgument());
+  bad = f.spec;
+  bad.pk_column = 5;
+  EXPECT_TRUE(ValidateJoinSpec(bad).IsOutOfRange());
+  bad = f.spec;
+  bad.fk_attributes = {9};
+  EXPECT_TRUE(ValidateJoinSpec(bad).IsOutOfRange());
+  bad = f.spec;
+  bad.pk_attributes.clear();
+  bad.fk_attributes.clear();
+  EXPECT_TRUE(ValidateJoinSpec(bad).IsInvalidArgument());
+}
+
+TEST(Join, ValidateRejectsDuplicatePk) {
+  JoinFixture f;
+  f.pk.Insert(std::vector<double>{3.0, 999.0});  // Duplicate key 3.
+  EXPECT_FALSE(ValidateJoinSpec(f.spec).ok());
+}
+
+TEST(Join, ValidateRejectsDanglingFk) {
+  JoinFixture f;
+  f.fk.Insert(std::vector<double>{42.0, 0.0});  // No such PK.
+  EXPECT_TRUE(ValidateJoinSpec(f.spec).IsFailedPrecondition());
+}
+
+TEST(Join, MaterializeHasFkCardinalityAndCorrectPairs) {
+  JoinFixture f;
+  const Table join = MaterializeJoin(f.spec).MoveValueOrDie();
+  EXPECT_EQ(join.num_rows(), f.fk.num_rows());  // |R JOIN S| = |S|.
+  EXPECT_EQ(join.num_cols(), 2u);
+  for (std::size_t i = 0; i < join.num_rows(); ++i) {
+    // fk attribute encodes its key: 100*key + r; pk attribute is 10*key.
+    const double pk_attr = join.At(i, 0);
+    const double fk_attr = join.At(i, 1);
+    EXPECT_DOUBLE_EQ(pk_attr, 10.0 * std::floor(fk_attr / 100.0));
+  }
+}
+
+TEST(Join, SampleRowsComeFromTheJoinResult) {
+  JoinFixture f;
+  Rng rng(1);
+  const Table sample = SampleJoin(f.spec, 20, &rng).MoveValueOrDie();
+  EXPECT_EQ(sample.num_rows(), 20u);
+  const Table join = MaterializeJoin(f.spec).MoveValueOrDie();
+  for (std::size_t i = 0; i < sample.num_rows(); ++i) {
+    bool found = false;
+    for (std::size_t j = 0; j < join.num_rows() && !found; ++j) {
+      found = sample.At(i, 0) == join.At(j, 0) &&
+              sample.At(i, 1) == join.At(j, 1);
+    }
+    EXPECT_TRUE(found) << "sampled row " << i << " not in join result";
+  }
+}
+
+TEST(Join, SampleIsUniformOverJoinResult) {
+  // PK key k joins to k+1 FK rows, so the probability of seeing key k in
+  // the sample is proportional to k+1 (uniform over the RESULT, not over
+  // the PK side).
+  JoinFixture f;
+  Rng rng(2);
+  std::vector<std::size_t> hits(10, 0);
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    const Table sample = SampleJoin(f.spec, 5, &rng).MoveValueOrDie();
+    for (std::size_t i = 0; i < sample.num_rows(); ++i) {
+      ++hits[static_cast<std::size_t>(sample.At(i, 0) / 10.0)];
+    }
+  }
+  const double total = 5.0 * trials;
+  const double denom = 55.0;  // sum(k+1) for k=0..9.
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(hits[k] / total, (k + 1) / denom, 0.03) << "key " << k;
+  }
+}
+
+TEST(Join, SampleLargerThanResultReturnsWholeJoin) {
+  JoinFixture f;
+  Rng rng(3);
+  const Table sample = SampleJoin(f.spec, 10000, &rng).MoveValueOrDie();
+  EXPECT_EQ(sample.num_rows(), f.fk.num_rows());
+}
+
+TEST(Join, EmptyFkTableRejected) {
+  JoinFixture f;
+  Table empty_fk(2);
+  f.spec.fk_table = &empty_fk;
+  Rng rng(4);
+  EXPECT_FALSE(SampleJoin(f.spec, 5, &rng).ok());
+}
+
+TEST(Join, ProjectionOrderIsPkThenFk) {
+  JoinFixture f;
+  f.spec.pk_attributes = {1, 0};
+  f.spec.fk_attributes = {0};
+  const Table join = MaterializeJoin(f.spec).MoveValueOrDie();
+  ASSERT_EQ(join.num_cols(), 3u);
+  // [pk.attr, pk.key, fk.key] — pk.key == fk.key on every row.
+  for (std::size_t i = 0; i < join.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(join.At(i, 1), join.At(i, 2));
+    EXPECT_DOUBLE_EQ(join.At(i, 0), 10.0 * join.At(i, 1));
+  }
+}
+
+}  // namespace
+}  // namespace fkde

@@ -1,0 +1,99 @@
+#include "data/kdtree_counter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace fkde {
+namespace {
+
+TEST(KdTree, EmptyTable) {
+  Table table(2);
+  const KdTreeCounter counter(table);
+  EXPECT_EQ(counter.num_points(), 0u);
+  EXPECT_EQ(counter.Count(Box({0.0, 0.0}, {1.0, 1.0})), 0u);
+}
+
+TEST(KdTree, SinglePoint) {
+  Table table(2);
+  table.Insert(std::vector<double>{0.5, 0.5});
+  const KdTreeCounter counter(table);
+  EXPECT_EQ(counter.Count(Box({0.0, 0.0}, {1.0, 1.0})), 1u);
+  EXPECT_EQ(counter.Count(Box({0.6, 0.6}, {1.0, 1.0})), 0u);
+  // Boundary containment is closed.
+  EXPECT_EQ(counter.Count(Box({0.5, 0.5}, {0.5, 0.5})), 1u);
+}
+
+TEST(KdTree, AllIdenticalPoints) {
+  Table table(3);
+  for (int i = 0; i < 100; ++i) {
+    table.Insert(std::vector<double>{1.0, 2.0, 3.0});
+  }
+  const KdTreeCounter counter(table);
+  EXPECT_EQ(counter.Count(Box({0.0, 0.0, 0.0}, {5.0, 5.0, 5.0})), 100u);
+  EXPECT_EQ(counter.Count(Box({1.5, 0.0, 0.0}, {5.0, 5.0, 5.0})), 0u);
+}
+
+TEST(KdTree, SnapshotSemantics) {
+  Table table(1);
+  for (int i = 0; i < 10; ++i) {
+    table.Insert(std::vector<double>{static_cast<double>(i)});
+  }
+  const KdTreeCounter counter(table);
+  table.Insert(std::vector<double>{100.0});
+  // The index still reflects the snapshot.
+  EXPECT_EQ(counter.Count(Box({-1.0}, {200.0})), 10u);
+}
+
+struct SweepCase {
+  std::size_t rows;
+  std::size_t dims;
+  std::uint64_t seed;
+};
+
+class KdTreeSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(KdTreeSweep, MatchesLinearScanOnRandomBoxes) {
+  const SweepCase c = GetParam();
+  ClusterBoxesParams params;
+  params.rows = c.rows;
+  params.dims = c.dims;
+  params.num_clusters = 5;
+  const Table table = GenerateClusterBoxes(params, c.seed);
+  const KdTreeCounter counter(table);
+  EXPECT_EQ(counter.num_points(), c.rows);
+
+  Rng rng(c.seed * 31 + 1);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<double> lo(c.dims), hi(c.dims);
+    for (std::size_t j = 0; j < c.dims; ++j) {
+      const double a = rng.Uniform(-0.1, 1.1);
+      const double b = rng.Uniform(-0.1, 1.1);
+      lo[j] = std::min(a, b);
+      hi[j] = std::max(a, b);
+    }
+    const Box box(lo, hi);
+    ASSERT_EQ(counter.Count(box), table.CountInBox(box))
+        << "round " << round << " box " << box.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KdTreeSweep,
+    ::testing::Values(SweepCase{100, 1, 1}, SweepCase{1000, 2, 2},
+                      SweepCase{5000, 3, 3}, SweepCase{10000, 5, 4},
+                      SweepCase{20000, 8, 5}, SweepCase{31, 2, 6},
+                      SweepCase{33, 4, 7}));
+
+TEST(KdTree, FullDomainCountsEverything) {
+  ClusterBoxesParams params;
+  params.rows = 5000;
+  params.dims = 3;
+  const Table table = GenerateClusterBoxes(params, 9);
+  const KdTreeCounter counter(table);
+  EXPECT_EQ(counter.Count(table.Bounds()), 5000u);
+}
+
+}  // namespace
+}  // namespace fkde

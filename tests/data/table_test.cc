@@ -1,0 +1,150 @@
+#include "data/table.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace fkde {
+namespace {
+
+Table MakeTable() {
+  Table table(2);
+  table.Insert(std::vector<double>{1.0, 10.0}, 0);
+  table.Insert(std::vector<double>{2.0, 20.0}, 1);
+  table.Insert(std::vector<double>{3.0, 30.0}, 0);
+  table.Insert(std::vector<double>{4.0, 40.0}, 1);
+  return table;
+}
+
+TEST(Table, InsertAndAccess) {
+  const Table table = MakeTable();
+  EXPECT_EQ(table.num_rows(), 4u);
+  EXPECT_EQ(table.num_cols(), 2u);
+  EXPECT_DOUBLE_EQ(table.At(2, 1), 30.0);
+  const auto row = table.Row(1);
+  EXPECT_DOUBLE_EQ(row[0], 2.0);
+  EXPECT_DOUBLE_EQ(row[1], 20.0);
+  EXPECT_EQ(table.Tag(1), 1u);
+}
+
+TEST(Table, UpdateInPlace) {
+  Table table = MakeTable();
+  table.Update(0, std::vector<double>{9.0, 90.0});
+  EXPECT_DOUBLE_EQ(table.At(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(table.At(0, 1), 90.0);
+  EXPECT_EQ(table.num_rows(), 4u);
+}
+
+TEST(Table, DeleteSwapsWithLast) {
+  Table table = MakeTable();
+  table.Delete(0);
+  EXPECT_EQ(table.num_rows(), 3u);
+  // Former last row (4, 40) now occupies slot 0.
+  EXPECT_DOUBLE_EQ(table.At(0, 0), 4.0);
+  EXPECT_EQ(table.Tag(0), 1u);
+}
+
+TEST(Table, DeleteLastRow) {
+  Table table = MakeTable();
+  table.Delete(3);
+  EXPECT_EQ(table.num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(table.At(2, 0), 3.0);
+}
+
+TEST(Table, DeleteByTagRemovesAllMatching) {
+  Table table = MakeTable();
+  EXPECT_EQ(table.DeleteByTag(1), 2u);
+  EXPECT_EQ(table.num_rows(), 2u);
+  for (std::size_t i = 0; i < table.num_rows(); ++i) {
+    EXPECT_EQ(table.Tag(i), 0u);
+  }
+  EXPECT_EQ(table.DeleteByTag(99), 0u);
+}
+
+TEST(Table, DeleteByTagHandlesAdjacentMatches) {
+  // Regression: swap-with-last must re-examine the swapped-in row.
+  Table table(1);
+  table.Insert(std::vector<double>{1.0}, 7);
+  table.Insert(std::vector<double>{2.0}, 7);
+  table.Insert(std::vector<double>{3.0}, 7);
+  EXPECT_EQ(table.DeleteByTag(7), 3u);
+  EXPECT_TRUE(table.empty());
+}
+
+TEST(Table, CountInBox) {
+  const Table table = MakeTable();
+  EXPECT_EQ(table.CountInBox(Box({0.0, 0.0}, {2.5, 25.0})), 2u);
+  EXPECT_EQ(table.CountInBox(Box({0.0, 0.0}, {0.5, 5.0})), 0u);
+  EXPECT_EQ(table.CountInBox(Box({1.0, 10.0}, {4.0, 40.0})), 4u);
+}
+
+TEST(Table, BoundsAreTight) {
+  const Table table = MakeTable();
+  const Box bounds = table.Bounds();
+  EXPECT_DOUBLE_EQ(bounds.lower(0), 1.0);
+  EXPECT_DOUBLE_EQ(bounds.upper(0), 4.0);
+  EXPECT_DOUBLE_EQ(bounds.lower(1), 10.0);
+  EXPECT_DOUBLE_EQ(bounds.upper(1), 40.0);
+}
+
+TEST(Table, SampleWithoutReplacementDistinct) {
+  Table table(1);
+  for (int i = 0; i < 100; ++i) {
+    table.Insert(std::vector<double>{static_cast<double>(i)});
+  }
+  Rng rng(1);
+  const auto sample = table.SampleWithoutReplacement(30, &rng);
+  EXPECT_EQ(sample.size(), 30u);
+  const std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t idx : sample) EXPECT_LT(idx, 100u);
+}
+
+TEST(Table, SampleLargerThanTableReturnsAll) {
+  Table table(1);
+  for (int i = 0; i < 5; ++i) {
+    table.Insert(std::vector<double>{static_cast<double>(i)});
+  }
+  Rng rng(2);
+  const auto sample = table.SampleWithoutReplacement(50, &rng);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(Table, SamplingIsApproximatelyUniform) {
+  Table table(1);
+  const std::size_t n = 50;
+  for (std::size_t i = 0; i < n; ++i) {
+    table.Insert(std::vector<double>{static_cast<double>(i)});
+  }
+  std::vector<int> hits(n, 0);
+  Rng rng(3);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (std::size_t idx : table.SampleWithoutReplacement(5, &rng)) {
+      ++hits[idx];
+    }
+  }
+  // Each row appears with probability 5/50 = 0.1 per trial.
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(hits[i] / static_cast<double>(trials), 0.1, 0.02)
+        << "row " << i;
+  }
+}
+
+TEST(Table, RawLayoutIsRowMajor) {
+  const Table table = MakeTable();
+  const auto raw = table.raw();
+  ASSERT_EQ(raw.size(), 8u);
+  EXPECT_DOUBLE_EQ(raw[0], 1.0);
+  EXPECT_DOUBLE_EQ(raw[1], 10.0);
+  EXPECT_DOUBLE_EQ(raw[2], 2.0);
+}
+
+TEST(TableDeath, ArityMismatch) {
+  Table table(2);
+  EXPECT_DEATH(table.Insert(std::vector<double>{1.0}), "arity");
+}
+
+}  // namespace
+}  // namespace fkde

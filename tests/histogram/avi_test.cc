@@ -1,0 +1,94 @@
+#include "histogram/avi.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace fkde {
+namespace {
+
+TEST(Avi, ExactOnUniformIndependentData) {
+  Rng rng(1);
+  Table table(2);
+  for (int i = 0; i < 50000; ++i) {
+    table.Insert(std::vector<double>{rng.Uniform(), rng.Uniform()});
+  }
+  AviHistogram avi = AviHistogram::Build(table, 64).ValueOrDie();
+  const Box box({0.1, 0.3}, {0.5, 0.8});
+  // Independent uniforms: truth = 0.4 * 0.5 = 0.2.
+  EXPECT_NEAR(avi.EstimateSelectivity(box), 0.2, 0.02);
+}
+
+TEST(Avi, MarginalSelectivityIsCdfDifference) {
+  Rng rng(2);
+  Table table(1);
+  for (int i = 0; i < 20000; ++i) {
+    table.Insert(std::vector<double>{rng.Gaussian(0.0, 1.0)});
+  }
+  AviHistogram avi = AviHistogram::Build(table, 128).ValueOrDie();
+  // P(-1 <= X <= 1) ~ 0.6827 for a standard normal.
+  EXPECT_NEAR(avi.MarginalSelectivity(0, -1.0, 1.0), 0.6827, 0.03);
+  EXPECT_NEAR(avi.MarginalSelectivity(0, -10.0, 10.0), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(avi.MarginalSelectivity(0, 5.0, 4.0), 0.0);
+}
+
+TEST(Avi, FailsOnCorrelatedData) {
+  // Perfectly correlated attributes: x2 = x1. The diagonal band query
+  // has true selectivity ~0.1 but AVI predicts 0.1 * 0.1 = 0.01.
+  Rng rng(3);
+  Table table(2);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.Uniform();
+    table.Insert(std::vector<double>{x, x});
+  }
+  AviHistogram avi = AviHistogram::Build(table, 64).ValueOrDie();
+  const Box band({0.4, 0.4}, {0.5, 0.5});
+  const double truth = static_cast<double>(table.CountInBox(band)) / 20000.0;
+  EXPECT_NEAR(truth, 0.1, 0.01);                   // Data is on the diagonal.
+  EXPECT_NEAR(avi.EstimateSelectivity(band), 0.01, 0.005);  // AVI collapses.
+}
+
+TEST(Avi, HandlesHeavilyRepeatedValues) {
+  Table table(1);
+  for (int i = 0; i < 1000; ++i) {
+    table.Insert(std::vector<double>{i < 900 ? 5.0 : static_cast<double>(i)});
+  }
+  AviHistogram avi = AviHistogram::Build(table, 16).ValueOrDie();
+  // The spike at 5.0 holds 90% of rows.
+  EXPECT_NEAR(avi.MarginalSelectivity(0, 5.0, 5.0), 0.9, 0.05);
+}
+
+TEST(Avi, EquiDepthBucketsBalanceFractions) {
+  Rng rng(4);
+  Table table(1);
+  for (int i = 0; i < 10000; ++i) {
+    table.Insert(std::vector<double>{rng.Exponential(1.0)});
+  }
+  AviHistogram avi = AviHistogram::Build(table, 32).ValueOrDie();
+  // Any interval covering k buckets should hold ~k/32 of the data; probe
+  // via quantiles of the distribution.
+  EXPECT_NEAR(avi.MarginalSelectivity(0, 0.0, 0.6931), 0.5, 0.03);  // Median.
+}
+
+TEST(Avi, BuildRejectsBadInput) {
+  Table empty(2);
+  EXPECT_FALSE(AviHistogram::Build(empty, 8).ok());
+  Table table(1);
+  table.Insert(std::vector<double>{1.0});
+  EXPECT_FALSE(AviHistogram::Build(table, 0).ok());
+}
+
+TEST(Avi, ModelBytesBounded) {
+  const Table table = GenerateBikeLike(2000, 5);
+  AviHistogram avi = AviHistogram::Build(table, 64).ValueOrDie();
+  EXPECT_GT(avi.ModelBytes(), 0u);
+  // <= dims * (edges + fractions) * 8 bytes.
+  EXPECT_LE(avi.ModelBytes(), 16u * (65u + 64u) * 8u);
+  EXPECT_EQ(avi.dims(), 16u);
+}
+
+}  // namespace
+}  // namespace fkde

@@ -1,0 +1,136 @@
+#include "histogram/genhist.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "workload/workload.h"
+
+namespace fkde {
+namespace {
+
+Table Clustered(std::size_t rows, std::size_t dims, std::uint64_t seed) {
+  ClusterBoxesParams params;
+  params.rows = rows;
+  params.dims = dims;
+  params.num_clusters = 5;
+  params.noise_fraction = 0.1;
+  return GenerateClusterBoxes(params, seed);
+}
+
+TEST(GenHist, BuildRejectsBadInputs) {
+  Table empty(2);
+  EXPECT_FALSE(GenHist::Build(empty).ok());
+  Table table = Clustered(100, 2, 1);
+  GenHistOptions options;
+  options.max_buckets = 1;
+  EXPECT_FALSE(GenHist::Build(table, options).ok());
+  options = GenHistOptions();
+  options.initial_resolution = 1;
+  EXPECT_FALSE(GenHist::Build(table, options).ok());
+  options = GenHistOptions();
+  options.resolution_decay = 1.5;
+  EXPECT_FALSE(GenHist::Build(table, options).ok());
+  options = GenHistOptions();
+  options.density_threshold = 0.5;
+  EXPECT_FALSE(GenHist::Build(table, options).ok());
+}
+
+TEST(GenHist, MassIsConserved) {
+  const Table table = Clustered(20000, 3, 2);
+  GenHist hist = GenHist::Build(table).ValueOrDie();
+  EXPECT_DOUBLE_EQ(hist.TotalFrequency(), 20000.0);
+  // Whole-domain query returns ~everything.
+  EXPECT_NEAR(hist.EstimateSelectivity(table.Bounds()), 1.0, 1e-9);
+}
+
+TEST(GenHist, RespectsBucketBudget) {
+  const Table table = Clustered(30000, 3, 3);
+  GenHistOptions options;
+  options.max_buckets = 40;
+  GenHist hist = GenHist::Build(table, options).ValueOrDie();
+  EXPECT_LE(hist.NumBuckets(), 40u);
+  EXPECT_GT(hist.NumBuckets(), 5u);  // Clustered data produces buckets.
+  EXPECT_EQ(hist.ModelBytes(), hist.NumBuckets() * 4 * 7);
+}
+
+TEST(GenHist, BeatsUniformAssumptionOnClusteredData) {
+  const Table table = Clustered(50000, 2, 4);
+  GenHist hist = GenHist::Build(table).ValueOrDie();
+  const WorkloadGenerator generator(table);
+  Rng rng(5);
+  const auto queries =
+      generator.Generate(ParseWorkloadName("dt").ValueOrDie(), 60, &rng);
+  const Box bounds = table.Bounds();
+  double genhist_error = 0.0, uniform_error = 0.0;
+  for (const Query& q : queries) {
+    genhist_error += std::abs(hist.EstimateSelectivity(q.box) -
+                              q.selectivity);
+    // Pure uniformity assumption over the domain.
+    double volume_fraction = 1.0;
+    for (std::size_t j = 0; j < 2; ++j) {
+      const double lo = std::max(q.box.lower(j), bounds.lower(j));
+      const double hi = std::min(q.box.upper(j), bounds.upper(j));
+      volume_fraction *= std::max(hi - lo, 0.0) / bounds.Extent(j);
+    }
+    uniform_error += std::abs(volume_fraction - q.selectivity);
+  }
+  EXPECT_LT(genhist_error, 0.6 * uniform_error);
+}
+
+TEST(GenHist, EstimatesAreValidSelectivities) {
+  const Table table = Clustered(10000, 4, 6);
+  GenHist hist = GenHist::Build(table).ValueOrDie();
+  Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<double> lo(4), hi(4);
+    for (int j = 0; j < 4; ++j) {
+      const double a = rng.Uniform(-0.5, 1.5), b = rng.Uniform(-0.5, 1.5);
+      lo[j] = std::min(a, b);
+      hi[j] = std::max(a, b);
+    }
+    const double est = hist.EstimateSelectivity(Box(lo, hi));
+    ASSERT_GE(est, 0.0);
+    ASSERT_LE(est, 1.0);
+  }
+}
+
+TEST(GenHist, UniformDataProducesFewBuckets) {
+  Rng rng(8);
+  Table table(2);
+  for (int i = 0; i < 20000; ++i) {
+    table.Insert(std::vector<double>{rng.Uniform(), rng.Uniform()});
+  }
+  GenHist hist = GenHist::Build(table).ValueOrDie();
+  // No strong density contrast: few (mostly residual) buckets, and the
+  // uniformity estimate is accurate.
+  const Box box({0.25, 0.1}, {0.75, 0.9});
+  EXPECT_NEAR(hist.EstimateSelectivity(box), 0.4, 0.05);
+}
+
+TEST(GenHist, ConstantAttributeHandled) {
+  Rng rng(9);
+  Table table(2);
+  for (int i = 0; i < 5000; ++i) {
+    table.Insert(std::vector<double>{rng.Uniform(), 3.0});
+  }
+  GenHist hist = GenHist::Build(table).ValueOrDie();
+  EXPECT_NEAR(hist.EstimateSelectivity(Box({0.0, 2.0}, {1.0, 4.0})), 1.0,
+              0.05);
+}
+
+TEST(GenHist, DeterministicForSeed) {
+  const Table table = Clustered(10000, 2, 10);
+  GenHistOptions options;
+  options.seed = 99;
+  GenHist a = GenHist::Build(table, options).ValueOrDie();
+  GenHist b = GenHist::Build(table, options).ValueOrDie();
+  const Box box({0.1, 0.2}, {0.6, 0.8});
+  EXPECT_DOUBLE_EQ(a.EstimateSelectivity(box), b.EstimateSelectivity(box));
+  EXPECT_EQ(a.NumBuckets(), b.NumBuckets());
+}
+
+}  // namespace
+}  // namespace fkde

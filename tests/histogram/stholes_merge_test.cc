@@ -1,0 +1,150 @@
+// Targeted tests of STHoles merging behavior and degenerate budgets.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "histogram/stholes.h"
+#include "workload/workload.h"
+
+namespace fkde {
+namespace {
+
+struct MergeFixture {
+  explicit MergeFixture(std::size_t max_buckets, std::uint64_t seed = 3) {
+    ClusterBoxesParams params;
+    params.rows = 15000;
+    params.dims = 2;
+    params.num_clusters = 6;
+    table = std::make_unique<Table>(GenerateClusterBoxes(params, seed));
+    SthOptions options;
+    options.max_buckets = max_buckets;
+    histogram = std::make_unique<STHoles>(
+        table->Bounds(), table->num_rows(),
+        [t = table.get()](const Box& box) { return t->CountInBox(box); },
+        options);
+  }
+
+  void Feed(const Box& box) {
+    const double truth = static_cast<double>(table->CountInBox(box)) /
+                         static_cast<double>(table->num_rows());
+    (void)histogram->EstimateSelectivity(box);
+    histogram->ObserveTrueSelectivity(box, truth);
+  }
+
+  void FeedWorkload(std::size_t count, std::uint64_t seed) {
+    const WorkloadGenerator generator(*table);
+    Rng rng(seed);
+    for (const Query& q : generator.Generate(
+             ParseWorkloadName("dt").ValueOrDie(), count, &rng)) {
+      Feed(q.box);
+    }
+  }
+
+  std::unique_ptr<Table> table;
+  std::unique_ptr<STHoles> histogram;
+};
+
+TEST(SthMerge, BudgetOfOneKeepsOnlyRoot) {
+  MergeFixture f(1);
+  f.FeedWorkload(50, 4);
+  EXPECT_EQ(f.histogram->NumBuckets(), 1u);
+  f.histogram->CheckInvariants();
+  // Still a usable (if crude) estimator.
+  const double est =
+      f.histogram->EstimateSelectivity(f.table->Bounds());
+  EXPECT_GT(est, 0.5);
+}
+
+TEST(SthMerge, TinyBudgetsStayConsistent) {
+  for (std::size_t budget : {2u, 3u, 5u}) {
+    MergeFixture f(budget);
+    f.FeedWorkload(80, budget);
+    EXPECT_LE(f.histogram->NumBuckets(), budget);
+    f.histogram->CheckInvariants();
+  }
+}
+
+TEST(SthMerge, FrequenciesRemainNonNegativeUnderChurn) {
+  MergeFixture f(24);
+  // Alternate wildly different query shapes to force drills + merges.
+  Rng rng(9);
+  for (int i = 0; i < 150; ++i) {
+    std::vector<double> lo(2), hi(2);
+    for (int j = 0; j < 2; ++j) {
+      const double a = rng.Uniform(), b = rng.Uniform();
+      lo[j] = std::min(a, b);
+      hi[j] = std::max(a, b);
+    }
+    f.Feed(Box(lo, hi));
+    f.histogram->CheckInvariants();  // Includes frequency >= 0.
+  }
+}
+
+TEST(SthMerge, MergePreservesApproximateTotalFrequency) {
+  MergeFixture big(1000);
+  MergeFixture small(16);
+  big.FeedWorkload(100, 5);
+  small.FeedWorkload(100, 5);
+  // Both trees should still account for roughly the relation size.
+  const double n = 15000.0;
+  EXPECT_NEAR(big.histogram->TotalFrequency(), n, 0.5 * n);
+  EXPECT_NEAR(small.histogram->TotalFrequency(), n, 0.5 * n);
+}
+
+TEST(SthMerge, AccuracyDegradesGracefullyWithBudget) {
+  // Smaller budgets must not be catastrophically worse — merging picks
+  // low-penalty merges. (Weak monotonicity, allowing noise.)
+  const WorkloadGenerator* generator = nullptr;
+  auto error_with_budget = [&](std::size_t budget) {
+    MergeFixture f(budget, 7);
+    WorkloadGenerator local_generator(*f.table);
+    generator = &local_generator;
+    Rng rng(8);
+    const auto training = local_generator.Generate(
+        ParseWorkloadName("dt").ValueOrDie(), 120, &rng);
+    const auto test = local_generator.Generate(
+        ParseWorkloadName("dt").ValueOrDie(), 60, &rng);
+    for (const Query& q : training) f.Feed(q.box);
+    double total = 0.0;
+    for (const Query& q : test) {
+      total += std::abs(f.histogram->EstimateSelectivity(q.box) -
+                        q.selectivity);
+    }
+    return total / test.size();
+  };
+  const double rich = error_with_budget(400);
+  const double poor = error_with_budget(8);
+  EXPECT_LT(rich, poor * 1.1);  // Rich budget at least matches poor.
+}
+
+TEST(SthMerge, RepeatedIdenticalFeedbackIsStable) {
+  MergeFixture f(64);
+  const Box box({0.2, 0.2}, {0.5, 0.6});
+  for (int i = 0; i < 30; ++i) f.Feed(box);
+  f.histogram->CheckInvariants();
+  // The learned bucket keeps the exact answer; no oscillation.
+  const double truth = static_cast<double>(f.table->CountInBox(box)) /
+                       static_cast<double>(f.table->num_rows());
+  EXPECT_NEAR(f.histogram->EstimateSelectivity(box), truth,
+              0.05 * std::max(truth, 0.01));
+  // And the bucket count stabilized well under the budget (epsilon guard
+  // prevents churn).
+  EXPECT_LE(f.histogram->NumBuckets(), 8u);
+}
+
+TEST(SthMerge, ZeroVolumeQueriesDoNotCorruptTree) {
+  MergeFixture f(64);
+  const Box degenerate({0.3, 0.3}, {0.3, 0.7});  // Zero width in dim 0.
+  (void)f.histogram->EstimateSelectivity(degenerate);
+  f.histogram->ObserveTrueSelectivity(degenerate, 0.0);
+  f.histogram->CheckInvariants();
+  f.FeedWorkload(20, 10);
+  f.histogram->CheckInvariants();
+}
+
+}  // namespace
+}  // namespace fkde

@@ -1,0 +1,251 @@
+#include "histogram/stholes.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "workload/workload.h"
+
+namespace fkde {
+namespace {
+
+struct SthFixture {
+  SthFixture(std::size_t rows, std::size_t dims, std::uint64_t seed,
+             SthOptions options = SthOptions()) {
+    ClusterBoxesParams params;
+    params.rows = rows;
+    params.dims = dims;
+    params.num_clusters = 5;
+    table = std::make_unique<Table>(GenerateClusterBoxes(params, seed));
+    counter = [t = table.get()](const Box& box) {
+      return t->CountInBox(box);
+    };
+    histogram = std::make_unique<STHoles>(table->Bounds(), table->num_rows(),
+                                          counter, options);
+  }
+
+  void Feed(const Box& box) {
+    const double truth = static_cast<double>(table->CountInBox(box)) /
+                         static_cast<double>(table->num_rows());
+    (void)histogram->EstimateSelectivity(box);
+    histogram->ObserveTrueSelectivity(box, truth);
+  }
+
+  std::unique_ptr<Table> table;
+  RegionCounter counter;
+  std::unique_ptr<STHoles> histogram;
+};
+
+TEST(STHoles, InitialEstimateIsUniformityAssumption) {
+  SthFixture f(10000, 2, 1);
+  // Only the root bucket: estimate = fraction of the domain volume.
+  const Box domain = f.table->Bounds();
+  const Box half({domain.lower(0), domain.lower(1)},
+                 {domain.Center(0), domain.upper(1)});
+  const double est = f.histogram->EstimateSelectivity(half);
+  const double volume_fraction = half.Volume() / domain.Volume();
+  EXPECT_NEAR(est, volume_fraction, 1e-9);
+}
+
+TEST(STHoles, LearnsExactAnswerForRepeatedQuery) {
+  SthFixture f(10000, 2, 2);
+  const Box query({0.2, 0.2}, {0.4, 0.5});
+  const double truth = static_cast<double>(f.table->CountInBox(query)) /
+                       static_cast<double>(f.table->num_rows());
+  f.Feed(query);
+  // After drilling the exact hole, the estimate is (nearly) exact.
+  EXPECT_NEAR(f.histogram->EstimateSelectivity(query), truth,
+              0.05 * std::max(truth, 0.01) + 1e-6);
+}
+
+TEST(STHoles, FeedbackImprovesWorkloadAccuracy) {
+  SthFixture f(30000, 3, 3);
+  WorkloadGenerator generator(*f.table);
+  Rng rng(4);
+  const WorkloadSpec spec = ParseWorkloadName("dt").ValueOrDie();
+  const auto training = generator.Generate(spec, 150, &rng);
+  const auto test = generator.Generate(spec, 50, &rng);
+
+  auto error_on_test = [&] {
+    double total = 0.0;
+    for (const Query& q : test) {
+      total += std::abs(f.histogram->EstimateSelectivity(q.box) -
+                        q.selectivity);
+    }
+    return total / test.size();
+  };
+  const double before = error_on_test();
+  for (const Query& q : training) f.Feed(q.box);
+  const double after = error_on_test();
+  EXPECT_LT(after, before);
+  f.histogram->CheckInvariants();
+}
+
+TEST(STHoles, InvariantsHoldUnderHeavyRefinement) {
+  SthFixture f(20000, 3, 5);
+  WorkloadGenerator generator(*f.table);
+  Rng rng(6);
+  for (const char* workload : {"dt", "dv", "ut", "uv"}) {
+    const auto queries = generator.Generate(
+        ParseWorkloadName(workload).ValueOrDie(), 50, &rng);
+    for (const Query& q : queries) f.Feed(q.box);
+    f.histogram->CheckInvariants();
+  }
+}
+
+TEST(STHoles, BudgetIsEnforced) {
+  SthOptions options;
+  options.max_buckets = 16;
+  SthFixture f(20000, 2, 7, options);
+  WorkloadGenerator generator(*f.table);
+  Rng rng(8);
+  const auto queries =
+      generator.Generate(ParseWorkloadName("dt").ValueOrDie(), 200, &rng);
+  for (const Query& q : queries) {
+    f.Feed(q.box);
+    ASSERT_LE(f.histogram->NumBuckets(), 16u);
+  }
+  f.histogram->CheckInvariants();
+  // The model must have actually used its budget.
+  EXPECT_GT(f.histogram->NumBuckets(), 4u);
+}
+
+TEST(STHoles, ModelBytesScaleWithBuckets) {
+  SthFixture f(5000, 3, 9);
+  const std::size_t before = f.histogram->ModelBytes();
+  WorkloadGenerator generator(*f.table);
+  Rng rng(10);
+  const auto queries =
+      generator.Generate(ParseWorkloadName("dt").ValueOrDie(), 50, &rng);
+  for (const Query& q : queries) f.Feed(q.box);
+  EXPECT_GT(f.histogram->ModelBytes(), before);
+  EXPECT_EQ(f.histogram->ModelBytes(),
+            f.histogram->NumBuckets() * 4 * (2 * 3 + 1));
+}
+
+TEST(STHoles, QueriesOutsideDomainGrowRoot) {
+  SthFixture f(5000, 2, 11);
+  const Box outside({2.0, 2.0}, {3.0, 3.0});  // Data lives in [0,1]^2.
+  (void)f.histogram->EstimateSelectivity(outside);
+  f.histogram->ObserveTrueSelectivity(outside, 0.0);
+  f.histogram->CheckInvariants();
+  // After growth, estimating there must work and be ~0.
+  EXPECT_NEAR(f.histogram->EstimateSelectivity(outside), 0.0, 0.05);
+}
+
+TEST(STHoles, EmptyRegionLearnedAsEmpty) {
+  SthFixture f(20000, 2, 12);
+  // Find an empty box (clustered data leaves gaps).
+  Rng rng(13);
+  Box empty_box({0.0, 0.0}, {0.0, 0.0});
+  bool found = false;
+  for (int attempt = 0; attempt < 200 && !found; ++attempt) {
+    std::vector<double> lo(2), hi(2);
+    for (int j = 0; j < 2; ++j) {
+      lo[j] = rng.Uniform(0.0, 0.9);
+      hi[j] = lo[j] + 0.05;
+    }
+    const Box candidate(lo, hi);
+    if (f.table->CountInBox(candidate) == 0) {
+      empty_box = candidate;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+  f.Feed(empty_box);
+  EXPECT_NEAR(f.histogram->EstimateSelectivity(empty_box), 0.0, 1e-9);
+}
+
+TEST(STHoles, TotalFrequencyTracksRelationSize) {
+  SthFixture f(10000, 2, 14);
+  WorkloadGenerator generator(*f.table);
+  Rng rng(15);
+  const auto queries =
+      generator.Generate(ParseWorkloadName("dv").ValueOrDie(), 100, &rng);
+  for (const Query& q : queries) f.Feed(q.box);
+  // Frequencies stay in the right order of magnitude (conservation is
+  // approximate under drilling + merging, exact under pure drilling).
+  EXPECT_GT(f.histogram->TotalFrequency(), 0.3 * 10000);
+  EXPECT_LT(f.histogram->TotalFrequency(), 3.0 * 10000);
+}
+
+TEST(STHoles, AdaptsAfterBulkDelete) {
+  SthFixture f(20000, 2, 16);
+  // Learn the dense region, then delete a cluster and re-learn.
+  std::vector<double> lo(2, 1e300), hi(2, -1e300);
+  for (std::size_t i = 0; i < f.table->num_rows(); ++i) {
+    if (f.table->Tag(i) != 0) continue;
+    for (int j = 0; j < 2; ++j) {
+      lo[j] = std::min(lo[j], f.table->At(i, j));
+      hi[j] = std::max(hi[j], f.table->At(i, j));
+    }
+  }
+  const Box cluster_box(lo, hi);
+  f.Feed(cluster_box);
+  const double before_delete = f.histogram->EstimateSelectivity(cluster_box);
+  EXPECT_GT(before_delete, 0.0);
+
+  const std::size_t removed = f.table->DeleteByTag(0);
+  f.histogram->OnDelete(removed, f.table->num_rows());
+  f.Feed(cluster_box);  // Feedback reports the (much lower) new truth.
+  const double truth = static_cast<double>(f.table->CountInBox(cluster_box)) /
+                       static_cast<double>(f.table->num_rows());
+  EXPECT_NEAR(f.histogram->EstimateSelectivity(cluster_box), truth,
+              0.3 * std::max(truth, 0.01));
+}
+
+TEST(STHoles, SelectivityClampedToUnitInterval) {
+  SthFixture f(1000, 2, 17);
+  WorkloadGenerator generator(*f.table);
+  Rng rng(18);
+  const auto queries =
+      generator.Generate(ParseWorkloadName("uv").ValueOrDie(), 50, &rng);
+  for (const Query& q : queries) {
+    const double est = f.histogram->EstimateSelectivity(q.box);
+    EXPECT_GE(est, 0.0);
+    EXPECT_LE(est, 1.0);
+    f.Feed(q.box);
+  }
+}
+
+TEST(SthBucketBudget, MatchesPaperFormula) {
+  // d * 4kB at 4 bytes per value and 2d+1 values per bucket.
+  EXPECT_EQ(SthBucketBudgetForBytes(8 * 4096, 8), (8u * 4096u) / (4u * 17u));
+  EXPECT_EQ(SthBucketBudgetForBytes(3 * 4096, 3), (3u * 4096u) / (4u * 7u));
+  // Floor of 4 buckets.
+  EXPECT_EQ(SthBucketBudgetForBytes(1, 3), 4u);
+}
+
+// Parameterized dimensional sweep of refinement + invariants.
+class SthDimsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SthDimsSweep, RefinementKeepsInvariantsAndImproves) {
+  const int dims = GetParam();
+  SthFixture f(10000, dims, 20 + dims);
+  WorkloadGenerator generator(*f.table);
+  Rng rng(30 + dims);
+  const auto training = generator.Generate(
+      ParseWorkloadName("dt").ValueOrDie(), 100, &rng);
+  const auto test = generator.Generate(
+      ParseWorkloadName("dt").ValueOrDie(), 40, &rng);
+  auto test_error = [&] {
+    double total = 0.0;
+    for (const Query& q : test) {
+      total += std::abs(f.histogram->EstimateSelectivity(q.box) -
+                        q.selectivity);
+    }
+    return total / test.size();
+  };
+  const double before = test_error();
+  for (const Query& q : training) f.Feed(q.box);
+  f.histogram->CheckInvariants();
+  EXPECT_LT(test_error(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SthDimsSweep, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace fkde

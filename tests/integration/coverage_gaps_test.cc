@@ -1,0 +1,116 @@
+// Assorted coverage for API corners not exercised elsewhere.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "opt/optimizer.h"
+#include "parallel/device.h"
+
+namespace fkde {
+namespace {
+
+TEST(DeviceEdge, ZeroSizedBuffersAndTransfers) {
+  Device device(DeviceProfile::OpenClCpu());
+  auto buffer = device.CreateBuffer<double>(0);
+  EXPECT_TRUE(buffer.empty());
+  // Zero-length transfers are legal no-ops that still count as transfers
+  // (an OpenCL enqueue happens regardless).
+  device.CopyToDevice<double>(nullptr, 0, &buffer);
+  EXPECT_EQ(device.ledger().transfers_to_device, 1u);
+  EXPECT_EQ(device.ledger().bytes_to_device, 0u);
+}
+
+TEST(DeviceEdgeDeath, OutOfBoundsTransfersCheck) {
+  Device device(DeviceProfile::OpenClCpu());
+  auto buffer = device.CreateBuffer<float>(4);
+  float host[8] = {};
+  EXPECT_DEATH(device.CopyToDevice(host, 8, &buffer), "out of bounds");
+  EXPECT_DEATH(device.CopyToHost(buffer, 2, 4, host), "out of bounds");
+}
+
+TEST(DeviceEdge, EmptyLaunchStillCharged) {
+  Device device(DeviceProfile::OpenClCpu());
+  bool ran = false;
+  device.Launch("noop", 0, 1.0,
+                [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(device.ledger().kernel_launches, 1u);
+  EXPECT_GT(device.ModeledSeconds(), 0.0);
+}
+
+TEST(OptimizerEdge, MlslNeverLeavesBounds) {
+  Problem problem;
+  problem.lower = {-1.0, 0.5};
+  problem.upper = {2.0, 3.0};
+  problem.objective = [&](std::span<const double> x, std::span<double> g) {
+    // Assert inside the objective: the solver must only evaluate within
+    // the box (clamped starts and projected steps).
+    EXPECT_GE(x[0], -1.0 - 1e-12);
+    EXPECT_LE(x[0], 2.0 + 1e-12);
+    EXPECT_GE(x[1], 0.5 - 1e-12);
+    EXPECT_LE(x[1], 3.0 + 1e-12);
+    if (!g.empty()) {
+      g[0] = 2.0 * x[0];
+      g[1] = 2.0 * (x[1] - 1.0);
+    }
+    return x[0] * x[0] + (x[1] - 1.0) * (x[1] - 1.0);
+  };
+  Rng rng(3);
+  const OptimizeResult result = MinimizeMlsl(problem, {{1.5, 2.5}}, &rng);
+  EXPECT_NEAR(result.x[0], 0.0, 1e-5);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-5);
+}
+
+TEST(OptimizerEdge, MaxIterationsRespected) {
+  Problem problem;
+  problem.lower = {-1e6};
+  problem.upper = {1e6};
+  std::size_t evaluations = 0;
+  problem.objective = [&](std::span<const double> x, std::span<double> g) {
+    ++evaluations;
+    if (!g.empty()) g[0] = 2.0 * (x[0] - 12345.0);
+    return (x[0] - 12345.0) * (x[0] - 12345.0);
+  };
+  LocalOptions options;
+  options.max_iterations = 3;
+  const OptimizeResult result = MinimizeLbfgsb(problem, {{0.0}}, options);
+  EXPECT_LE(result.iterations, 3u);
+  EXPECT_EQ(result.evaluations, evaluations);
+}
+
+TEST(OptimizerEdge, InfiniteObjectiveValuesAreRejectedInLineSearch) {
+  // A cliff beyond x = 1: the solver must back off instead of stepping
+  // into the infinite region.
+  Problem problem;
+  problem.lower = {-10.0};
+  problem.upper = {10.0};
+  problem.objective = [&](std::span<const double> x, std::span<double> g) {
+    if (x[0] > 1.0) return std::numeric_limits<double>::infinity();
+    if (!g.empty()) g[0] = -1.0;  // Constant pull toward the cliff.
+    return -x[0];
+  };
+  const OptimizeResult result = MinimizeLbfgsb(problem, {{0.0}});
+  EXPECT_LE(result.x[0], 1.0 + 1e-9);
+  EXPECT_TRUE(std::isfinite(result.f));
+}
+
+TEST(GeneratorEdge, ProjectionToAllColumnsIsIdentityUpToOrder) {
+  const Table full = GenerateProteinLike(100, 1);
+  const Table projected = ProjectRandomAttributes(full, 9, 2);
+  EXPECT_EQ(projected.num_cols(), 9u);
+  // Columns are sorted by source index, so this is the identity.
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (std::size_t j = 0; j < 9; ++j) {
+      ASSERT_DOUBLE_EQ(projected.At(i, j), full.At(i, j));
+    }
+  }
+}
+
+TEST(RngEdge, UniformIntOneIsAlwaysZero) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.UniformInt(std::uint64_t{1}), 0u);
+}
+
+}  // namespace
+}  // namespace fkde

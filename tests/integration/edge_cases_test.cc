@@ -1,0 +1,208 @@
+// Edge-case and failure-injection tests across module boundaries:
+// degenerate data, single points, constant attributes, extreme queries.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "histogram/stholes.h"
+#include "kde/kde_estimator.h"
+#include "runtime/executor.h"
+#include "runtime/factory.h"
+#include "workload/workload.h"
+
+namespace fkde {
+namespace {
+
+TEST(EdgeCases, SingleRowTable) {
+  Table table(2);
+  table.Insert(std::vector<double>{0.5, 0.5});
+  Device device(DeviceProfile::OpenClCpu());
+  KdeConfig config;
+  config.sample_size = 16;
+  auto estimator =
+      KdeSelectivityEstimator::Create(
+          KdeSelectivityEstimator::Mode::kHeuristic, &device, &table, config)
+          .MoveValueOrDie();
+  // Degenerate sigma handled by the Scott fallback; estimates stay valid.
+  const double inside =
+      estimator->EstimateSelectivity(Box({0.0, 0.0}, {1.0, 1.0}));
+  const double outside =
+      estimator->EstimateSelectivity(Box({10.0, 10.0}, {11.0, 11.0}));
+  EXPECT_GT(inside, 0.9);
+  EXPECT_LT(outside, 0.1);
+}
+
+TEST(EdgeCases, ConstantAttribute) {
+  // Column 1 is constant: Scott sigma = 0 -> epsilon bandwidth fallback.
+  Rng rng(1);
+  Table table(2);
+  for (int i = 0; i < 5000; ++i) {
+    table.Insert(std::vector<double>{rng.Uniform(), 7.0});
+  }
+  Device device(DeviceProfile::OpenClCpu());
+  KdeConfig config;
+  config.sample_size = 256;
+  auto estimator =
+      KdeSelectivityEstimator::Create(
+          KdeSelectivityEstimator::Mode::kAdaptive, &device, &table, config)
+          .MoveValueOrDie();
+  // Query containing the constant: behaves like a 1D estimator.
+  const double hit =
+      estimator->EstimateSelectivity(Box({0.2, 6.0}, {0.7, 8.0}));
+  EXPECT_NEAR(hit, 0.5, 0.1);
+  // Query missing the constant value entirely.
+  const double miss =
+      estimator->EstimateSelectivity(Box({0.2, 8.0}, {0.7, 9.0}));
+  EXPECT_LT(miss, 0.05);
+  // Feedback must not blow up the epsilon bandwidth.
+  for (int i = 0; i < 30; ++i) {
+    estimator->ObserveTrueSelectivity(Box({0.2, 6.0}, {0.7, 8.0}), 0.5);
+  }
+  for (double h : estimator->bandwidth()) {
+    EXPECT_TRUE(std::isfinite(h));
+    EXPECT_GT(h, 0.0);
+  }
+}
+
+TEST(EdgeCases, ZeroVolumeQueryBox) {
+  ClusterBoxesParams params;
+  params.rows = 5000;
+  params.dims = 2;
+  Table table = GenerateClusterBoxes(params, 2);
+  Device device(DeviceProfile::OpenClCpu());
+  KdeConfig config;
+  config.sample_size = 128;
+  auto estimator =
+      KdeSelectivityEstimator::Create(
+          KdeSelectivityEstimator::Mode::kHeuristic, &device, &table, config)
+          .MoveValueOrDie();
+  const double degenerate =
+      estimator->EstimateSelectivity(Box({0.5, 0.0}, {0.5, 1.0}));
+  EXPECT_DOUBLE_EQ(degenerate, 0.0);  // Measure-zero region.
+}
+
+TEST(EdgeCases, QueryFarOutsideDomain) {
+  ClusterBoxesParams params;
+  params.rows = 5000;
+  params.dims = 3;
+  Table table = GenerateClusterBoxes(params, 3);
+  Executor executor(&table);
+  Device device(DeviceProfile::OpenClCpu());
+  EstimatorBuildContext context;
+  context.device = &device;
+  context.executor = &executor;
+  for (const std::string& name : EstimatorNames()) {
+    if (name == "kde_batch") continue;  // Needs training queries.
+    auto estimator = BuildEstimator(name, context).MoveValueOrDie();
+    const double estimate = estimator->EstimateSelectivity(
+        Box({100.0, 100.0, 100.0}, {101.0, 101.0, 101.0}));
+    EXPECT_GE(estimate, 0.0) << name;
+    EXPECT_LT(estimate, 0.01) << name;
+  }
+}
+
+TEST(EdgeCases, HugeQueryCoveringEverything) {
+  ClusterBoxesParams params;
+  params.rows = 5000;
+  params.dims = 2;
+  Table table = GenerateClusterBoxes(params, 4);
+  Executor executor(&table);
+  Device device(DeviceProfile::OpenClCpu());
+  EstimatorBuildContext context;
+  context.device = &device;
+  context.executor = &executor;
+  const Box everything({-1e6, -1e6}, {1e6, 1e6});
+  for (const std::string name : {"kde_heuristic", "stholes", "avi"}) {
+    auto estimator = BuildEstimator(name, context).MoveValueOrDie();
+    EXPECT_NEAR(estimator->EstimateSelectivity(everything), 1.0, 0.01)
+        << name;
+  }
+}
+
+TEST(EdgeCases, SthDomainGrowthViaInserts) {
+  Table table(2);
+  for (int i = 0; i < 100; ++i) {
+    table.Insert(std::vector<double>{i / 100.0, i / 100.0});
+  }
+  STHoles histogram(table.Bounds(), table.num_rows(),
+                    [&table](const Box& box) {
+                      return table.CountInBox(box);
+                    });
+  // Insert far outside the original domain; the root must grow.
+  const std::vector<double> far = {50.0, -3.0};
+  table.Insert(far);
+  histogram.OnInsert(far, table.num_rows());
+  histogram.CheckInvariants();
+  (void)histogram.EstimateSelectivity(Box({49.0, -4.0}, {51.0, -2.0}));
+}
+
+TEST(EdgeCases, WorkloadOnTinyTable) {
+  Table table(2);
+  Rng rng(5);
+  for (int i = 0; i < 12; ++i) {
+    table.Insert(std::vector<double>{rng.Uniform(), rng.Uniform()});
+  }
+  const WorkloadGenerator generator(table);
+  for (const char* name : {"dt", "dv", "ut", "uv"}) {
+    const auto queries = generator.Generate(
+        ParseWorkloadName(name).ValueOrDie(), 5, &rng);
+    for (const Query& q : queries) {
+      EXPECT_GE(q.selectivity, 0.0) << name;
+      EXPECT_LE(q.selectivity, 1.0) << name;
+    }
+  }
+}
+
+TEST(EdgeCases, FeedbackWithExtremeTruths) {
+  ClusterBoxesParams params;
+  params.rows = 5000;
+  params.dims = 2;
+  Table table = GenerateClusterBoxes(params, 6);
+  Device device(DeviceProfile::OpenClCpu());
+  KdeConfig config;
+  config.sample_size = 128;
+  auto estimator =
+      KdeSelectivityEstimator::Create(
+          KdeSelectivityEstimator::Mode::kAdaptive, &device, &table, config)
+          .MoveValueOrDie();
+  const Box box({0.1, 0.1}, {0.9, 0.9});
+  // Alternate truth = 0 and truth = 1 feedback: pathological but must
+  // never destabilize the bandwidth into NaN/zero/infinity.
+  for (int i = 0; i < 100; ++i) {
+    (void)estimator->EstimateSelectivity(box);
+    estimator->ObserveTrueSelectivity(box, (i % 2 == 0) ? 0.0 : 1.0);
+    for (double h : estimator->bandwidth()) {
+      ASSERT_TRUE(std::isfinite(h));
+      ASSERT_GT(h, 0.0);
+    }
+  }
+}
+
+TEST(EdgeCases, ReservoirWithSampleEqualToTable) {
+  // Sample size == table size: every insert must still be handled sanely.
+  Table table(1);
+  for (int i = 0; i < 64; ++i) {
+    table.Insert(std::vector<double>{static_cast<double>(i)});
+  }
+  Device device(DeviceProfile::OpenClCpu());
+  KdeConfig config;
+  config.sample_size = 64;
+  auto estimator =
+      KdeSelectivityEstimator::Create(
+          KdeSelectivityEstimator::Mode::kAdaptive, &device, &table, config)
+          .MoveValueOrDie();
+  for (int i = 64; i < 128; ++i) {
+    const std::vector<double> row = {static_cast<double>(i)};
+    table.Insert(row);
+    estimator->OnInsert(row, table.num_rows());
+  }
+  const double high =
+      estimator->EstimateSelectivity(Box({63.5}, {130.0}));
+  EXPECT_GT(high, 0.2);  // New rows visible in the sample.
+}
+
+}  // namespace
+}  // namespace fkde

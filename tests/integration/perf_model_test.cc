@@ -1,0 +1,109 @@
+// Tests that the device cost model reproduces the performance *shape* of
+// the paper's Figure 7 (Section 6.4) — the claims EXPERIMENTS.md relies
+// on. These are model-level tests: fast and deterministic.
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "kde/kde_estimator.h"
+#include "parallel/device.h"
+#include "runtime/executor.h"
+#include "runtime/factory.h"
+#include "workload/workload.h"
+
+namespace fkde {
+namespace {
+
+class PerfModel : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = GenerateDataset("synthetic", 150000, 8, 3).MoveValueOrDie();
+    executor_ = std::make_unique<Executor>(&table_);
+    executor_->BuildIndex();
+    WorkloadGenerator generator(table_);
+    Rng rng(4);
+    queries_ = generator.Generate(ParseWorkloadName("uv").ValueOrDie(), 30,
+                                  &rng);
+  }
+
+  /// Modeled seconds per query for (estimator, device, sample points).
+  double ModeledMsPerQuery(const std::string& estimator_name,
+                           const DeviceProfile& profile,
+                           std::size_t points) {
+    Device device(profile);
+    EstimatorBuildContext context;
+    context.device = &device;
+    context.executor = executor_.get();
+    context.memory_bytes = points * 8 * sizeof(float);
+    auto estimator =
+        BuildEstimator(estimator_name, context).MoveValueOrDie();
+    (void)estimator->EstimateSelectivity(queries_[0].box);
+    estimator->ObserveTrueSelectivity(queries_[0].box,
+                                      queries_[0].selectivity);
+    device.ResetModeledTime();
+    for (const Query& query : queries_) {
+      (void)estimator->EstimateSelectivity(query.box);
+      estimator->ObserveTrueSelectivity(query.box, query.selectivity);
+    }
+    return device.ModeledSeconds() * 1e3 / queries_.size();
+  }
+
+  Table table_{1};
+  std::unique_ptr<Executor> executor_;
+  std::vector<Query> queries_;
+};
+
+TEST_F(PerfModel, FlatThenLinearScaling) {
+  const DeviceProfile gpu = DeviceProfile::SimulatedGtx460();
+  const double t1k = ModeledMsPerQuery("kde_heuristic", gpu, 1024);
+  const double t4k = ModeledMsPerQuery("kde_heuristic", gpu, 4096);
+  const double t64k = ModeledMsPerQuery("kde_heuristic", gpu, 65536);
+  const double t128k = ModeledMsPerQuery("kde_heuristic", gpu, 131072);
+  // Latency-dominated region: quadrupling the model barely moves time.
+  EXPECT_LT(t4k / t1k, 1.6);
+  // Compute-dominated region: doubling the model ~doubles time.
+  EXPECT_GT(t128k / t64k, 1.5);
+  EXPECT_LT(t128k / t64k, 2.5);
+}
+
+TEST_F(PerfModel, GpuAboutFourTimesFasterAtLargeModels) {
+  const double cpu = ModeledMsPerQuery("kde_heuristic",
+                                       DeviceProfile::OpenClCpu(), 131072);
+  const double gpu = ModeledMsPerQuery(
+      "kde_heuristic", DeviceProfile::SimulatedGtx460(), 131072);
+  EXPECT_GT(cpu / gpu, 2.5);
+  EXPECT_LT(cpu / gpu, 6.0);
+}
+
+TEST_F(PerfModel, AdaptiveOverheadIsConstantLatency) {
+  // The adaptive-vs-heuristic gap must not scale with the model: the
+  // gradient compute is hidden behind query execution (Section 5.5).
+  const DeviceProfile gpu = DeviceProfile::SimulatedGtx460();
+  const double gap_small = ModeledMsPerQuery("kde_adaptive", gpu, 1024) -
+                           ModeledMsPerQuery("kde_heuristic", gpu, 1024);
+  const double gap_large = ModeledMsPerQuery("kde_adaptive", gpu, 131072) -
+                           ModeledMsPerQuery("kde_heuristic", gpu, 131072);
+  EXPECT_GT(gap_small, 0.0);
+  EXPECT_GT(gap_large, 0.0);
+  // "Constant": within a factor ~2 across a 128x model growth.
+  EXPECT_LT(gap_large / gap_small, 2.0);
+}
+
+TEST_F(PerfModel, AdaptiveUnderOneMsAt128KOnGpu) {
+  // Paper: "the GPU can estimate a selectivity with Adaptive on a model
+  // of 128K elements in under 1 ms". Allow modest slack for the model.
+  const double ms = ModeledMsPerQuery(
+      "kde_adaptive", DeviceProfile::SimulatedGtx460(), 131072);
+  EXPECT_LT(ms, 2.5);
+}
+
+TEST_F(PerfModel, CpuAboutOneMsAt32K) {
+  // Paper: CPU estimates ~32K-point models in about 1 ms.
+  const double ms = ModeledMsPerQuery("kde_heuristic",
+                                      DeviceProfile::OpenClCpu(), 32768);
+  EXPECT_GT(ms, 0.3);
+  EXPECT_LT(ms, 3.0);
+}
+
+}  // namespace
+}  // namespace fkde

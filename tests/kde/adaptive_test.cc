@@ -1,0 +1,167 @@
+#include "kde/adaptive.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fkde {
+namespace {
+
+AdaptiveOptions FastOptions(bool log_updates, std::size_t mini_batch = 2) {
+  AdaptiveOptions options;
+  options.mini_batch = mini_batch;
+  options.log_updates = log_updates;
+  return options;
+}
+
+TEST(Adaptive, UpdatesOnlyWhenMiniBatchFull) {
+  AdaptiveBandwidth adaptive(1, FastOptions(true, 3));
+  std::vector<double> h = {1.0};
+  const std::vector<double> grad = {0.5};
+  EXPECT_FALSE(adaptive.Observe(grad, &h));
+  EXPECT_FALSE(adaptive.Observe(grad, &h));
+  EXPECT_DOUBLE_EQ(h[0], 1.0);  // Unchanged so far.
+  EXPECT_TRUE(adaptive.Observe(grad, &h));
+  EXPECT_NE(h[0], 1.0);
+  EXPECT_EQ(adaptive.updates_applied(), 1u);
+}
+
+TEST(Adaptive, PositiveGradientShrinksBandwidth) {
+  // Positive dL/dh means the loss grows with h: the step must shrink h.
+  for (bool log_updates : {false, true}) {
+    AdaptiveBandwidth adaptive(1, FastOptions(log_updates, 1));
+    std::vector<double> h = {2.0};
+    EXPECT_TRUE(adaptive.Observe(std::vector<double>{1.0}, &h));
+    EXPECT_LT(h[0], 2.0) << "log=" << log_updates;
+    EXPECT_GT(h[0], 0.0);
+  }
+}
+
+TEST(Adaptive, NegativeGradientGrowsBandwidth) {
+  for (bool log_updates : {false, true}) {
+    AdaptiveBandwidth adaptive(1, FastOptions(log_updates, 1));
+    std::vector<double> h = {2.0};
+    EXPECT_TRUE(adaptive.Observe(std::vector<double>{-1.0}, &h));
+    EXPECT_GT(h[0], 2.0) << "log=" << log_updates;
+  }
+}
+
+TEST(Adaptive, LinearModePositivitySafeguard) {
+  // The paper's safeguard: a step toward zero is capped at h/2.
+  AdaptiveOptions options = FastOptions(false, 1);
+  options.lr_initial = 50.0;  // Huge rate: unguarded step would go negative.
+  AdaptiveBandwidth adaptive(1, options);
+  std::vector<double> h = {1.0};
+  for (int i = 0; i < 20; ++i) {
+    adaptive.Observe(std::vector<double>{10.0}, &h);
+    ASSERT_GT(h[0], 0.0) << "iteration " << i;
+  }
+  // Bounded below by (1/2)^20 but never zero or negative.
+  EXPECT_GT(h[0], 0.0);
+}
+
+TEST(Adaptive, LogModeAllowsBandwidthBelowOne) {
+  // Appendix D: the log parameterization must reach h < 1 (the linear
+  // safeguard would only asymptote toward 0 but the log form has no
+  // artificial floor at 1).
+  AdaptiveBandwidth adaptive(1, FastOptions(true, 1));
+  std::vector<double> h = {4.0};
+  for (int i = 0; i < 200; ++i) {
+    adaptive.Observe(std::vector<double>{1.0}, &h);
+  }
+  EXPECT_LT(h[0], 1.0);
+  EXPECT_GT(h[0], 0.0);
+}
+
+TEST(Adaptive, LearningRateGrowsOnAgreement) {
+  AdaptiveBandwidth adaptive(1, FastOptions(true, 1));
+  std::vector<double> h = {1.0};
+  adaptive.Observe(std::vector<double>{1.0}, &h);
+  const double rate_after_first = adaptive.learning_rates()[0];
+  adaptive.Observe(std::vector<double>{1.0}, &h);
+  adaptive.Observe(std::vector<double>{1.0}, &h);
+  EXPECT_GT(adaptive.learning_rates()[0], rate_after_first);
+}
+
+TEST(Adaptive, LearningRateShrinksOnSignFlip) {
+  AdaptiveBandwidth adaptive(1, FastOptions(true, 1));
+  std::vector<double> h = {1.0};
+  adaptive.Observe(std::vector<double>{1.0}, &h);
+  adaptive.Observe(std::vector<double>{1.0}, &h);
+  const double grown = adaptive.learning_rates()[0];
+  adaptive.Observe(std::vector<double>{-1.0}, &h);
+  EXPECT_LT(adaptive.learning_rates()[0], grown);
+}
+
+TEST(Adaptive, LearningRateClampedToPaperRange) {
+  AdaptiveOptions options = FastOptions(true, 1);
+  AdaptiveBandwidth adaptive(1, options);
+  std::vector<double> h = {1.0};
+  // Hammer agreement: rate must saturate at lr_max = 50.
+  for (int i = 0; i < 100; ++i) {
+    adaptive.Observe(std::vector<double>{1e-3}, &h);
+  }
+  EXPECT_LE(adaptive.learning_rates()[0], options.lr_max);
+  // Hammer disagreement: rate must floor at lr_min = 1e-6.
+  double sign = 1.0;
+  for (int i = 0; i < 100; ++i) {
+    adaptive.Observe(std::vector<double>{sign}, &h);
+    sign = -sign;
+  }
+  EXPECT_GE(adaptive.learning_rates()[0], options.lr_min);
+}
+
+TEST(Adaptive, MiniBatchAveragesOutliers) {
+  // One huge outlier gradient inside a mini-batch of 10 moves the model
+  // far less than it would alone.
+  AdaptiveBandwidth small_batch(1, FastOptions(true, 1));
+  AdaptiveBandwidth big_batch(1, FastOptions(true, 10));
+  std::vector<double> h_small = {1.0}, h_big = {1.0};
+  small_batch.Observe(std::vector<double>{100.0}, &h_small);
+  for (int i = 0; i < 9; ++i) {
+    big_batch.Observe(std::vector<double>{0.0}, &h_big);
+  }
+  big_batch.Observe(std::vector<double>{100.0}, &h_big);
+  // Both updated once; the averaged one moved less.
+  EXPECT_LT(std::abs(std::log(h_big[0])), std::abs(std::log(h_small[0])));
+}
+
+TEST(Adaptive, PerDimensionIndependence) {
+  AdaptiveBandwidth adaptive(2, FastOptions(true, 1));
+  std::vector<double> h = {1.0, 1.0};
+  adaptive.Observe(std::vector<double>{1.0, -1.0}, &h);
+  EXPECT_LT(h[0], 1.0);
+  EXPECT_GT(h[1], 1.0);
+}
+
+TEST(Adaptive, ResetBatchDropsPartialGradients) {
+  AdaptiveBandwidth adaptive(1, FastOptions(true, 2));
+  std::vector<double> h = {1.0};
+  adaptive.Observe(std::vector<double>{100.0}, &h);
+  adaptive.ResetBatch();
+  // Next observation starts a fresh batch: still no update after one.
+  EXPECT_FALSE(adaptive.Observe(std::vector<double>{1.0}, &h));
+  EXPECT_TRUE(adaptive.Observe(std::vector<double>{1.0}, &h));
+}
+
+TEST(Adaptive, ConvergesTowardsAKnownOptimum) {
+  // Synthetic 1D problem: loss = (h - 3)^2, gradient 2(h-3). The learner
+  // should settle near h = 3 from either side.
+  for (double start : {0.5, 10.0}) {
+    AdaptiveBandwidth adaptive(1, FastOptions(true, 5));
+    std::vector<double> h = {start};
+    for (int i = 0; i < 2000; ++i) {
+      adaptive.Observe(std::vector<double>{2.0 * (h[0] - 3.0)}, &h);
+    }
+    EXPECT_NEAR(h[0], 3.0, 0.5) << "start " << start;
+  }
+}
+
+TEST(AdaptiveDeath, RejectsBadConfig) {
+  AdaptiveOptions options;
+  options.mini_batch = 0;
+  EXPECT_DEATH(AdaptiveBandwidth(1, options), "");
+}
+
+}  // namespace
+}  // namespace fkde

@@ -1,0 +1,153 @@
+// Property-based tests on KDE estimator invariants, swept over dimension,
+// kernel, bandwidth scale and random query boxes.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "kde/engine.h"
+
+namespace fkde {
+namespace {
+
+struct PropertyCase {
+  std::size_t dims;
+  KernelType kernel;
+  double bandwidth_scale;  // Multiplier on Scott's rule.
+};
+
+class EngineProperties : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  void SetUp() override {
+    const PropertyCase c = GetParam();
+    ClusterBoxesParams params;
+    params.rows = 8000;
+    params.dims = c.dims;
+    table_ = std::make_unique<Table>(GenerateClusterBoxes(params, 77));
+    device_ = std::make_unique<Device>(DeviceProfile::OpenClCpu());
+    sample_ = std::make_unique<DeviceSample>(device_.get(), 256, c.dims);
+    Rng rng(78);
+    FKDE_CHECK_OK(sample_->LoadFromTable(*table_, &rng));
+    engine_ = std::make_unique<KdeEngine>(sample_.get(), c.kernel);
+    std::vector<double> h = engine_->bandwidth();
+    for (double& v : h) v *= c.bandwidth_scale;
+    FKDE_CHECK_OK(engine_->SetBandwidth(h));
+  }
+
+  Box RandomBox(Rng* rng) const {
+    const std::size_t d = GetParam().dims;
+    std::vector<double> lo(d), hi(d);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double a = rng->Uniform(-0.2, 1.2);
+      const double b = rng->Uniform(-0.2, 1.2);
+      lo[j] = std::min(a, b);
+      hi[j] = std::max(a, b);
+    }
+    return Box(lo, hi);
+  }
+
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<Device> device_;
+  std::unique_ptr<DeviceSample> sample_;
+  std::unique_ptr<KdeEngine> engine_;
+};
+
+TEST_P(EngineProperties, EstimatesAreProbabilities) {
+  Rng rng(1);
+  for (int round = 0; round < 40; ++round) {
+    const double est = engine_->Estimate(RandomBox(&rng));
+    ASSERT_GE(est, -1e-12);
+    ASSERT_LE(est, 1.0 + 1e-12);
+  }
+}
+
+TEST_P(EngineProperties, AdditiveOverDisjointSplit) {
+  // p̂ is a measure: splitting a box along one dimension preserves mass.
+  Rng rng(2);
+  for (int round = 0; round < 20; ++round) {
+    const Box whole = RandomBox(&rng);
+    const std::size_t dim = rng.UniformInt(std::uint64_t{GetParam().dims});
+    const double cut =
+        rng.Uniform(whole.lower(dim), whole.upper(dim));
+    std::vector<double> mid_hi = whole.upper_bounds();
+    mid_hi[dim] = cut;
+    std::vector<double> mid_lo = whole.lower_bounds();
+    mid_lo[dim] = cut;
+    const Box left(whole.lower_bounds(), mid_hi);
+    const Box right(mid_lo, whole.upper_bounds());
+    const double total = engine_->Estimate(whole);
+    const double parts =
+        engine_->Estimate(left) + engine_->Estimate(right);
+    ASSERT_NEAR(total, parts, 1e-10) << whole.ToString();
+  }
+}
+
+TEST_P(EngineProperties, MonotoneUnderGrowth) {
+  Rng rng(3);
+  for (int round = 0; round < 20; ++round) {
+    const Box inner = RandomBox(&rng);
+    const Box outer = inner.ScaledAboutCenter(1.5);
+    ASSERT_LE(engine_->Estimate(inner),
+              engine_->Estimate(outer) + 1e-12);
+  }
+}
+
+TEST_P(EngineProperties, TranslationInvarianceOfTotalMass) {
+  // A huge box anywhere containing all data + tails has mass ~1.
+  const std::size_t d = GetParam().dims;
+  const Box everything(std::vector<double>(d, -500.0),
+                       std::vector<double>(d, 500.0));
+  EXPECT_NEAR(engine_->Estimate(everything), 1.0, 1e-6);
+}
+
+TEST_P(EngineProperties, GradientIsFiniteEverywhere) {
+  Rng rng(4);
+  std::vector<double> gradient;
+  for (int round = 0; round < 10; ++round) {
+    (void)engine_->EstimateWithGradient(RandomBox(&rng), &gradient);
+    for (double g : gradient) ASSERT_TRUE(std::isfinite(g));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineProperties,
+    ::testing::Values(
+        PropertyCase{1, KernelType::kGaussian, 1.0},
+        PropertyCase{2, KernelType::kGaussian, 1.0},
+        PropertyCase{3, KernelType::kGaussian, 0.1},
+        PropertyCase{3, KernelType::kGaussian, 10.0},
+        PropertyCase{8, KernelType::kGaussian, 1.0},
+        PropertyCase{2, KernelType::kEpanechnikov, 1.0},
+        PropertyCase{3, KernelType::kEpanechnikov, 0.1},
+        PropertyCase{8, KernelType::kEpanechnikov, 10.0}));
+
+TEST(EngineConsistency, ConvergesToTruthOnUniformData) {
+  // On uniform data the KDE estimate of a fixed box approaches the true
+  // selectivity as the sample grows (statistical consistency).
+  Rng data_rng(5);
+  Table table(2);
+  for (int i = 0; i < 60000; ++i) {
+    table.Insert(std::vector<double>{data_rng.Uniform(), data_rng.Uniform()});
+  }
+  const Box box({0.2, 0.3}, {0.7, 0.9});
+  const double truth = static_cast<double>(table.CountInBox(box)) / 60000.0;
+
+  Device device(DeviceProfile::OpenClCpu());
+  double previous_error = 1.0;
+  for (std::size_t s : {64u, 1024u, 16384u}) {
+    DeviceSample sample(&device, s, 2);
+    Rng rng(6);
+    FKDE_CHECK_OK(sample.LoadFromTable(table, &rng));
+    KdeEngine engine(&sample, KernelType::kGaussian);
+    const double error = std::abs(engine.Estimate(box) - truth);
+    EXPECT_LT(error, std::max(previous_error, 0.02));
+    previous_error = error;
+  }
+  EXPECT_LT(previous_error, 0.01);
+}
+
+}  // namespace
+}  // namespace fkde

@@ -1,0 +1,159 @@
+#include "kde/kernels.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fkde {
+namespace {
+
+TEST(KernelParse, KnownNames) {
+  EXPECT_EQ(ParseKernelName("gaussian").ValueOrDie(), KernelType::kGaussian);
+  EXPECT_EQ(ParseKernelName("Gauss").ValueOrDie(), KernelType::kGaussian);
+  EXPECT_EQ(ParseKernelName("EPANECHNIKOV").ValueOrDie(),
+            KernelType::kEpanechnikov);
+  EXPECT_EQ(ParseKernelName("epa").ValueOrDie(), KernelType::kEpanechnikov);
+}
+
+TEST(KernelParse, UnknownNameFails) {
+  EXPECT_FALSE(ParseKernelName("triangle").ok());
+  EXPECT_FALSE(ParseKernelName("").ok());
+}
+
+TEST(KernelParse, NamesRoundTrip) {
+  for (KernelType type :
+       {KernelType::kGaussian, KernelType::kEpanechnikov}) {
+    EXPECT_EQ(ParseKernelName(KernelName(type)).ValueOrDie(), type);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CDF-difference properties, parameterized over kernel, center, bandwidth.
+// ---------------------------------------------------------------------------
+
+struct KernelCase {
+  KernelType type;
+  double t;  // Kernel center (sample value).
+  double h;  // Bandwidth.
+};
+
+class CdfDiffProperty : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(CdfDiffProperty, MassIsAProbability) {
+  const KernelCase c = GetParam();
+  for (double lo : {-5.0, -1.0, 0.0, 0.7}) {
+    for (double width : {0.0, 0.1, 1.0, 10.0}) {
+      const double mass = kernel::CdfDiff(c.type, c.t, c.h, lo, lo + width);
+      EXPECT_GE(mass, 0.0);
+      EXPECT_LE(mass, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST_P(CdfDiffProperty, FullLineHasUnitMass) {
+  const KernelCase c = GetParam();
+  const double span = c.type == KernelType::kGaussian ? 50.0 * c.h : 2.0 * c.h;
+  const double mass =
+      kernel::CdfDiff(c.type, c.t, c.h, c.t - span, c.t + span);
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST_P(CdfDiffProperty, EmptyIntervalHasZeroMass) {
+  const KernelCase c = GetParam();
+  EXPECT_DOUBLE_EQ(kernel::CdfDiff(c.type, c.t, c.h, 1.5, 1.5), 0.0);
+}
+
+TEST_P(CdfDiffProperty, MonotoneInUpperBound) {
+  const KernelCase c = GetParam();
+  double previous = 0.0;
+  for (double u = c.t - 3.0 * c.h; u <= c.t + 3.0 * c.h; u += 0.1 * c.h) {
+    const double mass =
+        kernel::CdfDiff(c.type, c.t, c.h, c.t - 3.0 * c.h, u);
+    EXPECT_GE(mass, previous - 1e-12);
+    previous = mass;
+  }
+}
+
+TEST_P(CdfDiffProperty, SymmetricAroundCenter) {
+  const KernelCase c = GetParam();
+  const double left = kernel::CdfDiff(c.type, c.t, c.h, c.t - 2.0 * c.h, c.t);
+  const double right = kernel::CdfDiff(c.type, c.t, c.h, c.t, c.t + 2.0 * c.h);
+  EXPECT_NEAR(left, right, 1e-12);
+}
+
+TEST_P(CdfDiffProperty, AdditiveOverAdjacentIntervals) {
+  const KernelCase c = GetParam();
+  const double a = c.t - 1.3 * c.h;
+  const double m = c.t + 0.2 * c.h;
+  const double b = c.t + 2.1 * c.h;
+  const double whole = kernel::CdfDiff(c.type, c.t, c.h, a, b);
+  const double parts = kernel::CdfDiff(c.type, c.t, c.h, a, m) +
+                       kernel::CdfDiff(c.type, c.t, c.h, m, b);
+  EXPECT_NEAR(whole, parts, 1e-12);
+}
+
+TEST_P(CdfDiffProperty, DerivativeMatchesFiniteDifference) {
+  const KernelCase c = GetParam();
+  // Avoid kink points of the Epanechnikov support boundary by testing
+  // generic interval positions.
+  for (double lo : {c.t - 1.7 * c.h, c.t - 0.45 * c.h, c.t + 0.3 * c.h}) {
+    for (double width : {0.37 * c.h, 1.1 * c.h}) {
+      const double hi = lo + width;
+      const double analytic = kernel::CdfDiffDh(c.type, c.t, c.h, lo, hi);
+      const double eps = 1e-6 * c.h;
+      const double numeric =
+          (kernel::CdfDiff(c.type, c.t, c.h + eps, lo, hi) -
+           kernel::CdfDiff(c.type, c.t, c.h - eps, lo, hi)) /
+          (2.0 * eps);
+      EXPECT_NEAR(analytic, numeric,
+                  1e-5 * std::max(1.0, std::abs(numeric)))
+          << "kernel=" << KernelName(c.type) << " lo=" << lo << " hi=" << hi;
+    }
+  }
+}
+
+TEST_P(CdfDiffProperty, WiderBandwidthSpreadsMassOutward) {
+  const KernelCase c = GetParam();
+  // Mass in a small interval right at the center decreases as h grows.
+  const double narrow =
+      kernel::CdfDiff(c.type, c.t, c.h, c.t - 0.1 * c.h, c.t + 0.1 * c.h);
+  const double wide = kernel::CdfDiff(c.type, c.t, 3.0 * c.h,
+                                      c.t - 0.1 * c.h, c.t + 0.1 * c.h);
+  EXPECT_GT(narrow, wide);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, CdfDiffProperty,
+    ::testing::Values(KernelCase{KernelType::kGaussian, 0.0, 1.0},
+                      KernelCase{KernelType::kGaussian, 2.5, 0.2},
+                      KernelCase{KernelType::kGaussian, -7.0, 5.0},
+                      KernelCase{KernelType::kGaussian, 100.0, 0.01},
+                      KernelCase{KernelType::kEpanechnikov, 0.0, 1.0},
+                      KernelCase{KernelType::kEpanechnikov, 2.5, 0.2},
+                      KernelCase{KernelType::kEpanechnikov, -7.0, 5.0},
+                      KernelCase{KernelType::kEpanechnikov, 100.0, 0.01}));
+
+TEST(EpanechnikovCdf, KnownValues) {
+  EXPECT_DOUBLE_EQ(kernel::EpanechnikovCdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(kernel::EpanechnikovCdf(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(kernel::EpanechnikovCdf(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(kernel::EpanechnikovCdf(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(kernel::EpanechnikovCdf(5.0), 1.0);
+}
+
+TEST(GaussianCdfDiff, MatchesNormalQuantiles) {
+  // One standard deviation around the mean holds ~68.27% of the mass.
+  EXPECT_NEAR(kernel::GaussianCdfDiff(0.0, 1.0, -1.0, 1.0), 0.6826894921,
+              1e-9);
+  // Two standard deviations: ~95.45%.
+  EXPECT_NEAR(kernel::GaussianCdfDiff(0.0, 1.0, -2.0, 2.0), 0.9544997361,
+              1e-9);
+}
+
+TEST(GaussianCdfDiffDh, ZeroForCenteredSymmetricIntervalExtremes) {
+  // For a huge interval the mass is ~1 regardless of h: derivative ~0.
+  EXPECT_NEAR(kernel::GaussianCdfDiffDh(0.0, 1.0, -100.0, 100.0), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace fkde

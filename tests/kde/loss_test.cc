@@ -1,0 +1,119 @@
+#include "kde/loss.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fkde {
+namespace {
+
+constexpr LossType kAllLosses[] = {
+    LossType::kQuadratic, LossType::kAbsolute, LossType::kRelative,
+    LossType::kSquaredRelative, LossType::kSquaredQ};
+
+TEST(LossParse, KnownNames) {
+  EXPECT_EQ(ParseLossName("l2").ValueOrDie(), LossType::kQuadratic);
+  EXPECT_EQ(ParseLossName("Quadratic").ValueOrDie(), LossType::kQuadratic);
+  EXPECT_EQ(ParseLossName("L1").ValueOrDie(), LossType::kAbsolute);
+  EXPECT_EQ(ParseLossName("relative").ValueOrDie(), LossType::kRelative);
+  EXPECT_EQ(ParseLossName("squared_relative").ValueOrDie(),
+            LossType::kSquaredRelative);
+  EXPECT_EQ(ParseLossName("q").ValueOrDie(), LossType::kSquaredQ);
+  EXPECT_FALSE(ParseLossName("huber").ok());
+}
+
+TEST(LossParse, NamesRoundTrip) {
+  for (LossType type : kAllLosses) {
+    EXPECT_EQ(ParseLossName(LossName(type)).ValueOrDie(), type);
+  }
+}
+
+TEST(Loss, KnownValues) {
+  EXPECT_DOUBLE_EQ(EvaluateLoss(LossType::kQuadratic, 0.3, 0.1), 0.04);
+  EXPECT_DOUBLE_EQ(EvaluateLoss(LossType::kAbsolute, 0.3, 0.1), 0.2);
+  EXPECT_NEAR(EvaluateLoss(LossType::kRelative, 0.3, 0.1, 0.1), 1.0, 1e-12);
+  EXPECT_NEAR(EvaluateLoss(LossType::kSquaredRelative, 0.3, 0.1, 0.1), 1.0,
+              1e-12);
+  const double q = std::log(0.4 + 1e-5) - std::log(0.2 + 1e-5);
+  EXPECT_NEAR(EvaluateLoss(LossType::kSquaredQ, 0.4, 0.2), q * q, 1e-12);
+}
+
+TEST(Loss, ZeroAtPerfectEstimate) {
+  for (LossType type : kAllLosses) {
+    EXPECT_DOUBLE_EQ(EvaluateLoss(type, 0.25, 0.25), 0.0)
+        << LossName(type);
+    EXPECT_DOUBLE_EQ(LossDerivative(type, 0.25, 0.25), 0.0)
+        << LossName(type);
+  }
+}
+
+TEST(Loss, NonNegativeEverywhere) {
+  for (LossType type : kAllLosses) {
+    for (double est : {0.0, 0.1, 0.5, 1.0}) {
+      for (double truth : {0.0, 0.2, 0.9}) {
+        EXPECT_GE(EvaluateLoss(type, est, truth), 0.0)
+            << LossName(type) << " est=" << est << " truth=" << truth;
+      }
+    }
+  }
+}
+
+TEST(Loss, SignOfDerivativeTracksError) {
+  for (LossType type : kAllLosses) {
+    EXPECT_GT(LossDerivative(type, 0.5, 0.2), 0.0) << LossName(type);
+    EXPECT_LT(LossDerivative(type, 0.1, 0.6), 0.0) << LossName(type);
+  }
+}
+
+TEST(Loss, RelativeLossesHandleZeroTruth) {
+  // lambda keeps these finite at truth = 0 (empty queries are common).
+  for (LossType type : {LossType::kRelative, LossType::kSquaredRelative,
+                        LossType::kSquaredQ}) {
+    const double value = EvaluateLoss(type, 0.1, 0.0, 1e-5);
+    EXPECT_TRUE(std::isfinite(value)) << LossName(type);
+    EXPECT_GT(value, 0.0) << LossName(type);
+    EXPECT_TRUE(std::isfinite(LossDerivative(type, 0.1, 0.0, 1e-5)));
+  }
+}
+
+// Derivative vs finite differences, parameterized over all losses.
+class LossDerivativeSweep : public ::testing::TestWithParam<LossType> {};
+
+TEST_P(LossDerivativeSweep, MatchesFiniteDifference) {
+  const LossType type = GetParam();
+  const double lambda = 1e-4;
+  for (double truth : {0.0, 0.05, 0.4}) {
+    for (double est : {0.01, 0.2, 0.7}) {
+      if (type == LossType::kAbsolute || type == LossType::kRelative) {
+        // Piecewise-linear: derivative valid away from est == truth only.
+        if (std::abs(est - truth) < 1e-3) continue;
+      }
+      const double eps = 1e-7;
+      const double numeric = (EvaluateLoss(type, est + eps, truth, lambda) -
+                              EvaluateLoss(type, est - eps, truth, lambda)) /
+                             (2.0 * eps);
+      const double analytic = LossDerivative(type, est, truth, lambda);
+      EXPECT_NEAR(analytic, numeric, 1e-4 * std::max(1.0, std::abs(numeric)))
+          << LossName(type) << " est=" << est << " truth=" << truth;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLosses, LossDerivativeSweep,
+                         ::testing::ValuesIn(kAllLosses));
+
+TEST(Loss, QuadraticIsSymmetric) {
+  EXPECT_DOUBLE_EQ(EvaluateLoss(LossType::kQuadratic, 0.3, 0.1),
+                   EvaluateLoss(LossType::kQuadratic, 0.1, 0.3));
+}
+
+TEST(Loss, QErrorPenalizesRatios) {
+  // Q-error treats 2x overestimate and 2x underestimate symmetrically in
+  // log space (for lambda << values).
+  const double over = EvaluateLoss(LossType::kSquaredQ, 0.4, 0.2, 1e-9);
+  const double under = EvaluateLoss(LossType::kSquaredQ, 0.1, 0.2, 1e-9);
+  EXPECT_NEAR(over, under, 1e-6);
+}
+
+}  // namespace
+}  // namespace fkde

@@ -1,0 +1,141 @@
+// Tests for the Periodic estimator mode — the Section 3.4 deployment
+// recipe (ring buffer of recent feedback + periodic batch re-optimization).
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "kde/kde_estimator.h"
+#include "runtime/driver.h"
+
+namespace fkde {
+namespace {
+
+using Mode = KdeSelectivityEstimator::Mode;
+
+struct PeriodicFixture {
+  explicit PeriodicFixture(std::uint64_t seed = 1) {
+    ClusterBoxesParams params;
+    params.rows = 20000;
+    params.dims = 3;
+    params.num_clusters = 6;
+    table = std::make_unique<Table>(GenerateClusterBoxes(params, seed));
+    device = std::make_unique<Device>(DeviceProfile::OpenClCpu());
+    WorkloadGenerator generator(*table);
+    Rng rng(seed + 1);
+    const WorkloadSpec dt = ParseWorkloadName("dt").ValueOrDie();
+    stream = generator.Generate(dt, 250, &rng);
+    test = generator.Generate(dt, 100, &rng);
+  }
+
+  std::unique_ptr<KdeSelectivityEstimator> Build(KdeConfig config = {}) {
+    config.sample_size = 512;
+    return KdeSelectivityEstimator::Create(Mode::kPeriodic, device.get(),
+                                           table.get(), config)
+        .MoveValueOrDie();
+  }
+
+  std::unique_ptr<Table> table;
+  std::unique_ptr<Device> device;
+  std::vector<Query> stream;
+  std::vector<Query> test;
+};
+
+TEST(Periodic, NameAndConstruction) {
+  PeriodicFixture f;
+  auto estimator = f.Build();
+  EXPECT_EQ(estimator->name(), "kde_periodic");
+  EXPECT_EQ(estimator->reoptimizations(), 0u);
+}
+
+TEST(Periodic, ReoptimizesOnSchedule) {
+  PeriodicFixture f;
+  KdeConfig config;
+  config.reoptimize_every = 50;
+  config.feedback_window = 100;
+  auto estimator = f.Build(config);
+  for (std::size_t i = 0; i < 120; ++i) {
+    (void)estimator->EstimateSelectivity(f.stream[i].box);
+    estimator->ObserveTrueSelectivity(f.stream[i].box,
+                                      f.stream[i].selectivity);
+  }
+  // Optimizations at feedback 50 and 100.
+  EXPECT_EQ(estimator->reoptimizations(), 2u);
+}
+
+TEST(Periodic, ImprovesOverScottAfterFirstWindow) {
+  PeriodicFixture f;
+  KdeConfig config;
+  config.reoptimize_every = 80;
+  auto periodic = f.Build(config);
+  const std::vector<double> scott = periodic->bandwidth();
+  FeedbackDriver::Train(periodic.get(), f.stream);
+  EXPECT_GT(periodic->reoptimizations(), 0u);
+  EXPECT_NE(periodic->bandwidth(), scott);
+
+  // Error after tuning beats the frozen Scott model.
+  auto heuristic =
+      KdeSelectivityEstimator::Create(Mode::kHeuristic, f.device.get(),
+                                      f.table.get(), config)
+          .MoveValueOrDie();
+  const double tuned =
+      FeedbackDriver::RunPrecomputed(periodic.get(), f.test)
+          .MeanAbsoluteError();
+  const double frozen =
+      FeedbackDriver::RunPrecomputed(heuristic.get(), f.test)
+          .MeanAbsoluteError();
+  EXPECT_LT(tuned, frozen);
+}
+
+TEST(Periodic, RingBufferKeepsOnlyRecentQueries) {
+  // After the window cycles, the ring must contain exactly the most
+  // recent `feedback_window` observations — older ones are overwritten.
+  PeriodicFixture f(7);
+  KdeConfig config;
+  config.feedback_window = 60;
+  config.reoptimize_every = 60;
+
+  auto cycled = f.Build(config);
+  for (std::size_t i = 0; i < 60; ++i) {  // Old phase fills the ring once.
+    cycled->ObserveTrueSelectivity(f.stream[i].box, f.stream[i].selectivity);
+  }
+  for (std::size_t i = 100; i < 160; ++i) {  // New phase overwrites it.
+    cycled->ObserveTrueSelectivity(f.stream[i].box, f.stream[i].selectivity);
+  }
+  ASSERT_EQ(cycled->reoptimizations(), 2u);
+  const auto& ring = cycled->feedback_ring();
+  ASSERT_EQ(ring.size(), 60u);
+  // Every ring entry is one of the NEW-phase queries; none of the old.
+  for (const Query& entry : ring) {
+    bool found = false;
+    for (std::size_t i = 100; i < 160 && !found; ++i) {
+      found = entry.box == f.stream[i].box;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Periodic, RejectsZeroIntervals) {
+  PeriodicFixture f;
+  KdeConfig config;
+  config.sample_size = 64;
+  config.reoptimize_every = 0;
+  EXPECT_FALSE(KdeSelectivityEstimator::Create(Mode::kPeriodic,
+                                               f.device.get(), f.table.get(),
+                                               config)
+                   .ok());
+  config.reoptimize_every = 10;
+  config.feedback_window = 0;
+  EXPECT_FALSE(KdeSelectivityEstimator::Create(Mode::kPeriodic,
+                                               f.device.get(), f.table.get(),
+                                               config)
+                   .ok());
+}
+
+TEST(Periodic, AvailableThroughFactoryName) {
+  EXPECT_EQ(KdeModeName(Mode::kPeriodic), "kde_periodic");
+}
+
+}  // namespace
+}  // namespace fkde

@@ -1,0 +1,111 @@
+#include "kde/reservoir.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "data/table.h"
+
+namespace fkde {
+namespace {
+
+constexpr std::size_t kRejected = std::numeric_limits<std::size_t>::max();
+
+struct ReservoirFixture {
+  ReservoirFixture(std::size_t sample_rows, std::size_t dims)
+      : device(DeviceProfile::OpenClCpu()),
+        sample(&device, sample_rows, dims),
+        rng(1),
+        maintainer(&sample, &rng) {
+    // Fill the sample with marker rows.
+    std::vector<double> rows(sample_rows * dims, -1.0);
+    FKDE_CHECK_OK(sample.LoadRows(rows, sample_rows));
+  }
+
+  Device device;
+  DeviceSample sample;
+  Rng rng;
+  ReservoirMaintainer maintainer;
+};
+
+TEST(Reservoir, AcceptanceRateMatchesSOverR) {
+  ReservoirFixture f(100, 1);
+  // Table size fixed at 1000: acceptance probability 100/1000 = 0.1.
+  const std::vector<double> row = {5.0};
+  const int trials = 20000;
+  int accepted = 0;
+  for (int i = 0; i < trials; ++i) {
+    if (f.maintainer.OnInsert(row, 1000) != kRejected) ++accepted;
+  }
+  EXPECT_NEAR(accepted / static_cast<double>(trials), 0.1, 0.01);
+  EXPECT_EQ(f.maintainer.accepted(), static_cast<std::size_t>(accepted));
+  EXPECT_EQ(f.maintainer.observed(), static_cast<std::size_t>(trials));
+}
+
+TEST(Reservoir, SmallTableAlwaysAccepts) {
+  ReservoirFixture f(100, 1);
+  // |R| <= s: probability clamps to 1.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_NE(f.maintainer.OnInsert(std::vector<double>{1.0}, 50),
+              kRejected);
+  }
+}
+
+TEST(Reservoir, AcceptedRowLandsInSample) {
+  ReservoirFixture f(10, 2);
+  const std::vector<double> row = {3.5, 7.5};
+  std::size_t slot = kRejected;
+  while (slot == kRejected) {
+    slot = f.maintainer.OnInsert(row, 20);
+  }
+  EXPECT_EQ(f.sample.ReadRow(slot), row);
+}
+
+TEST(Reservoir, ReplacedSlotsAreUniform) {
+  ReservoirFixture f(10, 1);
+  std::vector<int> hits(10, 0);
+  int accepted = 0;
+  while (accepted < 5000) {
+    const std::size_t slot =
+        f.maintainer.OnInsert(std::vector<double>{1.0}, 20);
+    if (slot != kRejected) {
+      ++hits[slot];
+      ++accepted;
+    }
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(h / 5000.0, 0.1, 0.03);
+  }
+}
+
+TEST(Reservoir, AcceptanceDecaysAsTableGrows) {
+  // Streaming behavior of Algorithm R: later inserts are accepted less
+  // often; overall, the expected number of accepts over a growth from s
+  // to N is s * (H(N) - H(s)) ~ s ln(N/s).
+  ReservoirFixture f(100, 1);
+  std::size_t table_size = 100;
+  for (int i = 0; i < 10000; ++i) {
+    ++table_size;
+    (void)f.maintainer.OnInsert(std::vector<double>{1.0}, table_size);
+  }
+  const double expected = 100.0 * std::log(table_size / 100.0);
+  EXPECT_NEAR(static_cast<double>(f.maintainer.accepted()), expected,
+              0.25 * expected);
+}
+
+TEST(Reservoir, TransferOnlyOnAccept) {
+  ReservoirFixture f(10, 1);
+  const auto base = f.device.ledger().transfers_to_device;
+  std::size_t accepts = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (f.maintainer.OnInsert(std::vector<double>{2.0}, 10000) != kRejected) {
+      ++accepts;
+    }
+  }
+  // Exactly one device transfer per accepted row: rejected inserts are
+  // decided host-side with zero bus traffic (the paper's optimality).
+  EXPECT_EQ(f.device.ledger().transfers_to_device - base, accepts);
+}
+
+}  // namespace
+}  // namespace fkde

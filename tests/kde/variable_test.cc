@@ -1,0 +1,176 @@
+// Tests for the variable-KDE extension (paper Section 8).
+
+#include "kde/variable.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "opt/optimizer.h"
+
+namespace fkde {
+namespace {
+
+struct VariableFixture {
+  /// Mixed-scale 1D data: a razor-thin cluster plus a broad background —
+  /// the scenario where one global bandwidth cannot win.
+  explicit VariableFixture(std::size_t sample_size = 512,
+                           std::uint64_t seed = 5) {
+    Rng rng(seed);
+    table = std::make_unique<Table>(1);
+    for (int i = 0; i < 30000; ++i) {
+      const double x = rng.Bernoulli(0.5) ? rng.Gaussian(0.0, 0.01)
+                                          : rng.Gaussian(0.0, 10.0);
+      table->Insert(std::vector<double>{x});
+    }
+    device = std::make_unique<Device>(DeviceProfile::OpenClCpu());
+    sample = std::make_unique<DeviceSample>(device.get(), sample_size, 1);
+    Rng sample_rng(seed + 1);
+    FKDE_CHECK_OK(sample->LoadFromTable(*table, &sample_rng));
+    engine = std::make_unique<KdeEngine>(sample.get(), KernelType::kGaussian);
+  }
+
+  double TruthOf(const Box& box) const {
+    return static_cast<double>(table->CountInBox(box)) /
+           static_cast<double>(table->num_rows());
+  }
+
+  std::unique_ptr<Table> table;
+  std::unique_ptr<Device> device;
+  std::unique_ptr<DeviceSample> sample;
+  std::unique_ptr<KdeEngine> engine;
+};
+
+TEST(VariableKde, ScalesArePositiveAndClamped) {
+  VariableFixture f;
+  VariableKdeOptions options;
+  options.max_ratio = 4.0;
+  const std::vector<double> scales =
+      ComputeVariableScales(f.engine.get(), options).ValueOrDie();
+  ASSERT_EQ(scales.size(), f.engine->sample_size());
+  for (double s : scales) {
+    EXPECT_GE(s, 0.25 - 1e-12);
+    EXPECT_LE(s, 4.0 + 1e-12);
+  }
+}
+
+TEST(VariableKde, DensePointsGetSmallerScales) {
+  VariableFixture f;
+  const std::vector<double> scales =
+      ComputeVariableScales(f.engine.get()).ValueOrDie();
+  // Points in the thin spike (|x| < 0.05) must smooth tighter than
+  // points in the broad background (|x| > 3).
+  double dense_sum = 0.0, sparse_sum = 0.0;
+  std::size_t dense_count = 0, sparse_count = 0;
+  for (std::size_t i = 0; i < f.engine->sample_size(); ++i) {
+    const double x = f.sample->ReadRow(i)[0];
+    if (std::abs(x) < 0.05) {
+      dense_sum += scales[i];
+      ++dense_count;
+    } else if (std::abs(x) > 3.0) {
+      sparse_sum += scales[i];
+      ++sparse_count;
+    }
+  }
+  ASSERT_GT(dense_count, 10u);
+  ASSERT_GT(sparse_count, 10u);
+  EXPECT_LT(dense_sum / dense_count, 0.6 * (sparse_sum / sparse_count));
+}
+
+TEST(VariableKde, ZeroSensitivityIsUnitScales) {
+  VariableFixture f;
+  VariableKdeOptions options;
+  options.sensitivity = 0.0;
+  const std::vector<double> scales =
+      ComputeVariableScales(f.engine.get(), options).ValueOrDie();
+  for (double s : scales) EXPECT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(VariableKde, EstimatorRemainsAProbabilityMeasure) {
+  VariableFixture f;
+  FKDE_CHECK_OK(EnableVariableKde(f.engine.get()));
+  EXPECT_TRUE(f.engine->has_point_scales());
+  // Total mass is 1 and sub-boxes are monotone.
+  EXPECT_NEAR(f.engine->Estimate(Box({-1000.0}, {1000.0})), 1.0, 1e-6);
+  const double small = f.engine->Estimate(Box({-0.1}, {0.1}));
+  const double large = f.engine->Estimate(Box({-1.0}, {1.0}));
+  EXPECT_GE(small, 0.0);
+  EXPECT_LE(small, large + 1e-12);
+}
+
+TEST(VariableKde, ImprovesMixedScaleEstimates) {
+  VariableFixture f;
+  // Queries at both scales: tight boxes in the spike, broad boxes in the
+  // background.
+  std::vector<Box> queries;
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    const double c = rng.Gaussian(0.0, 0.01);
+    queries.emplace_back(std::vector<double>{c - 0.01},
+                         std::vector<double>{c + 0.01});
+    const double b = rng.Gaussian(0.0, 10.0);
+    queries.emplace_back(std::vector<double>{b - 2.0},
+                         std::vector<double>{b + 2.0});
+  }
+  auto mean_error = [&] {
+    double total = 0.0;
+    for (const Box& box : queries) {
+      total += std::abs(f.engine->Estimate(box) - f.TruthOf(box));
+    }
+    return total / queries.size();
+  };
+  const double fixed_error = mean_error();
+  FKDE_CHECK_OK(EnableVariableKde(f.engine.get()));
+  const double variable_error = mean_error();
+  EXPECT_LT(variable_error, fixed_error);
+}
+
+TEST(VariableKde, GradientMatchesFiniteDifferenceWithScales) {
+  VariableFixture f(128);
+  FKDE_CHECK_OK(EnableVariableKde(f.engine.get()));
+  const Box box({-0.5}, {0.5});
+  Objective objective = [&](std::span<const double> h,
+                            std::span<double> grad) {
+    FKDE_CHECK_OK(f.engine->SetBandwidth(h));
+    if (grad.empty()) return f.engine->Estimate(box);
+    std::vector<double> g;
+    const double est = f.engine->EstimateWithGradient(box, &g);
+    std::copy(g.begin(), g.end(), grad.begin());
+    return est;
+  };
+  const std::vector<double> h0 = f.engine->bandwidth();
+  EXPECT_LT(MaxGradientError(objective, h0, 1e-5), 2e-3);
+}
+
+TEST(VariableKde, ClearRestoresFixedModel) {
+  VariableFixture f;
+  const Box box({-0.05}, {0.05});
+  const double fixed = f.engine->Estimate(box);
+  FKDE_CHECK_OK(EnableVariableKde(f.engine.get()));
+  const double variable = f.engine->Estimate(box);
+  EXPECT_NE(fixed, variable);
+  f.engine->ClearPointScales();
+  EXPECT_DOUBLE_EQ(f.engine->Estimate(box), fixed);
+}
+
+TEST(VariableKde, RejectsBadInputs) {
+  VariableFixture f(64);
+  VariableKdeOptions options;
+  options.sensitivity = 2.0;
+  EXPECT_FALSE(ComputeVariableScales(f.engine.get(), options).ok());
+  options.sensitivity = 0.5;
+  options.max_ratio = 0.5;
+  EXPECT_FALSE(ComputeVariableScales(f.engine.get(), options).ok());
+  EXPECT_FALSE(ComputeVariableScales(nullptr).ok());
+  // Wrong arity / non-positive scales.
+  EXPECT_FALSE(f.engine->SetPointScales(std::vector<double>{1.0}).ok());
+  std::vector<double> bad(f.engine->sample_size(), 1.0);
+  bad[3] = -1.0;
+  EXPECT_FALSE(f.engine->SetPointScales(bad).ok());
+}
+
+}  // namespace
+}  // namespace fkde

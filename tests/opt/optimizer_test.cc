@@ -1,0 +1,187 @@
+#include "opt/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fkde {
+namespace {
+
+Problem QuadraticProblem(std::vector<double> center, double lo, double hi) {
+  Problem problem;
+  const std::size_t d = center.size();
+  problem.lower.assign(d, lo);
+  problem.upper.assign(d, hi);
+  problem.objective = [center](std::span<const double> x,
+                               std::span<double> grad) {
+    double f = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double delta = x[i] - center[i];
+      f += delta * delta;
+      if (!grad.empty()) grad[i] = 2.0 * delta;
+    }
+    return f;
+  };
+  return problem;
+}
+
+TEST(Lbfgsb, ConvergesOnSeparableQuadratic) {
+  const Problem problem = QuadraticProblem({1.0, -2.0, 3.0}, -10.0, 10.0);
+  const std::vector<double> x0 = {5.0, 5.0, 5.0};
+  const OptimizeResult result = MinimizeLbfgsb(problem, x0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-5);
+  EXPECT_NEAR(result.x[1], -2.0, 1e-5);
+  EXPECT_NEAR(result.x[2], 3.0, 1e-5);
+  EXPECT_NEAR(result.f, 0.0, 1e-9);
+}
+
+TEST(Lbfgsb, RespectsActiveBounds) {
+  // Minimum at (5, 5) but the box caps at 2: solution clamps to the bound.
+  const Problem problem = QuadraticProblem({5.0, 5.0}, -2.0, 2.0);
+  const OptimizeResult result = MinimizeLbfgsb(problem, {{0.0, 0.0}});
+  EXPECT_NEAR(result.x[0], 2.0, 1e-8);
+  EXPECT_NEAR(result.x[1], 2.0, 1e-8);
+}
+
+TEST(Lbfgsb, StartOutsideBoundsIsClamped) {
+  const Problem problem = QuadraticProblem({0.0}, -1.0, 1.0);
+  const OptimizeResult result = MinimizeLbfgsb(problem, {{100.0}});
+  EXPECT_NEAR(result.x[0], 0.0, 1e-6);
+}
+
+TEST(Lbfgsb, RosenbrockValley) {
+  Problem problem;
+  problem.lower = {-5.0, -5.0};
+  problem.upper = {5.0, 5.0};
+  problem.objective = [](std::span<const double> x, std::span<double> grad) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    if (!grad.empty()) {
+      grad[0] = -2.0 * a - 400.0 * x[0] * b;
+      grad[1] = 200.0 * b;
+    }
+    return a * a + 100.0 * b * b;
+  };
+  LocalOptions options;
+  options.max_iterations = 500;
+  const OptimizeResult result =
+      MinimizeLbfgsb(problem, {{-1.2, 1.0}}, options);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-3);
+}
+
+TEST(Lbfgsb, IllConditionedQuadratic) {
+  Problem problem;
+  problem.lower = {-100.0, -100.0};
+  problem.upper = {100.0, 100.0};
+  problem.objective = [](std::span<const double> x, std::span<double> grad) {
+    if (!grad.empty()) {
+      grad[0] = 2.0 * 1000.0 * x[0];
+      grad[1] = 2.0 * 0.01 * x[1];
+    }
+    return 1000.0 * x[0] * x[0] + 0.01 * x[1] * x[1];
+  };
+  LocalOptions options;
+  options.max_iterations = 400;
+  const OptimizeResult result =
+      MinimizeLbfgsb(problem, {{1.0, 50.0}}, options);
+  EXPECT_NEAR(result.f, 0.0, 1e-4);
+}
+
+TEST(Lbfgsb, TinyObjectiveScaleStillMoves) {
+  // Regression guard: losses in the bandwidth problem are O(1e-6); the
+  // optimizer must still make progress rather than declare convergence.
+  Problem problem;
+  problem.lower = {-10.0};
+  problem.upper = {10.0};
+  problem.objective = [](std::span<const double> x, std::span<double> grad) {
+    const double delta = x[0] - 3.0;
+    if (!grad.empty()) grad[0] = 2e-6 * delta;
+    return 1e-6 * delta * delta;
+  };
+  const OptimizeResult result = MinimizeLbfgsb(problem, {{0.0}});
+  EXPECT_NEAR(result.x[0], 3.0, 1e-3);
+}
+
+TEST(Mlsl, EscapesLocalMinimum) {
+  // Double well: local minimum near x=-1 (f=0.05), global near x=1.1
+  // (f=-1). Local search from x0=-1 stays put; MLSL must find the global.
+  Problem problem;
+  problem.lower = {-3.0};
+  problem.upper = {3.0};
+  problem.objective = [](std::span<const double> x, std::span<double> grad) {
+    // f(x) = (x^2 - 1)^2 - 0.5 x  -> wells near +-1, right one deeper.
+    const double v = x[0] * x[0] - 1.0;
+    if (!grad.empty()) grad[0] = 4.0 * x[0] * v - 0.5;
+    return v * v - 0.5 * x[0];
+  };
+  Rng rng(7);
+  const OptimizeResult local = MinimizeLbfgsb(problem, {{-1.0}});
+  EXPECT_LT(local.x[0], 0.0);  // Confirms the trap exists.
+  GlobalOptions global;
+  global.num_samples = 32;
+  global.starts_per_round = 4;
+  const OptimizeResult result = MinimizeMlsl(problem, {{-1.0}}, &rng, global);
+  EXPECT_GT(result.x[0], 0.9);
+}
+
+TEST(Mlsl, DeterministicForFixedSeed) {
+  const Problem problem = QuadraticProblem({0.3, -0.7}, -2.0, 2.0);
+  Rng rng1(11), rng2(11);
+  const OptimizeResult r1 = MinimizeMlsl(problem, {{1.0, 1.0}}, &rng1);
+  const OptimizeResult r2 = MinimizeMlsl(problem, {{1.0, 1.0}}, &rng2);
+  EXPECT_EQ(r1.x, r2.x);
+  EXPECT_EQ(r1.evaluations, r2.evaluations);
+}
+
+TEST(GradientCheck, AcceptsCorrectGradient) {
+  const Problem problem = QuadraticProblem({1.0, 2.0}, -5.0, 5.0);
+  const std::vector<double> x = {0.5, -1.5};
+  EXPECT_LT(MaxGradientError(problem.objective, x), 1e-6);
+}
+
+TEST(GradientCheck, RejectsWrongGradient) {
+  Objective wrong = [](std::span<const double> x, std::span<double> grad) {
+    if (!grad.empty()) grad[0] = 1.0;  // True gradient is 2x.
+    return x[0] * x[0];
+  };
+  const std::vector<double> x = {3.0};
+  EXPECT_GT(MaxGradientError(wrong, x), 0.5);
+}
+
+// Parameterized sweep: random convex quadratics in several dimensions all
+// converge to their (interior) optimum.
+class LbfgsbSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LbfgsbSweep, RandomConvexQuadratics) {
+  const int d = GetParam();
+  Rng rng(100 + d);
+  std::vector<double> center(d), scale(d), x0(d);
+  for (int i = 0; i < d; ++i) {
+    center[i] = rng.Uniform(-2.0, 2.0);
+    scale[i] = rng.Uniform(0.1, 10.0);
+    x0[i] = rng.Uniform(-4.0, 4.0);
+  }
+  Problem problem;
+  problem.lower.assign(d, -5.0);
+  problem.upper.assign(d, 5.0);
+  problem.objective = [&](std::span<const double> x, std::span<double> grad) {
+    double f = 0.0;
+    for (int i = 0; i < d; ++i) {
+      const double delta = x[i] - center[i];
+      f += scale[i] * delta * delta;
+      if (!grad.empty()) grad[i] = 2.0 * scale[i] * delta;
+    }
+    return f;
+  };
+  const OptimizeResult result = MinimizeLbfgsb(problem, x0);
+  for (int i = 0; i < d; ++i) {
+    EXPECT_NEAR(result.x[i], center[i], 1e-4) << "dim " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, LbfgsbSweep, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace fkde

@@ -1,0 +1,177 @@
+#include "parallel/device.h"
+
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fkde {
+namespace {
+
+TEST(Device, RoundTripTransfer) {
+  Device device(DeviceProfile::OpenClCpu());
+  auto buffer = device.CreateBuffer<float>(100);
+  std::vector<float> in(100);
+  std::iota(in.begin(), in.end(), 0.0f);
+  device.CopyToDevice(in.data(), in.size(), &buffer);
+  std::vector<float> out(100);
+  device.CopyToHost(buffer, 0, 100, out.data());
+  EXPECT_EQ(in, out);
+}
+
+TEST(Device, PartialTransferWithOffset) {
+  Device device(DeviceProfile::OpenClCpu());
+  auto buffer = device.CreateBuffer<double>(10);
+  const std::vector<double> zeros(10, 0.0);
+  device.CopyToDevice(zeros.data(), 10, &buffer);
+  const double value = 42.0;
+  device.CopyToDevice(&value, 1, &buffer, 3);
+  std::vector<double> out(10);
+  device.CopyToHost(buffer, 0, 10, out.data());
+  EXPECT_DOUBLE_EQ(out[3], 42.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.0);
+}
+
+TEST(Device, LedgerCountsBytesAndTransfers) {
+  Device device(DeviceProfile::OpenClCpu());
+  auto buffer = device.CreateBuffer<float>(256);
+  std::vector<float> data(256, 1.0f);
+  device.CopyToDevice(data.data(), 256, &buffer);
+  device.CopyToHost(buffer, 0, 16, data.data());
+  const TransferLedger& ledger = device.ledger();
+  EXPECT_EQ(ledger.transfers_to_device, 1u);
+  EXPECT_EQ(ledger.transfers_to_host, 1u);
+  EXPECT_EQ(ledger.bytes_to_device, 256u * sizeof(float));
+  EXPECT_EQ(ledger.bytes_to_host, 16u * sizeof(float));
+  EXPECT_EQ(ledger.total_bytes(), (256u + 16u) * sizeof(float));
+  device.ResetLedger();
+  EXPECT_EQ(device.ledger().total_bytes(), 0u);
+}
+
+TEST(Device, LaunchExecutesKernelBody) {
+  Device device(DeviceProfile::OpenClCpu());
+  auto buffer = device.CreateBuffer<double>(1000);
+  double* data = buffer.device_data();
+  device.Launch("fill", 1000, 1.0, [data](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      data[i] = static_cast<double>(i) * 2.0;
+    }
+  });
+  std::vector<double> out(1000);
+  device.CopyToHost(buffer, 0, 1000, out.data());
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[999], 1998.0);
+  EXPECT_EQ(device.ledger().kernel_launches, 1u);
+}
+
+TEST(Device, ModeledTimeAccumulatesLaunchAndCompute) {
+  DeviceProfile profile;
+  profile.launch_latency_s = 1e-3;
+  profile.transfer_latency_s = 0.0;
+  profile.transfer_bandwidth = 1e18;
+  profile.compute_throughput = 1e6;  // 1M ops/s.
+  Device device(profile);
+  device.Launch("noop", 1000, 1.0, [](std::size_t, std::size_t) {});
+  // 1 ms launch + 1000 ops / 1e6 ops/s = 1 ms -> 2 ms total.
+  EXPECT_NEAR(device.ModeledSeconds(), 2e-3, 1e-9);
+  device.ResetModeledTime();
+  EXPECT_DOUBLE_EQ(device.ModeledSeconds(), 0.0);
+}
+
+TEST(Device, OverlappedLaunchChargesOnlyLatency) {
+  DeviceProfile profile;
+  profile.launch_latency_s = 1e-3;
+  profile.compute_throughput = 1.0;  // Absurdly slow: compute would be huge.
+  Device device(profile);
+  device.LaunchOverlapped("hidden", 1000000, [](std::size_t, std::size_t) {});
+  EXPECT_NEAR(device.ModeledSeconds(), 1e-3, 1e-9);
+}
+
+TEST(Device, TransferTimeUsesBandwidth) {
+  DeviceProfile profile;
+  profile.transfer_latency_s = 1e-4;
+  profile.transfer_bandwidth = 1e6;  // 1 MB/s.
+  Device device(profile);
+  auto buffer = device.CreateBuffer<std::uint8_t>(1000000);
+  std::vector<std::uint8_t> data(1000000, 0);
+  device.CopyToDevice(data.data(), data.size(), &buffer);
+  EXPECT_NEAR(device.ModeledSeconds(), 1.0 + 1e-4, 1e-6);
+}
+
+TEST(Device, GpuProfileFasterComputeSlowerLatency) {
+  const DeviceProfile cpu = DeviceProfile::OpenClCpu();
+  const DeviceProfile gpu = DeviceProfile::SimulatedGtx460();
+  EXPECT_GT(gpu.compute_throughput, 3.5 * cpu.compute_throughput);
+  EXPECT_LT(gpu.compute_throughput, 4.5 * cpu.compute_throughput);
+  EXPECT_GT(gpu.transfer_latency_s, cpu.transfer_latency_s);
+}
+
+// ---------------------------------------------------------------------------
+// ReduceSum, parameterized across sizes including group-size boundaries.
+// ---------------------------------------------------------------------------
+
+class ReduceSumSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ReduceSumSweep, MatchesSequentialSum) {
+  const std::size_t n = GetParam();
+  Device device(DeviceProfile::OpenClCpu());
+  auto buffer = device.CreateBuffer<double>(std::max<std::size_t>(n, 1));
+  Rng rng(n + 1);
+  std::vector<double> values(n);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = rng.Uniform(-1.0, 1.0);
+    expected += values[i];
+  }
+  if (n > 0) device.CopyToDevice(values.data(), n, &buffer);
+  const double sum = ReduceSum(&device, buffer, 0, n);
+  EXPECT_NEAR(sum, expected, 1e-9 * std::max(1.0, std::abs(expected)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ReduceSumSweep,
+                         ::testing::Values(0, 1, 2, 255, 256, 257, 1000,
+                                           65536, 65537, 200000));
+
+TEST(ReduceSum, DoesNotClobberInput) {
+  Device device(DeviceProfile::OpenClCpu());
+  const std::size_t n = 10000;
+  auto buffer = device.CreateBuffer<double>(n);
+  std::vector<double> values(n, 1.0);
+  device.CopyToDevice(values.data(), n, &buffer);
+  (void)ReduceSum(&device, buffer, 0, n);
+  std::vector<double> after(n);
+  device.CopyToHost(buffer, 0, n, after.data());
+  EXPECT_EQ(after, values);
+}
+
+TEST(ReduceSum, RespectsOffset) {
+  Device device(DeviceProfile::OpenClCpu());
+  auto buffer = device.CreateBuffer<double>(2000);
+  std::vector<double> values(2000);
+  for (std::size_t i = 0; i < 2000; ++i) values[i] = (i < 1000) ? 100.0 : 1.0;
+  device.CopyToDevice(values.data(), 2000, &buffer);
+  EXPECT_DOUBLE_EQ(ReduceSum(&device, buffer, 1000, 1000), 1000.0);
+  EXPECT_DOUBLE_EQ(ReduceSum(&device, buffer, 0, 1000), 100000.0);
+}
+
+TEST(ReduceSum, OverlappedChargesLatencyOnly) {
+  DeviceProfile profile;
+  profile.launch_latency_s = 1e-3;
+  profile.transfer_latency_s = 0.0;
+  profile.transfer_bandwidth = 1e18;
+  profile.compute_throughput = 1.0;  // Compute would dominate if charged.
+  Device device(profile);
+  const std::size_t n = 65536;  // Two reduction levels.
+  auto buffer = device.CreateBuffer<double>(n);
+  std::vector<double> values(n, 1.0);
+  device.CopyToDevice(values.data(), n, &buffer);
+  device.ResetModeledTime();
+  (void)ReduceSum(&device, buffer, 0, n, /*overlapped=*/true);
+  // 2 levels (65536 -> 256 -> 1): two launch latencies, no compute.
+  EXPECT_NEAR(device.ModeledSeconds(), 2e-3, 1e-6);
+}
+
+}  // namespace
+}  // namespace fkde

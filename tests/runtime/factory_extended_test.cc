@@ -1,0 +1,126 @@
+// Factory coverage for the estimators added beyond the paper's five
+// (genhist, kde_periodic, avi) and cross-estimator consistency checks.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "runtime/driver.h"
+#include "runtime/executor.h"
+#include "runtime/factory.h"
+
+namespace fkde {
+namespace {
+
+struct FactoryFixture {
+  FactoryFixture() {
+    ClusterBoxesParams params;
+    params.rows = 20000;
+    params.dims = 3;
+    table = std::make_unique<Table>(GenerateClusterBoxes(params, 1));
+    executor = std::make_unique<Executor>(table.get());
+    executor->BuildIndex();
+    device = std::make_unique<Device>(DeviceProfile::OpenClCpu());
+    WorkloadGenerator generator(*table);
+    Rng rng(2);
+    const WorkloadSpec dt = ParseWorkloadName("dt").ValueOrDie();
+    training = generator.Generate(dt, 60, &rng);
+    test = generator.Generate(dt, 80, &rng);
+  }
+
+  EstimatorBuildContext Context() {
+    EstimatorBuildContext context;
+    context.device = device.get();
+    context.executor = executor.get();
+    context.training = training;
+    return context;
+  }
+
+  std::unique_ptr<Table> table;
+  std::unique_ptr<Executor> executor;
+  std::unique_ptr<Device> device;
+  std::vector<Query> training;
+  std::vector<Query> test;
+};
+
+TEST(FactoryExtended, GenHistBuildsAndEstimates) {
+  FactoryFixture f;
+  auto genhist = BuildEstimator("genhist", f.Context()).MoveValueOrDie();
+  EXPECT_EQ(genhist->name(), "genhist");
+  const RunStats stats =
+      FeedbackDriver::RunPrecomputed(genhist.get(), f.test);
+  EXPECT_LT(stats.MeanAbsoluteError(), 0.1);
+  // Memory parity with STHoles buckets.
+  EXPECT_LE(genhist->ModelBytes(), 3u * 4096u + 64u);
+}
+
+TEST(FactoryExtended, PeriodicBuildsViaFactory) {
+  FactoryFixture f;
+  auto periodic = BuildEstimator("kde_periodic", f.Context()).MoveValueOrDie();
+  EXPECT_EQ(periodic->name(), "kde_periodic");
+  FeedbackDriver::Train(periodic.get(), f.training);
+  FeedbackDriver::Train(periodic.get(), f.training);  // Crosses the window.
+  const RunStats stats =
+      FeedbackDriver::RunPrecomputed(periodic.get(), f.test);
+  EXPECT_LT(stats.MeanAbsoluteError(), 0.05);
+}
+
+TEST(FactoryExtended, AllEstimatorsAgreeOnExtremes) {
+  FactoryFixture f;
+  const Box everything({-100.0, -100.0, -100.0}, {100.0, 100.0, 100.0});
+  const Box nothing({50.0, 50.0, 50.0}, {51.0, 51.0, 51.0});
+  for (const char* name :
+       {"stholes", "genhist", "avi", "kde_heuristic", "kde_batch",
+        "kde_periodic", "kde_adaptive"}) {
+    auto estimator = BuildEstimator(name, f.Context()).MoveValueOrDie();
+    EXPECT_NEAR(estimator->EstimateSelectivity(everything), 1.0, 0.02)
+        << name;
+    EXPECT_NEAR(estimator->EstimateSelectivity(nothing), 0.0, 0.02) << name;
+  }
+}
+
+TEST(FactoryExtended, GenHistComparableToStholesOnStaticData) {
+  // Both histograms should land in the same error regime on static
+  // clustered data (GenHist static vs STHoles after training).
+  FactoryFixture f;
+  auto genhist = BuildEstimator("genhist", f.Context()).MoveValueOrDie();
+  auto stholes = BuildEstimator("stholes", f.Context()).MoveValueOrDie();
+  FeedbackDriver::Train(stholes.get(), f.training);
+  const double genhist_error =
+      FeedbackDriver::RunPrecomputed(genhist.get(), f.test)
+          .MeanAbsoluteError();
+  const double stholes_error =
+      FeedbackDriver::RunPrecomputed(stholes.get(), f.test)
+          .MeanAbsoluteError();
+  EXPECT_LT(genhist_error, 10.0 * stholes_error + 1e-3);
+  EXPECT_LT(stholes_error, 10.0 * genhist_error + 1e-3);
+}
+
+TEST(FactoryExtended, SeedChangesKdeSampleButNotStructure) {
+  FactoryFixture f;
+  EstimatorBuildContext a = f.Context();
+  a.seed = 1;
+  EstimatorBuildContext b = f.Context();
+  b.seed = 2;
+  auto kde_a = BuildEstimator("kde_heuristic", a).MoveValueOrDie();
+  auto kde_b = BuildEstimator("kde_heuristic", b).MoveValueOrDie();
+  // Different samples -> (almost surely) different estimates, same scale.
+  const Box box({0.2, 0.2, 0.2}, {0.6, 0.6, 0.6});
+  const double est_a = kde_a->EstimateSelectivity(box);
+  const double est_b = kde_b->EstimateSelectivity(box);
+  EXPECT_NE(est_a, est_b);
+  EXPECT_NEAR(est_a, est_b, 0.1);
+}
+
+TEST(FactoryExtended, MemoryBudgetDefaultsToPaperRule) {
+  FactoryFixture f;
+  EstimatorBuildContext context = f.Context();
+  context.memory_bytes = 0;  // => d * 4kB.
+  auto kde = BuildEstimator("kde_heuristic", context).MoveValueOrDie();
+  // 3 * 4096 / (4 * 3) = 1024 sample rows -> payload 12288 bytes.
+  EXPECT_GE(kde->ModelBytes(), 1024u * 3u * sizeof(float));
+}
+
+}  // namespace
+}  // namespace fkde

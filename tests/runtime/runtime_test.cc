@@ -1,0 +1,195 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "runtime/driver.h"
+#include "runtime/evolving_runner.h"
+#include "runtime/executor.h"
+#include "runtime/factory.h"
+
+namespace fkde {
+namespace {
+
+Table SmallClustered(std::uint64_t seed, std::size_t dims = 3) {
+  ClusterBoxesParams params;
+  params.rows = 10000;
+  params.dims = dims;
+  return GenerateClusterBoxes(params, seed);
+}
+
+TEST(Executor, CountMatchesTableScan) {
+  Table table = SmallClustered(1);
+  Executor executor(&table);
+  const Box box({0.1, 0.1, 0.1}, {0.6, 0.4, 0.9});
+  EXPECT_EQ(executor.Count(box), table.CountInBox(box));
+  executor.BuildIndex();
+  EXPECT_EQ(executor.Count(box), table.CountInBox(box));
+}
+
+TEST(Executor, MutationInvalidatesIndex) {
+  Table table = SmallClustered(2);
+  Executor executor(&table);
+  executor.BuildIndex();
+  const Box everything = table.Bounds();
+  const std::size_t before = executor.Count(everything);
+  executor.Insert(std::vector<double>{0.5, 0.5, 0.5}, 99);
+  // Index dropped: the new row must be visible.
+  EXPECT_EQ(executor.Count(everything), before + 1);
+  EXPECT_EQ(executor.DeleteByTag(99), 1u);
+  EXPECT_EQ(executor.Count(everything), before);
+}
+
+TEST(Executor, TrueSelectivityNormalized) {
+  Table table = SmallClustered(3);
+  Executor executor(&table);
+  EXPECT_DOUBLE_EQ(executor.TrueSelectivity(table.Bounds()), 1.0);
+  Table empty(2);
+  Executor empty_executor(&empty);
+  EXPECT_DOUBLE_EQ(
+      empty_executor.TrueSelectivity(Box({0.0, 0.0}, {1.0, 1.0})), 0.0);
+}
+
+TEST(Executor, RegionCounterSeesLiveTable) {
+  Table table = SmallClustered(4);
+  Executor executor(&table);
+  const RegionCounter counter = executor.MakeRegionCounter();
+  const Box everything = table.Bounds();
+  const std::size_t before = counter(everything);
+  executor.Insert(std::vector<double>{0.5, 0.5, 0.5});
+  EXPECT_EQ(counter(everything), before + 1);
+}
+
+TEST(Factory, BuildsEveryEstimator) {
+  Table table = SmallClustered(5);
+  Executor executor(&table);
+  executor.BuildIndex();
+  Device device(DeviceProfile::OpenClCpu());
+  WorkloadGenerator generator(table);
+  Rng rng(6);
+  const auto training =
+      generator.Generate(ParseWorkloadName("dt").ValueOrDie(), 30, &rng);
+
+  EstimatorBuildContext context;
+  context.device = &device;
+  context.executor = &executor;
+  context.training = training;
+  for (const std::string& name : EstimatorNames()) {
+    const auto result = BuildEstimator(name, context);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+    EXPECT_EQ(result.ValueOrDie()->name(), name);
+    EXPECT_EQ(result.ValueOrDie()->dims(), 3u);
+  }
+  // AVI is available although not part of the paper's five.
+  EXPECT_TRUE(BuildEstimator("avi", context).ok());
+  EXPECT_FALSE(BuildEstimator("oracle", context).ok());
+}
+
+TEST(Factory, MemoryBudgetShapesModels) {
+  Table table = SmallClustered(7);
+  Executor executor(&table);
+  Device device(DeviceProfile::OpenClCpu());
+  EstimatorBuildContext context;
+  context.device = &device;
+  context.executor = &executor;
+  context.memory_bytes = 3 * 4096;  // d * 4kB.
+  auto kde = BuildEstimator("kde_heuristic", context).MoveValueOrDie();
+  // 3*4096 bytes / (4 bytes * 3 dims) = 1024 sample rows.
+  EXPECT_NEAR(static_cast<double>(kde->ModelBytes()),
+              3.0 * 4096.0, 3.0 * 4096.0);  // Within 2x (contributions etc).
+  auto sth = BuildEstimator("stholes", context).MoveValueOrDie();
+  EXPECT_LE(sth->ModelBytes(), 2u * 3u * 4096u);
+}
+
+TEST(Factory, KdeWithoutDeviceFails) {
+  Table table = SmallClustered(8);
+  Executor executor(&table);
+  EstimatorBuildContext context;
+  context.executor = &executor;
+  EXPECT_FALSE(BuildEstimator("kde_heuristic", context).ok());
+  // STHoles does not need a device.
+  EXPECT_TRUE(BuildEstimator("stholes", context).ok());
+}
+
+TEST(Driver, RunPrecomputedRecordsErrors) {
+  Table table = SmallClustered(9);
+  Executor executor(&table);
+  executor.BuildIndex();
+  Device device(DeviceProfile::OpenClCpu());
+  EstimatorBuildContext context;
+  context.device = &device;
+  context.executor = &executor;
+  auto estimator = BuildEstimator("kde_heuristic", context).MoveValueOrDie();
+
+  WorkloadGenerator generator(table);
+  Rng rng(10);
+  const auto queries =
+      generator.Generate(ParseWorkloadName("dt").ValueOrDie(), 20, &rng);
+  const RunStats stats =
+      FeedbackDriver::RunPrecomputed(estimator.get(), queries);
+  ASSERT_EQ(stats.absolute_errors.size(), 20u);
+  ASSERT_EQ(stats.signed_errors.size(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_GE(stats.absolute_errors[i], 0.0);
+    EXPECT_NEAR(std::abs(stats.signed_errors[i]), stats.absolute_errors[i],
+                1e-15);
+    EXPECT_DOUBLE_EQ(stats.truths[i], queries[i].selectivity);
+  }
+  EXPECT_GE(stats.MeanAbsoluteError(), 0.0);
+  EXPECT_EQ(stats.AbsoluteErrorSummary().count, 20u);
+}
+
+TEST(Driver, RunLiveMatchesExecutorTruth) {
+  Table table = SmallClustered(11);
+  Executor executor(&table);
+  Device device(DeviceProfile::OpenClCpu());
+  EstimatorBuildContext context;
+  context.device = &device;
+  context.executor = &executor;
+  auto estimator = BuildEstimator("kde_heuristic", context).MoveValueOrDie();
+  const std::vector<Box> boxes = {Box({0.0, 0.0, 0.0}, {0.5, 0.5, 0.5}),
+                                  Box({0.2, 0.2, 0.2}, {0.9, 0.9, 0.9})};
+  const RunStats stats =
+      FeedbackDriver::RunLive(estimator.get(), &executor, boxes);
+  ASSERT_EQ(stats.truths.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_DOUBLE_EQ(stats.truths[i], executor.TrueSelectivity(boxes[i]));
+  }
+}
+
+TEST(EvolvingRunner, TraceCoversWholeRun) {
+  EvolvingParams params;
+  params.dims = 3;
+  params.tuples_per_cluster = 200;
+  params.cycles = 3;
+  params.inserts_per_query = 25;
+
+  Table table(params.dims);
+  Executor executor(&table);
+  // Pre-load so the estimator can be built.
+  EvolvingWorkload workload(params, 12);
+  EvolvingEvent event;
+  std::size_t preload = params.initial_clusters * params.tuples_per_cluster;
+  while (preload > 0 && workload.Next(table, &event)) {
+    if (event.kind == EvolvingEvent::Kind::kInsert) {
+      table.Insert(event.row, event.tag);
+      --preload;
+    }
+  }
+  Device device(DeviceProfile::OpenClCpu());
+  EstimatorBuildContext context;
+  context.device = &device;
+  context.executor = &executor;
+  auto estimator = BuildEstimator("kde_adaptive", context).MoveValueOrDie();
+
+  const EvolvingTrace trace =
+      RunEvolving(estimator.get(), &executor, &workload);
+  EXPECT_EQ(trace.inserts, params.cycles * params.tuples_per_cluster);
+  EXPECT_EQ(trace.deletes, params.cycles * params.tuples_per_cluster);
+  EXPECT_GT(trace.absolute_errors.size(), 10u);
+  EXPECT_EQ(trace.absolute_errors.size(), trace.table_sizes.size());
+  EXPECT_GE(trace.WindowMean(0, trace.absolute_errors.size()), 0.0);
+}
+
+}  // namespace
+}  // namespace fkde

@@ -1,0 +1,212 @@
+#include "workload/evolving.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace fkde {
+namespace {
+
+EvolvingParams SmallParams() {
+  EvolvingParams params;
+  params.dims = 3;
+  params.initial_clusters = 3;
+  params.tuples_per_cluster = 100;
+  params.cycles = 4;
+  params.inserts_per_query = 20;
+  return params;
+}
+
+TEST(Evolving, EventStreamAccounting) {
+  const EvolvingParams params = SmallParams();
+  EvolvingWorkload workload(params, 1);
+  Table table(params.dims);
+  EvolvingEvent event;
+  std::size_t inserts = 0, deletes = 0, queries = 0;
+  while (workload.Next(table, &event)) {
+    switch (event.kind) {
+      case EvolvingEvent::Kind::kInsert:
+        table.Insert(event.row, event.tag);
+        ++inserts;
+        break;
+      case EvolvingEvent::Kind::kDeleteCluster:
+        table.DeleteByTag(event.tag);
+        ++deletes;
+        break;
+      case EvolvingEvent::Kind::kQuery:
+        ++queries;
+        break;
+    }
+  }
+  // 3 initial clusters + 4 cycle clusters, 100 tuples each.
+  EXPECT_EQ(inserts, 700u);
+  EXPECT_EQ(deletes, 4u);  // One cluster archived per cycle.
+  EXPECT_NEAR(static_cast<double>(queries),
+              static_cast<double>(workload.TotalQueries()), 2.0);
+}
+
+TEST(Evolving, TableSizeStaysBoundedAfterInitialLoad) {
+  const EvolvingParams params = SmallParams();
+  EvolvingWorkload workload(params, 2);
+  Table table(params.dims);
+  EvolvingEvent event;
+  std::size_t max_size = 0;
+  while (workload.Next(table, &event)) {
+    if (event.kind == EvolvingEvent::Kind::kInsert) {
+      table.Insert(event.row, event.tag);
+    } else if (event.kind == EvolvingEvent::Kind::kDeleteCluster) {
+      table.DeleteByTag(event.tag);
+    }
+    max_size = std::max(max_size, table.num_rows());
+  }
+  // Grows to initial load + one new cluster before the first archive.
+  EXPECT_LE(max_size, 4u * params.tuples_per_cluster);
+  // Steady state after the final delete: still 3 clusters' worth.
+  EXPECT_EQ(table.num_rows(), 3u * params.tuples_per_cluster);
+}
+
+TEST(Evolving, DeletesTargetOldestCluster) {
+  const EvolvingParams params = SmallParams();
+  EvolvingWorkload workload(params, 3);
+  Table table(params.dims);
+  EvolvingEvent event;
+  std::vector<std::uint32_t> deleted;
+  while (workload.Next(table, &event)) {
+    if (event.kind == EvolvingEvent::Kind::kInsert) {
+      table.Insert(event.row, event.tag);
+    } else if (event.kind == EvolvingEvent::Kind::kDeleteCluster) {
+      deleted.push_back(event.tag);
+      table.DeleteByTag(event.tag);
+    }
+  }
+  // Oldest-first: tags 0, 1, 2, 3.
+  EXPECT_EQ(deleted, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(Evolving, QueriesCarryExactCurrentSelectivity) {
+  const EvolvingParams params = SmallParams();
+  EvolvingWorkload workload(params, 4);
+  Table table(params.dims);
+  EvolvingEvent event;
+  int checked = 0;
+  while (workload.Next(table, &event)) {
+    switch (event.kind) {
+      case EvolvingEvent::Kind::kInsert:
+        table.Insert(event.row, event.tag);
+        break;
+      case EvolvingEvent::Kind::kDeleteCluster:
+        table.DeleteByTag(event.tag);
+        break;
+      case EvolvingEvent::Kind::kQuery: {
+        const double exact =
+            static_cast<double>(table.CountInBox(event.query.box)) /
+            static_cast<double>(table.num_rows());
+        ASSERT_DOUBLE_EQ(event.query.selectivity, exact);
+        ++checked;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST(Evolving, QueriesApproachTargetSelectivity) {
+  EvolvingParams params = SmallParams();
+  params.tuples_per_cluster = 500;
+  EvolvingWorkload workload(params, 5);
+  Table table(params.dims);
+  EvolvingEvent event;
+  std::size_t near = 0, total = 0;
+  while (workload.Next(table, &event)) {
+    if (event.kind == EvolvingEvent::Kind::kInsert) {
+      table.Insert(event.row, event.tag);
+    } else if (event.kind == EvolvingEvent::Kind::kDeleteCluster) {
+      table.DeleteByTag(event.tag);
+    } else {
+      ++total;
+      if (event.query.selectivity > 0.003 &&
+          event.query.selectivity < 0.03) {
+        ++near;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(near) / static_cast<double>(total), 0.8);
+}
+
+TEST(Evolving, RecencyBiasFavorsNewClusters) {
+  // Count query centers inside the newest vs the oldest live cluster's
+  // box: the newest must win clearly with decay 0.45.
+  EvolvingParams params = SmallParams();
+  params.cycles = 6;
+  EvolvingWorkload workload(params, 6);
+  Table table(params.dims);
+  EvolvingEvent event;
+  std::map<std::uint32_t, std::size_t> hits_by_tag;
+  std::uint32_t newest_tag = 2;  // After initial load, tags grow.
+  std::set<std::uint32_t> live = {0, 1, 2};
+  while (workload.Next(table, &event)) {
+    if (event.kind == EvolvingEvent::Kind::kInsert) {
+      table.Insert(event.row, event.tag);
+      if (event.tag > newest_tag) {
+        newest_tag = event.tag;
+        live.insert(event.tag);
+      }
+    } else if (event.kind == EvolvingEvent::Kind::kDeleteCluster) {
+      table.DeleteByTag(event.tag);
+      live.erase(event.tag);
+    } else {
+      // Attribute the query to the cluster of the nearest data point to
+      // its center (cheap proxy).
+      std::vector<double> center(params.dims);
+      for (std::size_t j = 0; j < params.dims; ++j) {
+        center[j] = event.query.box.Center(j);
+      }
+      double best = 1e300;
+      std::uint32_t best_tag = 0;
+      for (std::size_t i = 0; i < table.num_rows(); ++i) {
+        double dist = 0.0;
+        for (std::size_t j = 0; j < params.dims; ++j) {
+          const double delta = table.At(i, j) - center[j];
+          dist += delta * delta;
+        }
+        if (dist < best) {
+          best = dist;
+          best_tag = table.Tag(i);
+        }
+      }
+      const std::size_t age =
+          newest_tag - best_tag;  // 0 = newest live cluster.
+      ++hits_by_tag[static_cast<std::uint32_t>(age > 2 ? 3 : age)];
+    }
+  }
+  // Newest (age 0) queried more than twice as often as age 2+.
+  EXPECT_GT(hits_by_tag[0], 2 * (hits_by_tag[2] + hits_by_tag[3]));
+}
+
+TEST(Evolving, DeterministicStream) {
+  const EvolvingParams params = SmallParams();
+  EvolvingWorkload w1(params, 9), w2(params, 9);
+  Table t1(params.dims), t2(params.dims);
+  EvolvingEvent e1, e2;
+  for (int i = 0; i < 500; ++i) {
+    const bool more1 = w1.Next(t1, &e1);
+    const bool more2 = w2.Next(t2, &e2);
+    ASSERT_EQ(more1, more2);
+    if (!more1) break;
+    ASSERT_EQ(static_cast<int>(e1.kind), static_cast<int>(e2.kind));
+    if (e1.kind == EvolvingEvent::Kind::kInsert) {
+      ASSERT_EQ(e1.row, e2.row);
+      t1.Insert(e1.row, e1.tag);
+      t2.Insert(e2.row, e2.tag);
+    } else if (e1.kind == EvolvingEvent::Kind::kDeleteCluster) {
+      t1.DeleteByTag(e1.tag);
+      t2.DeleteByTag(e2.tag);
+    } else {
+      ASSERT_TRUE(e1.query.box == e2.query.box);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fkde

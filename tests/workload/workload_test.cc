@@ -1,0 +1,150 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace fkde {
+namespace {
+
+Table ClusteredTable(std::size_t rows, std::size_t dims, std::uint64_t seed) {
+  ClusterBoxesParams params;
+  params.rows = rows;
+  params.dims = dims;
+  return GenerateClusterBoxes(params, seed);
+}
+
+TEST(WorkloadSpec, ParseAndNames) {
+  EXPECT_EQ(ParseWorkloadName("dt").ValueOrDie().Name(), "DT");
+  EXPECT_EQ(ParseWorkloadName("DV").ValueOrDie().Name(), "DV");
+  EXPECT_EQ(ParseWorkloadName("Ut").ValueOrDie().Name(), "UT");
+  EXPECT_EQ(ParseWorkloadName("uv").ValueOrDie().Name(), "UV");
+  EXPECT_FALSE(ParseWorkloadName("xx").ok());
+}
+
+TEST(WorkloadSpec, NonDefaultTargetShownInName) {
+  WorkloadSpec spec = ParseWorkloadName("dt").ValueOrDie();
+  spec.target_value = 0.05;
+  EXPECT_EQ(spec.Name(), "DT(0.05)");
+}
+
+TEST(WorkloadSpec, AllWorkloadsInOrder) {
+  const auto all = AllWorkloads();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].Name(), "DT");
+  EXPECT_EQ(all[1].Name(), "DV");
+  EXPECT_EQ(all[2].Name(), "UT");
+  EXPECT_EQ(all[3].Name(), "UV");
+}
+
+TEST(WorkloadGenerator, DtHitsTargetSelectivity) {
+  const Table table = ClusteredTable(50000, 3, 1);
+  const WorkloadGenerator generator(table);
+  Rng rng(2);
+  const auto queries =
+      generator.Generate(ParseWorkloadName("dt").ValueOrDie(), 50, &rng);
+  ASSERT_EQ(queries.size(), 50u);
+  // Data-centered targets are reachable: most queries land near 1%.
+  std::size_t near_target = 0;
+  for (const Query& q : queries) {
+    EXPECT_GE(q.selectivity, 0.0);
+    if (q.selectivity > 0.005 && q.selectivity < 0.02) ++near_target;
+  }
+  EXPECT_GE(near_target, 45u);
+}
+
+TEST(WorkloadGenerator, DvHitsTargetVolume) {
+  const Table table = ClusteredTable(20000, 3, 3);
+  const WorkloadGenerator generator(table);
+  Rng rng(4);
+  const WorkloadSpec spec = ParseWorkloadName("dv").ValueOrDie();
+  const auto queries = generator.Generate(spec, 30, &rng);
+  const Box bounds = generator.data_bounds();
+  double domain_volume = 1.0;
+  for (std::size_t j = 0; j < 3; ++j) domain_volume *= bounds.Extent(j);
+  for (const Query& q : queries) {
+    EXPECT_NEAR(q.box.Volume() / domain_volume, 0.01, 1e-9);
+  }
+}
+
+TEST(WorkloadGenerator, DvSelectivitiesVaryWidely) {
+  // The paper motivates DV as "a wide spectrum of selectivities".
+  const Table table = ClusteredTable(50000, 3, 5);
+  const WorkloadGenerator generator(table);
+  Rng rng(6);
+  const auto queries =
+      generator.Generate(ParseWorkloadName("dv").ValueOrDie(), 100, &rng);
+  double lo = 1.0, hi = 0.0;
+  for (const Query& q : queries) {
+    lo = std::min(lo, q.selectivity);
+    hi = std::max(hi, q.selectivity);
+  }
+  EXPECT_GT(hi, 10.0 * std::max(lo, 1e-6));
+}
+
+TEST(WorkloadGenerator, UvIsMostlyEmpty) {
+  // Uniform centers + 1% volume in clustered data: most queries miss the
+  // clusters (paper: "a random workload with mostly empty queries").
+  ClusterBoxesParams params;
+  params.rows = 50000;
+  params.dims = 8;
+  params.noise_fraction = 0.02;
+  const Table table = GenerateClusterBoxes(params, 7);
+  const WorkloadGenerator generator(table);
+  Rng rng(8);
+  const auto queries =
+      generator.Generate(ParseWorkloadName("uv").ValueOrDie(), 100, &rng);
+  std::size_t empty = 0;
+  for (const Query& q : queries) {
+    if (q.selectivity < 1e-4) ++empty;
+  }
+  EXPECT_GE(empty, 60u);
+}
+
+TEST(WorkloadGenerator, RecordedSelectivityIsExact) {
+  const Table table = ClusteredTable(10000, 2, 9);
+  const WorkloadGenerator generator(table);
+  Rng rng(10);
+  for (const char* name : {"dt", "dv", "ut", "uv"}) {
+    const auto queries =
+        generator.Generate(ParseWorkloadName(name).ValueOrDie(), 10, &rng);
+    for (const Query& q : queries) {
+      const double exact = static_cast<double>(table.CountInBox(q.box)) /
+                           static_cast<double>(table.num_rows());
+      EXPECT_DOUBLE_EQ(q.selectivity, exact) << name;
+    }
+  }
+}
+
+TEST(WorkloadGenerator, DeterministicGivenRngState) {
+  const Table table = ClusteredTable(5000, 3, 11);
+  const WorkloadGenerator generator(table);
+  Rng rng1(12), rng2(12);
+  const auto a =
+      generator.Generate(ParseWorkloadName("dt").ValueOrDie(), 20, &rng1);
+  const auto b =
+      generator.Generate(ParseWorkloadName("dt").ValueOrDie(), 20, &rng2);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_TRUE(a[i].box == b[i].box);
+    EXPECT_DOUBLE_EQ(a[i].selectivity, b[i].selectivity);
+  }
+}
+
+TEST(WorkloadGenerator, QueryShapesVary) {
+  const Table table = ClusteredTable(5000, 2, 13);
+  const WorkloadGenerator generator(table);
+  Rng rng(14);
+  const auto queries =
+      generator.Generate(ParseWorkloadName("dv").ValueOrDie(), 20, &rng);
+  // Aspect ratios differ across queries.
+  double min_aspect = 1e18, max_aspect = -1e18;
+  for (const Query& q : queries) {
+    const double aspect = q.box.Extent(0) / q.box.Extent(1);
+    min_aspect = std::min(min_aspect, aspect);
+    max_aspect = std::max(max_aspect, aspect);
+  }
+  EXPECT_GT(max_aspect / min_aspect, 1.2);
+}
+
+}  // namespace
+}  // namespace fkde
