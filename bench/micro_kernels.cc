@@ -29,6 +29,23 @@ struct MicroFixture {
     box = Box(lo, hi);
   }
 
+  std::vector<Box> RandomBoxes(std::size_t count) const {
+    const std::size_t dims = sample.dims();
+    Rng rng(9);
+    std::vector<Box> boxes;
+    boxes.reserve(count);
+    for (std::size_t q = 0; q < count; ++q) {
+      std::vector<double> lo(dims), hi(dims);
+      for (std::size_t j = 0; j < dims; ++j) {
+        const double a = rng.Uniform(), b = rng.Uniform();
+        lo[j] = std::min(a, b);
+        hi[j] = std::max(a, b);
+      }
+      boxes.emplace_back(lo, hi);
+    }
+    return boxes;
+  }
+
   Device device;
   DeviceSample sample;
   std::unique_ptr<KdeEngine> engine;
@@ -61,6 +78,80 @@ void BM_EstimateWithGradient(benchmark::State& state) {
 }
 BENCHMARK(BM_EstimateWithGradient)
     ->ArgsProduct({{1024, 16384, 131072}, {3, 8}})
+    ->Unit(benchmark::kMicrosecond);
+
+// Batched multi-query evaluation vs the per-query loop it replaces, over
+// the bandwidth-optimization batch sizes (m queries x s sample points).
+// args: {s, m}.
+void BM_EstimateBatch(benchmark::State& state) {
+  MicroFixture fixture(static_cast<std::size_t>(state.range(0)), 3);
+  const std::vector<Box> boxes =
+      fixture.RandomBoxes(static_cast<std::size_t>(state.range(1)));
+  std::vector<double> estimates(boxes.size());
+  for (auto _ : state) {
+    fixture.engine->EstimateBatch(boxes, estimates);
+    benchmark::DoNotOptimize(estimates.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(1));
+}
+BENCHMARK(BM_EstimateBatch)
+    ->ArgsProduct({{1024, 16384}, {1, 10, 100}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EstimatePerQueryLoop(benchmark::State& state) {
+  MicroFixture fixture(static_cast<std::size_t>(state.range(0)), 3);
+  const std::vector<Box> boxes =
+      fixture.RandomBoxes(static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    for (const Box& box : boxes) {
+      benchmark::DoNotOptimize(fixture.engine->Estimate(box));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(1));
+}
+BENCHMARK(BM_EstimatePerQueryLoop)
+    ->ArgsProduct({{1024, 16384}, {1, 10, 100}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EstimateBatchLossGradient(benchmark::State& state) {
+  MicroFixture fixture(static_cast<std::size_t>(state.range(0)), 3);
+  const std::vector<Box> boxes =
+      fixture.RandomBoxes(static_cast<std::size_t>(state.range(1)));
+  const std::vector<double> truths(boxes.size(), 0.1);
+  std::vector<double> gradient;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.engine->EstimateBatchLoss(
+        boxes, truths, LossType::kQuadratic, 1e-5, &gradient));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(1));
+}
+BENCHMARK(BM_EstimateBatchLossGradient)
+    ->ArgsProduct({{1024, 16384}, {1, 10, 100}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EstimateGradientPerQueryLoop(benchmark::State& state) {
+  MicroFixture fixture(static_cast<std::size_t>(state.range(0)), 3);
+  const std::vector<Box> boxes =
+      fixture.RandomBoxes(static_cast<std::size_t>(state.range(1)));
+  const std::vector<double> truths(boxes.size(), 0.1);
+  std::vector<double> gradient;
+  for (auto _ : state) {
+    double loss = 0.0;
+    for (std::size_t q = 0; q < boxes.size(); ++q) {
+      const double est =
+          fixture.engine->EstimateWithGradient(boxes[q], &gradient);
+      loss += EvaluateLoss(LossType::kQuadratic, est, truths[q], 1e-5);
+    }
+    benchmark::DoNotOptimize(loss);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(1));
+}
+BENCHMARK(BM_EstimateGradientPerQueryLoop)
+    ->ArgsProduct({{1024, 16384}, {1, 10, 100}})
     ->Unit(benchmark::kMicrosecond);
 
 void BM_ReduceSum(benchmark::State& state) {

@@ -52,6 +52,25 @@ bool AdaptiveBandwidth::Observe(std::span<const double> loss_grad,
   return true;
 }
 
+bool AdaptiveBandwidth::ObserveMiniBatch(
+    std::span<const double> mean_loss_grad, std::vector<double>* bandwidth) {
+  FKDE_CHECK(mean_loss_grad.size() == dims_);
+  FKDE_CHECK(bandwidth->size() == dims_);
+  // The device pass already averaged dL/dh over the mini-batch; only the
+  // log-space chaining (Appendix D) remains. The bandwidth is constant
+  // within a mini-batch, so chaining the mean equals the mean of the
+  // chained per-query gradients that Observe would have accumulated.
+  std::vector<double> mean_grad(dims_);
+  for (std::size_t k = 0; k < dims_; ++k) {
+    mean_grad[k] = options_.log_updates
+                       ? mean_loss_grad[k] * (*bandwidth)[k]
+                       : mean_loss_grad[k];
+  }
+  ResetBatch();
+  ApplyUpdate(mean_grad, bandwidth);
+  return true;
+}
+
 void AdaptiveBandwidth::ApplyUpdate(std::span<const double> mean_grad,
                                     std::vector<double>* bandwidth) {
   constexpr double kEps = 1e-12;

@@ -56,6 +56,16 @@ class AdaptiveBandwidth {
   bool Observe(std::span<const double> loss_grad,
                std::vector<double>* bandwidth);
 
+  /// Applies one RMSprop update from an ALREADY-AVERAGED mini-batch loss
+  /// gradient dL̄/dh (arity dims), as produced by the batched device pass
+  /// (`KdeEngine::EstimateBatchLoss` over the buffered mini-batch).
+  /// Equivalent to `mini_batch` Observe calls whose gradients average to
+  /// `mean_loss_grad` under a bandwidth held fixed across the batch.
+  /// Drops any partially accumulated per-query state, rewrites
+  /// `bandwidth` in place and always returns true.
+  bool ObserveMiniBatch(std::span<const double> mean_loss_grad,
+                        std::vector<double>* bandwidth);
+
   /// Number of model updates applied so far.
   std::size_t updates_applied() const { return updates_applied_; }
 

@@ -3,16 +3,29 @@
 #include <cmath>
 
 namespace fkde {
+namespace {
+
+// Splits a workload into the parallel arrays the batched engine API takes.
+void SplitWorkload(std::span<const Query> workload, std::vector<Box>* boxes,
+                   std::vector<double>* truths) {
+  boxes->reserve(workload.size());
+  truths->reserve(workload.size());
+  for (const Query& query : workload) {
+    boxes->push_back(query.box);
+    truths->push_back(query.selectivity);
+  }
+}
+
+}  // namespace
 
 double MeanWorkloadLoss(KdeEngine* engine, std::span<const Query> workload,
                         LossType loss, double lambda) {
   FKDE_CHECK(!workload.empty());
-  double total = 0.0;
-  for (const Query& query : workload) {
-    total += EvaluateLoss(loss, engine->Estimate(query.box),
-                          query.selectivity, lambda);
-  }
-  return total / static_cast<double>(workload.size());
+  std::vector<Box> boxes;
+  std::vector<double> truths;
+  SplitWorkload(workload, &boxes, &truths);
+  return engine->EstimateBatchLoss(boxes, truths, loss, lambda,
+                                   /*gradient=*/nullptr);
 }
 
 Result<BatchReport> OptimizeBandwidthBatch(KdeEngine* engine,
@@ -24,7 +37,6 @@ Result<BatchReport> OptimizeBandwidthBatch(KdeEngine* engine,
   }
   const std::size_t d = engine->dims();
   const std::vector<double> start = engine->bandwidth();
-  const double q = static_cast<double>(training.size());
 
   BatchReport report;
   report.initial_error =
@@ -52,7 +64,16 @@ Result<BatchReport> OptimizeBandwidthBatch(KdeEngine* engine,
     x0[k] = options.log_space ? std::log(start[k]) : start[k];
   }
 
+  // The whole training workload is evaluated as ONE batched device pass
+  // per objective call: one descriptor upload, one fused kernel over the
+  // s×m grid, segmented reductions, and (for gradient calls) the
+  // loss-weighted fold — instead of m round-trips per evaluation.
+  std::vector<Box> boxes;
+  std::vector<double> truths;
+  SplitWorkload(training, &boxes, &truths);
+
   std::size_t evaluations = 0;
+  std::vector<double> mean_grad;
   problem.objective = [&](std::span<const double> x,
                           std::span<double> grad) -> double {
     ++evaluations;
@@ -60,33 +81,16 @@ Result<BatchReport> OptimizeBandwidthBatch(KdeEngine* engine,
     const Status set = engine->SetBandwidth(h);
     if (!set.ok()) return std::numeric_limits<double>::infinity();
 
-    double total = 0.0;
-    std::vector<double> total_grad(d, 0.0);
-    std::vector<double> dest_dh;
-    for (const Query& query : training) {
-      double estimate;
-      if (grad.empty()) {
-        estimate = engine->Estimate(query.box);
-      } else {
-        estimate = engine->EstimateWithGradient(query.box, &dest_dh);
-      }
-      total += EvaluateLoss(options.loss, estimate, query.selectivity,
-                            options.lambda);
-      if (!grad.empty()) {
-        const double dloss = LossDerivative(options.loss, estimate,
-                                            query.selectivity, options.lambda);
-        for (std::size_t k = 0; k < d; ++k) {
-          total_grad[k] += dloss * dest_dh[k];
-        }
-      }
-    }
+    const double mean_loss = engine->EstimateBatchLoss(
+        boxes, truths, options.loss, options.lambda,
+        grad.empty() ? nullptr : &mean_grad);
     if (!grad.empty()) {
       for (std::size_t k = 0; k < d; ++k) {
         // Appendix D chain rule: dL/d(log h) = dL/dh * h.
-        grad[k] = total_grad[k] / q * (options.log_space ? h[k] : 1.0);
+        grad[k] = mean_grad[k] * (options.log_space ? h[k] : 1.0);
       }
     }
-    return total / q;
+    return mean_loss;
   };
 
   const OptimizeResult result =

@@ -1,5 +1,6 @@
 #include "kde/engine.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace fkde {
@@ -56,28 +57,35 @@ std::vector<double> KdeEngine::ComputeScottBandwidth() {
   Device* dev = device();
   const float* data = sample_->buffer().device_data();
 
-  // One kernel per dimension fills contributions_ with x, reduce; then
-  // with x^2, reduce; sigma^2 = E[x^2] - E[x]^2 (Section 5.2).
+  // One fused kernel fills 2d segments — x then x^2 per dimension — and
+  // one segmented reduction yields all 2d sums in a single read-back;
+  // sigma^2 = E[x^2] - E[x]^2 per dimension (Section 5.2). This replaces
+  // the former 4d+ launches (per-dimension fill + reduce, twice) with a
+  // launch count independent of d.
+  DeviceBuffer<double> moments = dev->CreateBuffer<double>(2 * d * s);
+  double* out = moments.device_data();
+  dev->Launch("scott_moments", s, 2.0 * static_cast<double>(d),
+              [data, out, d, s](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                  const float* row = data + i * d;
+                  for (std::size_t dim = 0; dim < d; ++dim) {
+                    const double v = static_cast<double>(row[dim]);
+                    out[(2 * dim) * s + i] = v;
+                    out[(2 * dim + 1) * s + i] = v * v;
+                  }
+                }
+              });
+  DeviceBuffer<double> sums = dev->CreateBuffer<double>(2 * d);
+  ReduceSumSegments(dev, moments, 0, s, 2 * d, &sums);
+  std::vector<double> host_sums(2 * d);
+  dev->CopyToHost(sums, 0, 2 * d, host_sums.data());
+
   std::vector<double> bandwidth(d);
   const double factor =
       std::pow(static_cast<double>(s), -1.0 / (static_cast<double>(d) + 4.0));
   for (std::size_t dim = 0; dim < d; ++dim) {
-    double* out = contributions_.device_data();
-    dev->Launch("scott_sum", s, 1.0,
-                [data, out, dim, d](std::size_t begin, std::size_t end) {
-                  for (std::size_t i = begin; i < end; ++i) {
-                    out[i] = static_cast<double>(data[i * d + dim]);
-                  }
-                });
-    const double sum = ReduceSum(dev, contributions_, 0, s);
-    dev->Launch("scott_sum_squares", s, 1.0,
-                [data, out, dim, d](std::size_t begin, std::size_t end) {
-                  for (std::size_t i = begin; i < end; ++i) {
-                    const double v = static_cast<double>(data[i * d + dim]);
-                    out[i] = v * v;
-                  }
-                });
-    const double sum_sq = ReduceSum(dev, contributions_, 0, s);
+    const double sum = host_sums[2 * dim];
+    const double sum_sq = host_sums[2 * dim + 1];
     const double mean = sum / static_cast<double>(s);
     const double variance =
         std::max(sum_sq / static_cast<double>(s) - mean * mean, 0.0);
@@ -201,6 +209,310 @@ double KdeEngine::EstimateWithGradient(const Box& box,
         static_cast<double>(s);
   }
   return last_estimate_;
+}
+
+std::size_t KdeEngine::BatchTile(std::size_t queries,
+                                 bool with_partials) const {
+  const std::size_t per_query =
+      sample_size() * (1 + (with_partials ? dims() : 0)) * sizeof(double);
+  const std::size_t tile =
+      std::max<std::size_t>(1, kMaxBatchTileBytes / std::max<std::size_t>(
+                                                        per_query, 1));
+  return std::min(tile, queries);
+}
+
+void KdeEngine::UploadBatchDescriptors(std::span<const Box> boxes,
+                                       std::span<const double> truths) {
+  const std::size_t m = boxes.size();
+  const std::size_t d = dims();
+  if (batch_bounds_.size() < m * (2 * d + 1)) {
+    batch_bounds_ = device()->CreateBuffer<double>(m * (2 * d + 1));
+  }
+  std::vector<double> staging(m * 2 * d + truths.size());
+  for (std::size_t q = 0; q < m; ++q) {
+    FKDE_CHECK_MSG(boxes[q].dims() == d, "query dims mismatch");
+    double* qb = staging.data() + q * 2 * d;
+    for (std::size_t j = 0; j < d; ++j) {
+      qb[j] = boxes[q].lower(j);
+      qb[d + j] = boxes[q].upper(j);
+    }
+  }
+  if (!truths.empty()) {
+    std::copy(truths.begin(), truths.end(), staging.begin() + m * 2 * d);
+  }
+  device()->CopyToDevice(staging.data(), staging.size(), &batch_bounds_);
+}
+
+void KdeEngine::BatchContributionSums(
+    std::span<const Box> boxes, bool with_partials, bool overlapped,
+    const std::function<void(std::size_t, std::size_t)>& fold) {
+  const std::size_t m = boxes.size();
+  const std::size_t s = sample_size();
+  const std::size_t d = dims();
+  const std::size_t tile = BatchTile(m, with_partials);
+  if (batch_contrib_.size() < tile * s) {
+    batch_contrib_ = device()->CreateBuffer<double>(tile * s);
+  }
+  if (with_partials && batch_partials_.size() < tile * d * s) {
+    batch_partials_ = device()->CreateBuffer<double>(tile * d * s);
+  }
+  if (batch_est_.size() < m) {
+    batch_est_ = device()->CreateBuffer<double>(m);
+  }
+
+  const float* data = sample_->buffer().device_data();
+  const double* bounds = batch_bounds_.device_data();
+  const double* h = bandwidth_dev_.device_data();
+  double* contrib = batch_contrib_.device_data();
+  double* partials = with_partials ? batch_partials_.device_data() : nullptr;
+  const KernelType kernel = kernel_;
+  const float* scales = has_scales_ ? point_scales_.device_data() : nullptr;
+
+  for (std::size_t t0 = 0; t0 < m; t0 += tile) {
+    const std::size_t t = std::min(tile, m - t0);
+    if (!with_partials) {
+      // Batched analogue of the single-query contribution kernel: each
+      // work item owns a sample point and covers the whole query tile, so
+      // all m contribution maps cost ONE launch (Figure 3 step 2,
+      // batched). The query loop is hoisted outside the point loop so the
+      // contrib writes of a work-group stay contiguous per query.
+      auto body = [=](std::size_t begin, std::size_t end) {
+        for (std::size_t q = 0; q < t; ++q) {
+          const double* qb = bounds + (t0 + q) * 2 * d;
+          double* out = contrib + q * s;
+          for (std::size_t i = begin; i < end; ++i) {
+            const float* row = data + i * d;
+            const double scale =
+                scales ? static_cast<double>(scales[i]) : 1.0;
+            double prod = 1.0;
+            for (std::size_t j = 0; j < d; ++j) {
+              prod *= kernel::CdfDiff(kernel, static_cast<double>(row[j]),
+                                      h[j] * scale, qb[j], qb[d + j]);
+            }
+            out[i] = prod;
+          }
+        }
+      };
+      if (overlapped) {
+        device()->LaunchOverlapped("kde_batch_contributions", s, body);
+      } else {
+        device()->Launch("kde_batch_contributions", s,
+                         static_cast<double>(t * d), body);
+      }
+    } else {
+      // Fused contribution+gradient kernel over the s×tile grid, reusing
+      // the prefix/suffix-product scheme of EstimateWithGradient per
+      // query. Partials are stored query-major ((q*d + j)*s + i) so both
+      // the per-query segmented reduction and the loss-weighted fold
+      // read contiguous segments.
+      // Query loop outermost for the same reason as above: per (q, j)
+      // the partial writes of a work-group land in one contiguous run.
+      auto body = [=](std::size_t begin, std::size_t end) {
+        double cdf[kMaxDims];
+        double dcdf[kMaxDims];
+        double suffix[kMaxDims + 1];
+        for (std::size_t q = 0; q < t; ++q) {
+          const double* qb = bounds + (t0 + q) * 2 * d;
+          for (std::size_t i = begin; i < end; ++i) {
+            const float* row = data + i * d;
+            const double scale =
+                scales ? static_cast<double>(scales[i]) : 1.0;
+            for (std::size_t j = 0; j < d; ++j) {
+              const double v = static_cast<double>(row[j]);
+              const double hj = h[j] * scale;
+              cdf[j] = kernel::CdfDiff(kernel, v, hj, qb[j], qb[d + j]);
+              dcdf[j] = scale * kernel::CdfDiffDh(kernel, v, hj, qb[j],
+                                                  qb[d + j]);
+            }
+            suffix[d] = 1.0;
+            for (std::size_t j = d; j-- > 0;) {
+              suffix[j] = suffix[j + 1] * cdf[j];
+            }
+            contrib[q * s + i] = suffix[0];
+            double prefix = 1.0;
+            for (std::size_t j = 0; j < d; ++j) {
+              partials[(q * d + j) * s + i] = prefix * dcdf[j] * suffix[j + 1];
+              prefix *= cdf[j];
+            }
+          }
+        }
+      };
+      if (overlapped) {
+        device()->LaunchOverlapped("kde_batch_contributions_grad", s, body);
+      } else {
+        device()->Launch("kde_batch_contributions_grad", s,
+                         3.0 * static_cast<double>(t * d), body);
+      }
+    }
+    // All tile estimates advance through every reduction level together.
+    ReduceSumSegments(device(), batch_contrib_, 0, s, t, &batch_est_, t0,
+                      overlapped);
+    if (fold) fold(t0, t);
+  }
+}
+
+void KdeEngine::EstimateBatch(std::span<const Box> boxes,
+                              std::span<double> estimates) {
+  FKDE_CHECK_MSG(estimates.size() == boxes.size(),
+                 "estimate output arity mismatch");
+  if (boxes.empty()) return;
+  const std::size_t m = boxes.size();
+  UploadBatchDescriptors(boxes, {});
+  BatchContributionSums(boxes, /*with_partials=*/false, /*overlapped=*/false,
+                        nullptr);
+  device()->CopyToHost(batch_est_, 0, m, estimates.data());
+  const double inv_s = 1.0 / static_cast<double>(sample_size());
+  for (double& e : estimates) e *= inv_s;
+}
+
+void KdeEngine::EstimateBatchWithGradient(std::span<const Box> boxes,
+                                          std::span<double> estimates,
+                                          std::span<double> gradients,
+                                          bool overlapped) {
+  FKDE_CHECK_MSG(estimates.size() == boxes.size(),
+                 "estimate output arity mismatch");
+  FKDE_CHECK_MSG(gradients.size() == boxes.size() * dims(),
+                 "gradient output arity mismatch");
+  if (boxes.empty()) return;
+  const std::size_t m = boxes.size();
+  const std::size_t s = sample_size();
+  const std::size_t d = dims();
+  if (batch_grad_.size() < m * d) {
+    batch_grad_ = device()->CreateBuffer<double>(m * d);
+  }
+  UploadBatchDescriptors(boxes, {});
+  auto fold = [this, s, d, overlapped](std::size_t t0, std::size_t t) {
+    // The tile's t*d gradient partial segments reduce as one batch.
+    ReduceSumSegments(device(), batch_partials_, 0, s, t * d, &batch_grad_,
+                      t0 * d, overlapped);
+  };
+  BatchContributionSums(boxes, /*with_partials=*/true, overlapped, fold);
+  device()->CopyToHost(batch_est_, 0, m, estimates.data());
+  device()->CopyToHost(batch_grad_, 0, m * d, gradients.data());
+  const double inv_s = 1.0 / static_cast<double>(s);
+  for (double& e : estimates) e *= inv_s;
+  for (double& g : gradients) g *= inv_s;
+}
+
+double KdeEngine::EstimateBatchLoss(std::span<const Box> boxes,
+                                    std::span<const double> truths,
+                                    LossType loss, double lambda,
+                                    std::vector<double>* gradient,
+                                    bool overlapped) {
+  FKDE_CHECK_MSG(truths.size() == boxes.size(), "truth arity mismatch");
+  FKDE_CHECK_MSG(!boxes.empty(), "batched loss needs at least one query");
+  const std::size_t m = boxes.size();
+  const std::size_t s = sample_size();
+  const std::size_t d = dims();
+  UploadBatchDescriptors(boxes, truths);
+  // Pre-size the estimate buffer so its device pointer can be captured by
+  // the fold kernels below (BatchContributionSums would otherwise grow it
+  // after capture).
+  if (batch_est_.size() < m) {
+    batch_est_ = device()->CreateBuffer<double>(m);
+  }
+  const double* est = batch_est_.device_data();
+  const double* truth_dev = batch_bounds_.device_data() + m * 2 * d;
+  const double inv_s = 1.0 / static_cast<double>(s);
+
+  if (gradient == nullptr) {
+    BatchContributionSums(boxes, /*with_partials=*/false, overlapped,
+                          nullptr);
+    if (batch_results_.size() < d + 1) {
+      batch_results_ = device()->CreateBuffer<double>(d + 1);
+    }
+    // One epilogue work item folds all m losses (Section 5.5 step 7 for
+    // the whole batch); the scalar comes back in one read.
+    double* results = batch_results_.device_data();
+    auto body = [=](std::size_t begin, std::size_t end) {
+      for (std::size_t item = begin; item < end; ++item) {
+        double total = 0.0;
+        for (std::size_t q = 0; q < m; ++q) {
+          total += EvaluateLoss(loss, est[q] * inv_s, truth_dev[q], lambda);
+        }
+        results[item] = total;
+      }
+    };
+    if (overlapped) {
+      device()->LaunchOverlapped("kde_batch_loss", 1, body);
+    } else {
+      device()->Launch("kde_batch_loss", 1, static_cast<double>(m), body);
+    }
+    double total = 0.0;
+    device()->CopyToHost(batch_results_, 0, 1, &total);
+    return total / static_cast<double>(m);
+  }
+
+  // Gradient path: the per-query ∂L/∂p̂ (eq. 14) is folded into the first
+  // reduction level of the gradient partials, so only d+1 scalars — the d
+  // loss-weighted gradient dot-products and the loss sum — ever reach the
+  // host.
+  const std::size_t gpseg = (s + kReduceGroupSize - 1) / kReduceGroupSize;
+  if (batch_fold_.size() < (d + 1) * gpseg) {
+    batch_fold_ = device()->CreateBuffer<double>((d + 1) * gpseg);
+  }
+  if (batch_results_.size() < d + 1) {
+    batch_results_ = device()->CreateBuffer<double>(d + 1);
+  }
+  double loss_total = 0.0;
+  std::vector<double> grad_total(d, 0.0);
+  std::vector<double> tile_results(d + 1);
+  auto fold = [&, est, truth_dev, inv_s, s, d, gpseg, loss, lambda,
+               overlapped](std::size_t t0, std::size_t t) {
+    const double* partials = batch_partials_.device_data();
+    double* fold_out = batch_fold_.device_data();
+    // Items form d+1 segments of gpseg groups: segment k < d produces the
+    // loss-weighted first reduction level of dimension k's partials;
+    // segment d carries the tile's loss sum (group 0) padded with zeros,
+    // so one segmented reduction finishes everything.
+    auto body = [=](std::size_t begin, std::size_t end) {
+      for (std::size_t item = begin; item < end; ++item) {
+        const std::size_t k = item / gpseg;
+        const std::size_t g = item % gpseg;
+        if (k == d) {
+          double total = 0.0;
+          if (g == 0) {
+            for (std::size_t q = 0; q < t; ++q) {
+              total += EvaluateLoss(loss, est[t0 + q] * inv_s,
+                                    truth_dev[t0 + q], lambda);
+            }
+          }
+          fold_out[item] = total;
+          continue;
+        }
+        const std::size_t lo = g * kReduceGroupSize;
+        const std::size_t hi = std::min(lo + kReduceGroupSize, s);
+        double acc = 0.0;
+        for (std::size_t q = 0; q < t; ++q) {
+          const double weight = LossDerivative(loss, est[t0 + q] * inv_s,
+                                               truth_dev[t0 + q], lambda);
+          const double* seg = partials + (q * d + k) * s;
+          double sub = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) sub += seg[i];
+          acc += weight * sub;
+        }
+        fold_out[item] = acc;
+      }
+    };
+    if (overlapped) {
+      device()->LaunchOverlapped("kde_batch_loss_grad_fold",
+                                 (d + 1) * gpseg, body);
+    } else {
+      device()->Launch("kde_batch_loss_grad_fold", (d + 1) * gpseg,
+                       static_cast<double>(t * kReduceGroupSize), body);
+    }
+    ReduceSumSegments(device(), batch_fold_, 0, gpseg, d + 1,
+                      &batch_results_, 0, overlapped);
+    device()->CopyToHost(batch_results_, 0, d + 1, tile_results.data());
+    for (std::size_t k = 0; k < d; ++k) grad_total[k] += tile_results[k];
+    loss_total += tile_results[d];
+  };
+  BatchContributionSums(boxes, /*with_partials=*/true, overlapped, fold);
+
+  gradient->resize(d);
+  const double inv_ms = 1.0 / (static_cast<double>(m) * static_cast<double>(s));
+  for (std::size_t k = 0; k < d; ++k) (*gradient)[k] = grad_total[k] * inv_ms;
+  return loss_total / static_cast<double>(m);
 }
 
 std::size_t KdeEngine::ModelBytes() const {

@@ -20,12 +20,14 @@
 #define FKDE_KDE_ENGINE_H_
 
 #include <cstddef>
+#include <functional>
 #include <span>
 #include <vector>
 
 #include "common/status.h"
 #include "data/box.h"
 #include "kde/kernels.h"
+#include "kde/loss.h"
 #include "kde/sample.h"
 #include "parallel/device.h"
 
@@ -77,6 +79,43 @@ class KdeEngine {
   double EstimateWithGradient(const Box& box, std::vector<double>* gradient,
                               bool overlapped = false);
 
+  /// Batched estimation: uploads all `boxes.size()` query bounds in ONE
+  /// transfer, runs one fused contribution kernel over the s × m grid
+  /// (each work item owns a sample point and loops over a query tile),
+  /// reduces all segments with `ReduceSumSegments`, and reads all
+  /// estimates back in one transfer — O(1) launches in the query count
+  /// instead of the ~m·log(s) launches of an Estimate loop. Bit-identical
+  /// to per-query `Estimate` calls. `estimates.size()` must equal
+  /// `boxes.size()`. Does not touch the retained single-query
+  /// contributions or `last_estimate()`.
+  void EstimateBatch(std::span<const Box> boxes, std::span<double> estimates);
+
+  /// Batched estimate + per-query bandwidth gradients (eq. 17 via the
+  /// same prefix/suffix-product scheme as `EstimateWithGradient`).
+  /// `gradients` is query-major with arity boxes.size() * dims():
+  /// gradients[q * dims() + k] = ∂p̂_q/∂h_k. Results are bit-identical to
+  /// per-query `EstimateWithGradient` calls. With `overlapped` all
+  /// kernels are modeled as hidden behind query execution (only launch
+  /// latencies and read-backs are charged).
+  void EstimateBatchWithGradient(std::span<const Box> boxes,
+                                 std::span<double> estimates,
+                                 std::span<double> gradients,
+                                 bool overlapped = false);
+
+  /// Fused batched objective evaluation for bandwidth optimization
+  /// (problem (5)): estimates all boxes, evaluates `loss` against
+  /// `truths` on the device, and returns the MEAN loss over the batch.
+  /// When `gradient` is non-null it receives the gradient of the mean
+  /// loss w.r.t. the bandwidth (arity dims()): the per-query ∂L/∂p̂
+  /// factors of eq. (14) are folded into a device-side reduction pass, so
+  /// the whole evaluation costs O(1) launches, one descriptor upload
+  /// (bounds + truths) and one (d+1)-double read-back — instead of the
+  /// ~m·(d+2) launches and m·(d+1) read-backs of a per-query loop.
+  double EstimateBatchLoss(std::span<const Box> boxes,
+                           std::span<const double> truths, LossType loss,
+                           double lambda, std::vector<double>* gradient,
+                           bool overlapped = false);
+
   /// Selectivity of `box` at the last Estimate/EstimateWithGradient call.
   double last_estimate() const { return last_estimate_; }
 
@@ -86,11 +125,37 @@ class KdeEngine {
   DeviceBuffer<double>* mutable_contributions() { return &contributions_; }
 
   /// Model footprint: sample payload + bandwidth + retained contributions.
+  /// Deliberately EXCLUDES transient evaluation scratch — the batched
+  /// query descriptors, tile contribution/partial buffers and reduction
+  /// scratch (batch_*_ below) — because those exist only while a batched
+  /// evaluation runs and are bounded by the query tile, not the model:
+  /// the paper's d·4kB memory budget (Section 6.1.1) covers what the
+  /// model must keep resident between queries.
   std::size_t ModelBytes() const;
 
  private:
   /// Uploads box bounds into bounds_ (2d doubles, one transfer).
   void UploadBounds(const Box& box);
+
+  /// Uploads all `boxes` bounds — and, when `truths` is non-empty, the
+  /// per-query true selectivities — into batch_bounds_ as ONE transfer.
+  /// Layout: query q's bounds at [q*2d, q*2d+2d) (lowers then uppers),
+  /// truths packed behind all bounds at [m*2d + q].
+  void UploadBatchDescriptors(std::span<const Box> boxes,
+                              std::span<const double> truths);
+
+  /// Queries per scratch tile for an m-query batch: bounded so the tile
+  /// contribution/partial buffers stay within a fixed byte budget.
+  std::size_t BatchTile(std::size_t queries, bool with_partials) const;
+
+  /// Shared core of the batched paths: fills batch_est_ with all m
+  /// per-query contribution sums (NOT yet divided by s), tile by tile.
+  /// When `fold` is non-null it is invoked after each tile's estimates
+  /// are resident with (tile_start, tile_size) so loss/gradient passes
+  /// can consume the tile's partials before they are overwritten.
+  void BatchContributionSums(
+      std::span<const Box> boxes, bool with_partials, bool overlapped,
+      const std::function<void(std::size_t, std::size_t)>& fold);
 
   DeviceSample* sample_;
   KernelType kernel_;
@@ -103,7 +168,19 @@ class KdeEngine {
   bool has_scales_ = false;
   double last_estimate_ = 0.0;
 
+  // Batched-evaluation scratch (lazily grown, excluded from ModelBytes).
+  DeviceBuffer<double> batch_bounds_;      // m*(2d+1) descriptor doubles.
+  DeviceBuffer<double> batch_contrib_;     // tile*s contributions.
+  DeviceBuffer<double> batch_partials_;    // tile*d*s gradient partials.
+  DeviceBuffer<double> batch_est_;         // m per-query sums.
+  DeviceBuffer<double> batch_fold_;        // (d+1)*groups fold partials.
+  DeviceBuffer<double> batch_grad_;        // m*d per-query gradients.
+  DeviceBuffer<double> batch_results_;     // d+1 folded scalars.
+
   static constexpr std::size_t kMaxDims = 32;
+  /// Byte cap for one tile's contribution+partial scratch; bounds device
+  /// memory for large m×s batches (tiles add O(1) launches each).
+  static constexpr std::size_t kMaxBatchTileBytes = 64ull << 20;
 };
 
 }  // namespace fkde

@@ -114,19 +114,13 @@ std::string KdeSelectivityEstimator::name() const {
 }
 
 double KdeSelectivityEstimator::EstimateSelectivity(const Box& box) {
-  double estimate;
-  if (mode_ == Mode::kAdaptive) {
-    // Figure 3: the estimate kernels are charged normally; the gradient
-    // work piggybacked on the same pass is hidden behind the query's
-    // execution in the database (Section 5.5).
-    estimate = engine_->EstimateWithGradient(box, &pending_gradient_,
-                                             /*overlapped=*/true);
-    last_box_ = box;
-    has_pending_gradient_ = true;
-  } else {
-    estimate = engine_->Estimate(box);
-    last_box_ = box;
-  }
+  // All modes answer with the plain estimate pass. The adaptive variant
+  // no longer computes a per-query gradient here: gradients for a whole
+  // mini-batch are produced later by one batched device pass, hidden
+  // behind query execution (Section 5.5, batched).
+  const double estimate = engine_->Estimate(box);
+  last_box_ = box;
+  has_last_box_ = true;
   return std::clamp(estimate, 0.0, 1.0);
 }
 
@@ -162,24 +156,29 @@ void KdeSelectivityEstimator::ObserveTrueSelectivity(const Box& box,
   if (mode_ != Mode::kAdaptive) return;
 
   // Out-of-order feedback (a box we did not just estimate): recompute the
-  // contributions and gradient for it so the math below is consistent.
-  if (!has_pending_gradient_ || !(box == last_box_)) {
-    engine_->EstimateWithGradient(box, &pending_gradient_,
-                                  /*overlapped=*/true);
+  // estimate so the retained contributions Karma reuses below match `box`.
+  if (!has_last_box_ || !(box == last_box_)) {
+    engine_->Estimate(box);
     last_box_ = box;
+    has_last_box_ = true;
   }
-  has_pending_gradient_ = false;
 
-  // Chain rule (eq. 14): dL/dh = dL/dp̂ * dp̂/dh. The loss factor is a
-  // host-side scalar (Section 5.5, step 7-8).
-  const double dloss = LossDerivative(config_.loss, engine_->last_estimate(),
-                                      selectivity, config_.lambda);
-  std::vector<double> loss_grad(dims());
-  for (std::size_t k = 0; k < dims(); ++k) {
-    loss_grad[k] = dloss * pending_gradient_[k];
-  }
-  std::vector<double> bandwidth = engine_->bandwidth();
-  if (adaptive_->Observe(loss_grad, &bandwidth)) {
+  // Buffer the feedback; when the mini-batch is full, ONE overlapped
+  // batched pass computes the mean loss gradient over all N queries —
+  // the device-side fold of eq. (14) — and feeds it to RMSprop. The
+  // bandwidth is constant within the mini-batch, so this matches the
+  // per-query gradient accumulation of Listing 1.
+  pending_boxes_.push_back(box);
+  pending_truths_.push_back(selectivity);
+  if (pending_boxes_.size() >= config_.adaptive.mini_batch) {
+    std::vector<double> mean_grad;
+    engine_->EstimateBatchLoss(pending_boxes_, pending_truths_, config_.loss,
+                               config_.lambda, &mean_grad,
+                               /*overlapped=*/true);
+    pending_boxes_.clear();
+    pending_truths_.clear();
+    std::vector<double> bandwidth = engine_->bandwidth();
+    adaptive_->ObserveMiniBatch(mean_grad, &bandwidth);
     FKDE_CHECK_OK(engine_->SetBandwidth(bandwidth));
   }
 

@@ -115,11 +115,18 @@ class KdeSelectivityEstimator : public SelectivityEstimator {
   std::optional<ReservoirMaintainer> reservoir_;
   BatchReport batch_report_;
 
-  // Feedback pairing: the gradient computed at estimate time is only valid
-  // for the same box; out-of-order feedback triggers a recompute.
+  // Feedback pairing: Karma reuses the contributions retained by the last
+  // estimate, which are only valid for the same box; out-of-order feedback
+  // triggers a recompute.
   Box last_box_;
-  bool has_pending_gradient_ = false;
-  std::vector<double> pending_gradient_;
+  bool has_last_box_ = false;
+  // Adaptive mode: feedback buffered until the mini-batch is full; ONE
+  // overlapped batched device pass then computes the mean loss gradient
+  // (Section 5.5 batched — the bandwidth is constant within a mini-batch,
+  // so deferring the gradients is mathematically equivalent to the
+  // per-query pass of Listing 1).
+  std::vector<Box> pending_boxes_;
+  std::vector<double> pending_truths_;
   std::size_t karma_replacements_ = 0;
 
   // Periodic mode: ring buffer of recent feedback (Section 3.4 step 1).

@@ -64,7 +64,7 @@ double ReduceSum(Device* device, const DeviceBuffer<double>& buffer,
   // level reads the (retained) input; later levels ping-pong between two
   // scratch buffers so the input is never clobbered and concurrent groups
   // never write into another group's read range.
-  constexpr std::size_t kGroup = 256;
+  constexpr std::size_t kGroup = kReduceGroupSize;
   const std::size_t first_groups = (n + kGroup - 1) / kGroup;
   DeviceBuffer<double> scratch_a = device->CreateBuffer<double>(first_groups);
   DeviceBuffer<double> scratch_b = device->CreateBuffer<double>(
@@ -102,6 +102,81 @@ double ReduceSum(Device* device, const DeviceBuffer<double>& buffer,
   double result = 0.0;
   device->CopyToHost(*dst, 0, 1, &result);
   return result;
+}
+
+void ReduceSumSegments(Device* device, const DeviceBuffer<double>& buffer,
+                       std::size_t offset, std::size_t segment_size,
+                       std::size_t num_segments, DeviceBuffer<double>* out,
+                       std::size_t out_offset, bool overlapped) {
+  FKDE_CHECK(out != nullptr);
+  FKDE_CHECK_MSG(offset + segment_size * num_segments <= buffer.size(),
+                 "ReduceSumSegments range exceeds buffer");
+  FKDE_CHECK_MSG(out_offset + num_segments <= out->size(),
+                 "ReduceSumSegments output exceeds buffer");
+  FKDE_CHECK_MSG(out->device_data() != buffer.device_data(),
+                 "ReduceSumSegments output may not alias the input");
+  if (num_segments == 0) return;
+  constexpr std::size_t kGroup = kReduceGroupSize;
+
+  // Same level structure per segment as ReduceSum, but every level folds
+  // ALL segments in one launch: work item G handles group (G % groups) of
+  // segment (G / groups). Levels ping-pong between two segment-major
+  // scratch buffers; the final level (one group per segment) writes the
+  // per-segment sums straight into `out`.
+  const std::size_t first_groups = (segment_size + kGroup - 1) / kGroup;
+  DeviceBuffer<double> scratch_a =
+      device->CreateBuffer<double>(num_segments * first_groups);
+  DeviceBuffer<double> scratch_b = device->CreateBuffer<double>(
+      num_segments * ((first_groups + kGroup - 1) / kGroup));
+  const double* in = buffer.device_data() + offset;
+  std::size_t in_stride = segment_size;
+  DeviceBuffer<double>* dst = &scratch_a;
+  DeviceBuffer<double>* spare = &scratch_b;
+  std::size_t active = segment_size;
+  if (active == 0) {
+    double* final_out = out->device_data() + out_offset;
+    auto zero = [final_out](std::size_t begin, std::size_t end) {
+      for (std::size_t g = begin; g < end; ++g) final_out[g] = 0.0;
+    };
+    if (overlapped) {
+      device->LaunchOverlapped("reduce_segments_zero", num_segments, zero);
+    } else {
+      device->Launch("reduce_segments_zero", num_segments, 1.0, zero);
+    }
+    return;
+  }
+  for (;;) {
+    const std::size_t groups = (active + kGroup - 1) / kGroup;
+    double* level_out = groups == 1 ? out->device_data() + out_offset
+                                    : dst->device_data();
+    const double* level_in = in;
+    const std::size_t level_size = active;
+    const std::size_t level_stride = in_stride;
+    auto body = [level_in, level_out, level_size, level_stride, groups](
+                    std::size_t begin, std::size_t end) {
+      for (std::size_t item = begin; item < end; ++item) {
+        const std::size_t seg = item / groups;
+        const std::size_t lo = (item % groups) * kGroup;
+        const std::size_t hi = std::min(lo + kGroup, level_size);
+        const double* seg_in = level_in + seg * level_stride;
+        double acc = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) acc += seg_in[i];
+        level_out[item] = acc;
+      }
+    };
+    if (overlapped) {
+      device->LaunchOverlapped("reduce_segments_level", num_segments * groups,
+                               body);
+    } else {
+      device->Launch("reduce_segments_level", num_segments * groups,
+                     static_cast<double>(kGroup), body);
+    }
+    if (groups == 1) break;
+    active = groups;
+    in = dst->device_data();
+    in_stride = groups;
+    std::swap(dst, spare);
+  }
 }
 
 }  // namespace fkde

@@ -194,6 +194,11 @@ void Device::CopyToHost(const DeviceBuffer<T>& src, std::size_t offset,
                           profile_.transfer_bandwidth;
 }
 
+/// Work-group size of the binary-tree reductions, mirroring the OpenCL
+/// implementation. Exposed so callers fusing work into a reduction level
+/// (e.g. the engine's batched gradient fold) can size their launches.
+inline constexpr std::size_t kReduceGroupSize = 256;
+
 /// \brief Sums `n` doubles starting at `offset` in a device-resident
 /// buffer via the parallel binary reduction scheme of the paper (Horn, GPU
 /// Gems 2) and returns the scalar on the host. Issues O(log n) kernel
@@ -204,6 +209,24 @@ void Device::CopyToHost(const DeviceBuffer<T>& src, std::size_t offset,
 /// Device::LaunchOverlapped); the final read-back is always charged.
 double ReduceSum(Device* device, const DeviceBuffer<double>& buffer,
                  std::size_t offset, std::size_t n, bool overlapped = false);
+
+/// \brief Segmented binary-tree reduction: `buffer` holds `num_segments`
+/// contiguous segments of `segment_size` doubles each, starting at
+/// `offset`. Writes the per-segment sums into `out` at
+/// `out_offset + segment`, leaving them DEVICE-resident (no read-back).
+///
+/// Every reduction level folds all segments in ONE launch, so the launch
+/// count is O(log segment_size) independent of the segment count — the
+/// batched-evaluation primitive behind the engine's multi-query hot paths
+/// (vs O(num_segments * log segment_size) launches for per-segment
+/// ReduceSum calls). Each segment is folded by exactly the same group
+/// tree as a standalone `ReduceSum` over the same values, so the two are
+/// bit-identical. The input buffer is not modified. `out` may not alias
+/// `buffer`.
+void ReduceSumSegments(Device* device, const DeviceBuffer<double>& buffer,
+                       std::size_t offset, std::size_t segment_size,
+                       std::size_t num_segments, DeviceBuffer<double>* out,
+                       std::size_t out_offset = 0, bool overlapped = false);
 
 }  // namespace fkde
 

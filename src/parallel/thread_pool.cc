@@ -25,17 +25,42 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::Job::RunChunks() {
+  for (;;) {
+    const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= num_chunks) return;
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(begin + chunk, n);
+    (*fn)(begin, end);
+    // Completion must be signalled THROUGH the mutex: if the waiter's
+    // predicate read the atomic directly, it could observe zero, return,
+    // and destroy the caller's stack state while the final worker is
+    // still entering the critical section. With the flag written under
+    // the lock, the waiter can only return after the last worker has
+    // fully left its critical section (the Job itself is shared_ptr-kept
+    // alive for any stragglers still spinning on the cursor).
+    if (unfinished.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> done_lock(done_mu);
+      done = true;
+      done_cv.notify_one();
+    }
+  }
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    std::shared_ptr<Job> job;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
-      if (shutdown_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      cv_.wait(lock, [this] { return shutdown_ || !jobs_.empty(); });
+      if (jobs_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
     }
-    task();
+    job->RunChunks();
   }
 }
 
@@ -53,37 +78,26 @@ void ThreadPool::ParallelFor(
   }
   const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
 
-  std::atomic<std::size_t> remaining{num_chunks};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  // Completion must be signalled THROUGH the mutex: if the waiter's
-  // predicate read the atomic directly, it could observe zero, return,
-  // and destroy these stack objects while the final worker is still
-  // entering the critical section — a use-after-free on the mutex. With
-  // the flag written under the lock, the waiter can only return after
-  // the last worker has fully left its critical section.
-  bool all_done = false;
-
+  auto job = std::make_shared<Job>(fn, n, chunk, num_chunks);
+  // One queue entry per worker that could usefully help (the caller
+  // claims chunks too) — not one per chunk. Each entry is just a
+  // shared_ptr copy; the chunk fan-out happens lock-free in RunChunks.
+  const std::size_t helpers = std::min(num_chunks - 1, num_threads());
   {
     std::unique_lock<std::mutex> lock(mu_);
     FKDE_CHECK_MSG(!shutdown_, "ParallelFor on a shut-down pool");
-    for (std::size_t c = 0; c < num_chunks; ++c) {
-      const std::size_t begin = c * chunk;
-      const std::size_t end = std::min(begin + chunk, n);
-      tasks_.push([&, begin, end] {
-        fn(begin, end);
-        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          std::lock_guard<std::mutex> done_lock(done_mu);
-          all_done = true;
-          done_cv.notify_one();
-        }
-      });
-    }
+    for (std::size_t i = 0; i < helpers; ++i) jobs_.push_back(job);
   }
-  cv_.notify_all();
+  if (helpers == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
 
-  std::unique_lock<std::mutex> done_lock(done_mu);
-  done_cv.wait(done_lock, [&] { return all_done; });
+  job->RunChunks();
+
+  std::unique_lock<std::mutex> done_lock(job->done_mu);
+  job->done_cv.wait(done_lock, [&job] { return job->done; });
 }
 
 ThreadPool& ThreadPool::Global() {

@@ -4,6 +4,13 @@
 /// This is the execution engine behind the `Device` abstraction
 /// (see device.h). Kernels are data-parallel loops, so a chunked
 /// parallel-for is the only primitive we need.
+///
+/// Dispatch is shared-state rather than task-queue based: a `ParallelFor`
+/// publishes ONE job object and wakes the workers; workers (and the
+/// caller, which participates) claim chunks through an atomic cursor and
+/// the last finished chunk releases the completion latch. Large launches
+/// therefore pay one small allocation per dispatch instead of a
+/// heap-allocated `std::function` plus a mutex round-trip per chunk.
 
 #ifndef FKDE_PARALLEL_THREAD_POOL_H_
 #define FKDE_PARALLEL_THREAD_POOL_H_
@@ -11,9 +18,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
@@ -35,7 +43,8 @@ class ThreadPool {
   std::size_t num_threads() const { return workers_.size(); }
 
   /// Runs `fn(begin, end)` over [0, n) split into chunks of at least
-  /// `grain` elements, in parallel, and waits for completion.
+  /// `grain` elements, in parallel, and waits for completion. The caller
+  /// participates in chunk execution instead of idling.
   /// Small ranges run inline on the caller to avoid scheduling overhead.
   void ParallelFor(std::size_t n, std::size_t grain,
                    const std::function<void(std::size_t, std::size_t)>& fn);
@@ -44,10 +53,36 @@ class ThreadPool {
   static ThreadPool& Global();
 
  private:
+  /// Shared state of one ParallelFor dispatch. Workers claim chunk
+  /// indices via `next`; the worker that completes the final chunk
+  /// publishes `done` under `done_mu` (never before — see RunChunks).
+  struct Job {
+    Job(const std::function<void(std::size_t, std::size_t)>& body,
+        std::size_t total, std::size_t chunk_size, std::size_t chunks)
+        : fn(&body), n(total), chunk(chunk_size), num_chunks(chunks),
+          unfinished(chunks) {}
+
+    const std::function<void(std::size_t, std::size_t)>* fn;
+    std::size_t n;
+    std::size_t chunk;
+    std::size_t num_chunks;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> unfinished;
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    bool done = false;
+
+    /// Claims and runs chunks until the cursor is exhausted.
+    void RunChunks();
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  /// Pending job references (shared_ptr copies, one per woken worker —
+  /// NOT one entry per chunk). Stale references to exhausted jobs are
+  /// dropped immediately by RunChunks.
+  std::deque<std::shared_ptr<Job>> jobs_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool shutdown_ = false;

@@ -1,0 +1,235 @@
+/// \file batch_eval_test.cc
+/// \brief Correctness of the batched evaluation paths: batched estimates,
+/// batched gradients and the fused batched loss must reproduce the
+/// per-query reference paths (and finite differences) exactly.
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "kde/engine.h"
+#include "kde/loss.h"
+#include "opt/optimizer.h"
+
+namespace fkde {
+namespace {
+
+struct BatchFixture {
+  BatchFixture(std::size_t rows, std::size_t dims, std::size_t sample_size,
+               KernelType kernel, std::uint64_t seed, bool with_scales) {
+    ClusterBoxesParams params;
+    params.rows = rows;
+    params.dims = dims;
+    table = std::make_unique<Table>(GenerateClusterBoxes(params, seed));
+    device = std::make_unique<Device>(DeviceProfile::OpenClCpu());
+    sample = std::make_unique<DeviceSample>(device.get(), sample_size, dims);
+    Rng rng(seed + 1);
+    FKDE_CHECK_OK(sample->LoadFromTable(*table, &rng));
+    engine = std::make_unique<KdeEngine>(sample.get(), kernel);
+    if (with_scales) {
+      std::vector<double> scales(sample->size());
+      for (double& v : scales) v = rng.Uniform(0.5, 2.0);
+      FKDE_CHECK_OK(engine->SetPointScales(scales));
+    }
+  }
+
+  std::vector<Box> RandomBoxes(std::size_t count, std::uint64_t seed) const {
+    const std::size_t d = engine->dims();
+    Rng rng(seed);
+    std::vector<Box> boxes;
+    boxes.reserve(count);
+    for (std::size_t q = 0; q < count; ++q) {
+      std::vector<double> lo(d), hi(d);
+      for (std::size_t j = 0; j < d; ++j) {
+        const double a = rng.Uniform(), b = rng.Uniform();
+        lo[j] = std::min(a, b);
+        hi[j] = std::max(a, b);
+      }
+      boxes.emplace_back(lo, hi);
+    }
+    return boxes;
+  }
+
+  std::unique_ptr<Table> table;
+  std::unique_ptr<Device> device;
+  std::unique_ptr<DeviceSample> sample;
+  std::unique_ptr<KdeEngine> engine;
+};
+
+double RelError(double got, double want) {
+  return std::abs(got - want) / std::max(1.0, std::abs(want));
+}
+
+// Kernel x variable-KDE-scales sweep for every comparison below.
+class BatchEvalSweep
+    : public ::testing::TestWithParam<std::tuple<KernelType, bool>> {
+ protected:
+  BatchFixture MakeFixture(std::uint64_t seed) const {
+    return BatchFixture(8000, 3, 256, std::get<0>(GetParam()), seed,
+                        std::get<1>(GetParam()));
+  }
+};
+
+TEST_P(BatchEvalSweep, BatchEstimatesBitIdenticalToPerQuery) {
+  BatchFixture f = MakeFixture(40);
+  const std::vector<Box> boxes = f.RandomBoxes(37, 41);
+  std::vector<double> batched(boxes.size());
+  f.engine->EstimateBatch(boxes, batched);
+  for (std::size_t q = 0; q < boxes.size(); ++q) {
+    // Same contribution math, same reduction tree: bitwise equal.
+    EXPECT_EQ(batched[q], f.engine->Estimate(boxes[q])) << "query " << q;
+  }
+}
+
+TEST_P(BatchEvalSweep, BatchGradientsMatchPerQuery) {
+  BatchFixture f = MakeFixture(42);
+  const std::vector<Box> boxes = f.RandomBoxes(23, 43);
+  const std::size_t d = f.engine->dims();
+  std::vector<double> estimates(boxes.size());
+  std::vector<double> gradients(boxes.size() * d);
+  f.engine->EstimateBatchWithGradient(boxes, estimates, gradients);
+  for (std::size_t q = 0; q < boxes.size(); ++q) {
+    std::vector<double> g;
+    const double est = f.engine->EstimateWithGradient(boxes[q], &g);
+    EXPECT_LE(RelError(estimates[q], est), 1e-12) << "query " << q;
+    for (std::size_t k = 0; k < d; ++k) {
+      EXPECT_LE(RelError(gradients[q * d + k], g[k]), 1e-12)
+          << "query " << q << " dim " << k;
+    }
+  }
+}
+
+TEST_P(BatchEvalSweep, BatchLossMatchesHostFoldedPerQuery) {
+  BatchFixture f = MakeFixture(44);
+  const std::vector<Box> boxes = f.RandomBoxes(31, 45);
+  const std::size_t m = boxes.size();
+  const std::size_t d = f.engine->dims();
+  Rng rng(46);
+  std::vector<double> truths(m);
+  for (double& t : truths) t = rng.Uniform(0.0, 0.4);
+
+  for (LossType loss : {LossType::kQuadratic, LossType::kSquaredRelative}) {
+    const double lambda = 1e-5;
+    std::vector<double> grad;
+    const double batched =
+        f.engine->EstimateBatchLoss(boxes, truths, loss, lambda, &grad);
+    const double no_grad_loss = f.engine->EstimateBatchLoss(
+        boxes, truths, loss, lambda, /*gradient=*/nullptr);
+    EXPECT_LE(RelError(no_grad_loss, batched), 1e-12);
+
+    // Host-folded reference: per-query estimate + gradient, chained with
+    // the loss derivative on the host (the pre-batching code path).
+    double ref_loss = 0.0;
+    std::vector<double> ref_grad(d, 0.0);
+    for (std::size_t q = 0; q < m; ++q) {
+      std::vector<double> g;
+      const double est = f.engine->EstimateWithGradient(boxes[q], &g);
+      ref_loss += EvaluateLoss(loss, est, truths[q], lambda);
+      const double dloss = LossDerivative(loss, est, truths[q], lambda);
+      for (std::size_t k = 0; k < d; ++k) ref_grad[k] += dloss * g[k];
+    }
+    ref_loss /= static_cast<double>(m);
+    for (double& g : ref_grad) g /= static_cast<double>(m);
+
+    EXPECT_LE(RelError(batched, ref_loss), 1e-12);
+    ASSERT_EQ(grad.size(), d);
+    for (std::size_t k = 0; k < d; ++k) {
+      EXPECT_LE(RelError(grad[k], ref_grad[k]), 1e-10) << "dim " << k;
+    }
+  }
+}
+
+TEST_P(BatchEvalSweep, BatchLossGradientMatchesFiniteDifference) {
+  BatchFixture f = MakeFixture(47);
+  const std::vector<Box> boxes = f.RandomBoxes(15, 48);
+  Rng rng(49);
+  std::vector<double> truths(boxes.size());
+  for (double& t : truths) t = rng.Uniform(0.0, 0.4);
+  const std::vector<double> h0 = f.engine->bandwidth();
+
+  Objective objective = [&](std::span<const double> h,
+                            std::span<double> grad) {
+    FKDE_CHECK_OK(f.engine->SetBandwidth(h));
+    if (grad.empty()) {
+      return f.engine->EstimateBatchLoss(boxes, truths, LossType::kQuadratic,
+                                         1e-5, /*gradient=*/nullptr);
+    }
+    std::vector<double> g;
+    const double loss = f.engine->EstimateBatchLoss(
+        boxes, truths, LossType::kQuadratic, 1e-5, &g);
+    std::copy(g.begin(), g.end(), grad.begin());
+    return loss;
+  };
+  EXPECT_LT(MaxGradientError(objective, h0, 1e-5), 2e-3);
+  FKDE_CHECK_OK(f.engine->SetBandwidth(h0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BatchEvalSweep,
+    ::testing::Combine(::testing::Values(KernelType::kGaussian,
+                                         KernelType::kEpanechnikov),
+                       ::testing::Bool()));
+
+TEST(BatchEval, TiledBatchesMatchPerQuery) {
+  // Large s x d forces the 64MB tile cap to split the batch; results must
+  // be unchanged.
+  BatchFixture f(40000, 8, 32768, KernelType::kGaussian, 50,
+                 /*with_scales=*/false);
+  const std::size_t d = f.engine->dims();
+  const std::vector<Box> boxes = f.RandomBoxes(60, 51);
+  std::vector<double> estimates(boxes.size());
+  std::vector<double> gradients(boxes.size() * d);
+  f.engine->EstimateBatchWithGradient(boxes, estimates, gradients);
+  Rng rng(52);
+  for (int round = 0; round < 8; ++round) {
+    const std::size_t q = rng.UniformInt(boxes.size());
+    std::vector<double> g;
+    const double est = f.engine->EstimateWithGradient(boxes[q], &g);
+    EXPECT_LE(RelError(estimates[q], est), 1e-12) << "query " << q;
+    for (std::size_t k = 0; k < d; ++k) {
+      EXPECT_LE(RelError(gradients[q * d + k], g[k]), 1e-12)
+          << "query " << q << " dim " << k;
+    }
+  }
+}
+
+TEST(BatchEval, DoesNotDisturbRetainedContributions) {
+  // Karma consumes the contributions retained by the last single-query
+  // estimate; a batched evaluation in between must not clobber them.
+  BatchFixture f(8000, 3, 256, KernelType::kGaussian, 53,
+                 /*with_scales=*/false);
+  const std::vector<Box> boxes = f.RandomBoxes(20, 54);
+  const Box probe = f.RandomBoxes(1, 55)[0];
+  const double est = f.engine->Estimate(probe);
+  const std::size_t s = f.engine->sample_size();
+  std::vector<double> before(s);
+  f.device->CopyToHost(f.engine->contributions(), 0, s, before.data());
+
+  std::vector<double> estimates(boxes.size());
+  f.engine->EstimateBatch(boxes, estimates);
+  std::vector<double> truths(boxes.size(), 0.1);
+  std::vector<double> grad;
+  (void)f.engine->EstimateBatchLoss(boxes, truths, LossType::kQuadratic,
+                                    1e-5, &grad);
+
+  EXPECT_DOUBLE_EQ(f.engine->last_estimate(), est);
+  std::vector<double> after(s);
+  f.device->CopyToHost(f.engine->contributions(), 0, s, after.data());
+  EXPECT_EQ(before, after);
+}
+
+TEST(BatchEval, EmptyBatchIsANoOp) {
+  BatchFixture f(2000, 2, 64, KernelType::kGaussian, 56,
+                 /*with_scales=*/false);
+  std::vector<Box> no_boxes;
+  std::vector<double> no_estimates;
+  f.engine->EstimateBatch(no_boxes, no_estimates);  // Must not crash.
+}
+
+}  // namespace
+}  // namespace fkde

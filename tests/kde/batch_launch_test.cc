@@ -1,0 +1,167 @@
+/// \file batch_launch_test.cc
+/// \brief Launch/transfer-count regression tests for the batched hot
+/// paths, verified against the device ledger and the modeled cost.
+///
+/// The point of the batched API is asymptotic: a whole bandwidth-objective
+/// evaluation over m training queries must cost O(1) kernel launches and
+/// ONE descriptor upload, independent of m — not the ~m*(d+2) launches of
+/// a per-query loop. These tests pin those counts so regressions that
+/// quietly reintroduce per-query round trips fail loudly.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "kde/engine.h"
+#include "kde/loss.h"
+
+namespace fkde {
+namespace {
+
+struct LaunchFixture {
+  explicit LaunchFixture(const DeviceProfile& profile,
+                         std::size_t sample_size = 1024,
+                         std::size_t dims = 3) {
+    ClusterBoxesParams params;
+    params.rows = 8000;
+    params.dims = dims;
+    table = std::make_unique<Table>(GenerateClusterBoxes(params, 60));
+    device = std::make_unique<Device>(profile);
+    sample = std::make_unique<DeviceSample>(device.get(), sample_size, dims);
+    Rng rng(61);
+    FKDE_CHECK_OK(sample->LoadFromTable(*table, &rng));
+    engine = std::make_unique<KdeEngine>(sample.get(), KernelType::kGaussian);
+  }
+
+  std::vector<Box> RandomBoxes(std::size_t count, std::uint64_t seed) const {
+    const std::size_t d = engine->dims();
+    Rng rng(seed);
+    std::vector<Box> boxes;
+    boxes.reserve(count);
+    for (std::size_t q = 0; q < count; ++q) {
+      std::vector<double> lo(d), hi(d);
+      for (std::size_t j = 0; j < d; ++j) {
+        const double a = rng.Uniform(), b = rng.Uniform();
+        lo[j] = std::min(a, b);
+        hi[j] = std::max(a, b);
+      }
+      boxes.emplace_back(lo, hi);
+    }
+    return boxes;
+  }
+
+  std::unique_ptr<Table> table;
+  std::unique_ptr<Device> device;
+  std::unique_ptr<DeviceSample> sample;
+  std::unique_ptr<KdeEngine> engine;
+};
+
+TEST(BatchLaunch, ObjectiveWithGradientIsFiveLaunchesOneUpload) {
+  // The ISSUE acceptance bound: a full batched objective evaluation over
+  // 100 training queries (s=1024, d=3) in <= 5 launches and ONE bounds
+  // transfer. Exact budget: fused contribution+partials kernel (1), the
+  // two-level segmented estimate reduction (2), the loss-weighted fold
+  // kernel (1) and the one-level segmented fold reduction (1).
+  LaunchFixture f(DeviceProfile::OpenClCpu());
+  const std::size_t m = 100;
+  const std::size_t d = f.engine->dims();
+  const std::vector<Box> boxes = f.RandomBoxes(m, 62);
+  const std::vector<double> truths(m, 0.1);
+
+  f.device->ResetLedger();
+  std::vector<double> grad;
+  (void)f.engine->EstimateBatchLoss(boxes, truths, LossType::kQuadratic,
+                                    1e-5, &grad);
+  const TransferLedger& ledger = f.device->ledger();
+  EXPECT_LE(ledger.kernel_launches, 5u);
+  EXPECT_EQ(ledger.transfers_to_device, 1u);
+  EXPECT_EQ(ledger.bytes_to_device, (m * 2 * d + m) * sizeof(double));
+  // One (d+1)-double read-back: d gradient dot-products + the loss sum.
+  EXPECT_EQ(ledger.transfers_to_host, 1u);
+  EXPECT_EQ(ledger.bytes_to_host, (d + 1) * sizeof(double));
+}
+
+TEST(BatchLaunch, LaunchCountIndependentOfQueryCount) {
+  LaunchFixture f(DeviceProfile::OpenClCpu());
+  std::vector<std::uint64_t> grad_launches, est_launches;
+  for (std::size_t m : {1ul, 10ul, 100ul}) {
+    const std::vector<Box> boxes = f.RandomBoxes(m, 63);
+    const std::vector<double> truths(m, 0.1);
+    f.device->ResetLedger();
+    std::vector<double> grad;
+    (void)f.engine->EstimateBatchLoss(boxes, truths, LossType::kQuadratic,
+                                      1e-5, &grad);
+    grad_launches.push_back(f.device->ledger().kernel_launches);
+
+    std::vector<double> estimates(m);
+    f.device->ResetLedger();
+    f.engine->EstimateBatch(boxes, estimates);
+    est_launches.push_back(f.device->ledger().kernel_launches);
+    EXPECT_EQ(f.device->ledger().transfers_to_device, 1u) << m;
+    EXPECT_EQ(f.device->ledger().transfers_to_host, 1u) << m;
+  }
+  EXPECT_EQ(grad_launches[0], grad_launches[1]);
+  EXPECT_EQ(grad_launches[1], grad_launches[2]);
+  EXPECT_EQ(est_launches[0], est_launches[1]);
+  EXPECT_EQ(est_launches[1], est_launches[2]);
+}
+
+TEST(BatchLaunch, BatchedObjectiveAtLeastFiveTimesFasterOnGpuModel) {
+  // The launch-latency-bound regime the batching targets: on the modeled
+  // GTX-460 profile, evaluating the objective for 100 queries via the
+  // batched pass must model >= 5x faster than the per-query loop it
+  // replaced (the ISSUE acceptance bound).
+  LaunchFixture f(DeviceProfile::SimulatedGtx460());
+  const std::size_t m = 100;
+  const std::size_t d = f.engine->dims();
+  const std::vector<Box> boxes = f.RandomBoxes(m, 64);
+  const std::vector<double> truths(m, 0.1);
+
+  f.device->ResetModeledTime();
+  std::vector<double> grad;
+  (void)f.engine->EstimateBatchLoss(boxes, truths, LossType::kQuadratic,
+                                    1e-5, &grad);
+  const double batched_s = f.device->ModeledSeconds();
+
+  // The pre-batching objective: per-query gradient estimate plus a
+  // host-side loss fold.
+  f.device->ResetModeledTime();
+  std::vector<double> loss_grad(d, 0.0);
+  double loss = 0.0;
+  for (std::size_t q = 0; q < m; ++q) {
+    std::vector<double> g;
+    const double est = f.engine->EstimateWithGradient(boxes[q], &g);
+    loss += EvaluateLoss(LossType::kQuadratic, est, truths[q], 1e-5);
+    const double dloss =
+        LossDerivative(LossType::kQuadratic, est, truths[q], 1e-5);
+    for (std::size_t k = 0; k < d; ++k) loss_grad[k] += dloss * g[k];
+  }
+  const double per_query_s = f.device->ModeledSeconds();
+
+  EXPECT_GE(per_query_s, 5.0 * batched_s)
+      << "batched " << batched_s << "s vs per-query " << per_query_s << "s";
+}
+
+TEST(BatchLaunch, ScottInitIsTwoLaunchesPerConstruction) {
+  // The fused moments kernel + one segmented reduction, regardless of d —
+  // formerly ~4d launches (per-dimension sum and sum-of-squares trees).
+  ClusterBoxesParams params;
+  params.rows = 8000;
+  params.dims = 5;
+  const Table table = GenerateClusterBoxes(params, 65);
+  Device device(DeviceProfile::OpenClCpu());
+  DeviceSample sample(&device, 1024, 5);
+  Rng rng(66);
+  FKDE_CHECK_OK(sample.LoadFromTable(table, &rng));
+  device.ResetLedger();
+  KdeEngine engine(&sample, KernelType::kGaussian);
+  // Construction = Scott init (kernel + segmented reduce levels) + the
+  // SetBandwidth upload; no per-dimension launch fan-out.
+  EXPECT_LE(device.ledger().kernel_launches, 3u);
+}
+
+}  // namespace
+}  // namespace fkde
