@@ -154,6 +154,83 @@ BENCHMARK(BM_EstimateGradientPerQueryLoop)
     ->ArgsProduct({{1024, 16384}, {1, 10, 100}})
     ->Unit(benchmark::kMicrosecond);
 
+// Host-side cost of submitting one command to the in-order queue without
+// waiting for it — the price the adaptive loop pays per enqueued gradient
+// command. The queue drains after timing ends.
+void BM_EnqueueLaunchOverhead(benchmark::State& state) {
+  Device device(DeviceProfile::OpenClCpu());
+  CommandQueue* queue = device.default_queue();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        queue->EnqueueLaunch("nop", 1, 1.0, [](std::size_t, std::size_t) {}));
+  }
+  queue->Finish();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnqueueLaunchOverhead)->Unit(benchmark::kNanosecond);
+
+void BM_BlockingLaunchOverhead(benchmark::State& state) {
+  Device device(DeviceProfile::OpenClCpu());
+  for (auto _ : state) {
+    device.Launch("nop", 1, 1.0, [](std::size_t, std::size_t) {});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockingLaunchOverhead)->Unit(benchmark::kNanosecond);
+
+// Overlap efficiency of the adaptive gradient pass. The sync variant
+// blocks on the full estimate+gradient pipeline; the enqueued variant
+// hides the gradient behind a modeled query-execution window. Both report
+// the modeled per-query milliseconds and the idle-gap fraction
+// (HostStallSeconds / ModeledSeconds): sync stalls for most of its
+// modeled time, enqueued should stall for almost none of it.
+void ReportModeledCounters(benchmark::State& state, const Device& device) {
+  const double modeled = device.ModeledSeconds();
+  const double stall = device.HostStallSeconds();
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["modeled_ms"] =
+      iters > 0.0 ? modeled * 1e3 / iters : 0.0;
+  state.counters["idle_gap"] = modeled > 0.0 ? stall / modeled : 0.0;
+}
+
+void BM_GradientSync(benchmark::State& state) {
+  MicroFixture fixture(static_cast<std::size_t>(state.range(0)), 8);
+  std::vector<double> gradient;
+  fixture.device.ResetModeledTime();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture.engine->EstimateWithGradient(fixture.box, &gradient));
+  }
+  ReportModeledCounters(state, fixture.device);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GradientSync)
+    ->Arg(1024)
+    ->Arg(131072)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GradientEnqueued(benchmark::State& state) {
+  MicroFixture fixture(static_cast<std::size_t>(state.range(0)), 8);
+  // Execution window comfortably above the largest gradient pass here
+  // (131072 points x 8 dims x 3 ops at CPU throughput ~= 12 ms).
+  constexpr double kQueryExecutionS = 25e-3;
+  std::vector<double> gradient;
+  fixture.device.ResetModeledTime();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.engine->Estimate(fixture.box));
+    fixture.engine->EnqueueGradient();
+    fixture.device.AdvanceHostTime(kQueryExecutionS);
+    fixture.engine->CollectGradient(&gradient);
+    benchmark::DoNotOptimize(gradient.data());
+  }
+  ReportModeledCounters(state, fixture.device);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GradientEnqueued)
+    ->Arg(1024)
+    ->Arg(131072)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_ReduceSum(benchmark::State& state) {
   Device device(DeviceProfile::OpenClCpu());
   const std::size_t n = static_cast<std::size_t>(state.range(0));

@@ -42,9 +42,12 @@ struct AdaptiveOptions {
 
 /// \brief Mini-batch RMSprop state machine for one bandwidth vector.
 ///
-/// Owns no device state: the caller (KdeSelectivityEstimator) computes the
-/// per-query loss gradient dL/dh on the device and feeds it here; when a
-/// mini-batch completes, `Observe` rewrites `bandwidth` in place and
+/// Owns no device state: the caller computes the loss gradient dL/dh on
+/// the device and feeds it here. KdeSelectivityEstimator collects one
+/// enqueued gradient per query (Section 5.5) and calls `Observe`; batched
+/// consumers (SCV warm-start, offline tuning) feed a device-averaged
+/// mini-batch gradient through `ObserveMiniBatch` instead. When a
+/// mini-batch completes, the bandwidth is rewritten in place and the call
 /// returns true so the caller can push it back to the device.
 class AdaptiveBandwidth {
  public:

@@ -16,8 +16,17 @@ KdeEngine::KdeEngine(DeviceSample* sample, KernelType kernel)
   contributions_ = dev->CreateBuffer<double>(sample_->capacity());
   grad_partials_ =
       dev->CreateBuffer<double>(sample_->dims() * sample_->capacity());
+  grad_sums_ = dev->CreateBuffer<double>(sample_->dims());
   point_scales_ = dev->CreateBuffer<float>(sample_->capacity());
+  // Sized once so enqueued gradient read-backs never race a reallocation.
+  grad_staging_.resize(sample_->dims());
   FKDE_CHECK_OK(SetBandwidth(ComputeScottBandwidth()));
+}
+
+KdeEngine::~KdeEngine() {
+  // Commands enqueued through this engine capture pointers into its
+  // device buffers; drain them before the buffers go away.
+  device()->default_queue()->Finish();
 }
 
 Status KdeEngine::SetBandwidth(std::span<const double> bandwidth) {
@@ -144,10 +153,7 @@ double KdeEngine::Estimate(const Box& box) {
   return last_estimate_;
 }
 
-double KdeEngine::EstimateWithGradient(const Box& box,
-                                       std::vector<double>* gradient,
-                                       bool overlapped) {
-  UploadBounds(box);
+void KdeEngine::EnqueueGradientPartialsKernel() {
   const std::size_t s = sample_size();
   const std::size_t d = dims();
   const float* data = sample_->buffer().device_data();
@@ -161,8 +167,10 @@ double KdeEngine::EstimateWithGradient(const Box& box,
   // Fused kernel: per sample point, the per-dimension CDF differences and
   // their h-derivatives give both the contribution (13) and, via
   // prefix/suffix products (avoiding division by near-zero factors), the
-  // per-dimension gradient terms of eq. (17). The gradient part is the
-  // work the paper hides behind query execution (Section 5.5).
+  // per-dimension gradient terms of eq. (17). Charged at its full 3d
+  // ops/item; whether that cost reaches the host depends on who waits —
+  // the synchronous path blocks on it, the enqueued path lets it run
+  // while the database executes the query (Section 5.5).
   auto body = [=](std::size_t begin, std::size_t end) {
     double cdf[kMaxDims];
     double dcdf[kMaxDims];
@@ -190,25 +198,63 @@ double KdeEngine::EstimateWithGradient(const Box& box,
       }
     }
   };
-  // The estimate part of the fused kernel is always charged — the query
-  // optimizer blocks on it. Only the *extra* gradient work (the other
-  // ~2/3 of the ops) is hidden behind query execution when overlapped
-  // (Section 5.5): charging d ops/item models exactly the estimate cost.
-  device()->Launch("kde_contributions_grad", s,
-                   (overlapped ? 1.0 : 3.0) * static_cast<double>(d), body);
+  device()->default_queue()->EnqueueLaunch(
+      "kde_contributions_grad", s, 3.0 * static_cast<double>(d), body);
+}
 
-  // The estimate reduction is also on the critical path.
-  const double total =
-      ReduceSum(device(), contributions_, 0, s, /*overlapped=*/false);
+double KdeEngine::EstimateWithGradient(const Box& box,
+                                       std::vector<double>* gradient) {
+  UploadBounds(box);
+  const std::size_t s = sample_size();
+  const std::size_t d = dims();
+  EnqueueGradientPartialsKernel();
+
+  // The estimate reduction is on the critical path; its final read-back
+  // drains the in-order queue, so the fused kernel's full cost lands on
+  // the host timeline — this path hides nothing.
+  const double total = ReduceSum(device(), contributions_, 0, s);
   last_estimate_ = total / static_cast<double>(s);
 
+  // All d dim-major partial segments fold in ONE segmented reduction and
+  // come back as one d-double transfer (bit-identical to d per-dimension
+  // ReduceSum calls — same group tree per segment).
+  ReduceSumSegments(device(), grad_partials_, 0, s, d, &grad_sums_);
   gradient->resize(d);
-  for (std::size_t j = 0; j < d; ++j) {
-    (*gradient)[j] =
-        ReduceSum(device(), grad_partials_, j * s, s, overlapped) /
-        static_cast<double>(s);
-  }
+  device()->CopyToHost(grad_sums_, 0, d, gradient->data());
+  const double inv_s = 1.0 / static_cast<double>(s);
+  for (double& g : *gradient) g *= inv_s;
   return last_estimate_;
+}
+
+Event KdeEngine::EnqueueGradient() {
+  const std::size_t s = sample_size();
+  const std::size_t d = dims();
+  // Section 5.5, steps 5-6, for the bounds of the last Estimate: partials
+  // kernel, one segmented reduction, d-double read-back — all enqueued,
+  // none waited for. The in-order queue sequences them; the read-back's
+  // event is the collection handle. A still-pending previous gradient is
+  // simply superseded: its commands complete in order and its staging
+  // writes happen-before ours.
+  EnqueueGradientPartialsKernel();
+  CommandQueue* queue = device()->default_queue();
+  EnqueueReduceSumSegments(queue, grad_partials_, 0, s, d, &grad_sums_);
+  pending_gradient_ =
+      queue->EnqueueCopyToHost(grad_sums_, 0, d, grad_staging_.data());
+  gradient_pending_ = true;
+  return pending_gradient_;
+}
+
+void KdeEngine::CollectGradient(std::vector<double>* gradient) {
+  FKDE_CHECK_MSG(gradient_pending_, "no enqueued gradient to collect");
+  pending_gradient_.Wait();
+  pending_gradient_ = Event();
+  gradient_pending_ = false;
+  const std::size_t d = dims();
+  gradient->resize(d);
+  const double inv_s = 1.0 / static_cast<double>(sample_size());
+  for (std::size_t j = 0; j < d; ++j) {
+    (*gradient)[j] = grad_staging_[j] * inv_s;
+  }
 }
 
 std::size_t KdeEngine::BatchTile(std::size_t queries,
@@ -244,7 +290,7 @@ void KdeEngine::UploadBatchDescriptors(std::span<const Box> boxes,
 }
 
 void KdeEngine::BatchContributionSums(
-    std::span<const Box> boxes, bool with_partials, bool overlapped,
+    std::span<const Box> boxes, bool with_partials,
     const std::function<void(std::size_t, std::size_t)>& fold) {
   const std::size_t m = boxes.size();
   const std::size_t s = sample_size();
@@ -293,12 +339,8 @@ void KdeEngine::BatchContributionSums(
           }
         }
       };
-      if (overlapped) {
-        device()->LaunchOverlapped("kde_batch_contributions", s, body);
-      } else {
-        device()->Launch("kde_batch_contributions", s,
-                         static_cast<double>(t * d), body);
-      }
+      device()->Launch("kde_batch_contributions", s,
+                       static_cast<double>(t * d), body);
     } else {
       // Fused contribution+gradient kernel over the s×tile grid, reusing
       // the prefix/suffix-product scheme of EstimateWithGradient per
@@ -337,16 +379,11 @@ void KdeEngine::BatchContributionSums(
           }
         }
       };
-      if (overlapped) {
-        device()->LaunchOverlapped("kde_batch_contributions_grad", s, body);
-      } else {
-        device()->Launch("kde_batch_contributions_grad", s,
-                         3.0 * static_cast<double>(t * d), body);
-      }
+      device()->Launch("kde_batch_contributions_grad", s,
+                       3.0 * static_cast<double>(t * d), body);
     }
     // All tile estimates advance through every reduction level together.
-    ReduceSumSegments(device(), batch_contrib_, 0, s, t, &batch_est_, t0,
-                      overlapped);
+    ReduceSumSegments(device(), batch_contrib_, 0, s, t, &batch_est_, t0);
     if (fold) fold(t0, t);
   }
 }
@@ -358,8 +395,7 @@ void KdeEngine::EstimateBatch(std::span<const Box> boxes,
   if (boxes.empty()) return;
   const std::size_t m = boxes.size();
   UploadBatchDescriptors(boxes, {});
-  BatchContributionSums(boxes, /*with_partials=*/false, /*overlapped=*/false,
-                        nullptr);
+  BatchContributionSums(boxes, /*with_partials=*/false, nullptr);
   device()->CopyToHost(batch_est_, 0, m, estimates.data());
   const double inv_s = 1.0 / static_cast<double>(sample_size());
   for (double& e : estimates) e *= inv_s;
@@ -367,8 +403,7 @@ void KdeEngine::EstimateBatch(std::span<const Box> boxes,
 
 void KdeEngine::EstimateBatchWithGradient(std::span<const Box> boxes,
                                           std::span<double> estimates,
-                                          std::span<double> gradients,
-                                          bool overlapped) {
+                                          std::span<double> gradients) {
   FKDE_CHECK_MSG(estimates.size() == boxes.size(),
                  "estimate output arity mismatch");
   FKDE_CHECK_MSG(gradients.size() == boxes.size() * dims(),
@@ -381,12 +416,12 @@ void KdeEngine::EstimateBatchWithGradient(std::span<const Box> boxes,
     batch_grad_ = device()->CreateBuffer<double>(m * d);
   }
   UploadBatchDescriptors(boxes, {});
-  auto fold = [this, s, d, overlapped](std::size_t t0, std::size_t t) {
+  auto fold = [this, s, d](std::size_t t0, std::size_t t) {
     // The tile's t*d gradient partial segments reduce as one batch.
     ReduceSumSegments(device(), batch_partials_, 0, s, t * d, &batch_grad_,
-                      t0 * d, overlapped);
+                      t0 * d);
   };
-  BatchContributionSums(boxes, /*with_partials=*/true, overlapped, fold);
+  BatchContributionSums(boxes, /*with_partials=*/true, fold);
   device()->CopyToHost(batch_est_, 0, m, estimates.data());
   device()->CopyToHost(batch_grad_, 0, m * d, gradients.data());
   const double inv_s = 1.0 / static_cast<double>(s);
@@ -397,8 +432,7 @@ void KdeEngine::EstimateBatchWithGradient(std::span<const Box> boxes,
 double KdeEngine::EstimateBatchLoss(std::span<const Box> boxes,
                                     std::span<const double> truths,
                                     LossType loss, double lambda,
-                                    std::vector<double>* gradient,
-                                    bool overlapped) {
+                                    std::vector<double>* gradient) {
   FKDE_CHECK_MSG(truths.size() == boxes.size(), "truth arity mismatch");
   FKDE_CHECK_MSG(!boxes.empty(), "batched loss needs at least one query");
   const std::size_t m = boxes.size();
@@ -416,8 +450,7 @@ double KdeEngine::EstimateBatchLoss(std::span<const Box> boxes,
   const double inv_s = 1.0 / static_cast<double>(s);
 
   if (gradient == nullptr) {
-    BatchContributionSums(boxes, /*with_partials=*/false, overlapped,
-                          nullptr);
+    BatchContributionSums(boxes, /*with_partials=*/false, nullptr);
     if (batch_results_.size() < d + 1) {
       batch_results_ = device()->CreateBuffer<double>(d + 1);
     }
@@ -433,11 +466,7 @@ double KdeEngine::EstimateBatchLoss(std::span<const Box> boxes,
         results[item] = total;
       }
     };
-    if (overlapped) {
-      device()->LaunchOverlapped("kde_batch_loss", 1, body);
-    } else {
-      device()->Launch("kde_batch_loss", 1, static_cast<double>(m), body);
-    }
+    device()->Launch("kde_batch_loss", 1, static_cast<double>(m), body);
     double total = 0.0;
     device()->CopyToHost(batch_results_, 0, 1, &total);
     return total / static_cast<double>(m);
@@ -457,8 +486,8 @@ double KdeEngine::EstimateBatchLoss(std::span<const Box> boxes,
   double loss_total = 0.0;
   std::vector<double> grad_total(d, 0.0);
   std::vector<double> tile_results(d + 1);
-  auto fold = [&, est, truth_dev, inv_s, s, d, gpseg, loss, lambda,
-               overlapped](std::size_t t0, std::size_t t) {
+  auto fold = [&, est, truth_dev, inv_s, s, d, gpseg, loss,
+               lambda](std::size_t t0, std::size_t t) {
     const double* partials = batch_partials_.device_data();
     double* fold_out = batch_fold_.device_data();
     // Items form d+1 segments of gpseg groups: segment k < d produces the
@@ -494,20 +523,15 @@ double KdeEngine::EstimateBatchLoss(std::span<const Box> boxes,
         fold_out[item] = acc;
       }
     };
-    if (overlapped) {
-      device()->LaunchOverlapped("kde_batch_loss_grad_fold",
-                                 (d + 1) * gpseg, body);
-    } else {
-      device()->Launch("kde_batch_loss_grad_fold", (d + 1) * gpseg,
-                       static_cast<double>(t * kReduceGroupSize), body);
-    }
+    device()->Launch("kde_batch_loss_grad_fold", (d + 1) * gpseg,
+                     static_cast<double>(t * kReduceGroupSize), body);
     ReduceSumSegments(device(), batch_fold_, 0, gpseg, d + 1,
-                      &batch_results_, 0, overlapped);
+                      &batch_results_, 0);
     device()->CopyToHost(batch_results_, 0, d + 1, tile_results.data());
     for (std::size_t k = 0; k < d; ++k) grad_total[k] += tile_results[k];
     loss_total += tile_results[d];
   };
-  BatchContributionSums(boxes, /*with_partials=*/true, overlapped, fold);
+  BatchContributionSums(boxes, /*with_partials=*/true, fold);
 
   gradient->resize(d);
   const double inv_ms = 1.0 / (static_cast<double>(m) * static_cast<double>(s));

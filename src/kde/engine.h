@@ -8,8 +8,10 @@
 ///  * the range-selectivity estimate p̂_H(Ω) — eq. (2) with the per-point
 ///    closed form eq. (13), a parallel map over sample points followed by
 ///    the binary-tree reduction (paper Section 5.4, Figure 3 steps 1-4);
-///  * the estimator gradient ∂p̂_H(Ω)/∂h_i — eq. (15)-(17), optionally
-///    modeled as overlapped with query execution (Section 5.5, steps 5-6);
+///  * the estimator gradient ∂p̂_H(Ω)/∂h_i — eq. (15)-(17), either
+///    synchronously or ENQUEUED on the device's command queue so it runs
+///    while the database executes the query (Section 5.5, steps 5-6:
+///    `EnqueueGradient`/`CollectGradient`);
 ///  * Scott's rule — eq. (3), via parallel sum / sum-of-squares reductions
 ///    and the variance identity (Section 5.2).
 ///
@@ -40,6 +42,10 @@ class KdeEngine {
   /// sample must outlive the engine. Bandwidth starts at Scott's rule.
   KdeEngine(DeviceSample* sample, KernelType kernel);
 
+  /// Drains the device queue so no enqueued command outlives the engine's
+  /// buffers (command_queue.h lifetime discipline).
+  ~KdeEngine();
+
   std::size_t dims() const { return sample_->dims(); }
   std::size_t sample_size() const { return sample_->size(); }
   KernelType kernel() const { return kernel_; }
@@ -50,7 +56,10 @@ class KdeEngine {
   const std::vector<double>& bandwidth() const { return bandwidth_; }
 
   /// Sets the bandwidth; values must be positive and finite. The new
-  /// bandwidth is transferred to the device (a metered 8d-byte transfer).
+  /// bandwidth is transferred to the device (one metered 8d-byte
+  /// transfer). Blocking, so the host-side copy in `bandwidth_` may be
+  /// reused as the transfer staging without lifetime hazards; at 8d bytes
+  /// the wait is a no-op on the modeled timeline.
   Status SetBandwidth(std::span<const double> bandwidth);
 
   /// Variable-KDE extension (paper Section 8): installs per-point
@@ -72,12 +81,27 @@ class KdeEngine {
   /// scalar estimate out. Per-point contributions stay on the device.
   double Estimate(const Box& box);
 
-  /// Estimate plus the gradient ∂p̂/∂h_i (eq. 17). When `overlapped` is
-  /// true the gradient kernels are modeled as hidden behind query
-  /// execution (the adaptive path); the estimate kernels are always
-  /// charged. `gradient->size()` becomes dims().
-  double EstimateWithGradient(const Box& box, std::vector<double>* gradient,
-                              bool overlapped = false);
+  /// Estimate plus the gradient ∂p̂/∂h_i (eq. 17), fully synchronous —
+  /// the bandwidth-optimization path. `gradient->size()` becomes dims().
+  /// For the adaptive feedback loop use `EnqueueGradient` instead, which
+  /// hides the gradient work behind query execution.
+  double EstimateWithGradient(const Box& box, std::vector<double>* gradient);
+
+  /// Enqueues the Section 5.5 gradient pass (steps 5-6) for the box of
+  /// the LAST `Estimate` call without blocking: the fused partials
+  /// kernel, ONE segmented reduction over the d dim-major partial
+  /// segments, and a d-double read-back. The device crunches while the
+  /// database executes the query; `CollectGradient` waits on the returned
+  /// event when the feedback arrives. Any previously pending gradient is
+  /// discarded. Does not touch the retained contributions.
+  Event EnqueueGradient();
+
+  /// Waits for the pending `EnqueueGradient` pass and writes ∂p̂/∂h
+  /// (arity dims()) into `gradient`. Requires `gradient_pending()`.
+  void CollectGradient(std::vector<double>* gradient);
+
+  /// True between `EnqueueGradient` and `CollectGradient`.
+  bool gradient_pending() const { return gradient_pending_; }
 
   /// Batched estimation: uploads all `boxes.size()` query bounds in ONE
   /// transfer, runs one fused contribution kernel over the s × m grid
@@ -94,13 +118,10 @@ class KdeEngine {
   /// same prefix/suffix-product scheme as `EstimateWithGradient`).
   /// `gradients` is query-major with arity boxes.size() * dims():
   /// gradients[q * dims() + k] = ∂p̂_q/∂h_k. Results are bit-identical to
-  /// per-query `EstimateWithGradient` calls. With `overlapped` all
-  /// kernels are modeled as hidden behind query execution (only launch
-  /// latencies and read-backs are charged).
+  /// per-query `EstimateWithGradient` calls.
   void EstimateBatchWithGradient(std::span<const Box> boxes,
                                  std::span<double> estimates,
-                                 std::span<double> gradients,
-                                 bool overlapped = false);
+                                 std::span<double> gradients);
 
   /// Fused batched objective evaluation for bandwidth optimization
   /// (problem (5)): estimates all boxes, evaluates `loss` against
@@ -113,8 +134,7 @@ class KdeEngine {
   /// ~m·(d+2) launches and m·(d+1) read-backs of a per-query loop.
   double EstimateBatchLoss(std::span<const Box> boxes,
                            std::span<const double> truths, LossType loss,
-                           double lambda, std::vector<double>* gradient,
-                           bool overlapped = false);
+                           double lambda, std::vector<double>* gradient);
 
   /// Selectivity of `box` at the last Estimate/EstimateWithGradient call.
   double last_estimate() const { return last_estimate_; }
@@ -154,8 +174,13 @@ class KdeEngine {
   /// are resident with (tile_start, tile_size) so loss/gradient passes
   /// can consume the tile's partials before they are overwritten.
   void BatchContributionSums(
-      std::span<const Box> boxes, bool with_partials, bool overlapped,
+      std::span<const Box> boxes, bool with_partials,
       const std::function<void(std::size_t, std::size_t)>& fold);
+
+  /// Enqueues the fused gradient-partials kernel for the bounds currently
+  /// resident in bounds_dev_ (shared by EstimateWithGradient and
+  /// EnqueueGradient).
+  void EnqueueGradientPartialsKernel();
 
   DeviceSample* sample_;
   KernelType kernel_;
@@ -164,7 +189,11 @@ class KdeEngine {
   DeviceBuffer<double> bounds_dev_;        // 2d doubles: l_0..l_d-1,u_0..
   DeviceBuffer<double> contributions_;     // s doubles.
   DeviceBuffer<double> grad_partials_;     // d*s doubles, dim-major.
+  DeviceBuffer<double> grad_sums_;         // d reduced gradient sums.
   DeviceBuffer<float> point_scales_;       // s floats (variable KDE).
+  std::vector<double> grad_staging_;       // d-double read-back staging.
+  Event pending_gradient_;                 // Held until feedback arrives.
+  bool gradient_pending_ = false;
   bool has_scales_ = false;
   double last_estimate_ = 0.0;
 

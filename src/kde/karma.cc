@@ -15,9 +15,16 @@ KarmaMaintainer::KarmaMaintainer(KdeEngine* engine,
   const std::size_t capacity = engine_->sample()->capacity();
   karma_ = dev->CreateBuffer<double>(capacity);
   flags_ = dev->CreateBuffer<std::uint32_t>((capacity + 31) / 32);
+  // Sized once so the enqueued bitmap read-back never races a resize.
+  host_flags_.resize((capacity + 31) / 32);
   // Zero-initialize the Karma scores (one transfer at construction).
   std::vector<double> zeros(capacity, 0.0);
   dev->CopyToDevice(zeros.data(), zeros.size(), &karma_);
+}
+
+KarmaMaintainer::~KarmaMaintainer() {
+  // A pending update holds pointers into karma_/flags_/host_flags_.
+  engine_->device()->default_queue()->Finish();
 }
 
 double KarmaMaintainer::InsideContributionBound(
@@ -47,8 +54,8 @@ double KarmaMaintainer::InsideContributionBound(
   return 0.5 * p_max * max_ratio;
 }
 
-std::vector<std::size_t> KarmaMaintainer::Update(const Box& box,
-                                                 double true_selectivity) {
+void KarmaMaintainer::EnqueueUpdate(const Box& box, double true_selectivity) {
+  FKDE_CHECK_MSG(!update_pending_, "previous Karma update not collected");
   Device* dev = engine_->device();
   const std::size_t s = engine_->sample_size();
   const double estimate = engine_->last_estimate();
@@ -75,12 +82,13 @@ std::vector<std::size_t> KarmaMaintainer::Update(const Box& box,
   // Figure 3, step 9: one pass over the sample updates every point's
   // cumulative Karma and emits the replacement bitmap. Each work item
   // owns one 32-bit bitmap word (32 sample slots), so concurrent groups
-  // never write the same word. Modeled as overlapped work: it reuses
+  // never write the same word. Enqueued, not waited for: it reuses
   // contributions retained from the estimate and runs while the database
-  // processes the next statement.
+  // processes the next statement; ~1 op per covered slot.
   const std::size_t words = (s + 31) / 32;
-  dev->LaunchOverlapped(
-      "karma_update", words, [=](std::size_t begin, std::size_t end) {
+  CommandQueue* queue = dev->default_queue();
+  queue->EnqueueLaunch(
+      "karma_update", words, 32.0, [=](std::size_t begin, std::size_t end) {
         for (std::size_t w = begin; w < end; ++w) {
           std::uint32_t word = 0;
           const std::size_t lo = w * 32;
@@ -104,12 +112,22 @@ std::vector<std::size_t> KarmaMaintainer::Update(const Box& box,
         }
       });
 
-  // Transfer the bitmap back (s/8 bytes) and collect slots to replace.
-  std::vector<std::uint32_t> host_flags(words);
-  dev->CopyToHost(flags_, 0, words, host_flags.data());
+  // Enqueue the bitmap read-back (s/8 bytes) behind the kernel; the event
+  // is the collection handle.
+  pending_update_ = queue->EnqueueCopyToHost(flags_, 0, words,
+                                             host_flags_.data());
+  update_pending_ = true;
+}
+
+std::vector<std::size_t> KarmaMaintainer::CollectPending() {
+  FKDE_CHECK_MSG(update_pending_, "no enqueued Karma update to collect");
+  pending_update_.Wait();
+  pending_update_ = Event();
+  update_pending_ = false;
+  const std::size_t words = (engine_->sample_size() + 31) / 32;
   std::vector<std::size_t> slots;
   for (std::size_t w = 0; w < words; ++w) {
-    std::uint32_t word = host_flags[w];
+    std::uint32_t word = host_flags_[w];
     while (word != 0) {
       const unsigned bit = static_cast<unsigned>(__builtin_ctz(word));
       slots.push_back(w * 32 + bit);
@@ -117,6 +135,12 @@ std::vector<std::size_t> KarmaMaintainer::Update(const Box& box,
     }
   }
   return slots;
+}
+
+std::vector<std::size_t> KarmaMaintainer::Update(const Box& box,
+                                                 double true_selectivity) {
+  EnqueueUpdate(box, true_selectivity);
+  return CollectPending();
 }
 
 void KarmaMaintainer::ResetSlot(std::size_t slot) {

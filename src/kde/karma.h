@@ -19,6 +19,13 @@
 ///
 /// The device produces a replacement bitmap; the host samples fresh rows
 /// and writes each back with a single d-float transfer.
+///
+/// The maintenance pass is asynchronous: `EnqueueUpdate` submits the
+/// Karma kernel and the s/8-byte bitmap read-back on the device queue and
+/// returns immediately — the pass runs "while the database processes the
+/// next statement" (Section 5.6). The caller collects the replacement
+/// slots with `CollectPending` when it next has feedback in hand, so
+/// replacements land one query late, exactly as in the paper's pipeline.
 
 #ifndef FKDE_KDE_KARMA_H_
 #define FKDE_KDE_KARMA_H_
@@ -55,13 +62,29 @@ class KarmaMaintainer {
   /// Tracks the engine's sample. The engine must outlive the maintainer.
   KarmaMaintainer(KdeEngine* engine, const KarmaOptions& options);
 
-  /// Updates all Karma scores from the last estimate's retained
+  /// Drains the device queue so a pending update never outlives the
+  /// Karma/bitmap buffers (command_queue.h lifetime discipline).
+  ~KarmaMaintainer();
+
+  /// Enqueues the Karma scoring pass for the last estimate's retained
   /// contributions (engine->contributions()) and the true selectivity of
-  /// the same query box. Returns the sample slots that must be replaced
-  /// (Karma below threshold, or inside a provably empty region).
-  ///
-  /// Must be called after `engine->Estimate*(box)` for the same box, while
-  /// the contributions are still valid.
+  /// the same query box, without blocking: one kernel over the bitmap
+  /// words plus the s/8-byte bitmap read-back. Must be called after
+  /// `engine->Estimate*(box)` for the same box and BEFORE the next
+  /// estimate overwrites the contributions (the in-order queue then keeps
+  /// the pass reading the right values). A previous update must have been
+  /// collected first.
+  void EnqueueUpdate(const Box& box, double true_selectivity);
+
+  /// Waits for the pending `EnqueueUpdate` pass and returns the sample
+  /// slots that must be replaced (Karma below threshold, or inside a
+  /// provably empty region). Requires `update_pending()`.
+  std::vector<std::size_t> CollectPending();
+
+  /// True between `EnqueueUpdate` and `CollectPending`.
+  bool update_pending() const { return update_pending_; }
+
+  /// Synchronous convenience wrapper: EnqueueUpdate + CollectPending.
   std::vector<std::size_t> Update(const Box& box, double true_selectivity);
 
   /// Resets the Karma of a slot that was just replaced with a fresh row.
@@ -83,6 +106,9 @@ class KarmaMaintainer {
   KarmaOptions options_;
   DeviceBuffer<double> karma_;       // One score per sample slot.
   DeviceBuffer<std::uint32_t> flags_;  // Replacement bitmap, 32 slots/word.
+  std::vector<std::uint32_t> host_flags_;  // Bitmap read-back staging.
+  Event pending_update_;             // Held until the next feedback.
+  bool update_pending_ = false;
 };
 
 }  // namespace fkde

@@ -114,13 +114,19 @@ std::string KdeSelectivityEstimator::name() const {
 }
 
 double KdeSelectivityEstimator::EstimateSelectivity(const Box& box) {
-  // All modes answer with the plain estimate pass. The adaptive variant
-  // no longer computes a per-query gradient here: gradients for a whole
-  // mini-batch are produced later by one batched device pass, hidden
-  // behind query execution (Section 5.5, batched).
+  // All modes answer with the plain estimate pass; only it is on the
+  // optimizer's critical path.
   const double estimate = engine_->Estimate(box);
   last_box_ = box;
   has_last_box_ = true;
+  if (mode_ == Mode::kAdaptive && adaptive_.has_value()) {
+    // Section 5.5, steps 5-6: the gradient pass for this query is
+    // enqueued now and crunches while the database executes the query;
+    // ObserveTrueSelectivity collects it when the feedback arrives. A
+    // query that never gets feedback leaves a pending pass that the next
+    // estimate's EnqueueGradient simply supersedes.
+    engine_->EnqueueGradient();
+  }
   return std::clamp(estimate, 0.0, 1.0);
 }
 
@@ -155,42 +161,47 @@ void KdeSelectivityEstimator::ObserveTrueSelectivity(const Box& box,
   }
   if (mode_ != Mode::kAdaptive) return;
 
-  // Out-of-order feedback (a box we did not just estimate): recompute the
-  // estimate so the retained contributions Karma reuses below match `box`.
-  if (!has_last_box_ || !(box == last_box_)) {
+  // Out-of-order feedback (a box we did not just estimate, or a second
+  // feedback for the same box): recompute the estimate and re-enqueue the
+  // gradient so both the pending pass and the retained contributions
+  // Karma reuses below match `box`. This exceptional path pays the full
+  // gradient cost inline.
+  if (!has_last_box_ || !(box == last_box_) || !engine_->gradient_pending()) {
     engine_->Estimate(box);
     last_box_ = box;
     has_last_box_ = true;
+    engine_->EnqueueGradient();
   }
 
-  // Buffer the feedback; when the mini-batch is full, ONE overlapped
-  // batched pass computes the mean loss gradient over all N queries —
-  // the device-side fold of eq. (14) — and feeds it to RMSprop. The
-  // bandwidth is constant within the mini-batch, so this matches the
-  // per-query gradient accumulation of Listing 1.
-  pending_boxes_.push_back(box);
-  pending_truths_.push_back(selectivity);
-  if (pending_boxes_.size() >= config_.adaptive.mini_batch) {
-    std::vector<double> mean_grad;
-    engine_->EstimateBatchLoss(pending_boxes_, pending_truths_, config_.loss,
-                               config_.lambda, &mean_grad,
-                               /*overlapped=*/true);
-    pending_boxes_.clear();
-    pending_truths_.clear();
-    std::vector<double> bandwidth = engine_->bandwidth();
-    adaptive_->ObserveMiniBatch(mean_grad, &bandwidth);
+  // Listing 1: collect the gradient pass enqueued at estimate time — by
+  // now it has been hidden behind the query's execution — chain it with
+  // ∂L/∂p̂ (eq. 14) and feed the per-query loss gradient to RMSprop.
+  std::vector<double> est_grad;
+  engine_->CollectGradient(&est_grad);
+  const double dl_dp = LossDerivative(config_.loss, engine_->last_estimate(),
+                                      selectivity, config_.lambda);
+  for (double& g : est_grad) g *= dl_dp;
+  std::vector<double> bandwidth = engine_->bandwidth();
+  if (adaptive_->Observe(est_grad, &bandwidth)) {
     FKDE_CHECK_OK(engine_->SetBandwidth(bandwidth));
   }
 
-  // Karma maintenance (Section 5.6) reuses the retained contributions.
+  // Karma maintenance (Section 5.6): first collect the pass enqueued at
+  // the PREVIOUS feedback — it ran while this query executed — and
+  // replace the sample points it flagged (one d-float row upload each).
   if (karma_.has_value() && table_ != nullptr && !table_->empty()) {
-    const std::vector<std::size_t> slots = karma_->Update(box, selectivity);
-    for (std::size_t slot : slots) {
-      const std::size_t row = table_->RandomRowIndex(&rng_);
-      sample_->ReplaceRow(slot, table_->Row(row));
-      karma_->ResetSlot(slot);
-      ++karma_replacements_;
+    if (karma_->update_pending()) {
+      for (std::size_t slot : karma_->CollectPending()) {
+        const std::size_t row = table_->RandomRowIndex(&rng_);
+        sample_->ReplaceRow(slot, table_->Row(row));
+        karma_->ResetSlot(slot);
+        ++karma_replacements_;
+      }
     }
+    // Then enqueue the scoring pass for THIS query's feedback; it reuses
+    // the retained contributions and runs while the database processes
+    // the next statement.
+    karma_->EnqueueUpdate(box, selectivity);
   }
 }
 

@@ -15,7 +15,12 @@
 ///    the global optimizer, so it cannot get stuck in a local minimum.
 ///  * **Adaptive** — Scott init, then continuous mini-batch RMSprop
 ///    bandwidth updates from query feedback plus Karma/reservoir sample
-///    maintenance (Sections 4 & 5).
+///    maintenance (Sections 4 & 5). The per-query gradient pass and the
+///    Karma scoring pass are ENQUEUED on the device queue, never waited
+///    for inline: the gradient runs while the database executes the query
+///    and is collected when its feedback arrives; the Karma pass runs
+///    while the database processes the next statement and its
+///    replacements are collected at the next feedback (Sections 5.5-5.6).
 
 #ifndef FKDE_KDE_KDE_ESTIMATOR_H_
 #define FKDE_KDE_KDE_ESTIMATOR_H_
@@ -115,18 +120,11 @@ class KdeSelectivityEstimator : public SelectivityEstimator {
   std::optional<ReservoirMaintainer> reservoir_;
   BatchReport batch_report_;
 
-  // Feedback pairing: Karma reuses the contributions retained by the last
-  // estimate, which are only valid for the same box; out-of-order feedback
-  // triggers a recompute.
+  // Feedback pairing: the enqueued gradient pass and Karma's retained
+  // contributions are only valid for the last estimated box; out-of-order
+  // feedback triggers a recompute.
   Box last_box_;
   bool has_last_box_ = false;
-  // Adaptive mode: feedback buffered until the mini-batch is full; ONE
-  // overlapped batched device pass then computes the mean loss gradient
-  // (Section 5.5 batched — the bandwidth is constant within a mini-batch,
-  // so deferring the gradients is mathematically equivalent to the
-  // per-query pass of Listing 1).
-  std::vector<Box> pending_boxes_;
-  std::vector<double> pending_truths_;
   std::size_t karma_replacements_ = 0;
 
   // Periodic mode: ring buffer of recent feedback (Section 3.4 step 1).

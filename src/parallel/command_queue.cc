@@ -1,0 +1,137 @@
+#include "parallel/command_queue.h"
+
+#include <cstring>
+#include <utility>
+
+#include "parallel/device.h"
+
+namespace fkde {
+
+namespace internal {
+
+void EventState::MarkComplete() {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    complete = true;
+  }
+  cv.notify_all();
+}
+
+void EventState::WaitReal() {
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [this] { return complete; });
+}
+
+}  // namespace internal
+
+bool Event::complete() const {
+  if (!state_) return true;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->complete;
+}
+
+void Event::Wait() const {
+  if (!state_) return;
+  state_->WaitReal();
+  state_->device->SyncHostTo(state_->modeled_end_s);
+}
+
+double Event::modeled_end_seconds() const {
+  return state_ ? state_->modeled_end_s : 0.0;
+}
+
+CommandQueue::CommandQueue(Device* device) : device_(device) {
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+CommandQueue::~CommandQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  dispatcher_.join();
+}
+
+double CommandQueue::MaxModeledEnd(std::span<const Event> wait_list) {
+  double end = 0.0;
+  for (const Event& e : wait_list) {
+    end = std::max(end, e.modeled_end_seconds());
+  }
+  return end;
+}
+
+Event CommandQueue::EnqueueLaunch(
+    const char* kernel_name, std::size_t global_size, double ops_per_item,
+    std::function<void(std::size_t, std::size_t)> body,
+    std::span<const Event> wait_list) {
+  (void)kernel_name;  // Retained for debugging/tracing hooks.
+  const double end = device_->BookLaunch(global_size, ops_per_item,
+                                         MaxModeledEnd(wait_list));
+  ThreadPool* pool = device_->pool();
+  auto run = [pool, global_size, body = std::move(body)] {
+    if (global_size == 0) return;
+    // Grain keeps per-chunk scheduling cost negligible relative to work.
+    pool->ParallelFor(global_size, 1024, body);
+  };
+  return Push(std::move(run), end, wait_list);
+}
+
+Event CommandQueue::EnqueueCopyBytes(void* dst, const void* src,
+                                     std::size_t bytes, bool to_device,
+                                     std::span<const Event> wait_list) {
+  const double end =
+      device_->BookTransfer(bytes, to_device, MaxModeledEnd(wait_list));
+  auto run = [dst, src, bytes] { std::memcpy(dst, src, bytes); };
+  return Push(std::move(run), end, wait_list);
+}
+
+Event CommandQueue::Push(std::function<void()> run, double modeled_end_s,
+                         std::span<const Event> wait_list) {
+  auto state = std::make_shared<internal::EventState>();
+  state->modeled_end_s = modeled_end_s;
+  state->device = device_;
+  Command command;
+  command.run = std::move(run);
+  for (const Event& e : wait_list) {
+    if (e.valid()) command.deps.push_back(e);
+  }
+  command.done = state;
+  Event event(std::move(state));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(std::move(command));
+    last_ = event;
+  }
+  cv_.notify_one();
+  return event;
+}
+
+void CommandQueue::Finish() {
+  Event last;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last = last_;
+  }
+  last.Wait();
+}
+
+void CommandQueue::DispatchLoop() {
+  for (;;) {
+    Command command;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // Shut down and fully drained.
+      command = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    // Cross-queue dependencies: wait for the real completion only — their
+    // modeled ends were already folded into this command's modeled start.
+    for (const Event& dep : command.deps) dep.state_->WaitReal();
+    if (command.run) command.run();
+    command.done->MarkComplete();
+  }
+}
+
+}  // namespace fkde

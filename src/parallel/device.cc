@@ -30,32 +30,99 @@ DeviceProfile DeviceProfile::SimulatedGtx460() {
   return p;
 }
 
+double Device::BookLaunch(std::size_t global_size, double ops_per_item,
+                          double deps_end_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ledger_.kernel_launches += 1;
+  // The host always pays the driver round trip for the submission.
+  host_pos_s_ += profile_.launch_latency_s;
+  overhead_s_ += profile_.launch_latency_s;
+  // The kernel starts once the device is free, the submission has landed,
+  // and every wait-list dependency has completed on the modeled timeline.
+  const double start =
+      std::max({device_pos_s_, host_pos_s_, deps_end_s});
+  const double duration = static_cast<double>(global_size) * ops_per_item /
+                          profile_.compute_throughput;
+  device_pos_s_ = start + duration;
+  busy_s_ += duration;
+  return device_pos_s_;
+}
+
+double Device::BookTransfer(std::uint64_t bytes, bool to_device,
+                            double deps_end_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (to_device) {
+    ledger_.transfers_to_device += 1;
+    ledger_.bytes_to_device += bytes;
+  } else {
+    ledger_.transfers_to_host += 1;
+    ledger_.bytes_to_host += bytes;
+  }
+  host_pos_s_ += profile_.transfer_latency_s;
+  overhead_s_ += profile_.transfer_latency_s;
+  const double start =
+      std::max({device_pos_s_, host_pos_s_, deps_end_s});
+  const double duration =
+      static_cast<double>(bytes) / profile_.transfer_bandwidth;
+  device_pos_s_ = start + duration;
+  busy_s_ += duration;
+  return device_pos_s_;
+}
+
+void Device::SyncHostTo(double modeled_end_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (modeled_end_s > host_pos_s_) {
+    const double stall = modeled_end_s - host_pos_s_;
+    host_pos_s_ = modeled_end_s;
+    overhead_s_ += stall;
+    stall_s_ += stall;
+  }
+}
+
+void Device::AdvanceHostTime(double seconds) {
+  FKDE_CHECK_MSG(seconds >= 0.0, "host time cannot move backwards");
+  std::lock_guard<std::mutex> lock(mu_);
+  host_pos_s_ += seconds;  // External work: excluded from overhead_s_.
+}
+
+double Device::ModeledSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overhead_s_;
+}
+
+double Device::HostStallSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stall_s_;
+}
+
+double Device::DeviceBusySeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return busy_s_;
+}
+
+void Device::ResetModeledTime() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The timeline positions stay monotone (pending commands keep their
+  // modeled schedule); only the reported accumulators reset.
+  overhead_s_ = 0.0;
+  stall_s_ = 0.0;
+  busy_s_ = 0.0;
+}
+
+void Device::ResetLedger() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ledger_ = TransferLedger();
+}
+
 void Device::Launch(const char* kernel_name, std::size_t global_size,
                     double ops_per_item,
                     const std::function<void(std::size_t, std::size_t)>& body) {
-  (void)kernel_name;  // Retained for debugging/tracing hooks.
-  ledger_.kernel_launches += 1;
-  modeled_seconds_ += profile_.launch_latency_s +
-                      static_cast<double>(global_size) * ops_per_item /
-                          profile_.compute_throughput;
-  if (global_size == 0) return;
-  // Grain keeps per-chunk scheduling cost negligible relative to work.
-  const std::size_t grain = 1024;
-  pool_->ParallelFor(global_size, grain, body);
-}
-
-void Device::LaunchOverlapped(
-    const char* kernel_name, std::size_t global_size,
-    const std::function<void(std::size_t, std::size_t)>& body) {
-  (void)kernel_name;
-  ledger_.kernel_launches += 1;
-  modeled_seconds_ += profile_.launch_latency_s;
-  if (global_size == 0) return;
-  pool_->ParallelFor(global_size, 1024, body);
+  default_queue_->EnqueueLaunch(kernel_name, global_size, ops_per_item, body)
+      .Wait();
 }
 
 double ReduceSum(Device* device, const DeviceBuffer<double>& buffer,
-                 std::size_t offset, std::size_t n, bool overlapped) {
+                 std::size_t offset, std::size_t n) {
   FKDE_CHECK_MSG(offset + n <= buffer.size(), "ReduceSum range exceeds buffer");
   if (n == 0) return 0.0;
   // Tree reduction with "work-group" size 256, mirroring the OpenCL
@@ -63,9 +130,12 @@ double ReduceSum(Device* device, const DeviceBuffer<double>& buffer,
   // until one partial remains, then a single scalar read-back. The first
   // level reads the (retained) input; later levels ping-pong between two
   // scratch buffers so the input is never clobbered and concurrent groups
-  // never write into another group's read range.
+  // never write into another group's read range. Levels are enqueued
+  // without intermediate waits (the in-order queue chains them); only the
+  // final read-back blocks.
   constexpr std::size_t kGroup = kReduceGroupSize;
   const std::size_t first_groups = (n + kGroup - 1) / kGroup;
+  CommandQueue* queue = device->default_queue();
   DeviceBuffer<double> scratch_a = device->CreateBuffer<double>(first_groups);
   DeviceBuffer<double> scratch_b = device->CreateBuffer<double>(
       (first_groups + kGroup - 1) / kGroup);
@@ -88,12 +158,8 @@ double ReduceSum(Device* device, const DeviceBuffer<double>& buffer,
         out[g] = acc;
       }
     };
-    if (overlapped) {
-      device->LaunchOverlapped("reduce_sum_level", groups, body);
-    } else {
-      device->Launch("reduce_sum_level", groups, static_cast<double>(kGroup),
-                     body);
-    }
+    queue->EnqueueLaunch("reduce_sum_level", groups,
+                         static_cast<double>(kGroup), body);
     active = groups;
     if (active <= 1) break;
     in = dst->device_data();
@@ -104,10 +170,12 @@ double ReduceSum(Device* device, const DeviceBuffer<double>& buffer,
   return result;
 }
 
-void ReduceSumSegments(Device* device, const DeviceBuffer<double>& buffer,
-                       std::size_t offset, std::size_t segment_size,
-                       std::size_t num_segments, DeviceBuffer<double>* out,
-                       std::size_t out_offset, bool overlapped) {
+Event EnqueueReduceSumSegments(CommandQueue* queue,
+                               const DeviceBuffer<double>& buffer,
+                               std::size_t offset, std::size_t segment_size,
+                               std::size_t num_segments,
+                               DeviceBuffer<double>* out,
+                               std::size_t out_offset) {
   FKDE_CHECK(out != nullptr);
   FKDE_CHECK_MSG(offset + segment_size * num_segments <= buffer.size(),
                  "ReduceSumSegments range exceeds buffer");
@@ -115,36 +183,37 @@ void ReduceSumSegments(Device* device, const DeviceBuffer<double>& buffer,
                  "ReduceSumSegments output exceeds buffer");
   FKDE_CHECK_MSG(out->device_data() != buffer.device_data(),
                  "ReduceSumSegments output may not alias the input");
-  if (num_segments == 0) return;
+  if (num_segments == 0) return Event();
   constexpr std::size_t kGroup = kReduceGroupSize;
+  Device* device = queue->device();
 
   // Same level structure per segment as ReduceSum, but every level folds
   // ALL segments in one launch: work item G handles group (G % groups) of
   // segment (G / groups). Levels ping-pong between two segment-major
   // scratch buffers; the final level (one group per segment) writes the
   // per-segment sums straight into `out`.
+  if (segment_size == 0) {
+    double* final_out = out->device_data() + out_offset;
+    return queue->EnqueueLaunch(
+        "reduce_segments_zero", num_segments, 1.0,
+        [final_out](std::size_t begin, std::size_t end) {
+          for (std::size_t g = begin; g < end; ++g) final_out[g] = 0.0;
+        });
+  }
   const std::size_t first_groups = (segment_size + kGroup - 1) / kGroup;
-  DeviceBuffer<double> scratch_a =
-      device->CreateBuffer<double>(num_segments * first_groups);
-  DeviceBuffer<double> scratch_b = device->CreateBuffer<double>(
-      num_segments * ((first_groups + kGroup - 1) / kGroup));
+  // The ping-pong scratch outlives this call through the shared_ptr each
+  // level's kernel body captures; the last enqueued level releases it.
+  auto scratch = std::make_shared<
+      std::pair<DeviceBuffer<double>, DeviceBuffer<double>>>(
+      device->CreateBuffer<double>(num_segments * first_groups),
+      device->CreateBuffer<double>(
+          num_segments * ((first_groups + kGroup - 1) / kGroup)));
   const double* in = buffer.device_data() + offset;
   std::size_t in_stride = segment_size;
-  DeviceBuffer<double>* dst = &scratch_a;
-  DeviceBuffer<double>* spare = &scratch_b;
+  DeviceBuffer<double>* dst = &scratch->first;
+  DeviceBuffer<double>* spare = &scratch->second;
   std::size_t active = segment_size;
-  if (active == 0) {
-    double* final_out = out->device_data() + out_offset;
-    auto zero = [final_out](std::size_t begin, std::size_t end) {
-      for (std::size_t g = begin; g < end; ++g) final_out[g] = 0.0;
-    };
-    if (overlapped) {
-      device->LaunchOverlapped("reduce_segments_zero", num_segments, zero);
-    } else {
-      device->Launch("reduce_segments_zero", num_segments, 1.0, zero);
-    }
-    return;
-  }
+  Event last;
   for (;;) {
     const std::size_t groups = (active + kGroup - 1) / kGroup;
     double* level_out = groups == 1 ? out->device_data() + out_offset
@@ -152,8 +221,8 @@ void ReduceSumSegments(Device* device, const DeviceBuffer<double>& buffer,
     const double* level_in = in;
     const std::size_t level_size = active;
     const std::size_t level_stride = in_stride;
-    auto body = [level_in, level_out, level_size, level_stride, groups](
-                    std::size_t begin, std::size_t end) {
+    auto body = [scratch, level_in, level_out, level_size, level_stride,
+                 groups](std::size_t begin, std::size_t end) {
       for (std::size_t item = begin; item < end; ++item) {
         const std::size_t seg = item / groups;
         const std::size_t lo = (item % groups) * kGroup;
@@ -164,19 +233,25 @@ void ReduceSumSegments(Device* device, const DeviceBuffer<double>& buffer,
         level_out[item] = acc;
       }
     };
-    if (overlapped) {
-      device->LaunchOverlapped("reduce_segments_level", num_segments * groups,
-                               body);
-    } else {
-      device->Launch("reduce_segments_level", num_segments * groups,
-                     static_cast<double>(kGroup), body);
-    }
+    last = queue->EnqueueLaunch("reduce_segments_level",
+                                num_segments * groups,
+                                static_cast<double>(kGroup), body);
     if (groups == 1) break;
     active = groups;
     in = dst->device_data();
     in_stride = groups;
     std::swap(dst, spare);
   }
+  return last;
+}
+
+void ReduceSumSegments(Device* device, const DeviceBuffer<double>& buffer,
+                       std::size_t offset, std::size_t segment_size,
+                       std::size_t num_segments, DeviceBuffer<double>* out,
+                       std::size_t out_offset) {
+  EnqueueReduceSumSegments(device->default_queue(), buffer, offset,
+                           segment_size, num_segments, out, out_offset)
+      .Wait();
 }
 
 }  // namespace fkde

@@ -16,10 +16,20 @@
 ///    *shape* of the paper's Figure 7 without requiring GPU hardware; the
 ///    substitution is documented in DESIGN.md §1.
 ///
-/// Both backends meter every host<->device transfer in a `TransferLedger`,
-/// which the evaluation uses to validate the paper's transfer-efficiency
-/// claims (the sample stays device-resident; only query bounds, estimates,
-/// feedback scalars, and replaced sample rows cross the bus).
+/// All work is submitted through the device's in-order `CommandQueue`
+/// (see command_queue.h): the blocking `Launch`/`CopyToDevice`/`CopyToHost`
+/// convenience calls below are exactly enqueue-plus-`Event::Wait()`, and
+/// asynchronous callers hold the returned events instead. Modeled time
+/// follows the two-timeline rule documented in command_queue.h: the host
+/// clock pays submission latencies and stalls, the device clock carries
+/// compute/transfer durations, and overlap with concurrent host work
+/// (`AdvanceHostTime`) emerges from the dependency graph.
+///
+/// Both backends meter every host<->device transfer in a `TransferLedger`
+/// at enqueue time, which the evaluation uses to validate the paper's
+/// transfer-efficiency claims (the sample stays device-resident; only
+/// query bounds, estimates, feedback scalars, and replaced sample rows
+/// cross the bus).
 
 #ifndef FKDE_PARALLEL_DEVICE_H_
 #define FKDE_PARALLEL_DEVICE_H_
@@ -28,10 +38,13 @@
 #include <cstddef>
 #include <cstring>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
+#include "parallel/command_queue.h"
 #include "parallel/thread_pool.h"
 
 namespace fkde {
@@ -67,6 +80,10 @@ struct DeviceProfile {
 };
 
 /// \brief Counters for all traffic and launches on a device.
+///
+/// Counted at enqueue time (deterministically, under the device mutex),
+/// so the ledger is meaningful regardless of how far the dispatcher has
+/// actually progressed.
 struct TransferLedger {
   std::uint64_t bytes_to_device = 0;
   std::uint64_t bytes_to_host = 0;
@@ -82,29 +99,43 @@ class DeviceBuffer;
 
 /// \brief An execution device with device-resident memory.
 ///
-/// All compute goes through `Launch`; all data movement goes through
-/// `CopyToDevice`/`CopyToHost`. Host code must not touch a DeviceBuffer's
-/// storage outside of a kernel functor — the transfer ledger is only
-/// meaningful if this discipline is kept (enforced by convention and
-/// code review, as in real OpenCL code).
+/// All compute goes through `Launch` or `CommandQueue::EnqueueLaunch`; all
+/// data movement goes through `CopyToDevice`/`CopyToHost` or their enqueue
+/// variants. Host code must not touch a DeviceBuffer's storage outside of
+/// a kernel functor — the transfer ledger is only meaningful if this
+/// discipline is kept (enforced by convention and code review, as in real
+/// OpenCL code).
 class Device {
  public:
   explicit Device(DeviceProfile profile,
                   ThreadPool* pool = &ThreadPool::Global())
-      : profile_(std::move(profile)), pool_(pool) {}
+      : profile_(std::move(profile)),
+        pool_(pool),
+        default_queue_(std::make_unique<CommandQueue>(this)) {}
+
+  // The default queue holds a pointer back to this device.
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
 
   const DeviceProfile& profile() const { return profile_; }
+  ThreadPool* pool() const { return pool_; }
+
+  /// The device's in-order command queue. Asynchronous callers enqueue
+  /// here and hold the returned events.
+  CommandQueue* default_queue() { return default_queue_.get(); }
 
   /// Allocates an uninitialized device buffer of `n` elements.
   template <typename T>
   DeviceBuffer<T> CreateBuffer(std::size_t n);
 
-  /// Copies `n` host elements into `dst` starting at element `offset`.
+  /// Copies `n` host elements into `dst` starting at element `offset`,
+  /// blocking until completion (enqueue + wait). Empty transfers are free.
   template <typename T>
   void CopyToDevice(const T* host, std::size_t n, DeviceBuffer<T>* dst,
                     std::size_t offset = 0);
 
-  /// Copies `n` device elements starting at `offset` out to `host`.
+  /// Copies `n` device elements starting at `offset` out to `host`,
+  /// blocking until completion (enqueue + wait). Empty transfers are free.
   template <typename T>
   void CopyToHost(const DeviceBuffer<T>& src, std::size_t offset,
                   std::size_t n, T* host);
@@ -117,45 +148,96 @@ class Device {
               double ops_per_item,
               const std::function<void(std::size_t, std::size_t)>& body);
 
-  /// Like `Launch`, but models the kernel as *overlapped* with host work:
-  /// only the launch latency is charged to modeled time, not the compute.
-  /// The paper (Section 5.5) hides the adaptive-gradient computation behind
-  /// the database's query execution this way, which is why Adaptive's
-  /// measurable overhead over Heuristic is a constant latency term.
-  void LaunchOverlapped(
-      const char* kernel_name, std::size_t global_size,
-      const std::function<void(std::size_t, std::size_t)>& body);
+  /// Advances the host modeled clock by `seconds` of *external* work —
+  /// e.g. the database executing the query whose selectivity was just
+  /// estimated (Section 5.5). Enqueued device work proceeds during this
+  /// time, so a later `Event::Wait()` stalls only for whatever the
+  /// external work did not cover. External time is excluded from
+  /// `ModeledSeconds()`.
+  void AdvanceHostTime(double seconds);
 
-  /// Accumulated cost-model time for all launches and transfers since the
-  /// last `ResetModeledTime`. For the CPU profile this approximates real
-  /// runtime; for the simulated GPU it *is* the reported runtime.
-  double ModeledSeconds() const { return modeled_seconds_; }
-  void ResetModeledTime() { modeled_seconds_ = 0.0; }
+  /// Accumulated modeled host-timeline cost — submission latencies,
+  /// waited-for compute/transfer durations, and stalls — since the last
+  /// `ResetModeledTime`, excluding `AdvanceHostTime`. This is the
+  /// estimator's own overhead per the paper's Figure 7. For the CPU
+  /// profile it approximates real runtime; for the simulated GPU it *is*
+  /// the reported runtime.
+  double ModeledSeconds() const;
+
+  /// Portion of `ModeledSeconds()` spent stalled in `Event::Wait()` /
+  /// `Finish()` for device work that had not completed on the modeled
+  /// timeline — the idle gap that enqueue-based overlap eliminates.
+  double HostStallSeconds() const;
+
+  /// Accumulated modeled device occupancy (compute + transfer durations)
+  /// since the last `ResetModeledTime`, whether or not the host waited.
+  double DeviceBusySeconds() const;
+
+  void ResetModeledTime();
 
   const TransferLedger& ledger() const { return ledger_; }
-  void ResetLedger() { ledger_ = TransferLedger(); }
+  void ResetLedger();
 
  private:
+  friend class Event;
+  friend class CommandQueue;
+
+  /// Books one kernel launch at enqueue time: charges the submission
+  /// latency to the host clock, schedules the compute on the device clock
+  /// after `deps_end_s` and everything already enqueued, and meters the
+  /// ledger. Returns the command's modeled completion time.
+  double BookLaunch(std::size_t global_size, double ops_per_item,
+                    double deps_end_s);
+
+  /// Books one transfer at enqueue time (same rules as BookLaunch).
+  double BookTransfer(std::uint64_t bytes, bool to_device, double deps_end_s);
+
+  /// Advances the host clock to `modeled_end_s` (an absolute device-
+  /// timeline instant); the shortfall is charged as a stall. Called by
+  /// `Event::Wait`.
+  void SyncHostTo(double modeled_end_s);
+
   DeviceProfile profile_;
   ThreadPool* pool_;
   TransferLedger ledger_;
-  double modeled_seconds_ = 0.0;
+
+  /// Guards the ledger and the modeled clocks. All bookkeeping happens at
+  /// enqueue/wait time on host threads; kernel execution never takes it.
+  mutable std::mutex mu_;
+  double host_pos_s_ = 0.0;    ///< Host timeline position (monotone).
+  double device_pos_s_ = 0.0;  ///< Device-available instant (monotone).
+  double overhead_s_ = 0.0;    ///< ModeledSeconds accumulator.
+  double stall_s_ = 0.0;       ///< HostStallSeconds accumulator.
+  double busy_s_ = 0.0;        ///< DeviceBusySeconds accumulator.
+
+  /// Declared last: destroyed first, draining all pending commands while
+  /// the profile/ledger/pool above are still alive.
+  std::unique_ptr<CommandQueue> default_queue_;
 };
 
 /// \brief Typed device-resident memory.
 ///
 /// Mirrors an OpenCL buffer: created via `Device::CreateBuffer`, filled via
 /// `Device::CopyToDevice`, and read back via `Device::CopyToHost`. Kernel
-/// functors access storage via `device_data()`.
+/// functors access storage via `device_data()`. Move-only, like a real
+/// device allocation: copying would silently duplicate "device memory"
+/// without any metered transfer and mask transfer bugs.
 template <typename T>
 class DeviceBuffer {
  public:
   DeviceBuffer() = default;
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  DeviceBuffer(DeviceBuffer&&) noexcept = default;
+  DeviceBuffer& operator=(DeviceBuffer&&) noexcept = default;
 
   std::size_t size() const { return storage_.size(); }
   bool empty() const { return storage_.empty(); }
 
-  /// Raw storage pointer — for use inside kernel functors only.
+  /// Raw storage pointer — for use inside kernel functors only. Stable
+  /// across moves of the buffer object (the backing heap allocation moves
+  /// with it), which lets enqueued commands capture it safely as long as
+  /// the buffer outlives them.
   T* device_data() { return storage_.data(); }
   const T* device_data() const { return storage_.data(); }
 
@@ -171,27 +253,37 @@ DeviceBuffer<T> Device::CreateBuffer(std::size_t n) {
 }
 
 template <typename T>
+Event CommandQueue::EnqueueCopyToDevice(const T* host, std::size_t n,
+                                        DeviceBuffer<T>* dst,
+                                        std::size_t offset,
+                                        std::span<const Event> wait_list) {
+  FKDE_CHECK_MSG(offset + n <= dst->size(), "CopyToDevice out of bounds");
+  if (n == 0) return Event();  // Nothing moves: not metered, not charged.
+  return EnqueueCopyBytes(dst->device_data() + offset, host, n * sizeof(T),
+                          /*to_device=*/true, wait_list);
+}
+
+template <typename T>
+Event CommandQueue::EnqueueCopyToHost(const DeviceBuffer<T>& src,
+                                      std::size_t offset, std::size_t n,
+                                      T* host,
+                                      std::span<const Event> wait_list) {
+  FKDE_CHECK_MSG(offset + n <= src.size(), "CopyToHost out of bounds");
+  if (n == 0) return Event();  // Nothing moves: not metered, not charged.
+  return EnqueueCopyBytes(host, src.device_data() + offset, n * sizeof(T),
+                          /*to_device=*/false, wait_list);
+}
+
+template <typename T>
 void Device::CopyToDevice(const T* host, std::size_t n, DeviceBuffer<T>* dst,
                           std::size_t offset) {
-  FKDE_CHECK_MSG(offset + n <= dst->size(), "CopyToDevice out of bounds");
-  if (n > 0) std::memcpy(dst->device_data() + offset, host, n * sizeof(T));
-  ledger_.transfers_to_device += 1;
-  ledger_.bytes_to_device += n * sizeof(T);
-  modeled_seconds_ += profile_.transfer_latency_s +
-                      static_cast<double>(n * sizeof(T)) /
-                          profile_.transfer_bandwidth;
+  default_queue_->EnqueueCopyToDevice(host, n, dst, offset).Wait();
 }
 
 template <typename T>
 void Device::CopyToHost(const DeviceBuffer<T>& src, std::size_t offset,
                         std::size_t n, T* host) {
-  FKDE_CHECK_MSG(offset + n <= src.size(), "CopyToHost out of bounds");
-  if (n > 0) std::memcpy(host, src.device_data() + offset, n * sizeof(T));
-  ledger_.transfers_to_host += 1;
-  ledger_.bytes_to_host += n * sizeof(T);
-  modeled_seconds_ += profile_.transfer_latency_s +
-                      static_cast<double>(n * sizeof(T)) /
-                          profile_.transfer_bandwidth;
+  default_queue_->EnqueueCopyToHost(src, offset, n, host).Wait();
 }
 
 /// Work-group size of the binary-tree reductions, mirroring the OpenCL
@@ -202,18 +294,18 @@ inline constexpr std::size_t kReduceGroupSize = 256;
 /// \brief Sums `n` doubles starting at `offset` in a device-resident
 /// buffer via the parallel binary reduction scheme of the paper (Horn, GPU
 /// Gems 2) and returns the scalar on the host. Issues O(log n) kernel
-/// launches plus one 8-byte read-back. The input buffer is NOT modified —
-/// the estimator retains per-point contributions for sample maintenance
-/// after reducing them (paper Section 5.4). With `overlapped` the
-/// reduction kernels are modeled as hidden behind host work (see
-/// Device::LaunchOverlapped); the final read-back is always charged.
+/// launches plus one 8-byte read-back, blocking on the final read. The
+/// input buffer is NOT modified — the estimator retains per-point
+/// contributions for sample maintenance after reducing them (paper
+/// Section 5.4).
 double ReduceSum(Device* device, const DeviceBuffer<double>& buffer,
-                 std::size_t offset, std::size_t n, bool overlapped = false);
+                 std::size_t offset, std::size_t n);
 
 /// \brief Segmented binary-tree reduction: `buffer` holds `num_segments`
 /// contiguous segments of `segment_size` doubles each, starting at
 /// `offset`. Writes the per-segment sums into `out` at
 /// `out_offset + segment`, leaving them DEVICE-resident (no read-back).
+/// Blocks until the sums are resident (enqueue + wait).
 ///
 /// Every reduction level folds all segments in ONE launch, so the launch
 /// count is O(log segment_size) independent of the segment count — the
@@ -226,7 +318,20 @@ double ReduceSum(Device* device, const DeviceBuffer<double>& buffer,
 void ReduceSumSegments(Device* device, const DeviceBuffer<double>& buffer,
                        std::size_t offset, std::size_t segment_size,
                        std::size_t num_segments, DeviceBuffer<double>* out,
-                       std::size_t out_offset = 0, bool overlapped = false);
+                       std::size_t out_offset = 0);
+
+/// \brief Asynchronous `ReduceSumSegments`: enqueues all reduction levels
+/// on `queue` and returns the last level's event without blocking — the
+/// primitive behind the enqueued gradient pass the paper hides behind
+/// query execution (Section 5.5). Internal scratch buffers are kept alive
+/// by the enqueued commands themselves; `buffer` and `out` must outlive
+/// the returned event (see the lifetime discipline in command_queue.h).
+Event EnqueueReduceSumSegments(CommandQueue* queue,
+                               const DeviceBuffer<double>& buffer,
+                               std::size_t offset, std::size_t segment_size,
+                               std::size_t num_segments,
+                               DeviceBuffer<double>* out,
+                               std::size_t out_offset = 0);
 
 }  // namespace fkde
 

@@ -4,6 +4,19 @@
 
 namespace fkde {
 
+namespace {
+
+/// The database executes the query between estimate and feedback; on the
+/// modeled timeline that is external host time, during which enqueued
+/// device work keeps running.
+void ModelQueryExecution(const RunOptions& options) {
+  if (options.device != nullptr && options.modeled_execution_s > 0.0) {
+    options.device->AdvanceHostTime(options.modeled_execution_s);
+  }
+}
+
+}  // namespace
+
 double RunStats::MeanAbsoluteError() const {
   if (absolute_errors.empty()) return 0.0;
   double total = 0.0;
@@ -13,14 +26,15 @@ double RunStats::MeanAbsoluteError() const {
 
 RunStats FeedbackDriver::RunPrecomputed(SelectivityEstimator* estimator,
                                         std::span<const Query> workload,
-                                        bool feedback) {
+                                        const RunOptions& options) {
   RunStats stats;
   stats.absolute_errors.reserve(workload.size());
   stats.signed_errors.reserve(workload.size());
   stats.truths.reserve(workload.size());
   for (const Query& query : workload) {
     const double estimate = estimator->EstimateSelectivity(query.box);
-    if (feedback) {
+    ModelQueryExecution(options);
+    if (options.feedback) {
       estimator->ObserveTrueSelectivity(query.box, query.selectivity);
     }
     stats.absolute_errors.push_back(std::abs(estimate - query.selectivity));
@@ -30,16 +44,29 @@ RunStats FeedbackDriver::RunPrecomputed(SelectivityEstimator* estimator,
   return stats;
 }
 
+RunStats FeedbackDriver::RunPrecomputed(SelectivityEstimator* estimator,
+                                        std::span<const Query> workload,
+                                        bool feedback) {
+  RunOptions options;
+  options.feedback = feedback;
+  return RunPrecomputed(estimator, workload, options);
+}
+
 RunStats FeedbackDriver::RunLive(SelectivityEstimator* estimator,
                                  Executor* executor,
                                  std::span<const Box> queries,
-                                 bool feedback) {
+                                 const RunOptions& options) {
   RunStats stats;
   stats.absolute_errors.reserve(queries.size());
   for (const Box& box : queries) {
     const double estimate = estimator->EstimateSelectivity(box);
+    // The executor's scan runs on the host while the commands the
+    // estimator just enqueued drain on the device queue — real overlap,
+    // no synchronization until the estimator collects its events inside
+    // ObserveTrueSelectivity.
     const double truth = executor->TrueSelectivity(box);
-    if (feedback) estimator->ObserveTrueSelectivity(box, truth);
+    ModelQueryExecution(options);
+    if (options.feedback) estimator->ObserveTrueSelectivity(box, truth);
     stats.absolute_errors.push_back(std::abs(estimate - truth));
     stats.signed_errors.push_back(estimate - truth);
     stats.truths.push_back(truth);
@@ -47,10 +74,21 @@ RunStats FeedbackDriver::RunLive(SelectivityEstimator* estimator,
   return stats;
 }
 
+RunStats FeedbackDriver::RunLive(SelectivityEstimator* estimator,
+                                 Executor* executor,
+                                 std::span<const Box> queries,
+                                 bool feedback) {
+  RunOptions options;
+  options.feedback = feedback;
+  return RunLive(estimator, executor, queries, options);
+}
+
 void FeedbackDriver::Train(SelectivityEstimator* estimator,
-                           std::span<const Query> workload) {
+                           std::span<const Query> workload,
+                           const RunOptions& options) {
   for (const Query& query : workload) {
     (void)estimator->EstimateSelectivity(query.box);
+    ModelQueryExecution(options);
     estimator->ObserveTrueSelectivity(query.box, query.selectivity);
   }
 }

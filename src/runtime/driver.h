@@ -5,6 +5,17 @@
 /// (2) "executes" the query to obtain the truth, (3) feeds the truth back
 /// (self-tuning estimators adapt here), and (4) records the absolute
 /// estimation error |p̂ - p| — the paper's quality metric.
+///
+/// Step (2) is where the paper's overlap happens: work the estimator
+/// enqueued during step (1) — the adaptive gradient pass, the previous
+/// query's Karma scoring — executes on the device while the database
+/// executes the query. `RunOptions::modeled_execution_s` advances the
+/// device's modeled host clock across step (2) so the modeled timeline
+/// reflects that concurrency (`Device::AdvanceHostTime`; the external
+/// time itself is excluded from `ModeledSeconds()`). In `RunLive` the
+/// executor's scan genuinely runs concurrently with the enqueued device
+/// commands — there is no synchronization point between the estimate and
+/// the feedback.
 
 #ifndef FKDE_RUNTIME_DRIVER_H_
 #define FKDE_RUNTIME_DRIVER_H_
@@ -14,6 +25,7 @@
 
 #include "common/stats.h"
 #include "estimator/estimator.h"
+#include "parallel/device.h"
 #include "runtime/executor.h"
 #include "workload/workload.h"
 
@@ -32,28 +44,48 @@ struct RunStats {
   Summary AbsoluteErrorSummary() const { return Summarize(absolute_errors); }
 };
 
+/// \brief Knobs of one driver run.
+struct RunOptions {
+  /// Feed the truth back after each query (false = frozen model).
+  bool feedback = true;
+  /// When set, `modeled_execution_s` of external query-execution time is
+  /// applied between each estimate and its feedback via
+  /// `device->AdvanceHostTime` — the window that hides enqueued device
+  /// work on the modeled timeline.
+  Device* device = nullptr;
+  /// Modeled wall time of executing one query in the database, seconds.
+  double modeled_execution_s = 0.0;
+};
+
 /// \brief Runs workloads through estimators with query feedback.
 class FeedbackDriver {
  public:
   /// The queries carry their exact selectivity from generation time (the
-  /// table must be unchanged since), so no re-execution is needed. Set
-  /// `feedback` to false to measure a frozen model (no adaptation).
+  /// table must be unchanged since), so no re-execution is needed.
   static RunStats RunPrecomputed(SelectivityEstimator* estimator,
                                  std::span<const Query> workload,
-                                 bool feedback = true);
+                                 const RunOptions& options = {});
+  /// Back-compat shorthand for `{.feedback = feedback}`.
+  static RunStats RunPrecomputed(SelectivityEstimator* estimator,
+                                 std::span<const Query> workload,
+                                 bool feedback);
 
   /// Runs a workload computing the truth against the live table via
   /// `executor` (used when the table mutates between queries).
   static RunStats RunLive(SelectivityEstimator* estimator,
-                          Executor* executor,
-                          std::span<const Box> queries,
-                          bool feedback = true);
+                          Executor* executor, std::span<const Box> queries,
+                          const RunOptions& options = {});
+  /// Back-compat shorthand for `{.feedback = feedback}`.
+  static RunStats RunLive(SelectivityEstimator* estimator,
+                          Executor* executor, std::span<const Box> queries,
+                          bool feedback);
 
   /// Feeds a training workload (estimate + feedback) without recording —
   /// the warm-up used to let self-tuning estimators (Adaptive, STHoles)
   /// absorb the training phase that Batch receives explicitly.
   static void Train(SelectivityEstimator* estimator,
-                    std::span<const Query> workload);
+                    std::span<const Query> workload,
+                    const RunOptions& options = {});
 };
 
 }  // namespace fkde

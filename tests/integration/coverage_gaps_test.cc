@@ -14,11 +14,12 @@ TEST(DeviceEdge, ZeroSizedBuffersAndTransfers) {
   Device device(DeviceProfile::OpenClCpu());
   auto buffer = device.CreateBuffer<double>(0);
   EXPECT_TRUE(buffer.empty());
-  // Zero-length transfers are legal no-ops that still count as transfers
-  // (an OpenCL enqueue happens regardless).
+  // Zero-length transfers are legal no-ops: nothing moves, so they are
+  // neither metered in the ledger nor charged on the modeled clocks.
   device.CopyToDevice<double>(nullptr, 0, &buffer);
-  EXPECT_EQ(device.ledger().transfers_to_device, 1u);
+  EXPECT_EQ(device.ledger().transfers_to_device, 0u);
   EXPECT_EQ(device.ledger().bytes_to_device, 0u);
+  EXPECT_DOUBLE_EQ(device.ModeledSeconds(), 0.0);
 }
 
 TEST(DeviceEdgeDeath, OutOfBoundsTransfersCheck) {

@@ -193,6 +193,43 @@ TEST(KarmaShortcut, DisabledViaOption) {
   EXPECT_TRUE(f.karma->Update(query, 0.0).empty());
 }
 
+TEST(Karma, ThresholdReplacementMovesOnlyBitmapAndReplacedRows) {
+  // The full maintenance loop must cost exactly s/8 bitmap bytes per
+  // query on the device->host path, and the device-bound traffic of a
+  // replacement must be exactly the replaced rows (d floats each) plus
+  // the per-slot Karma reset (one double) — nothing else.
+  KarmaOptions options;
+  options.threshold = -1e-4;
+  options.empty_region_shortcut = false;
+  // 32 rows => the replacement bitmap is exactly one 32-bit word, so the
+  // "s/8 bytes" claim is exact rather than rounded up.
+  std::vector<double> rows(32, 0.5);
+  rows[17] = 10.0;  // The stale point the threshold will eventually flag.
+  KarmaFixture f(rows, 1, {0.05}, options);
+  const Box query({0.0}, {1.0});
+  const std::vector<double> fresh_row = {0.5};
+  std::size_t replaced = 0;
+  for (int i = 0; i < 200 && replaced == 0; ++i) {
+    (void)f.engine->Estimate(query);
+    const auto before = f.device->ledger();
+    f.karma->EnqueueUpdate(query, 1.0);
+    const std::vector<std::size_t> slots = f.karma->CollectPending();
+    const auto after_update = f.device->ledger();
+    EXPECT_EQ(after_update.bytes_to_host - before.bytes_to_host, 32u / 8u);
+    EXPECT_EQ(after_update.bytes_to_device, before.bytes_to_device);
+    for (std::size_t slot : slots) {
+      f.sample->ReplaceRow(slot, fresh_row);
+      f.karma->ResetSlot(slot);
+      ++replaced;
+    }
+    const auto after_replace = f.device->ledger();
+    EXPECT_EQ(after_replace.bytes_to_device - after_update.bytes_to_device,
+              slots.size() * (1 * sizeof(float) + sizeof(double)));
+    EXPECT_EQ(after_replace.bytes_to_host, after_update.bytes_to_host);
+  }
+  EXPECT_EQ(replaced, 1u);
+}
+
 TEST(Karma, BitmapTransferIsCompact) {
   // The replacement bitmap must cost s/8 bytes per query, not s bytes.
   ClusterBoxesParams params;

@@ -1,6 +1,8 @@
 #include "parallel/device.h"
 
 #include <numeric>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -9,6 +11,13 @@
 
 namespace fkde {
 namespace {
+
+// DeviceBuffer models a device allocation: copying one would duplicate
+// "device memory" without a metered transfer, so it is move-only.
+static_assert(!std::is_copy_constructible_v<DeviceBuffer<float>>);
+static_assert(!std::is_copy_assignable_v<DeviceBuffer<float>>);
+static_assert(std::is_nothrow_move_constructible_v<DeviceBuffer<double>>);
+static_assert(std::is_nothrow_move_assignable_v<DeviceBuffer<double>>);
 
 TEST(Device, RoundTripTransfer) {
   Device device(DeviceProfile::OpenClCpu());
@@ -80,13 +89,79 @@ TEST(Device, ModeledTimeAccumulatesLaunchAndCompute) {
   EXPECT_DOUBLE_EQ(device.ModeledSeconds(), 0.0);
 }
 
-TEST(Device, OverlappedLaunchChargesOnlyLatency) {
+TEST(Device, EnqueuedLaunchHidesBehindExternalHostWork) {
   DeviceProfile profile;
   profile.launch_latency_s = 1e-3;
   profile.compute_throughput = 1.0;  // Absurdly slow: compute would be huge.
   Device device(profile);
-  device.LaunchOverlapped("hidden", 1000000, [](std::size_t, std::size_t) {});
+  const Event event = device.default_queue()->EnqueueLaunch(
+      "hidden", 1000000, 1.0, [](std::size_t, std::size_t) {});
+  // Only the submission latency has been charged so far.
   EXPECT_NEAR(device.ModeledSeconds(), 1e-3, 1e-9);
+  // The "database" executes the query while the device crunches; by the
+  // time the host collects the event, the compute has long finished on
+  // the modeled timeline — no stall.
+  device.AdvanceHostTime(2e6);
+  event.Wait();
+  EXPECT_NEAR(device.ModeledSeconds(), 1e-3, 1e-9);
+  EXPECT_DOUBLE_EQ(device.HostStallSeconds(), 0.0);
+  // The device itself was busy for the full modeled compute duration.
+  EXPECT_NEAR(device.DeviceBusySeconds(), 1e6, 1.0);
+}
+
+TEST(Device, WaitChargesTheUnhiddenRemainderAsStall) {
+  DeviceProfile profile;
+  profile.launch_latency_s = 1e-3;
+  profile.compute_throughput = 1e6;  // 1000 items -> 1 ms of compute.
+  Device device(profile);
+  const Event event = device.default_queue()->EnqueueLaunch(
+      "partially_hidden", 1000, 1.0, [](std::size_t, std::size_t) {});
+  // Half the compute is covered by external work; the rest stalls.
+  device.AdvanceHostTime(0.5e-3);
+  event.Wait();
+  // 1 ms latency + 0.5 ms stall (external time itself is excluded).
+  EXPECT_NEAR(device.ModeledSeconds(), 1.5e-3, 1e-9);
+  EXPECT_NEAR(device.HostStallSeconds(), 0.5e-3, 1e-9);
+}
+
+TEST(Device, BlockingLaunchChargesLatencyPlusFullCompute) {
+  DeviceProfile profile;
+  profile.launch_latency_s = 1e-3;
+  profile.compute_throughput = 1e6;
+  Device device(profile);
+  // Blocking Launch is exactly enqueue + Wait: the whole compute lands on
+  // the host timeline as a stall.
+  device.Launch("sync", 1000, 1.0, [](std::size_t, std::size_t) {});
+  EXPECT_NEAR(device.ModeledSeconds(), 2e-3, 1e-9);
+  EXPECT_NEAR(device.HostStallSeconds(), 1e-3, 1e-9);
+}
+
+TEST(Device, ZeroLengthTransfersAreFreeAndUnmetered) {
+  Device device(DeviceProfile::OpenClCpu());
+  auto buffer = device.CreateBuffer<double>(8);
+  double dummy = 0.0;
+  device.ResetLedger();
+  device.ResetModeledTime();
+  device.CopyToDevice(&dummy, 0, &buffer);
+  device.CopyToDevice(&dummy, 0, &buffer, /*offset=*/8);  // At-end no-op.
+  device.CopyToHost(buffer, 0, 0, &dummy);
+  EXPECT_FALSE(device.default_queue()
+                   ->EnqueueCopyToHost(buffer, 4, 0, &dummy)
+                   .valid());
+  const TransferLedger& ledger = device.ledger();
+  EXPECT_EQ(ledger.transfers_to_device, 0u);
+  EXPECT_EQ(ledger.transfers_to_host, 0u);
+  EXPECT_EQ(ledger.total_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(device.ModeledSeconds(), 0.0);
+}
+
+TEST(DeviceBuffer, MoveKeepsStoragePointerStable) {
+  Device device(DeviceProfile::OpenClCpu());
+  auto buffer = device.CreateBuffer<double>(64);
+  const double* data = buffer.device_data();
+  DeviceBuffer<double> moved = std::move(buffer);
+  EXPECT_EQ(moved.device_data(), data);
+  EXPECT_EQ(moved.size(), 64u);
 }
 
 TEST(Device, TransferTimeUsesBandwidth) {
@@ -236,12 +311,12 @@ TEST(ReduceSumSegments, DoesNotClobberInputAndRespectsOutOffset) {
   }
 }
 
-TEST(ReduceSumSegments, OverlappedChargesLatencyOnly) {
+TEST(ReduceSumSegments, EnqueuedLevelsHideBehindExternalWork) {
   DeviceProfile profile;
   profile.launch_latency_s = 1e-3;
   profile.transfer_latency_s = 0.0;
   profile.transfer_bandwidth = 1e18;
-  profile.compute_throughput = 1.0;  // Compute would dominate if charged.
+  profile.compute_throughput = 1.0;  // Compute would dominate if waited on.
   Device device(profile);
   const std::size_t n = 8 * 65536;
   auto buffer = device.CreateBuffer<double>(n);
@@ -249,28 +324,43 @@ TEST(ReduceSumSegments, OverlappedChargesLatencyOnly) {
   device.CopyToDevice(values.data(), n, &buffer);
   auto out = device.CreateBuffer<double>(8);
   device.ResetModeledTime();
-  ReduceSumSegments(&device, buffer, 0, 65536, 8, &out, 0,
-                    /*overlapped=*/true);
-  // 2 levels (65536 -> 256 -> 1): two launch latencies, no compute, no
-  // read-back (sums stay device-resident).
+  const Event last = EnqueueReduceSumSegments(device.default_queue(), buffer,
+                                              0, 65536, 8, &out);
+  // 2 levels (65536 -> 256 -> 1): only the two submission latencies have
+  // hit the host timeline; the (enormous) compute runs on the device
+  // clock and hides behind the external work below.
   EXPECT_NEAR(device.ModeledSeconds(), 2e-3, 1e-6);
+  device.AdvanceHostTime(1e7);
+  last.Wait();
+  EXPECT_NEAR(device.ModeledSeconds(), 2e-3, 1e-6);
+  EXPECT_DOUBLE_EQ(device.HostStallSeconds(), 0.0);
 }
 
-TEST(ReduceSum, OverlappedChargesLatencyOnly) {
+TEST(ReduceSumSegments, EventChainsAcrossDependentCommands) {
   DeviceProfile profile;
   profile.launch_latency_s = 1e-3;
   profile.transfer_latency_s = 0.0;
   profile.transfer_bandwidth = 1e18;
-  profile.compute_throughput = 1.0;  // Compute would dominate if charged.
+  profile.compute_throughput = 1e6;
   Device device(profile);
-  const std::size_t n = 65536;  // Two reduction levels.
+  const std::size_t n = 512;  // One reduction level of 2 groups.
   auto buffer = device.CreateBuffer<double>(n);
-  std::vector<double> values(n, 1.0);
+  std::vector<double> values(n, 2.0);
   device.CopyToDevice(values.data(), n, &buffer);
+  auto out = device.CreateBuffer<double>(1);
   device.ResetModeledTime();
-  (void)ReduceSum(&device, buffer, 0, n, /*overlapped=*/true);
-  // 2 levels (65536 -> 256 -> 1): two launch latencies, no compute.
-  EXPECT_NEAR(device.ModeledSeconds(), 2e-3, 1e-6);
+  CommandQueue* queue = device.default_queue();
+  const Event reduced =
+      EnqueueReduceSumSegments(queue, buffer, 0, n, 1, &out);
+  // A read-back that waits on the reduction via its event: the in-order
+  // queue already sequences it, and the wait-list folds the reduction's
+  // modeled end into the transfer's start.
+  double sum = 0.0;
+  const Event read = queue->EnqueueCopyToHost(
+      out, 0, 1, &sum, std::span<const Event>(&reduced, 1));
+  EXPECT_GE(read.modeled_end_seconds(), reduced.modeled_end_seconds());
+  read.Wait();
+  EXPECT_DOUBLE_EQ(sum, 1024.0);
 }
 
 }  // namespace
