@@ -91,41 +91,82 @@ int main(int argc, char** argv) {
     const std::size_t points = std::stoul(size_str);
     const std::size_t bytes = points * dims * sizeof(float);
 
-    for (const std::string device_name : {"cpu", "gpu"}) {
+    // Single devices, then the sharded multi-device groups (Section 5.4
+    // past one device's ceiling): the '+'-topologies split the sample
+    // across the devices, every per-query pass runs per-shard
+    // concurrently, and the group-level modeled cost is the max over the
+    // member clocks.
+    for (const std::string device_name :
+         {"cpu", "gpu", "cpu+gpu", "gpu+gpu"}) {
       for (const std::string estimator_name :
            {"kde_heuristic", "kde_adaptive"}) {
-        Device device(ProfileByName(device_name));
+        const bool grouped = device_name.find('+') != std::string::npos;
+        std::unique_ptr<DeviceGroup> group;
+        std::unique_ptr<Device> device;
+        if (grouped) {
+          group = MakeDeviceGroup(device_name);
+        } else {
+          device = std::make_unique<Device>(ProfileByName(device_name));
+        }
         EstimatorBuildContext context;
-        context.device = &device;
+        context.device = device.get();
+        context.device_group = group.get();
         context.executor = &executor;
         context.memory_bytes = bytes;
         context.seed = static_cast<std::uint64_t>(common.seed);
         auto estimator =
             BuildEstimator(estimator_name, context).MoveValueOrDie();
 
+        const auto advance = [&](double seconds) {
+          if (grouped) {
+            group->AdvanceHostTime(seconds);
+          } else {
+            device->AdvanceHostTime(seconds);
+          }
+        };
+
         // Warm once, then measure the estimate+feedback loop. The
         // modeled execution window between estimate and feedback is
         // where the enqueued gradient/Karma passes drain.
         const double exec_s = static_cast<double>(exec_ms) * 1e-3;
         (void)estimator->EstimateSelectivity(workload[0].box);
-        device.AdvanceHostTime(exec_s);
+        advance(exec_s);
         estimator->ObserveTrueSelectivity(workload[0].box,
                                           workload[0].selectivity);
-        device.ResetModeledTime();
+        if (grouped) {
+          group->ResetModeledTime();
+        } else {
+          device->ResetModeledTime();
+        }
         Stopwatch watch;
         for (const Query& query : workload) {
           (void)estimator->EstimateSelectivity(query.box);
-          device.AdvanceHostTime(exec_s);
+          advance(exec_s);
           estimator->ObserveTrueSelectivity(query.box, query.selectivity);
         }
         Row row;
         row.model_points = size_str;
         row.estimator = estimator_name;
         row.device = device_name;
-        row.ms_modeled = device.ModeledSeconds() * 1e3 / workload.size();
+        row.ms_modeled = (grouped ? group->MaxModeledSeconds()
+                                  : device->ModeledSeconds()) *
+                         1e3 / workload.size();
         row.ms_measured =
             device_name == "cpu" ? watch.ElapsedMillis() / workload.size()
                                  : 0.0;
+        if (grouped) {
+          DeviceSample* sample =
+              static_cast<KdeSelectivityEstimator*>(estimator.get())
+                  ->engine()
+                  ->sample();
+          std::string shards;
+          for (std::size_t sz : sample->shard_sizes()) {
+            if (!shards.empty()) shards += "/";
+            shards += std::to_string(sz);
+          }
+          row.note = "shards " + shards + ", migrated " +
+                     std::to_string(sample->rows_migrated());
+        }
         rows.push_back(row);
       }
     }

@@ -13,6 +13,12 @@ DeviceProfile ProfileByName(const std::string& name) {
   return DeviceProfile::OpenClCpu();
 }
 
+std::unique_ptr<DeviceGroup> MakeDeviceGroup(const std::string& topology,
+                                             DeviceGroupOptions options) {
+  return std::make_unique<DeviceGroup>(
+      ParseDeviceTopology(topology).MoveValueOrDie(), std::move(options));
+}
+
 CellResult RunCell(const CellSpec& spec,
                    const std::vector<std::string>& estimators) {
   CellResult result;
@@ -22,7 +28,16 @@ CellResult RunCell(const CellSpec& spec,
   Executor executor(&table);
   executor.BuildIndex();
   const WorkloadGenerator generator(table);
-  Device device(ProfileByName(spec.device));
+  // A '+'-topology shards the KDE sample across a device group; a plain
+  // profile name keeps the single-device path.
+  const bool grouped = spec.device.find('+') != std::string::npos;
+  std::unique_ptr<DeviceGroup> group;
+  std::unique_ptr<Device> device;
+  if (grouped) {
+    group = MakeDeviceGroup(spec.device);
+  } else {
+    device = std::make_unique<Device>(ProfileByName(spec.device));
+  }
 
   for (std::size_t rep = 0; rep < spec.repetitions; ++rep) {
     const std::uint64_t rep_seed = spec.seed * 7919 + rep;
@@ -34,7 +49,8 @@ CellResult RunCell(const CellSpec& spec,
         generator.Generate(spec.workload, spec.test_queries, &workload_rng);
 
     EstimatorBuildContext context;
-    context.device = &device;
+    context.device = device.get();
+    context.device_group = group.get();
     context.executor = &executor;
     context.memory_bytes = spec.memory_bytes;
     context.seed = rep_seed;  // Same seed => same sample for all KDEs.

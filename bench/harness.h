@@ -19,6 +19,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "common/table_printer.h"
 #include "data/generators.h"
 #include "parallel/device.h"
+#include "parallel/device_group.h"
 #include "runtime/driver.h"
 #include "runtime/executor.h"
 #include "runtime/factory.h"
@@ -47,7 +49,9 @@ struct CellSpec {
   std::uint64_t seed = 1;
   /// Memory budget per estimator; 0 means the paper's d * 4kB.
   std::size_t memory_bytes = 0;
-  /// Device profile for KDE variants ("cpu" or "gpu").
+  /// Device topology for KDE variants: "cpu", "gpu", or a '+'-separated
+  /// multi-device group such as "cpu+gpu" (the sample then shards across
+  /// the group).
   std::string device = "cpu";
 };
 
@@ -65,6 +69,11 @@ struct CellResult {
 
 /// Resolves "cpu"/"gpu" into a device profile.
 DeviceProfile ProfileByName(const std::string& name);
+
+/// Builds a `DeviceGroup` from a '+'-separated topology ("cpu+gpu",
+/// "gpu+gpu"); single names yield a one-device group.
+std::unique_ptr<DeviceGroup> MakeDeviceGroup(const std::string& topology,
+                                             DeviceGroupOptions options = {});
 
 /// Runs one cell for the named estimators and returns the per-repetition
 /// mean absolute errors. Estimators see identical queries within a

@@ -10,6 +10,7 @@
 #include "data/generators.h"
 #include "kde/engine.h"
 #include "kde/karma.h"
+#include "parallel/device_group.h"
 
 namespace fkde {
 namespace {
@@ -283,6 +284,72 @@ void BM_SampleReplaceRow(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SampleReplaceRow)->Unit(benchmark::kNanosecond);
+
+// Sharded estimation across a DeviceGroup vs the same sample on one
+// device. Per-device counters expose how well the concurrent per-shard
+// chains overlap on the modeled timeline: modeled_ms is the group max,
+// idle_gap_i each member's stall fraction (host waiting on the fold).
+// args: {sample_size, topology(0=cpu+gpu, 1=gpu+gpu)}.
+void BM_EstimateSharded(benchmark::State& state) {
+  const std::size_t sample_size = static_cast<std::size_t>(state.range(0));
+  const std::string topology = state.range(1) == 0 ? "cpu+gpu" : "gpu+gpu";
+  DeviceGroup group(ParseDeviceTopology(topology).MoveValueOrDie());
+  DeviceSample sample(&group, sample_size, 8);
+  ClusterBoxesParams params;
+  params.rows = sample_size * 2;
+  params.dims = 8;
+  const Table table = GenerateClusterBoxes(params, 7);
+  Rng rng(8);
+  FKDE_CHECK_OK(sample.LoadFromTable(table, &rng));
+  KdeEngine engine(&sample, KernelType::kGaussian);
+  const Box box(std::vector<double>(8, 0.25), std::vector<double>(8, 0.75));
+  group.ResetModeledTime();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Estimate(box));
+  }
+  const double modeled = group.MaxModeledSeconds();
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["modeled_ms"] = iters > 0.0 ? modeled * 1e3 / iters : 0.0;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const Device& dev = *group.device(i);
+    state.counters["idle_gap_" + std::to_string(i)] =
+        dev.ModeledSeconds() > 0.0
+            ? dev.HostStallSeconds() / dev.ModeledSeconds()
+            : 0.0;
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EstimateSharded)
+    ->ArgsProduct({{16384, 262144}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+// Scratch-pool effectiveness under the batched paths: after the first
+// iteration every acquisition should hit the pool, so the steady-state
+// hit rate approaches 1 and no per-call allocations remain.
+void BM_BatchScratchPoolReuse(benchmark::State& state) {
+  MicroFixture fixture(static_cast<std::size_t>(state.range(0)), 3);
+  const std::vector<Box> boxes = fixture.RandomBoxes(64);
+  std::vector<double> estimates(boxes.size());
+  fixture.engine->EstimateBatch(boxes, estimates);  // Populate the pool.
+  const BufferPoolStats warm = fixture.device.scratch_pool_stats();
+  for (auto _ : state) {
+    fixture.engine->EstimateBatch(boxes, estimates);
+    benchmark::DoNotOptimize(estimates.data());
+  }
+  const BufferPoolStats stats = fixture.device.scratch_pool_stats();
+  const double acquisitions =
+      static_cast<double>((stats.hits - warm.hits) +
+                          (stats.misses - warm.misses));
+  state.counters["pool_hit_rate"] =
+      acquisitions > 0.0
+          ? static_cast<double>(stats.hits - warm.hits) / acquisitions
+          : 0.0;
+  state.SetItemsProcessed(state.iterations() * boxes.size());
+}
+BENCHMARK(BM_BatchScratchPoolReuse)
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace fkde

@@ -10,23 +10,32 @@ KdeEngine::KdeEngine(DeviceSample* sample, KernelType kernel)
   FKDE_CHECK(sample != nullptr);
   FKDE_CHECK_MSG(!sample->empty(), "engine requires a loaded sample");
   FKDE_CHECK_MSG(sample->dims() <= kMaxDims, "dims beyond engine limit");
-  Device* dev = sample_->device();
-  bandwidth_dev_ = dev->CreateBuffer<double>(sample_->dims());
-  bounds_dev_ = dev->CreateBuffer<double>(2 * sample_->dims());
-  contributions_ = dev->CreateBuffer<double>(sample_->capacity());
-  grad_partials_ =
-      dev->CreateBuffer<double>(sample_->dims() * sample_->capacity());
-  grad_sums_ = dev->CreateBuffer<double>(sample_->dims());
-  point_scales_ = dev->CreateBuffer<float>(sample_->capacity());
-  // Sized once so enqueued gradient read-backs never race a reallocation.
-  grad_staging_.resize(sample_->dims());
+  const std::size_t d = sample_->dims();
+  const std::size_t capacity = sample_->capacity();
+  shards_.resize(sample_->num_shards());
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    EngineShard& sh = shards_[si];
+    sh.device = sample_->shard_device(si);
+    sh.bandwidth_dev = sh.device->CreateBuffer<double>(d);
+    sh.bounds_dev = sh.device->CreateBuffer<double>(2 * d);
+    // Capacity-sized so rebalancing growth never reallocates under
+    // enqueued commands that captured the raw device pointers.
+    sh.contributions = sh.device->CreateBuffer<double>(capacity);
+    sh.grad_partials = sh.device->CreateBuffer<double>(d * capacity);
+    sh.grad_sums = sh.device->CreateBuffer<double>(d);
+    sh.est_sum = sh.device->CreateBuffer<double>(1);
+    sh.point_scales = sh.device->CreateBuffer<float>(capacity);
+    // Sized once so enqueued gradient read-backs never race a
+    // reallocation.
+    sh.grad_staging.resize(d);
+  }
   FKDE_CHECK_OK(SetBandwidth(ComputeScottBandwidth()));
 }
 
 KdeEngine::~KdeEngine() {
   // Commands enqueued through this engine capture pointers into its
-  // device buffers; drain them before the buffers go away.
-  device()->default_queue()->Finish();
+  // device buffers; drain every shard's queue before the buffers go away.
+  for (EngineShard& sh : shards_) sh.device->default_queue()->Finish();
 }
 
 Status KdeEngine::SetBandwidth(std::span<const double> bandwidth) {
@@ -39,8 +48,10 @@ Status KdeEngine::SetBandwidth(std::span<const double> bandwidth) {
     }
   }
   bandwidth_.assign(bandwidth.begin(), bandwidth.end());
-  device()->CopyToDevice(bandwidth_.data(), bandwidth_.size(),
-                         &bandwidth_dev_);
+  for (EngineShard& sh : shards_) {
+    sh.device->CopyToDevice(bandwidth_.data(), bandwidth_.size(),
+                            &sh.bandwidth_dev);
+  }
   return Status::OK();
 }
 
@@ -48,53 +59,116 @@ Status KdeEngine::SetPointScales(std::span<const double> scales) {
   if (scales.size() != sample_size()) {
     return Status::InvalidArgument("point scale arity mismatch");
   }
-  std::vector<float> staging(scales.size());
-  for (std::size_t i = 0; i < scales.size(); ++i) {
-    if (!(scales[i] > 0.0) || !std::isfinite(scales[i])) {
+  for (double scale : scales) {
+    if (!(scale > 0.0) || !std::isfinite(scale)) {
       return Status::InvalidArgument("point scales must be positive");
     }
-    staging[i] = static_cast<float>(scales[i]);
   }
-  device()->CopyToDevice(staging.data(), staging.size(), &point_scales_);
+  scales_host_.assign(scales.begin(), scales.end());
   has_scales_ = true;
+  UploadScales();
   return Status::OK();
+}
+
+void KdeEngine::UploadScales() {
+  // Scatter the global-slot scales into each shard's local order (one
+  // metered transfer per shard).
+  std::vector<float> staging;
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    const std::size_t rows = sample_->shard_size(si);
+    if (rows == 0) continue;
+    staging.resize(rows);
+    for (std::size_t local = 0; local < rows; ++local) {
+      staging[local] =
+          static_cast<float>(scales_host_[sample_->GlobalSlot(si, local)]);
+    }
+    shards_[si].device->CopyToDevice(staging.data(), rows,
+                                     &shards_[si].point_scales);
+  }
+  scales_epoch_ = sample_->migration_epoch();
+}
+
+void KdeEngine::PrepareForPass() {
+  if (shards_.size() < 2) return;
+  sample_->MaybeRebalance();
+  // Migration permutes local rows; the per-shard scale buffers are
+  // local-indexed and must follow.
+  if (has_scales_ && scales_epoch_ != sample_->migration_epoch()) {
+    UploadScales();
+  }
+}
+
+void KdeEngine::SnapshotBusy(std::vector<double>* out) const {
+  out->resize(shards_.size());
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    (*out)[si] = shards_[si].device->DeviceBusySeconds();
+  }
+}
+
+void KdeEngine::ObservePass(const std::vector<double>& busy_before) {
+  if (shards_.size() < 2) return;
+  std::vector<double> deltas(shards_.size());
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    deltas[si] = shards_[si].device->DeviceBusySeconds() - busy_before[si];
+  }
+  sample_->ObserveShardSeconds(deltas);
 }
 
 std::vector<double> KdeEngine::ComputeScottBandwidth() {
   const std::size_t s = sample_size();
   const std::size_t d = dims();
-  Device* dev = device();
-  const float* data = sample_->buffer().device_data();
 
-  // One fused kernel fills 2d segments — x then x^2 per dimension — and
-  // one segmented reduction yields all 2d sums in a single read-back;
-  // sigma^2 = E[x^2] - E[x]^2 per dimension (Section 5.2). This replaces
-  // the former 4d+ launches (per-dimension fill + reduce, twice) with a
-  // launch count independent of d.
-  DeviceBuffer<double> moments = dev->CreateBuffer<double>(2 * d * s);
-  double* out = moments.device_data();
-  dev->Launch("scott_moments", s, 2.0 * static_cast<double>(d),
-              [data, out, d, s](std::size_t begin, std::size_t end) {
-                for (std::size_t i = begin; i < end; ++i) {
-                  const float* row = data + i * d;
-                  for (std::size_t dim = 0; dim < d; ++dim) {
-                    const double v = static_cast<double>(row[dim]);
-                    out[(2 * dim) * s + i] = v;
-                    out[(2 * dim + 1) * s + i] = v * v;
-                  }
-                }
-              });
-  DeviceBuffer<double> sums = dev->CreateBuffer<double>(2 * d);
-  ReduceSumSegments(dev, moments, 0, s, 2 * d, &sums);
-  std::vector<double> host_sums(2 * d);
-  dev->CopyToHost(sums, 0, 2 * d, host_sums.data());
+  // Per shard: one fused kernel fills 2d segments — x then x^2 per
+  // dimension — and one segmented reduction yields the shard's 2d sums in
+  // a single read-back; all shards run concurrently on their own queues
+  // and the per-dimension moments fold on the host (sums over shards are
+  // exact). sigma^2 = E[x^2] - E[x]^2 per dimension (Section 5.2). On one
+  // shard this is the pre-sharding 2-launch sequence: the launch count is
+  // independent of d.
+  std::vector<ScratchBuffer> moments(shards_.size());
+  std::vector<ScratchBuffer> sums(shards_.size());
+  std::vector<std::vector<double>> host_sums(shards_.size());
+  std::vector<Event> done(shards_.size());
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    EngineShard& sh = shards_[si];
+    const std::size_t rows = sample_->shard_size(si);
+    if (rows == 0) continue;
+    CommandQueue* queue = sh.device->default_queue();
+    moments[si] = sh.device->AcquireScratch(2 * d * rows);
+    sums[si] = sh.device->AcquireScratch(2 * d);
+    host_sums[si].resize(2 * d);
+    const float* data = sample_->shard_buffer(si).device_data();
+    double* out = moments[si]->device_data();
+    queue->EnqueueLaunch(
+        "scott_moments", rows, 2.0 * static_cast<double>(d),
+        [data, out, d, rows](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const float* row = data + i * d;
+            for (std::size_t dim = 0; dim < d; ++dim) {
+              const double v = static_cast<double>(row[dim]);
+              out[(2 * dim) * rows + i] = v;
+              out[(2 * dim + 1) * rows + i] = v * v;
+            }
+          }
+        });
+    EnqueueReduceSumSegments(queue, *moments[si], 0, rows, 2 * d,
+                             sums[si].get());
+    done[si] = queue->EnqueueCopyToHost(*sums[si], 0, 2 * d,
+                                        host_sums[si].data());
+  }
+  std::vector<double> total(2 * d, 0.0);
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    if (!done[si].valid()) continue;
+    done[si].Wait();
+    for (std::size_t k = 0; k < 2 * d; ++k) total[k] += host_sums[si][k];
+  }
 
   std::vector<double> bandwidth(d);
   const double factor =
       std::pow(static_cast<double>(s), -1.0 / (static_cast<double>(d) + 4.0));
   for (std::size_t dim = 0; dim < d; ++dim) {
-    const double sum = host_sums[2 * dim];
-    const double sum_sq = host_sums[2 * dim + 1];
+    const double sum = total[2 * dim];
+    const double sum_sq = total[2 * dim + 1];
     const double mean = sum / static_cast<double>(s);
     const double variance =
         std::max(sum_sq / static_cast<double>(s) - mean * mean, 0.0);
@@ -107,62 +181,86 @@ std::vector<double> KdeEngine::ComputeScottBandwidth() {
   return bandwidth;
 }
 
-void KdeEngine::UploadBounds(const Box& box) {
+void KdeEngine::StageBounds(const Box& box, double* staging) const {
   FKDE_CHECK_MSG(box.dims() == dims(), "query dims mismatch");
-  double staging[2 * kMaxDims];
   for (std::size_t j = 0; j < dims(); ++j) {
     staging[j] = box.lower(j);
     staging[dims() + j] = box.upper(j);
   }
-  device()->CopyToDevice(staging, 2 * dims(), &bounds_dev_);
 }
 
 double KdeEngine::Estimate(const Box& box) {
-  UploadBounds(box);
-  const std::size_t s = sample_size();
+  PrepareForPass();
   const std::size_t d = dims();
-  const float* data = sample_->buffer().device_data();
-  const double* bounds = bounds_dev_.device_data();
-  const double* h = bandwidth_dev_.device_data();
-  double* contrib = contributions_.device_data();
-  const KernelType kernel = kernel_;
-  const float* scales = has_scales_ ? point_scales_.device_data() : nullptr;
+  double staging[2 * kMaxDims];
+  StageBounds(box, staging);
+  std::vector<double> busy_before;
+  SnapshotBusy(&busy_before);
 
-  // Figure 3, step 2: one work item per sample point computes the
-  // closed-form contribution (13) as a product over dimensions. With the
-  // variable-KDE extension, point i smooths with h_j * scales[i].
-  device()->Launch(
-      "kde_contributions", s, static_cast<double>(d),
-      [=](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          double prod = 1.0;
-          const float* row = data + i * d;
-          const double scale =
-              scales ? static_cast<double>(scales[i]) : 1.0;
-          for (std::size_t j = 0; j < d; ++j) {
-            prod *= kernel::CdfDiff(kernel, static_cast<double>(row[j]),
-                                    h[j] * scale, bounds[j], bounds[d + j]);
+  // Figure 3, steps 1-4, per shard and concurrently across shards: bounds
+  // upload, one work item per sample point computing the closed-form
+  // contribution (13) as a product over dimensions (with the variable-KDE
+  // extension, point i smooths with h_j * scales[i]), the binary-tree
+  // reduction to one scalar, and the scalar read-back. Each shard's chain
+  // is enqueued back-to-back on its own in-order queue; the host waits on
+  // all read-backs and folds.
+  std::vector<Event> done(shards_.size());
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    EngineShard& sh = shards_[si];
+    const std::size_t rows = sample_->shard_size(si);
+    sh.est_staging = 0.0;
+    if (rows == 0) continue;
+    CommandQueue* queue = sh.device->default_queue();
+    queue->EnqueueCopyToDevice(staging, 2 * d, &sh.bounds_dev);
+    const float* data = sample_->shard_buffer(si).device_data();
+    const double* bounds = sh.bounds_dev.device_data();
+    const double* h = sh.bandwidth_dev.device_data();
+    double* contrib = sh.contributions.device_data();
+    const KernelType kernel = kernel_;
+    const float* scales =
+        has_scales_ ? sh.point_scales.device_data() : nullptr;
+    queue->EnqueueLaunch(
+        "kde_contributions", rows, static_cast<double>(d),
+        [=](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            double prod = 1.0;
+            const float* row = data + i * d;
+            const double scale =
+                scales ? static_cast<double>(scales[i]) : 1.0;
+            for (std::size_t j = 0; j < d; ++j) {
+              prod *= kernel::CdfDiff(kernel, static_cast<double>(row[j]),
+                                      h[j] * scale, bounds[j],
+                                      bounds[d + j]);
+            }
+            contrib[i] = prod;
           }
-          contrib[i] = prod;
-        }
-      });
-
-  // Step 3: binary-tree reduction; step 4: scalar back to the host.
-  const double total = ReduceSum(device(), contributions_, 0, s);
-  last_estimate_ = total / static_cast<double>(s);
+        });
+    EnqueueReduceSumSegments(queue, sh.contributions, 0, rows, 1,
+                             &sh.est_sum);
+    done[si] = queue->EnqueueCopyToHost(sh.est_sum, 0, 1, &sh.est_staging);
+  }
+  double total = 0.0;
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    if (!done[si].valid()) continue;
+    done[si].Wait();
+    total += shards_[si].est_staging;
+  }
+  ObservePass(busy_before);
+  last_estimate_ = total / static_cast<double>(sample_size());
   return last_estimate_;
 }
 
-void KdeEngine::EnqueueGradientPartialsKernel() {
-  const std::size_t s = sample_size();
+void KdeEngine::EnqueueGradientPartialsKernel(std::size_t shard) {
+  EngineShard& sh = shards_[shard];
+  const std::size_t rows = sample_->shard_size(shard);
   const std::size_t d = dims();
-  const float* data = sample_->buffer().device_data();
-  const double* bounds = bounds_dev_.device_data();
-  const double* h = bandwidth_dev_.device_data();
-  double* contrib = contributions_.device_data();
-  double* partials = grad_partials_.device_data();
+  const float* data = sample_->shard_buffer(shard).device_data();
+  const double* bounds = sh.bounds_dev.device_data();
+  const double* h = sh.bandwidth_dev.device_data();
+  double* contrib = sh.contributions.device_data();
+  double* partials = sh.grad_partials.device_data();
   const KernelType kernel = kernel_;
-  const float* scales = has_scales_ ? point_scales_.device_data() : nullptr;
+  const float* scales = has_scales_ ? sh.point_scales.device_data() : nullptr;
 
   // Fused kernel: per sample point, the per-dimension CDF differences and
   // their h-derivatives give both the contribution (13) and, via
@@ -193,87 +291,269 @@ void KdeEngine::EnqueueGradientPartialsKernel() {
       contrib[i] = suffix[0];
       double prefix = 1.0;
       for (std::size_t j = 0; j < d; ++j) {
-        partials[j * s + i] = prefix * dcdf[j] * suffix[j + 1];
+        partials[j * rows + i] = prefix * dcdf[j] * suffix[j + 1];
         prefix *= cdf[j];
       }
     }
   };
-  device()->default_queue()->EnqueueLaunch(
-      "kde_contributions_grad", s, 3.0 * static_cast<double>(d), body);
+  sh.device->default_queue()->EnqueueLaunch(
+      "kde_contributions_grad", rows, 3.0 * static_cast<double>(d), body);
 }
 
 double KdeEngine::EstimateWithGradient(const Box& box,
                                        std::vector<double>* gradient) {
-  UploadBounds(box);
-  const std::size_t s = sample_size();
+  PrepareForPass();
   const std::size_t d = dims();
-  EnqueueGradientPartialsKernel();
+  double staging[2 * kMaxDims];
+  StageBounds(box, staging);
+  std::vector<double> busy_before;
+  SnapshotBusy(&busy_before);
 
-  // The estimate reduction is on the critical path; its final read-back
-  // drains the in-order queue, so the fused kernel's full cost lands on
-  // the host timeline — this path hides nothing.
-  const double total = ReduceSum(device(), contributions_, 0, s);
-  last_estimate_ = total / static_cast<double>(s);
-
-  // All d dim-major partial segments fold in ONE segmented reduction and
-  // come back as one d-double transfer (bit-identical to d per-dimension
-  // ReduceSum calls — same group tree per segment).
-  ReduceSumSegments(device(), grad_partials_, 0, s, d, &grad_sums_);
-  gradient->resize(d);
-  device()->CopyToHost(grad_sums_, 0, d, gradient->data());
-  const double inv_s = 1.0 / static_cast<double>(s);
+  // Per shard: bounds upload, the fused contribution+partials kernel, the
+  // estimate reduction (one segment) with its scalar read-back, then ONE
+  // segmented reduction over the d dim-major partial segments with its
+  // d-double read-back — all enqueued on the shard's queue, waited
+  // together. This path is on the critical path and hides nothing.
+  std::vector<Event> done(shards_.size());
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    EngineShard& sh = shards_[si];
+    const std::size_t rows = sample_->shard_size(si);
+    sh.est_staging = 0.0;
+    std::fill(sh.grad_staging.begin(), sh.grad_staging.end(), 0.0);
+    if (rows == 0) continue;
+    CommandQueue* queue = sh.device->default_queue();
+    queue->EnqueueCopyToDevice(staging, 2 * d, &sh.bounds_dev);
+    EnqueueGradientPartialsKernel(si);
+    EnqueueReduceSumSegments(queue, sh.contributions, 0, rows, 1,
+                             &sh.est_sum);
+    queue->EnqueueCopyToHost(sh.est_sum, 0, 1, &sh.est_staging);
+    EnqueueReduceSumSegments(queue, sh.grad_partials, 0, rows, d,
+                             &sh.grad_sums);
+    done[si] =
+        queue->EnqueueCopyToHost(sh.grad_sums, 0, d, sh.grad_staging.data());
+  }
+  double total = 0.0;
+  gradient->assign(d, 0.0);
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    if (!done[si].valid()) continue;
+    done[si].Wait();
+    total += shards_[si].est_staging;
+    for (std::size_t j = 0; j < d; ++j) {
+      (*gradient)[j] += shards_[si].grad_staging[j];
+    }
+  }
+  ObservePass(busy_before);
+  const double inv_s = 1.0 / static_cast<double>(sample_size());
   for (double& g : *gradient) g *= inv_s;
+  last_estimate_ = total * inv_s;
   return last_estimate_;
 }
 
 Event KdeEngine::EnqueueGradient() {
-  const std::size_t s = sample_size();
   const std::size_t d = dims();
-  // Section 5.5, steps 5-6, for the bounds of the last Estimate: partials
-  // kernel, one segmented reduction, d-double read-back — all enqueued,
-  // none waited for. The in-order queue sequences them; the read-back's
-  // event is the collection handle. A still-pending previous gradient is
-  // simply superseded: its commands complete in order and its staging
-  // writes happen-before ours.
-  EnqueueGradientPartialsKernel();
-  CommandQueue* queue = device()->default_queue();
-  EnqueueReduceSumSegments(queue, grad_partials_, 0, s, d, &grad_sums_);
-  pending_gradient_ =
-      queue->EnqueueCopyToHost(grad_sums_, 0, d, grad_staging_.data());
+  // Section 5.5, steps 5-6, for the bounds of the last Estimate: per
+  // shard, partials kernel, one segmented reduction, d-double read-back —
+  // all enqueued, none waited for. Each shard's in-order queue sequences
+  // its chain; the read-back events are the collection handles. A
+  // still-pending previous gradient is simply superseded: its commands
+  // complete in order and its staging writes happen-before ours.
+  Event last;
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    EngineShard& sh = shards_[si];
+    const std::size_t rows = sample_->shard_size(si);
+    if (rows == 0) {
+      sh.pending_gradient = Event();
+      std::fill(sh.grad_staging.begin(), sh.grad_staging.end(), 0.0);
+      continue;
+    }
+    EnqueueGradientPartialsKernel(si);
+    CommandQueue* queue = sh.device->default_queue();
+    EnqueueReduceSumSegments(queue, sh.grad_partials, 0, rows, d,
+                             &sh.grad_sums);
+    sh.pending_gradient =
+        queue->EnqueueCopyToHost(sh.grad_sums, 0, d, sh.grad_staging.data());
+    last = sh.pending_gradient;
+  }
   gradient_pending_ = true;
-  return pending_gradient_;
+  return last;
 }
 
 void KdeEngine::CollectGradient(std::vector<double>* gradient) {
   FKDE_CHECK_MSG(gradient_pending_, "no enqueued gradient to collect");
-  pending_gradient_.Wait();
-  pending_gradient_ = Event();
-  gradient_pending_ = false;
   const std::size_t d = dims();
-  gradient->resize(d);
-  const double inv_s = 1.0 / static_cast<double>(sample_size());
-  for (std::size_t j = 0; j < d; ++j) {
-    (*gradient)[j] = grad_staging_[j] * inv_s;
+  gradient->assign(d, 0.0);
+  for (EngineShard& sh : shards_) {
+    if (sh.pending_gradient.valid()) {
+      sh.pending_gradient.Wait();
+      sh.pending_gradient = Event();
+      for (std::size_t j = 0; j < d; ++j) {
+        (*gradient)[j] += sh.grad_staging[j];
+      }
+    }
   }
+  gradient_pending_ = false;
+  const double inv_s = 1.0 / static_cast<double>(sample_size());
+  for (double& g : *gradient) g *= inv_s;
 }
 
-std::size_t KdeEngine::BatchTile(std::size_t queries,
+std::size_t KdeEngine::BatchTile(std::size_t queries, std::size_t shard_rows,
                                  bool with_partials) const {
   const std::size_t per_query =
-      sample_size() * (1 + (with_partials ? dims() : 0)) * sizeof(double);
+      shard_rows * (1 + (with_partials ? dims() : 0)) * sizeof(double);
   const std::size_t tile =
       std::max<std::size_t>(1, kMaxBatchTileBytes / std::max<std::size_t>(
                                                         per_query, 1));
   return std::min(tile, queries);
 }
 
-void KdeEngine::UploadBatchDescriptors(std::span<const Box> boxes,
-                                       std::span<const double> truths) {
+std::vector<KdeEngine::BatchShard> KdeEngine::EnqueueBatchPipelines(
+    std::span<const Box> boxes, const std::vector<double>& descriptors,
+    std::size_t truths_count, bool with_partials, bool reduce_gradients,
+    const std::function<void(std::size_t, std::size_t, BatchShard&)>& fold,
+    bool enqueue_readbacks) {
   const std::size_t m = boxes.size();
   const std::size_t d = dims();
-  if (batch_bounds_.size() < m * (2 * d + 1)) {
-    batch_bounds_ = device()->CreateBuffer<double>(m * (2 * d + 1));
+  std::vector<BatchShard> states(shards_.size());
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    EngineShard& sh = shards_[si];
+    const std::size_t rows = sample_->shard_size(si);
+    if (rows == 0) continue;
+    BatchShard& bs = states[si];
+    CommandQueue* queue = sh.device->default_queue();
+
+    // ONE descriptor upload per shard: all m query bounds, plus the
+    // trailing truths for the loss path. All scratch below comes from the
+    // device's pool — reused across calls, invisible to the ledger.
+    bs.bounds = sh.device->AcquireScratch(m * 2 * d + truths_count);
+    queue->EnqueueCopyToDevice(descriptors.data(), m * 2 * d + truths_count,
+                               bs.bounds.get());
+    const std::size_t tile = BatchTile(m, rows, with_partials);
+    bs.contrib = sh.device->AcquireScratch(tile * rows);
+    if (with_partials) {
+      bs.partials = sh.device->AcquireScratch(tile * d * rows);
+    }
+    bs.est = sh.device->AcquireScratch(m);
+    if (reduce_gradients) bs.grad = sh.device->AcquireScratch(m * d);
+
+    const float* data = sample_->shard_buffer(si).device_data();
+    const double* bounds = bs.bounds->device_data();
+    const double* h = sh.bandwidth_dev.device_data();
+    double* contrib = bs.contrib->device_data();
+    double* partials = with_partials ? bs.partials->device_data() : nullptr;
+    const KernelType kernel = kernel_;
+    const float* scales =
+        has_scales_ ? sh.point_scales.device_data() : nullptr;
+    // Keep the scratch handles alive until the shard's chain completes:
+    // the last command to hold them releases them back to the pool.
+    const ScratchBuffer hold_bounds = bs.bounds;
+    const ScratchBuffer hold_contrib = bs.contrib;
+    const ScratchBuffer hold_partials = bs.partials;
+
+    for (std::size_t t0 = 0; t0 < m; t0 += tile) {
+      const std::size_t t = std::min(tile, m - t0);
+      if (!with_partials) {
+        // Batched analogue of the single-query contribution kernel: each
+        // work item owns a sample point and covers the whole query tile,
+        // so all m contribution maps cost ONE launch (Figure 3 step 2,
+        // batched). The query loop is hoisted outside the point loop so
+        // the contrib writes of a work-group stay contiguous per query.
+        auto body = [=](std::size_t begin, std::size_t end) {
+          for (std::size_t q = 0; q < t; ++q) {
+            const double* qb = bounds + (t0 + q) * 2 * d;
+            double* out = contrib + q * rows;
+            for (std::size_t i = begin; i < end; ++i) {
+              const float* row = data + i * d;
+              const double scale =
+                  scales ? static_cast<double>(scales[i]) : 1.0;
+              double prod = 1.0;
+              for (std::size_t j = 0; j < d; ++j) {
+                prod *= kernel::CdfDiff(kernel,
+                                        static_cast<double>(row[j]),
+                                        h[j] * scale, qb[j], qb[d + j]);
+              }
+              out[i] = prod;
+            }
+          }
+          (void)hold_bounds;
+          (void)hold_contrib;
+        };
+        queue->EnqueueLaunch("kde_batch_contributions", rows,
+                             static_cast<double>(t * d), body);
+      } else {
+        // Fused contribution+gradient kernel over the rows×tile grid,
+        // reusing the prefix/suffix-product scheme of
+        // EstimateWithGradient per query. Partials are stored query-major
+        // ((q*d + j)*rows + i) so both the per-query segmented reduction
+        // and the loss-weighted fold read contiguous segments.
+        auto body = [=](std::size_t begin, std::size_t end) {
+          double cdf[kMaxDims];
+          double dcdf[kMaxDims];
+          double suffix[kMaxDims + 1];
+          for (std::size_t q = 0; q < t; ++q) {
+            const double* qb = bounds + (t0 + q) * 2 * d;
+            for (std::size_t i = begin; i < end; ++i) {
+              const float* row = data + i * d;
+              const double scale =
+                  scales ? static_cast<double>(scales[i]) : 1.0;
+              for (std::size_t j = 0; j < d; ++j) {
+                const double v = static_cast<double>(row[j]);
+                const double hj = h[j] * scale;
+                cdf[j] = kernel::CdfDiff(kernel, v, hj, qb[j], qb[d + j]);
+                dcdf[j] = scale * kernel::CdfDiffDh(kernel, v, hj, qb[j],
+                                                    qb[d + j]);
+              }
+              suffix[d] = 1.0;
+              for (std::size_t j = d; j-- > 0;) {
+                suffix[j] = suffix[j + 1] * cdf[j];
+              }
+              contrib[q * rows + i] = suffix[0];
+              double prefix = 1.0;
+              for (std::size_t j = 0; j < d; ++j) {
+                partials[(q * d + j) * rows + i] =
+                    prefix * dcdf[j] * suffix[j + 1];
+                prefix *= cdf[j];
+              }
+            }
+          }
+          (void)hold_bounds;
+          (void)hold_contrib;
+          (void)hold_partials;
+        };
+        queue->EnqueueLaunch("kde_batch_contributions_grad", rows,
+                             3.0 * static_cast<double>(t * d), body);
+      }
+      // All tile estimates advance through every reduction level
+      // together.
+      EnqueueReduceSumSegments(queue, *bs.contrib, 0, rows, t, bs.est.get(),
+                               t0);
+      if (reduce_gradients) {
+        // The tile's t*d gradient partial segments reduce as one batch.
+        EnqueueReduceSumSegments(queue, *bs.partials, 0, rows, t * d,
+                                 bs.grad.get(), t0 * d);
+      }
+      if (fold) fold(t0, t, bs);
+    }
+    if (enqueue_readbacks) {
+      bs.est_staging.resize(m);
+      bs.done = queue->EnqueueCopyToHost(*bs.est, 0, m,
+                                         bs.est_staging.data());
+      if (reduce_gradients) {
+        bs.grad_staging.resize(m * d);
+        bs.done = queue->EnqueueCopyToHost(*bs.grad, 0, m * d,
+                                           bs.grad_staging.data());
+      }
+    }
   }
+  return states;
+}
+
+std::vector<double> KdeEngine::StageBatchDescriptors(
+    std::span<const Box> boxes, std::span<const double> truths) const {
+  const std::size_t m = boxes.size();
+  const std::size_t d = dims();
+  // Layout: query q's bounds at [q*2d, q*2d+2d) (lowers then uppers),
+  // truths packed behind all bounds at [m*2d + q]. The same staging
+  // serves every shard's upload.
   std::vector<double> staging(m * 2 * d + truths.size());
   for (std::size_t q = 0; q < m; ++q) {
     FKDE_CHECK_MSG(boxes[q].dims() == d, "query dims mismatch");
@@ -286,117 +566,31 @@ void KdeEngine::UploadBatchDescriptors(std::span<const Box> boxes,
   if (!truths.empty()) {
     std::copy(truths.begin(), truths.end(), staging.begin() + m * 2 * d);
   }
-  device()->CopyToDevice(staging.data(), staging.size(), &batch_bounds_);
-}
-
-void KdeEngine::BatchContributionSums(
-    std::span<const Box> boxes, bool with_partials,
-    const std::function<void(std::size_t, std::size_t)>& fold) {
-  const std::size_t m = boxes.size();
-  const std::size_t s = sample_size();
-  const std::size_t d = dims();
-  const std::size_t tile = BatchTile(m, with_partials);
-  if (batch_contrib_.size() < tile * s) {
-    batch_contrib_ = device()->CreateBuffer<double>(tile * s);
-  }
-  if (with_partials && batch_partials_.size() < tile * d * s) {
-    batch_partials_ = device()->CreateBuffer<double>(tile * d * s);
-  }
-  if (batch_est_.size() < m) {
-    batch_est_ = device()->CreateBuffer<double>(m);
-  }
-
-  const float* data = sample_->buffer().device_data();
-  const double* bounds = batch_bounds_.device_data();
-  const double* h = bandwidth_dev_.device_data();
-  double* contrib = batch_contrib_.device_data();
-  double* partials = with_partials ? batch_partials_.device_data() : nullptr;
-  const KernelType kernel = kernel_;
-  const float* scales = has_scales_ ? point_scales_.device_data() : nullptr;
-
-  for (std::size_t t0 = 0; t0 < m; t0 += tile) {
-    const std::size_t t = std::min(tile, m - t0);
-    if (!with_partials) {
-      // Batched analogue of the single-query contribution kernel: each
-      // work item owns a sample point and covers the whole query tile, so
-      // all m contribution maps cost ONE launch (Figure 3 step 2,
-      // batched). The query loop is hoisted outside the point loop so the
-      // contrib writes of a work-group stay contiguous per query.
-      auto body = [=](std::size_t begin, std::size_t end) {
-        for (std::size_t q = 0; q < t; ++q) {
-          const double* qb = bounds + (t0 + q) * 2 * d;
-          double* out = contrib + q * s;
-          for (std::size_t i = begin; i < end; ++i) {
-            const float* row = data + i * d;
-            const double scale =
-                scales ? static_cast<double>(scales[i]) : 1.0;
-            double prod = 1.0;
-            for (std::size_t j = 0; j < d; ++j) {
-              prod *= kernel::CdfDiff(kernel, static_cast<double>(row[j]),
-                                      h[j] * scale, qb[j], qb[d + j]);
-            }
-            out[i] = prod;
-          }
-        }
-      };
-      device()->Launch("kde_batch_contributions", s,
-                       static_cast<double>(t * d), body);
-    } else {
-      // Fused contribution+gradient kernel over the s×tile grid, reusing
-      // the prefix/suffix-product scheme of EstimateWithGradient per
-      // query. Partials are stored query-major ((q*d + j)*s + i) so both
-      // the per-query segmented reduction and the loss-weighted fold
-      // read contiguous segments.
-      // Query loop outermost for the same reason as above: per (q, j)
-      // the partial writes of a work-group land in one contiguous run.
-      auto body = [=](std::size_t begin, std::size_t end) {
-        double cdf[kMaxDims];
-        double dcdf[kMaxDims];
-        double suffix[kMaxDims + 1];
-        for (std::size_t q = 0; q < t; ++q) {
-          const double* qb = bounds + (t0 + q) * 2 * d;
-          for (std::size_t i = begin; i < end; ++i) {
-            const float* row = data + i * d;
-            const double scale =
-                scales ? static_cast<double>(scales[i]) : 1.0;
-            for (std::size_t j = 0; j < d; ++j) {
-              const double v = static_cast<double>(row[j]);
-              const double hj = h[j] * scale;
-              cdf[j] = kernel::CdfDiff(kernel, v, hj, qb[j], qb[d + j]);
-              dcdf[j] = scale * kernel::CdfDiffDh(kernel, v, hj, qb[j],
-                                                  qb[d + j]);
-            }
-            suffix[d] = 1.0;
-            for (std::size_t j = d; j-- > 0;) {
-              suffix[j] = suffix[j + 1] * cdf[j];
-            }
-            contrib[q * s + i] = suffix[0];
-            double prefix = 1.0;
-            for (std::size_t j = 0; j < d; ++j) {
-              partials[(q * d + j) * s + i] = prefix * dcdf[j] * suffix[j + 1];
-              prefix *= cdf[j];
-            }
-          }
-        }
-      };
-      device()->Launch("kde_batch_contributions_grad", s,
-                       3.0 * static_cast<double>(t * d), body);
-    }
-    // All tile estimates advance through every reduction level together.
-    ReduceSumSegments(device(), batch_contrib_, 0, s, t, &batch_est_, t0);
-    if (fold) fold(t0, t);
-  }
+  return staging;
 }
 
 void KdeEngine::EstimateBatch(std::span<const Box> boxes,
                               std::span<double> estimates) {
   FKDE_CHECK_MSG(estimates.size() == boxes.size(),
                  "estimate output arity mismatch");
+  // m == 0 is a metered no-op: no descriptor upload, no kernel launch, no
+  // read-back (pinned by batch_launch_test).
   if (boxes.empty()) return;
+  PrepareForPass();
   const std::size_t m = boxes.size();
-  UploadBatchDescriptors(boxes, {});
-  BatchContributionSums(boxes, /*with_partials=*/false, nullptr);
-  device()->CopyToHost(batch_est_, 0, m, estimates.data());
+  std::vector<double> busy_before;
+  SnapshotBusy(&busy_before);
+  const std::vector<double> descriptors = StageBatchDescriptors(boxes, {});
+  std::vector<BatchShard> states = EnqueueBatchPipelines(
+      boxes, descriptors, /*truths_count=*/0, /*with_partials=*/false,
+      /*reduce_gradients=*/false, nullptr, /*enqueue_readbacks=*/true);
+  std::fill(estimates.begin(), estimates.end(), 0.0);
+  for (BatchShard& bs : states) {
+    if (!bs.done.valid()) continue;
+    bs.done.Wait();
+    for (std::size_t q = 0; q < m; ++q) estimates[q] += bs.est_staging[q];
+  }
+  ObservePass(busy_before);
   const double inv_s = 1.0 / static_cast<double>(sample_size());
   for (double& e : estimates) e *= inv_s;
 }
@@ -409,22 +603,27 @@ void KdeEngine::EstimateBatchWithGradient(std::span<const Box> boxes,
   FKDE_CHECK_MSG(gradients.size() == boxes.size() * dims(),
                  "gradient output arity mismatch");
   if (boxes.empty()) return;
+  PrepareForPass();
   const std::size_t m = boxes.size();
-  const std::size_t s = sample_size();
   const std::size_t d = dims();
-  if (batch_grad_.size() < m * d) {
-    batch_grad_ = device()->CreateBuffer<double>(m * d);
+  std::vector<double> busy_before;
+  SnapshotBusy(&busy_before);
+  const std::vector<double> descriptors = StageBatchDescriptors(boxes, {});
+  std::vector<BatchShard> states = EnqueueBatchPipelines(
+      boxes, descriptors, /*truths_count=*/0, /*with_partials=*/true,
+      /*reduce_gradients=*/true, nullptr, /*enqueue_readbacks=*/true);
+  std::fill(estimates.begin(), estimates.end(), 0.0);
+  std::fill(gradients.begin(), gradients.end(), 0.0);
+  for (BatchShard& bs : states) {
+    if (!bs.done.valid()) continue;
+    bs.done.Wait();
+    for (std::size_t q = 0; q < m; ++q) estimates[q] += bs.est_staging[q];
+    for (std::size_t k = 0; k < m * d; ++k) {
+      gradients[k] += bs.grad_staging[k];
+    }
   }
-  UploadBatchDescriptors(boxes, {});
-  auto fold = [this, s, d](std::size_t t0, std::size_t t) {
-    // The tile's t*d gradient partial segments reduce as one batch.
-    ReduceSumSegments(device(), batch_partials_, 0, s, t * d, &batch_grad_,
-                      t0 * d);
-  };
-  BatchContributionSums(boxes, /*with_partials=*/true, fold);
-  device()->CopyToHost(batch_est_, 0, m, estimates.data());
-  device()->CopyToHost(batch_grad_, 0, m * d, gradients.data());
-  const double inv_s = 1.0 / static_cast<double>(s);
+  ObservePass(busy_before);
+  const double inv_s = 1.0 / static_cast<double>(sample_size());
   for (double& e : estimates) e *= inv_s;
   for (double& g : gradients) g *= inv_s;
 }
@@ -436,39 +635,78 @@ double KdeEngine::EstimateBatchLoss(std::span<const Box> boxes,
   FKDE_CHECK_MSG(truths.size() == boxes.size(), "truth arity mismatch");
   FKDE_CHECK_MSG(!boxes.empty(), "batched loss needs at least one query");
   const std::size_t m = boxes.size();
-  const std::size_t s = sample_size();
   const std::size_t d = dims();
-  UploadBatchDescriptors(boxes, truths);
-  // Pre-size the estimate buffer so its device pointer can be captured by
-  // the fold kernels below (BatchContributionSums would otherwise grow it
-  // after capture).
-  if (batch_est_.size() < m) {
-    batch_est_ = device()->CreateBuffer<double>(m);
+
+  if (shards_.size() > 1) {
+    // Multi-shard: fold the per-query estimates (and gradients) across
+    // shards on the host first, then chain the loss. Same math as the
+    // single-shard device fold; only the summation order across shard
+    // boundaries differs.
+    std::vector<double> estimates(m);
+    double loss_total = 0.0;
+    if (gradient == nullptr) {
+      EstimateBatch(boxes, estimates);
+      for (std::size_t q = 0; q < m; ++q) {
+        loss_total += EvaluateLoss(loss, estimates[q], truths[q], lambda);
+      }
+      return loss_total / static_cast<double>(m);
+    }
+    std::vector<double> grads(m * d);
+    EstimateBatchWithGradient(boxes, estimates, grads);
+    gradient->assign(d, 0.0);
+    for (std::size_t q = 0; q < m; ++q) {
+      loss_total += EvaluateLoss(loss, estimates[q], truths[q], lambda);
+      const double weight =
+          LossDerivative(loss, estimates[q], truths[q], lambda);
+      for (std::size_t k = 0; k < d; ++k) {
+        (*gradient)[k] += weight * grads[q * d + k];
+      }
+    }
+    const double inv_m = 1.0 / static_cast<double>(m);
+    for (double& g : *gradient) g *= inv_m;
+    return loss_total * inv_m;
   }
-  const double* est = batch_est_.device_data();
-  const double* truth_dev = batch_bounds_.device_data() + m * 2 * d;
+
+  PrepareForPass();
+  const std::size_t s = sample_size();
+  const std::vector<double> descriptors = StageBatchDescriptors(boxes, truths);
+  Device* dev = device();
   const double inv_s = 1.0 / static_cast<double>(s);
 
   if (gradient == nullptr) {
-    BatchContributionSums(boxes, /*with_partials=*/false, nullptr);
-    if (batch_results_.size() < d + 1) {
-      batch_results_ = device()->CreateBuffer<double>(d + 1);
-    }
     // One epilogue work item folds all m losses (Section 5.5 step 7 for
     // the whole batch); the scalar comes back in one read.
-    double* results = batch_results_.device_data();
-    auto body = [=](std::size_t begin, std::size_t end) {
-      for (std::size_t item = begin; item < end; ++item) {
-        double total = 0.0;
-        for (std::size_t q = 0; q < m; ++q) {
-          total += EvaluateLoss(loss, est[q] * inv_s, truth_dev[q], lambda);
+    const ScratchBuffer results = dev->AcquireScratch(d + 1);
+    auto fold = [&](std::size_t t0, std::size_t t, BatchShard& bs) {
+      // Only act once, after the last tile, when every estimate is
+      // resident.
+      if (t0 + t < m) return;
+      const double* est = bs.est->device_data();
+      const double* truth_dev = bs.bounds->device_data() + m * 2 * d;
+      double* out = results->device_data();
+      const ScratchBuffer hold_results = results;
+      const ScratchBuffer hold_est = bs.est;
+      const ScratchBuffer hold_bounds = bs.bounds;
+      auto body = [=](std::size_t begin, std::size_t end) {
+        for (std::size_t item = begin; item < end; ++item) {
+          double total = 0.0;
+          for (std::size_t q = 0; q < m; ++q) {
+            total +=
+                EvaluateLoss(loss, est[q] * inv_s, truth_dev[q], lambda);
+          }
+          out[item] = total;
         }
-        results[item] = total;
-      }
+        (void)hold_results;
+        (void)hold_est;
+        (void)hold_bounds;
+      };
+      dev->Launch("kde_batch_loss", 1, static_cast<double>(m), body);
     };
-    device()->Launch("kde_batch_loss", 1, static_cast<double>(m), body);
+    EnqueueBatchPipelines(boxes, descriptors, m, /*with_partials=*/false,
+                          /*reduce_gradients=*/false, fold,
+                          /*enqueue_readbacks=*/false);
     double total = 0.0;
-    device()->CopyToHost(batch_results_, 0, 1, &total);
+    dev->CopyToHost(*results, 0, 1, &total);
     return total / static_cast<double>(m);
   }
 
@@ -477,19 +715,20 @@ double KdeEngine::EstimateBatchLoss(std::span<const Box> boxes,
   // loss-weighted gradient dot-products and the loss sum — ever reach the
   // host.
   const std::size_t gpseg = (s + kReduceGroupSize - 1) / kReduceGroupSize;
-  if (batch_fold_.size() < (d + 1) * gpseg) {
-    batch_fold_ = device()->CreateBuffer<double>((d + 1) * gpseg);
-  }
-  if (batch_results_.size() < d + 1) {
-    batch_results_ = device()->CreateBuffer<double>(d + 1);
-  }
+  const ScratchBuffer fold_buf = dev->AcquireScratch((d + 1) * gpseg);
+  const ScratchBuffer results = dev->AcquireScratch(d + 1);
   double loss_total = 0.0;
   std::vector<double> grad_total(d, 0.0);
   std::vector<double> tile_results(d + 1);
-  auto fold = [&, est, truth_dev, inv_s, s, d, gpseg, loss,
-               lambda](std::size_t t0, std::size_t t) {
-    const double* partials = batch_partials_.device_data();
-    double* fold_out = batch_fold_.device_data();
+  auto fold = [&](std::size_t t0, std::size_t t, BatchShard& bs) {
+    const double* est = bs.est->device_data();
+    const double* truth_dev = bs.bounds->device_data() + m * 2 * d;
+    const double* partials = bs.partials->device_data();
+    double* fold_out = fold_buf->device_data();
+    const ScratchBuffer hold_fold = fold_buf;
+    const ScratchBuffer hold_est = bs.est;
+    const ScratchBuffer hold_bounds = bs.bounds;
+    const ScratchBuffer hold_partials = bs.partials;
     // Items form d+1 segments of gpseg groups: segment k < d produces the
     // loss-weighted first reduction level of dimension k's partials;
     // segment d carries the tile's loss sum (group 0) padded with zeros,
@@ -522,19 +761,25 @@ double KdeEngine::EstimateBatchLoss(std::span<const Box> boxes,
         }
         fold_out[item] = acc;
       }
+      (void)hold_fold;
+      (void)hold_est;
+      (void)hold_bounds;
+      (void)hold_partials;
     };
-    device()->Launch("kde_batch_loss_grad_fold", (d + 1) * gpseg,
-                     static_cast<double>(t * kReduceGroupSize), body);
-    ReduceSumSegments(device(), batch_fold_, 0, gpseg, d + 1,
-                      &batch_results_, 0);
-    device()->CopyToHost(batch_results_, 0, d + 1, tile_results.data());
+    dev->Launch("kde_batch_loss_grad_fold", (d + 1) * gpseg,
+                static_cast<double>(t * kReduceGroupSize), body);
+    ReduceSumSegments(dev, *fold_buf, 0, gpseg, d + 1, results.get(), 0);
+    dev->CopyToHost(*results, 0, d + 1, tile_results.data());
     for (std::size_t k = 0; k < d; ++k) grad_total[k] += tile_results[k];
     loss_total += tile_results[d];
   };
-  BatchContributionSums(boxes, /*with_partials=*/true, fold);
+  EnqueueBatchPipelines(boxes, descriptors, m, /*with_partials=*/true,
+                        /*reduce_gradients=*/false, fold,
+                        /*enqueue_readbacks=*/false);
 
   gradient->resize(d);
-  const double inv_ms = 1.0 / (static_cast<double>(m) * static_cast<double>(s));
+  const double inv_ms =
+      1.0 / (static_cast<double>(m) * static_cast<double>(s));
   for (std::size_t k = 0; k < d; ++k) (*gradient)[k] = grad_total[k] * inv_ms;
   return loss_total / static_cast<double>(m);
 }

@@ -17,11 +17,27 @@
 ///
 /// Per-point contributions are retained on the device after each estimate
 /// so the Karma maintenance pass can reuse them (Section 5.6, step 9).
+///
+/// ## Sharded execution
+///
+/// Over a multi-device sample (see sample.h) every hot path runs
+/// per-shard: each shard's bounds upload, kernels, segmented reduction and
+/// partial read-back are ENQUEUED back-to-back on that shard's own
+/// in-order `CommandQueue` — so the N devices crunch concurrently — and
+/// the host waits on all shards' read-back events, then folds the partial
+/// sums/gradients (sums over shards are exact; each shard's reduction
+/// keeps the single-device group tree). After every folded pass the
+/// engine feeds the measured per-shard busy time back into the sample's
+/// rebalancer and applies any resulting migration before the *next* pass,
+/// never under enqueued work. On a single-shard sample the generic path
+/// degenerates to exactly the pre-sharding launch/transfer sequence
+/// (pinned by batch_launch_test).
 
 #ifndef FKDE_KDE_ENGINE_H_
 #define FKDE_KDE_ENGINE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -42,30 +58,35 @@ class KdeEngine {
   /// sample must outlive the engine. Bandwidth starts at Scott's rule.
   KdeEngine(DeviceSample* sample, KernelType kernel);
 
-  /// Drains the device queue so no enqueued command outlives the engine's
-  /// buffers (command_queue.h lifetime discipline).
+  /// Drains every shard's device queue so no enqueued command outlives
+  /// the engine's buffers (command_queue.h lifetime discipline).
   ~KdeEngine();
 
   std::size_t dims() const { return sample_->dims(); }
   std::size_t sample_size() const { return sample_->size(); }
   KernelType kernel() const { return kernel_; }
   DeviceSample* sample() { return sample_; }
+  /// Primary (shard-0) device.
   Device* device() const { return sample_->device(); }
+  std::size_t num_shards() const { return shards_.size(); }
 
   /// Current (diagonal) bandwidth, host copy.
   const std::vector<double>& bandwidth() const { return bandwidth_; }
 
   /// Sets the bandwidth; values must be positive and finite. The new
-  /// bandwidth is transferred to the device (one metered 8d-byte
-  /// transfer). Blocking, so the host-side copy in `bandwidth_` may be
-  /// reused as the transfer staging without lifetime hazards; at 8d bytes
-  /// the wait is a no-op on the modeled timeline.
+  /// bandwidth is transferred to every shard's device (one metered
+  /// 8d-byte transfer each — the bandwidth is replicated, not sharded).
+  /// Blocking, so the host-side copy in `bandwidth_` may be reused as the
+  /// transfer staging without lifetime hazards; at 8d bytes the wait is a
+  /// no-op on the modeled timeline.
   Status SetBandwidth(std::span<const double> bandwidth);
 
   /// Variable-KDE extension (paper Section 8): installs per-point
   /// bandwidth scale factors, so point i smooths with h_j * scale[i] in
   /// every dimension j (Terrell & Scott's adaptive kernel model). Scales
-  /// must be positive and of arity sample_size(). One metered transfer.
+  /// are indexed by GLOBAL sample slot, must be positive and of arity
+  /// sample_size(). One metered transfer per shard; a host copy is kept
+  /// so shard migration can re-scatter the scales.
   Status SetPointScales(std::span<const double> scales);
 
   /// Removes per-point scales (back to the fixed-bandwidth model).
@@ -73,12 +94,14 @@ class KdeEngine {
   bool has_point_scales() const { return has_scales_; }
 
   /// Computes Scott's rule (eq. 3) from the device-resident sample via
-  /// parallel reductions: h_i = s^(-1/(d+4)) * sigma_i.
+  /// parallel reductions: h_i = s^(-1/(d+4)) * sigma_i. Per-shard moment
+  /// kernels run concurrently; the per-dimension sums fold on the host.
   std::vector<double> ComputeScottBandwidth();
 
   /// Estimates the selectivity of `box` (eq. 2). Transfers the query
-  /// bounds in, runs the contribution kernel and reduction, transfers the
-  /// scalar estimate out. Per-point contributions stay on the device.
+  /// bounds in, runs the contribution kernel and reduction on every
+  /// shard, transfers the per-shard scalar sums out and folds them.
+  /// Per-point contributions stay on each shard's device.
   double Estimate(const Box& box);
 
   /// Estimate plus the gradient ∂p̂/∂h_i (eq. 17), fully synchronous —
@@ -88,50 +111,57 @@ class KdeEngine {
   double EstimateWithGradient(const Box& box, std::vector<double>* gradient);
 
   /// Enqueues the Section 5.5 gradient pass (steps 5-6) for the box of
-  /// the LAST `Estimate` call without blocking: the fused partials
-  /// kernel, ONE segmented reduction over the d dim-major partial
-  /// segments, and a d-double read-back. The device crunches while the
-  /// database executes the query; `CollectGradient` waits on the returned
-  /// event when the feedback arrives. Any previously pending gradient is
-  /// discarded. Does not touch the retained contributions.
+  /// the LAST `Estimate` call without blocking: per shard, the fused
+  /// partials kernel, ONE segmented reduction over the d dim-major
+  /// partial segments, and a d-double read-back. The devices crunch while
+  /// the database executes the query; `CollectGradient` waits on the
+  /// per-shard events when the feedback arrives. Any previously pending
+  /// gradient is discarded. Does not touch the retained contributions.
+  /// Returns the last shard's read-back event (all shards' events are
+  /// held internally).
   Event EnqueueGradient();
 
-  /// Waits for the pending `EnqueueGradient` pass and writes ∂p̂/∂h
-  /// (arity dims()) into `gradient`. Requires `gradient_pending()`.
+  /// Waits for the pending `EnqueueGradient` pass, folds the per-shard
+  /// partial gradients and writes ∂p̂/∂h (arity dims()) into `gradient`.
+  /// Requires `gradient_pending()`.
   void CollectGradient(std::vector<double>* gradient);
 
   /// True between `EnqueueGradient` and `CollectGradient`.
   bool gradient_pending() const { return gradient_pending_; }
 
   /// Batched estimation: uploads all `boxes.size()` query bounds in ONE
-  /// transfer, runs one fused contribution kernel over the s × m grid
-  /// (each work item owns a sample point and loops over a query tile),
-  /// reduces all segments with `ReduceSumSegments`, and reads all
-  /// estimates back in one transfer — O(1) launches in the query count
-  /// instead of the ~m·log(s) launches of an Estimate loop. Bit-identical
-  /// to per-query `Estimate` calls. `estimates.size()` must equal
-  /// `boxes.size()`. Does not touch the retained single-query
-  /// contributions or `last_estimate()`.
+  /// transfer per shard, runs one fused contribution kernel over the
+  /// s_i × m grid per shard (each work item owns a sample point and loops
+  /// over a query tile), reduces all segments with the segmented
+  /// reduction, reads each shard's m partial sums back in one transfer
+  /// and folds them — O(1) launches in the query count instead of the
+  /// ~m·log(s) launches of an Estimate loop. On one shard this is
+  /// bit-identical to per-query `Estimate` calls. `estimates.size()` must
+  /// equal `boxes.size()`. With m == 0 the call is a metered no-op: no
+  /// upload, no launch, no read-back. Does not touch the retained
+  /// single-query contributions or `last_estimate()`.
   void EstimateBatch(std::span<const Box> boxes, std::span<double> estimates);
 
   /// Batched estimate + per-query bandwidth gradients (eq. 17 via the
   /// same prefix/suffix-product scheme as `EstimateWithGradient`).
   /// `gradients` is query-major with arity boxes.size() * dims():
-  /// gradients[q * dims() + k] = ∂p̂_q/∂h_k. Results are bit-identical to
-  /// per-query `EstimateWithGradient` calls.
+  /// gradients[q * dims() + k] = ∂p̂_q/∂h_k. On one shard results are
+  /// bit-identical to per-query `EstimateWithGradient` calls.
   void EstimateBatchWithGradient(std::span<const Box> boxes,
                                  std::span<double> estimates,
                                  std::span<double> gradients);
 
   /// Fused batched objective evaluation for bandwidth optimization
   /// (problem (5)): estimates all boxes, evaluates `loss` against
-  /// `truths` on the device, and returns the MEAN loss over the batch.
-  /// When `gradient` is non-null it receives the gradient of the mean
-  /// loss w.r.t. the bandwidth (arity dims()): the per-query ∂L/∂p̂
-  /// factors of eq. (14) are folded into a device-side reduction pass, so
-  /// the whole evaluation costs O(1) launches, one descriptor upload
-  /// (bounds + truths) and one (d+1)-double read-back — instead of the
-  /// ~m·(d+2) launches and m·(d+1) read-backs of a per-query loop.
+  /// `truths`, and returns the MEAN loss over the batch. When `gradient`
+  /// is non-null it receives the gradient of the mean loss w.r.t. the
+  /// bandwidth (arity dims()). On one shard the per-query ∂L/∂p̂ factors
+  /// of eq. (14) are folded into a device-side reduction pass, so the
+  /// whole evaluation costs O(1) launches, one descriptor upload (bounds
+  /// + truths) and one (d+1)-double read-back — instead of the ~m·(d+2)
+  /// launches and m·(d+1) read-backs of a per-query loop. Across shards
+  /// the per-query estimates/gradients fold on the host first (same math,
+  /// summation order differs only across shard boundaries).
   double EstimateBatchLoss(std::span<const Box> boxes,
                            std::span<const double> truths, LossType loss,
                            double lambda, std::vector<double>* gradient);
@@ -139,72 +169,124 @@ class KdeEngine {
   /// Selectivity of `box` at the last Estimate/EstimateWithGradient call.
   double last_estimate() const { return last_estimate_; }
 
-  /// Per-point contributions p̂^(i)(Ω) of the last estimate, device
-  /// resident (for the Karma pass). Valid for sample_size() entries.
-  const DeviceBuffer<double>& contributions() const { return contributions_; }
-  DeviceBuffer<double>* mutable_contributions() { return &contributions_; }
+  /// Per-point contributions p̂^(i)(Ω) of the last estimate on shard 0 —
+  /// the whole sample for single-shard engines (for the Karma pass).
+  /// Valid for shard-0's row count.
+  const DeviceBuffer<double>& contributions() const {
+    return shards_[0].contributions;
+  }
+  DeviceBuffer<double>* mutable_contributions() {
+    return &shards_[0].contributions;
+  }
+
+  /// Per-point contributions retained on shard `shard` (local-row
+  /// indexed, sample->shard_size(shard) live entries).
+  const DeviceBuffer<double>& shard_contributions(std::size_t shard) const {
+    return shards_[shard].contributions;
+  }
 
   /// Model footprint: sample payload + bandwidth + retained contributions.
   /// Deliberately EXCLUDES transient evaluation scratch — the batched
   /// query descriptors, tile contribution/partial buffers and reduction
-  /// scratch (batch_*_ below) — because those exist only while a batched
-  /// evaluation runs and are bounded by the query tile, not the model:
-  /// the paper's d·4kB memory budget (Section 6.1.1) covers what the
-  /// model must keep resident between queries.
+  /// scratch — because those are pooled per-device scratch acquired only
+  /// while a batched evaluation runs and bounded by the query tile, not
+  /// the model: the paper's d·4kB memory budget (Section 6.1.1) covers
+  /// what the model must keep resident between queries.
   std::size_t ModelBytes() const;
 
  private:
-  /// Uploads box bounds into bounds_ (2d doubles, one transfer).
-  void UploadBounds(const Box& box);
+  /// Per-shard device state. Buffers are capacity-sized so shard growth
+  /// under rebalancing never reallocates (enqueued commands capture raw
+  /// device pointers).
+  struct EngineShard {
+    Device* device = nullptr;
+    DeviceBuffer<double> bandwidth_dev;  // d doubles (replicated).
+    DeviceBuffer<double> bounds_dev;     // 2d doubles: l_0..l_d-1,u_0..
+    DeviceBuffer<double> contributions;  // capacity doubles.
+    DeviceBuffer<double> grad_partials;  // d*capacity doubles, dim-major.
+    DeviceBuffer<double> grad_sums;      // d reduced gradient sums.
+    DeviceBuffer<double> est_sum;        // 1 reduced contribution sum.
+    DeviceBuffer<float> point_scales;    // capacity floats (variable KDE).
+    std::vector<double> grad_staging;    // d-double read-back staging.
+    double est_staging = 0.0;            // 1-double read-back staging.
+    Event pending_gradient;              // Held until feedback arrives.
+  };
 
-  /// Uploads all `boxes` bounds — and, when `truths` is non-empty, the
-  /// per-query true selectivities — into batch_bounds_ as ONE transfer.
-  /// Layout: query q's bounds at [q*2d, q*2d+2d) (lowers then uppers),
-  /// truths packed behind all bounds at [m*2d + q].
-  void UploadBatchDescriptors(std::span<const Box> boxes,
-                              std::span<const double> truths);
+  /// Pre-pass housekeeping on multi-shard samples: applies any due
+  /// rebalance and re-scatters the point scales if rows migrated. Must
+  /// run before the first enqueue of a pass and never between
+  /// `EnqueueGradient` and `CollectGradient`.
+  void PrepareForPass();
 
-  /// Queries per scratch tile for an m-query batch: bounded so the tile
-  /// contribution/partial buffers stay within a fixed byte budget.
-  std::size_t BatchTile(std::size_t queries, bool with_partials) const;
+  /// Snapshots per-shard `DeviceBusySeconds` into `out`.
+  void SnapshotBusy(std::vector<double>* out) const;
 
-  /// Shared core of the batched paths: fills batch_est_ with all m
-  /// per-query contribution sums (NOT yet divided by s), tile by tile.
-  /// When `fold` is non-null it is invoked after each tile's estimates
-  /// are resident with (tile_start, tile_size) so loss/gradient passes
-  /// can consume the tile's partials before they are overwritten.
-  void BatchContributionSums(
-      std::span<const Box> boxes, bool with_partials,
-      const std::function<void(std::size_t, std::size_t)>& fold);
+  /// Feeds `busy_after - busy_before` into the sample's throughput EWMA.
+  void ObservePass(const std::vector<double>& busy_before);
 
-  /// Enqueues the fused gradient-partials kernel for the bounds currently
-  /// resident in bounds_dev_ (shared by EstimateWithGradient and
-  /// EnqueueGradient).
-  void EnqueueGradientPartialsKernel();
+  /// Stages `box` bounds into `staging` (2d doubles).
+  void StageBounds(const Box& box, double* staging) const;
+
+  /// Enqueues the fused gradient-partials kernel on shard `shard` for the
+  /// bounds currently resident in its bounds_dev (shared by
+  /// EstimateWithGradient and EnqueueGradient).
+  void EnqueueGradientPartialsKernel(std::size_t shard);
+
+  /// Queries per scratch tile for an m-query batch over `shard_rows`
+  /// sample rows: bounded so the tile contribution/partial buffers stay
+  /// within a fixed byte budget.
+  std::size_t BatchTile(std::size_t queries, std::size_t shard_rows,
+                        bool with_partials) const;
+
+  /// Per-shard batched pipeline state: pooled scratch plus read-back
+  /// staging, alive until the shard's events are waited on.
+  struct BatchShard {
+    ScratchBuffer bounds;    // m*(2d+1) descriptor doubles.
+    ScratchBuffer contrib;   // tile*s_i contributions.
+    ScratchBuffer partials;  // tile*d*s_i gradient partials.
+    ScratchBuffer est;       // m per-query partial sums.
+    ScratchBuffer grad;      // m*d per-query partial gradients.
+    std::vector<double> est_staging;
+    std::vector<double> grad_staging;
+    Event done;
+  };
+
+  /// Shared core of the batched paths: enqueues, per shard, the
+  /// descriptor upload (from `descriptors`, m*2d bounds doubles plus
+  /// `truths_count` trailing truths) and the tiled contribution kernels
+  /// (the fused contribution+partials kernel when `with_partials`) with
+  /// their segmented estimate reductions; when `reduce_gradients` also
+  /// reduces each tile's t*d partial segments into per-query gradients.
+  /// `fold` (optional, single-shard loss path) runs after each tile with
+  /// (tile_start, tile_size, shard state). When `enqueue_readbacks`, the
+  /// per-query sums (and gradients) are read back into the staging
+  /// vectors; the returned states hold the final events, NOT yet waited
+  /// on.
+  std::vector<BatchShard> EnqueueBatchPipelines(
+      std::span<const Box> boxes, const std::vector<double>& descriptors,
+      std::size_t truths_count, bool with_partials, bool reduce_gradients,
+      const std::function<void(std::size_t, std::size_t, BatchShard&)>& fold,
+      bool enqueue_readbacks);
+
+  /// Stages all query bounds (lowers-then-uppers per query) with `truths`
+  /// packed behind them — the per-shard upload image.
+  std::vector<double> StageBatchDescriptors(
+      std::span<const Box> boxes, std::span<const double> truths) const;
+
+  /// Scatters `scales_host_` into each shard's local order and uploads
+  /// (one metered transfer per non-empty shard); records the migration
+  /// epoch the scatter reflects.
+  void UploadScales();
 
   DeviceSample* sample_;
   KernelType kernel_;
-  std::vector<double> bandwidth_;          // Host copy.
-  DeviceBuffer<double> bandwidth_dev_;     // d doubles.
-  DeviceBuffer<double> bounds_dev_;        // 2d doubles: l_0..l_d-1,u_0..
-  DeviceBuffer<double> contributions_;     // s doubles.
-  DeviceBuffer<double> grad_partials_;     // d*s doubles, dim-major.
-  DeviceBuffer<double> grad_sums_;         // d reduced gradient sums.
-  DeviceBuffer<float> point_scales_;       // s floats (variable KDE).
-  std::vector<double> grad_staging_;       // d-double read-back staging.
-  Event pending_gradient_;                 // Held until feedback arrives.
+  std::vector<double> bandwidth_;  // Host copy.
+  std::vector<EngineShard> shards_;
+  std::vector<double> scales_host_;  // Global-slot point scales.
+  std::uint64_t scales_epoch_ = 0;   // Sample migration epoch at upload.
   bool gradient_pending_ = false;
   bool has_scales_ = false;
   double last_estimate_ = 0.0;
-
-  // Batched-evaluation scratch (lazily grown, excluded from ModelBytes).
-  DeviceBuffer<double> batch_bounds_;      // m*(2d+1) descriptor doubles.
-  DeviceBuffer<double> batch_contrib_;     // tile*s contributions.
-  DeviceBuffer<double> batch_partials_;    // tile*d*s gradient partials.
-  DeviceBuffer<double> batch_est_;         // m per-query sums.
-  DeviceBuffer<double> batch_fold_;        // (d+1)*groups fold partials.
-  DeviceBuffer<double> batch_grad_;        // m*d per-query gradients.
-  DeviceBuffer<double> batch_results_;     // d+1 folded scalars.
 
   static constexpr std::size_t kMaxDims = 32;
   /// Byte cap for one tile's contribution+partial scratch; bounds device

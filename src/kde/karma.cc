@@ -11,20 +11,35 @@ KarmaMaintainer::KarmaMaintainer(KdeEngine* engine,
   FKDE_CHECK(engine != nullptr);
   FKDE_CHECK(options.k_max > 0.0);
   FKDE_CHECK(options.threshold < options.k_max);
-  Device* dev = engine_->device();
   const std::size_t capacity = engine_->sample()->capacity();
-  karma_ = dev->CreateBuffer<double>(capacity);
-  flags_ = dev->CreateBuffer<std::uint32_t>((capacity + 31) / 32);
-  // Sized once so the enqueued bitmap read-back never races a resize.
-  host_flags_.resize((capacity + 31) / 32);
-  // Zero-initialize the Karma scores (one transfer at construction).
-  std::vector<double> zeros(capacity, 0.0);
-  dev->CopyToDevice(zeros.data(), zeros.size(), &karma_);
+  shards_.resize(engine_->num_shards());
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    Device* dev = engine_->sample()->shard_device(si);
+    KarmaShard& sh = shards_[si];
+    sh.karma = dev->CreateBuffer<double>(capacity);
+    sh.flags = dev->CreateBuffer<std::uint32_t>((capacity + 31) / 32);
+    // Sized once so the enqueued bitmap read-back never races a resize.
+    sh.host_flags.resize((capacity + 31) / 32);
+  }
+  ResetAllKarma();
 }
 
 KarmaMaintainer::~KarmaMaintainer() {
-  // A pending update holds pointers into karma_/flags_/host_flags_.
-  engine_->device()->default_queue()->Finish();
+  // A pending update holds pointers into the per-shard buffers.
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    engine_->sample()->shard_device(si)->default_queue()->Finish();
+  }
+}
+
+void KarmaMaintainer::ResetAllKarma() {
+  // Zero-initialize the Karma scores (one transfer per shard).
+  const std::size_t capacity = engine_->sample()->capacity();
+  std::vector<double> zeros(capacity, 0.0);
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    engine_->sample()->shard_device(si)->CopyToDevice(
+        zeros.data(), zeros.size(), &shards_[si].karma);
+  }
+  epoch_ = engine_->sample()->migration_epoch();
 }
 
 double KarmaMaintainer::InsideContributionBound(
@@ -56,10 +71,14 @@ double KarmaMaintainer::InsideContributionBound(
 
 void KarmaMaintainer::EnqueueUpdate(const Box& box, double true_selectivity) {
   FKDE_CHECK_MSG(!update_pending_, "previous Karma update not collected");
-  Device* dev = engine_->device();
+  DeviceSample* sample = engine_->sample();
   const std::size_t s = engine_->sample_size();
   const double estimate = engine_->last_estimate();
   const double ds = static_cast<double>(s);
+
+  // The scores are local-row indexed; a migration since the last pass
+  // permuted the rows underneath them, so start the accumulation over.
+  if (sample->migration_epoch() != epoch_) ResetAllKarma();
 
   // Appendix E shortcut: only meaningful for empty queries with the
   // Gaussian kernel (the bound is derived from the Gaussian CDF).
@@ -69,9 +88,6 @@ void KarmaMaintainer::EnqueueUpdate(const Box& box, double true_selectivity) {
     inside_bound = InsideContributionBound(box, engine_->bandwidth());
   }
 
-  const double* contrib = engine_->contributions().device_data();
-  double* karma = karma_.device_data();
-  std::uint32_t* flags = flags_.device_data();
   const LossType loss = options_.loss;
   const double lambda = options_.lambda;
   const double k_max = options_.k_max;
@@ -79,61 +95,94 @@ void KarmaMaintainer::EnqueueUpdate(const Box& box, double true_selectivity) {
   const double base_loss =
       EvaluateLoss(loss, estimate, true_selectivity, lambda);
 
-  // Figure 3, step 9: one pass over the sample updates every point's
-  // cumulative Karma and emits the replacement bitmap. Each work item
-  // owns one 32-bit bitmap word (32 sample slots), so concurrent groups
-  // never write the same word. Enqueued, not waited for: it reuses
-  // contributions retained from the estimate and runs while the database
-  // processes the next statement; ~1 op per covered slot.
-  const std::size_t words = (s + 31) / 32;
-  CommandQueue* queue = dev->default_queue();
-  queue->EnqueueLaunch(
-      "karma_update", words, 32.0, [=](std::size_t begin, std::size_t end) {
-        for (std::size_t w = begin; w < end; ++w) {
-          std::uint32_t word = 0;
-          const std::size_t lo = w * 32;
-          const std::size_t hi = std::min(lo + 32, s);
-          for (std::size_t i = lo; i < hi; ++i) {
-            // Leave-one-out estimate, eq. (6).
-            const double without =
-                s > 1 ? (estimate * ds - contrib[i]) / (ds - 1.0) : estimate;
-            // Per-query Karma, eq. (7).
-            const double k_query =
-                EvaluateLoss(loss, without, true_selectivity, lambda) -
-                base_loss;
-            // Cumulative Karma with saturation, eq. (8).
-            karma[i] = std::min(karma[i] + k_query, k_max);
-            const bool below = karma[i] < threshold;
-            // Appendix E: provably inside an empty region (condition 20).
-            const bool provably_stale = contrib[i] >= inside_bound;
-            if (below || provably_stale) word |= 1u << (i - lo);
+  // Figure 3, step 9, per shard and concurrently: one pass over the
+  // shard's rows updates every point's cumulative Karma and emits the
+  // replacement bitmap. Each work item owns one 32-bit bitmap word (32
+  // local rows), so concurrent groups never write the same word.
+  // Enqueued, not waited for: it reuses the contributions retained from
+  // the estimate (the shard's in-order queue keeps it reading the right
+  // values) and runs while the database processes the next statement;
+  // ~1 op per covered slot. The leave-one-out estimate (6) only needs the
+  // GLOBAL estimate and the point's own contribution, so shards never
+  // need each other's data.
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    KarmaShard& sh = shards_[si];
+    const std::size_t rows = sample->shard_size(si);
+    if (rows == 0) {
+      sh.pending = Event();
+      continue;
+    }
+    const double* contrib = engine_->shard_contributions(si).device_data();
+    double* karma = sh.karma.device_data();
+    std::uint32_t* flags = sh.flags.device_data();
+    const std::size_t words = (rows + 31) / 32;
+    CommandQueue* queue = sample->shard_device(si)->default_queue();
+    queue->EnqueueLaunch(
+        "karma_update", words, 32.0,
+        [=](std::size_t begin, std::size_t end) {
+          for (std::size_t w = begin; w < end; ++w) {
+            std::uint32_t word = 0;
+            const std::size_t lo = w * 32;
+            const std::size_t hi = std::min(lo + 32, rows);
+            for (std::size_t i = lo; i < hi; ++i) {
+              // Leave-one-out estimate, eq. (6).
+              const double without =
+                  s > 1 ? (estimate * ds - contrib[i]) / (ds - 1.0)
+                        : estimate;
+              // Per-query Karma, eq. (7).
+              const double k_query =
+                  EvaluateLoss(loss, without, true_selectivity, lambda) -
+                  base_loss;
+              // Cumulative Karma with saturation, eq. (8).
+              karma[i] = std::min(karma[i] + k_query, k_max);
+              const bool below = karma[i] < threshold;
+              // Appendix E: provably inside an empty region (cond. 20).
+              const bool provably_stale = contrib[i] >= inside_bound;
+              if (below || provably_stale) word |= 1u << (i - lo);
+            }
+            flags[w] = word;
           }
-          flags[w] = word;
-        }
-      });
+        });
 
-  // Enqueue the bitmap read-back (s/8 bytes) behind the kernel; the event
-  // is the collection handle.
-  pending_update_ = queue->EnqueueCopyToHost(flags_, 0, words,
-                                             host_flags_.data());
+    // Enqueue the bitmap read-back (rows/8 bytes) behind the kernel; the
+    // event is the collection handle.
+    sh.pending =
+        queue->EnqueueCopyToHost(sh.flags, 0, words, sh.host_flags.data());
+  }
   update_pending_ = true;
 }
 
 std::vector<std::size_t> KarmaMaintainer::CollectPending() {
   FKDE_CHECK_MSG(update_pending_, "no enqueued Karma update to collect");
-  pending_update_.Wait();
-  pending_update_ = Event();
-  update_pending_ = false;
-  const std::size_t words = (engine_->sample_size() + 31) / 32;
-  std::vector<std::size_t> slots;
-  for (std::size_t w = 0; w < words; ++w) {
-    std::uint32_t word = host_flags_[w];
-    while (word != 0) {
-      const unsigned bit = static_cast<unsigned>(__builtin_ctz(word));
-      slots.push_back(w * 32 + bit);
-      word &= word - 1;
+  for (KarmaShard& sh : shards_) {
+    if (sh.pending.valid()) {
+      sh.pending.Wait();
+      sh.pending = Event();
     }
   }
+  update_pending_ = false;
+  DeviceSample* sample = engine_->sample();
+  // A migration while the pass was in flight permuted the rows its bitmap
+  // indexes — the results are stale. Discard them and restart the scores;
+  // the next feedback rebuilds the pass against the new layout.
+  if (sample->migration_epoch() != epoch_) {
+    ResetAllKarma();
+    return {};
+  }
+  std::vector<std::size_t> slots;
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    const std::size_t rows = sample->shard_size(si);
+    const std::size_t words = (rows + 31) / 32;
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint32_t word = shards_[si].host_flags[w];
+      while (word != 0) {
+        const unsigned bit = static_cast<unsigned>(__builtin_ctz(word));
+        slots.push_back(sample->GlobalSlot(si, w * 32 + bit));
+        word &= word - 1;
+      }
+    }
+  }
+  std::sort(slots.begin(), slots.end());
   return slots;
 }
 
@@ -144,15 +193,29 @@ std::vector<std::size_t> KarmaMaintainer::Update(const Box& box,
 }
 
 void KarmaMaintainer::ResetSlot(std::size_t slot) {
-  FKDE_CHECK(slot < karma_.size());
+  DeviceSample* sample = engine_->sample();
+  FKDE_CHECK(slot < sample->size());
+  const auto [shard, local] = sample->LocateSlot(slot);
   const double zero = 0.0;
-  engine_->device()->CopyToDevice(&zero, 1, &karma_, slot);
+  sample->shard_device(shard)->CopyToDevice(&zero, 1, &shards_[shard].karma,
+                                            local);
 }
 
 std::vector<double> KarmaMaintainer::ReadKarma() {
+  DeviceSample* sample = engine_->sample();
   const std::size_t s = engine_->sample_size();
   std::vector<double> host(s);
-  engine_->device()->CopyToHost(karma_, 0, s, host.data());
+  std::vector<double> staging;
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    const std::size_t rows = sample->shard_size(si);
+    if (rows == 0) continue;
+    staging.resize(rows);
+    sample->shard_device(si)->CopyToHost(shards_[si].karma, 0, rows,
+                                        staging.data());
+    for (std::size_t local = 0; local < rows; ++local) {
+      host[sample->GlobalSlot(si, local)] = staging[local];
+    }
+  }
   return host;
 }
 

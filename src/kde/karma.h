@@ -26,6 +26,15 @@
 /// next statement" (Section 5.6). The caller collects the replacement
 /// slots with `CollectPending` when it next has feedback in hand, so
 /// replacements land one query late, exactly as in the paper's pipeline.
+///
+/// Over a sharded sample the pass runs per shard, concurrently, against
+/// each shard's retained contributions, and `CollectPending` maps the
+/// local bitmap hits back to global slots. Karma scores are local-row
+/// indexed, so a shard migration invalidates them: the maintainer
+/// snapshots the sample's `migration_epoch()` and, when it moves,
+/// discards the stale pass's results and re-zeroes the scores (rebalances
+/// are rare, so losing accumulated Karma is an accepted cost — the
+/// alternative would be migrating the scores alongside every row).
 
 #ifndef FKDE_KDE_KARMA_H_
 #define FKDE_KDE_KARMA_H_
@@ -102,12 +111,24 @@ class KarmaMaintainer {
                                         const std::vector<double>& bandwidth);
 
  private:
+  /// Per-shard maintenance state, local-row indexed, capacity-sized so
+  /// migration growth never reallocates under a pending pass.
+  struct KarmaShard {
+    DeviceBuffer<double> karma;        // One score per local row.
+    DeviceBuffer<std::uint32_t> flags;  // Replacement bitmap, 32 rows/word.
+    std::vector<std::uint32_t> host_flags;  // Bitmap read-back staging.
+    Event pending;                     // Held until the next feedback.
+  };
+
+  /// Re-zeroes every shard's Karma (one transfer per shard) and records
+  /// the current migration epoch.
+  void ResetAllKarma();
+
   KdeEngine* engine_;
   KarmaOptions options_;
-  DeviceBuffer<double> karma_;       // One score per sample slot.
-  DeviceBuffer<std::uint32_t> flags_;  // Replacement bitmap, 32 slots/word.
-  std::vector<std::uint32_t> host_flags_;  // Bitmap read-back staging.
-  Event pending_update_;             // Held until the next feedback.
+  std::vector<KarmaShard> shards_;
+  /// Sample migration epoch the scores (and any pending pass) refer to.
+  std::uint64_t epoch_ = 0;
   bool update_pending_ = false;
 };
 

@@ -21,14 +21,10 @@ std::string KdeModeName(KdeSelectivityEstimator::Mode mode) {
   return "kde_unknown";
 }
 
-KdeSelectivityEstimator::KdeSelectivityEstimator(Mode mode, Device* device,
+KdeSelectivityEstimator::KdeSelectivityEstimator(Mode mode,
                                                  const Table* table,
                                                  const KdeConfig& config)
-    : mode_(mode), table_(table), config_(config), rng_(config.seed) {
-  sample_ = std::make_unique<DeviceSample>(
-      device, std::min(config.sample_size, table->num_rows()),
-      table->num_cols());
-}
+    : mode_(mode), table_(table), config_(config), rng_(config.seed) {}
 
 Result<std::unique_ptr<KdeSelectivityEstimator>>
 KdeSelectivityEstimator::Create(Mode mode, Device* device, const Table* table,
@@ -43,12 +39,43 @@ KdeSelectivityEstimator::Create(Mode mode, Device* device, const Table* table,
   if (config.sample_size == 0) {
     return Status::InvalidArgument("sample_size must be positive");
   }
-
   std::unique_ptr<KdeSelectivityEstimator> est(
-      new KdeSelectivityEstimator(mode, device, table, config));
+      new KdeSelectivityEstimator(mode, table, config));
+  est->sample_ = std::make_unique<DeviceSample>(
+      device, std::min(config.sample_size, table->num_rows()),
+      table->num_cols());
+  return CreateCommon(std::move(est), table, config, training);
+}
+
+Result<std::unique_ptr<KdeSelectivityEstimator>>
+KdeSelectivityEstimator::Create(Mode mode, DeviceGroup* group,
+                                const Table* table, const KdeConfig& config,
+                                std::span<const Query> training) {
+  if (group == nullptr || table == nullptr) {
+    return Status::InvalidArgument("group and table must be non-null");
+  }
+  if (table->empty()) {
+    return Status::FailedPrecondition("cannot build a model on an empty table");
+  }
+  if (config.sample_size == 0) {
+    return Status::InvalidArgument("sample_size must be positive");
+  }
+  std::unique_ptr<KdeSelectivityEstimator> est(
+      new KdeSelectivityEstimator(mode, table, config));
+  est->sample_ = std::make_unique<DeviceSample>(
+      group, std::min(config.sample_size, table->num_rows()),
+      table->num_cols());
+  return CreateCommon(std::move(est), table, config, training);
+}
+
+Result<std::unique_ptr<KdeSelectivityEstimator>>
+KdeSelectivityEstimator::CreateCommon(
+    std::unique_ptr<KdeSelectivityEstimator> est, const Table* table,
+    const KdeConfig& config, std::span<const Query> training) {
+  const Mode mode = est->mode_;
   // ANALYZE step: draw the sample and push it to the device in one bulk
-  // transfer; the engine then initializes the bandwidth via Scott's rule
-  // computed on the device (Section 5.2).
+  // transfer per shard; the engine then initializes the bandwidth via
+  // Scott's rule computed on the device (Section 5.2).
   FKDE_RETURN_NOT_OK(est->sample_->LoadFromTable(*table, &est->rng_));
   est->engine_ =
       std::make_unique<KdeEngine>(est->sample_.get(), config.kernel);
@@ -57,13 +84,11 @@ KdeSelectivityEstimator::Create(Mode mode, Device* device, const Table* table,
     case Mode::kHeuristic:
       break;  // Scott's rule is already installed.
     case Mode::kScv: {
-      // Read the sample back once for the host-side SCV criterion.
+      // Read the sample back once (one transfer per shard) for the
+      // host-side SCV criterion.
       const std::size_t s = est->sample_->size();
       const std::size_t d = est->sample_->dims();
-      std::vector<float> staging(s * d);
-      device->CopyToHost(est->sample_->buffer(), 0, staging.size(),
-                         staging.data());
-      std::vector<double> host_sample(staging.begin(), staging.end());
+      const std::vector<double> host_sample = est->sample_->GatherRows();
       FKDE_ASSIGN_OR_RETURN(
           std::vector<double> bandwidth,
           ScvSelectBandwidth(host_sample, s, d, est->engine_->bandwidth(),

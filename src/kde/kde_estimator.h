@@ -84,6 +84,13 @@ class KdeSelectivityEstimator : public SelectivityEstimator {
       Mode mode, Device* device, const Table* table, const KdeConfig& config,
       std::span<const Query> training = {});
 
+  /// Multi-device variant: the sample is sharded across `group` and every
+  /// engine hot path runs per-shard concurrently (Section 5.4 past one
+  /// device's ceiling). The group must outlive the estimator.
+  static Result<std::unique_ptr<KdeSelectivityEstimator>> Create(
+      Mode mode, DeviceGroup* group, const Table* table,
+      const KdeConfig& config, std::span<const Query> training = {});
+
   std::string name() const override;
   std::size_t dims() const override { return engine_->dims(); }
   double EstimateSelectivity(const Box& box) override;
@@ -106,8 +113,14 @@ class KdeSelectivityEstimator : public SelectivityEstimator {
   const BatchReport& batch_report() const { return batch_report_; }
 
  private:
-  KdeSelectivityEstimator(Mode mode, Device* device, const Table* table,
+  KdeSelectivityEstimator(Mode mode, const Table* table,
                           const KdeConfig& config);
+
+  /// Shared model construction once `sample_` exists (sample load, engine,
+  /// per-mode setup).
+  static Result<std::unique_ptr<KdeSelectivityEstimator>> CreateCommon(
+      std::unique_ptr<KdeSelectivityEstimator> est, const Table* table,
+      const KdeConfig& config, std::span<const Query> training);
 
   Mode mode_;
   const Table* table_;

@@ -1,15 +1,103 @@
 #include "kde/sample.h"
 
 #include <algorithm>
+#include <cmath>
+#include <numeric>
 
 namespace fkde {
 
 DeviceSample::DeviceSample(Device* device, std::size_t capacity,
                            std::size_t dims)
-    : device_(device), capacity_(capacity), dims_(dims) {
+    : capacity_(capacity), dims_(dims) {
   FKDE_CHECK(device != nullptr);
   FKDE_CHECK(capacity > 0 && dims > 0);
-  buffer_ = device_->CreateBuffer<float>(capacity * dims);
+  Shard shard;
+  shard.device = device;
+  shard.buffer = device->CreateBuffer<float>(capacity * dims);
+  shards_.push_back(std::move(shard));
+}
+
+DeviceSample::DeviceSample(DeviceGroup* group, std::size_t capacity,
+                           std::size_t dims)
+    : group_(group), capacity_(capacity), dims_(dims) {
+  FKDE_CHECK(group != nullptr);
+  FKDE_CHECK(capacity > 0 && dims > 0);
+  shards_.reserve(group->size());
+  for (std::size_t i = 0; i < group->size(); ++i) {
+    Shard shard;
+    shard.device = group->device(i);
+    // Full capacity per shard: rebalancing migrates rows without ever
+    // reallocating device memory.
+    shard.buffer = shard.device->CreateBuffer<float>(capacity * dims);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::vector<std::size_t> DeviceSample::Apportion(
+    std::size_t rows, const std::vector<double>& weights) const {
+  const std::size_t n = shards_.size();
+  FKDE_CHECK(weights.size() == n);
+  double total_weight = 0.0;
+  for (double w : weights) total_weight += w;
+  FKDE_CHECK_MSG(total_weight > 0.0, "shard weights must be positive");
+
+  // Largest-remainder apportionment: floors first, then hand the
+  // leftover rows to the largest fractional parts.
+  std::vector<std::size_t> sizes(n, 0);
+  std::vector<std::pair<double, std::size_t>> remainders(n);
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double exact =
+        static_cast<double>(rows) * weights[i] / total_weight;
+    sizes[i] = static_cast<std::size_t>(exact);
+    remainders[i] = {exact - static_cast<double>(sizes[i]), i};
+    assigned += sizes[i];
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t k = 0; assigned < rows; ++k, ++assigned) {
+    sizes[remainders[k % n].second] += 1;
+  }
+
+  // Keep every shard warm enough to measure: raise undersized shards to
+  // the floor, taking rows from the largest shard.
+  const std::size_t floor_rows =
+      group_ ? std::min(group_->options().min_shard_rows, rows / n)
+             : std::size_t{0};
+  for (std::size_t i = 0; i < n; ++i) {
+    while (sizes[i] < floor_rows) {
+      const std::size_t largest = static_cast<std::size_t>(
+          std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+      if (sizes[largest] <= floor_rows) break;
+      sizes[largest] -= 1;
+      sizes[i] += 1;
+    }
+  }
+  return sizes;
+}
+
+void DeviceSample::UploadPartitioned(const std::vector<float>& staging,
+                                     std::size_t rows) {
+  const std::vector<double> weights =
+      group_ ? group_->InitialWeights() : std::vector<double>{1.0};
+  const std::vector<std::size_t> sizes = Apportion(rows, weights);
+  slot_map_.assign(rows, {0, 0});
+  std::size_t next_row = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = shards_[i];
+    shard.size = sizes[i];
+    shard.global_ids.resize(shard.size);
+    for (std::size_t local = 0; local < shard.size; ++local) {
+      const std::size_t global = next_row + local;
+      shard.global_ids[local] = static_cast<std::uint32_t>(global);
+      slot_map_[global] = {static_cast<std::uint32_t>(i),
+                           static_cast<std::uint32_t>(local)};
+    }
+    shard.device->CopyToDevice(staging.data() + next_row * dims_,
+                               shard.size * dims_, &shard.buffer);
+    next_row += shard.size;
+  }
+  size_ = rows;
 }
 
 Status DeviceSample::LoadFromTable(const Table& table, Rng* rng) {
@@ -22,7 +110,8 @@ Status DeviceSample::LoadFromTable(const Table& table, Rng* rng) {
   const std::vector<std::size_t> rows =
       table.SampleWithoutReplacement(capacity_, rng);
   // Stage on the host (with double->float conversion, mirroring the
-  // paper's type transformation during ANALYZE), then one bulk transfer.
+  // paper's type transformation during ANALYZE), then one bulk transfer
+  // per shard.
   std::vector<float> staging(rows.size() * dims_);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto row = table.Row(rows[i]);
@@ -30,8 +119,7 @@ Status DeviceSample::LoadFromTable(const Table& table, Rng* rng) {
       staging[i * dims_ + j] = static_cast<float>(row[j]);
     }
   }
-  device_->CopyToDevice(staging.data(), staging.size(), &buffer_);
-  size_ = rows.size();
+  UploadPartitioned(staging, rows.size());
   return Status::OK();
 }
 
@@ -47,8 +135,7 @@ Status DeviceSample::LoadRows(std::span<const double> rows_data,
   for (std::size_t i = 0; i < rows_data.size(); ++i) {
     staging[i] = static_cast<float>(rows_data[i]);
   }
-  device_->CopyToDevice(staging.data(), staging.size(), &buffer_);
-  size_ = rows;
+  UploadPartitioned(staging, rows);
   return Status::OK();
 }
 
@@ -60,14 +147,157 @@ void DeviceSample::ReplaceRow(std::size_t slot, std::span<const double> row) {
   for (std::size_t j = 0; j < dims_; ++j) {
     staging[j] = static_cast<float>(row[j]);
   }
-  device_->CopyToDevice(staging, dims_, &buffer_, slot * dims_);
+  const auto [shard, local] = slot_map_[slot];
+  shards_[shard].device->CopyToDevice(staging, dims_, &shards_[shard].buffer,
+                                      local * dims_);
 }
 
 std::vector<double> DeviceSample::ReadRow(std::size_t slot) {
   FKDE_CHECK(slot < size_);
+  const auto [shard, local] = slot_map_[slot];
   std::vector<float> staging(dims_);
-  device_->CopyToHost(buffer_, slot * dims_, dims_, staging.data());
+  shards_[shard].device->CopyToHost(shards_[shard].buffer, local * dims_,
+                                    dims_, staging.data());
   return std::vector<double>(staging.begin(), staging.end());
+}
+
+std::vector<double> DeviceSample::GatherRows() {
+  std::vector<double> rows(size_ * dims_);
+  std::vector<float> staging;
+  for (const Shard& shard : shards_) {
+    if (shard.size == 0) continue;
+    staging.resize(shard.size * dims_);
+    shard.device->CopyToHost(shard.buffer, 0, shard.size * dims_,
+                             staging.data());
+    for (std::size_t local = 0; local < shard.size; ++local) {
+      const std::size_t global = shard.global_ids[local];
+      for (std::size_t j = 0; j < dims_; ++j) {
+        rows[global * dims_ + j] =
+            static_cast<double>(staging[local * dims_ + j]);
+      }
+    }
+  }
+  return rows;
+}
+
+void DeviceSample::ObserveShardSeconds(std::span<const double> busy_seconds) {
+  if (group_ == nullptr) return;
+  FKDE_CHECK(busy_seconds.size() == shards_.size());
+  const double alpha = group_->options().ewma_alpha;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = shards_[i];
+    if (shard.size == 0 || busy_seconds[i] <= 0.0) continue;
+    const double rate =
+        static_cast<double>(shard.size) / busy_seconds[i];
+    shard.rate_ewma = shard.rate_ewma == 0.0
+                          ? rate
+                          : alpha * rate + (1.0 - alpha) * shard.rate_ewma;
+  }
+  observed_passes_ += 1;
+}
+
+bool DeviceSample::MaybeRebalance() {
+  if (group_ == nullptr || shards_.size() < 2 || size_ == 0) return false;
+  const DeviceGroupOptions& options = group_->options();
+  if (!options.rebalance) return false;
+  if (observed_passes_ < options.rebalance_interval) return false;
+  observed_passes_ = 0;
+
+  // Until every non-empty shard has a measurement the initial
+  // throughput-weighted split stands.
+  std::vector<double> weights(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].size > 0 && shards_[i].rate_ewma == 0.0) return false;
+    weights[i] = shards_[i].rate_ewma;
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    // An empty shard never measures; seed it with the slowest measured
+    // rate so it can re-enter the partition.
+    if (weights[i] == 0.0) {
+      double slowest = 0.0;
+      for (double w : weights) {
+        if (w > 0.0) slowest = slowest == 0.0 ? w : std::min(slowest, w);
+      }
+      weights[i] = slowest;
+    }
+  }
+
+  const std::vector<std::size_t> targets = Apportion(size_, weights);
+  bool beyond_trigger = false;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const double target = static_cast<double>(targets[i]);
+    const double deviation =
+        std::abs(static_cast<double>(shards_[i].size) - target);
+    if (deviation > std::max(1.0, options.rebalance_trigger * target)) {
+      beyond_trigger = true;
+    }
+  }
+  if (!beyond_trigger) return false;
+
+  // Peel rows off donor tails into receiver tails until every shard
+  // matches its target. Tail moves never shift surviving device rows.
+  bool migrated = false;
+  for (std::size_t to = 0; to < shards_.size(); ++to) {
+    while (shards_[to].size < targets[to]) {
+      std::size_t from = shards_.size();
+      std::size_t excess = 0;
+      for (std::size_t i = 0; i < shards_.size(); ++i) {
+        if (shards_[i].size > targets[i] &&
+            shards_[i].size - targets[i] > excess) {
+          from = i;
+          excess = shards_[i].size - targets[i];
+        }
+      }
+      if (from == shards_.size()) break;
+      const std::size_t count =
+          std::min(excess, targets[to] - shards_[to].size);
+      MigrateRows(from, to, count);
+      migrated = true;
+    }
+  }
+  if (migrated) migration_epoch_ += 1;
+  return migrated;
+}
+
+void DeviceSample::MigrateRows(std::size_t from, std::size_t to,
+                               std::size_t count) {
+  Shard& donor = shards_[from];
+  Shard& receiver = shards_[to];
+  FKDE_CHECK(count > 0 && count <= donor.size);
+  FKDE_CHECK(receiver.size + count <= capacity_);
+  // Ordinary metered transfers: donor tail read-back, receiver tail
+  // upload. The blocking read-back drains any work still enqueued on the
+  // donor; the upload lands beyond the receiver's live range, so its
+  // in-order queue needs no extra synchronization.
+  std::vector<float> staging(count * dims_);
+  donor.device->CopyToHost(donor.buffer, (donor.size - count) * dims_,
+                           count * dims_, staging.data());
+  receiver.device->CopyToDevice(staging.data(), count * dims_,
+                                &receiver.buffer, receiver.size * dims_);
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::uint32_t global = donor.global_ids[donor.size - count + j];
+    slot_map_[global] = {static_cast<std::uint32_t>(to),
+                         static_cast<std::uint32_t>(receiver.size + j)};
+    receiver.global_ids.push_back(global);
+  }
+  donor.global_ids.resize(donor.size - count);
+  donor.size -= count;
+  receiver.size += count;
+  rows_migrated_ += count;
+}
+
+std::vector<std::size_t> DeviceSample::shard_sizes() const {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(shards_.size());
+  for (const Shard& shard : shards_) sizes.push_back(shard.size);
+  return sizes;
+}
+
+std::vector<double> DeviceSample::shard_rates() const {
+  std::vector<double> rates;
+  rates.reserve(shards_.size());
+  for (const Shard& shard : shards_) rates.push_back(shard.rate_ewma);
+  return rates;
 }
 
 }  // namespace fkde

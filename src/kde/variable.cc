@@ -18,7 +18,22 @@ Result<std::vector<double>> ComputeVariableScales(
   const std::size_t s = engine->sample_size();
   const std::size_t d = engine->dims();
   Device* device = engine->device();
-  const float* data = engine->sample()->buffer().device_data();
+  // The O(s^2) pilot needs every point against every point. On a sharded
+  // sample, gather the rows once onto the primary device (construction
+  // time only — never the per-query path); the global-order copy also
+  // makes the returned scales global-slot indexed, as SetPointScales
+  // expects. Single-shard samples use their buffer directly.
+  DeviceBuffer<float> gathered;
+  const float* data;
+  if (engine->sample()->num_shards() > 1) {
+    const std::vector<double> rows = engine->sample()->GatherRows();
+    std::vector<float> staging(rows.begin(), rows.end());
+    gathered = device->CreateBuffer<float>(staging.size());
+    device->CopyToDevice(staging.data(), staging.size(), &gathered);
+    data = gathered.device_data();
+  } else {
+    data = engine->sample()->buffer().device_data();
+  }
   const std::vector<double>& h = engine->bandwidth();
 
   // Pilot density at each sample point: leave-one-out Gaussian product

@@ -114,6 +114,65 @@ void Device::ResetLedger() {
   ledger_ = TransferLedger();
 }
 
+namespace {
+
+/// Power-of-two size bucket (>= 256 doubles) for the scratch pool: keeps
+/// the number of distinct free-lists small so steady-state workloads hit.
+std::size_t ScratchBucket(std::size_t n) {
+  std::size_t bucket = 256;
+  while (bucket < n) bucket <<= 1;
+  return bucket;
+}
+
+}  // namespace
+
+ScratchBuffer Device::AcquireScratch(std::size_t n) {
+  const std::size_t bucket = ScratchBucket(n);
+  std::shared_ptr<internal::ScratchPool> pool = scratch_pool_;
+  DeviceBuffer<double> buffer;
+  {
+    std::lock_guard<std::mutex> lock(pool->mu);
+    std::vector<DeviceBuffer<double>>& parked = pool->free_by_bucket[bucket];
+    if (!parked.empty()) {
+      buffer = std::move(parked.back());
+      parked.pop_back();
+      pool->stats.hits += 1;
+      pool->stats.pooled_bytes -= bucket * sizeof(double);
+    } else {
+      buffer = DeviceBuffer<double>(bucket);
+      pool->stats.misses += 1;
+    }
+    pool->stats.outstanding += 1;
+  }
+  // The deleter owns a pool reference, so a handle outliving the device
+  // still parks safely; the pool frees its contents when the last
+  // reference (device or handle) drops.
+  return ScratchBuffer(
+      new DeviceBuffer<double>(std::move(buffer)),
+      [pool](DeviceBuffer<double>* released) {
+        {
+          std::lock_guard<std::mutex> lock(pool->mu);
+          pool->stats.outstanding -= 1;
+          pool->stats.releases += 1;
+          pool->stats.pooled_bytes += released->size() * sizeof(double);
+          pool->free_by_bucket[released->size()].push_back(
+              std::move(*released));
+        }
+        delete released;
+      });
+}
+
+BufferPoolStats Device::scratch_pool_stats() const {
+  std::lock_guard<std::mutex> lock(scratch_pool_->mu);
+  return scratch_pool_->stats;
+}
+
+void Device::TrimScratchPool() {
+  std::lock_guard<std::mutex> lock(scratch_pool_->mu);
+  scratch_pool_->free_by_bucket.clear();
+  scratch_pool_->stats.pooled_bytes = 0;
+}
+
 void Device::Launch(const char* kernel_name, std::size_t global_size,
                     double ops_per_item,
                     const std::function<void(std::size_t, std::size_t)>& body) {
@@ -136,12 +195,15 @@ double ReduceSum(Device* device, const DeviceBuffer<double>& buffer,
   constexpr std::size_t kGroup = kReduceGroupSize;
   const std::size_t first_groups = (n + kGroup - 1) / kGroup;
   CommandQueue* queue = device->default_queue();
-  DeviceBuffer<double> scratch_a = device->CreateBuffer<double>(first_groups);
-  DeviceBuffer<double> scratch_b = device->CreateBuffer<double>(
-      (first_groups + kGroup - 1) / kGroup);
+  // Pooled scratch: reduction temporaries recycle across calls instead of
+  // allocating per reduction. The final blocking read-back drains the
+  // queue, so releasing the handles on return is safe.
+  ScratchBuffer scratch_a = device->AcquireScratch(first_groups);
+  ScratchBuffer scratch_b =
+      device->AcquireScratch((first_groups + kGroup - 1) / kGroup);
   const double* in = buffer.device_data() + offset;
-  DeviceBuffer<double>* dst = &scratch_a;
-  DeviceBuffer<double>* spare = &scratch_b;
+  DeviceBuffer<double>* dst = scratch_a.get();
+  DeviceBuffer<double>* spare = scratch_b.get();
   std::size_t active = n;
   for (;;) {
     const std::size_t groups = (active + kGroup - 1) / kGroup;
@@ -201,17 +263,17 @@ Event EnqueueReduceSumSegments(CommandQueue* queue,
         });
   }
   const std::size_t first_groups = (segment_size + kGroup - 1) / kGroup;
-  // The ping-pong scratch outlives this call through the shared_ptr each
-  // level's kernel body captures; the last enqueued level releases it.
-  auto scratch = std::make_shared<
-      std::pair<DeviceBuffer<double>, DeviceBuffer<double>>>(
-      device->CreateBuffer<double>(num_segments * first_groups),
-      device->CreateBuffer<double>(
-          num_segments * ((first_groups + kGroup - 1) / kGroup)));
+  // Pooled ping-pong scratch: each level's kernel body captures the
+  // handles, so the buffers stay out of the pool until the last enqueued
+  // level's command is destroyed, then recycle for the next reduction.
+  ScratchBuffer scratch_a =
+      device->AcquireScratch(num_segments * first_groups);
+  ScratchBuffer scratch_b = device->AcquireScratch(
+      num_segments * ((first_groups + kGroup - 1) / kGroup));
   const double* in = buffer.device_data() + offset;
   std::size_t in_stride = segment_size;
-  DeviceBuffer<double>* dst = &scratch->first;
-  DeviceBuffer<double>* spare = &scratch->second;
+  DeviceBuffer<double>* dst = scratch_a.get();
+  DeviceBuffer<double>* spare = scratch_b.get();
   std::size_t active = segment_size;
   Event last;
   for (;;) {
@@ -221,8 +283,8 @@ Event EnqueueReduceSumSegments(CommandQueue* queue,
     const double* level_in = in;
     const std::size_t level_size = active;
     const std::size_t level_stride = in_stride;
-    auto body = [scratch, level_in, level_out, level_size, level_stride,
-                 groups](std::size_t begin, std::size_t end) {
+    auto body = [scratch_a, scratch_b, level_in, level_out, level_size,
+                 level_stride, groups](std::size_t begin, std::size_t end) {
       for (std::size_t item = begin; item < end; ++item) {
         const std::size_t seg = item / groups;
         const std::size_t lo = (item % groups) * kGroup;
@@ -232,6 +294,8 @@ Event EnqueueReduceSumSegments(CommandQueue* queue,
         for (std::size_t i = lo; i < hi; ++i) acc += seg_in[i];
         level_out[item] = acc;
       }
+      (void)scratch_a;
+      (void)scratch_b;
     };
     last = queue->EnqueueLaunch("reduce_segments_level",
                                 num_segments * groups,

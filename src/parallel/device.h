@@ -38,6 +38,7 @@
 #include <cstddef>
 #include <cstring>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -94,8 +95,70 @@ struct TransferLedger {
   std::uint64_t total_bytes() const { return bytes_to_device + bytes_to_host; }
 };
 
+class Device;
+
+/// \brief Typed device-resident memory.
+///
+/// Mirrors an OpenCL buffer: created via `Device::CreateBuffer`, filled via
+/// `Device::CopyToDevice`, and read back via `Device::CopyToHost`. Kernel
+/// functors access storage via `device_data()`. Move-only, like a real
+/// device allocation: copying would silently duplicate "device memory"
+/// without any metered transfer and mask transfer bugs.
 template <typename T>
-class DeviceBuffer;
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  DeviceBuffer(DeviceBuffer&&) noexcept = default;
+  DeviceBuffer& operator=(DeviceBuffer&&) noexcept = default;
+
+  std::size_t size() const { return storage_.size(); }
+  bool empty() const { return storage_.empty(); }
+
+  /// Raw storage pointer — for use inside kernel functors only. Stable
+  /// across moves of the buffer object (the backing heap allocation moves
+  /// with it), which lets enqueued commands capture it safely as long as
+  /// the buffer outlives them.
+  T* device_data() { return storage_.data(); }
+  const T* device_data() const { return storage_.data(); }
+
+ private:
+  friend class Device;
+  explicit DeviceBuffer(std::size_t n) : storage_(n) {}
+  std::vector<T> storage_;
+};
+
+/// \brief Counters of a device's scratch-buffer pool (see
+/// `Device::AcquireScratch`). A *hit* reuses a parked buffer — no
+/// allocation, no metered traffic; a *miss* allocates a fresh one. The
+/// batched hot paths are pinned to hit after warm-up (buffer_pool_test).
+struct BufferPoolStats {
+  std::uint64_t hits = 0;      ///< Acquisitions served from the pool.
+  std::uint64_t misses = 0;    ///< Acquisitions that allocated.
+  std::uint64_t releases = 0;  ///< Buffers parked back into the pool.
+  std::uint64_t outstanding = 0;  ///< Currently acquired, not yet parked.
+  std::uint64_t pooled_bytes = 0; ///< Bytes parked and ready for reuse.
+};
+
+/// \brief Shared handle to a pooled scratch buffer. When the last
+/// reference drops — including references captured by enqueued kernel
+/// bodies — the buffer is parked back into its device's pool, not freed.
+using ScratchBuffer = std::shared_ptr<DeviceBuffer<double>>;
+
+namespace internal {
+
+/// Size-bucketed free-list behind `Device::AcquireScratch`. Held via
+/// shared_ptr by the device *and* by every ScratchBuffer deleter, so
+/// releases that happen on dispatcher threads during teardown still have
+/// a live pool to park into.
+struct ScratchPool {
+  std::mutex mu;
+  std::map<std::size_t, std::vector<DeviceBuffer<double>>> free_by_bucket;
+  BufferPoolStats stats;
+};
+
+}  // namespace internal
 
 /// \brief An execution device with device-resident memory.
 ///
@@ -111,6 +174,7 @@ class Device {
                   ThreadPool* pool = &ThreadPool::Global())
       : profile_(std::move(profile)),
         pool_(pool),
+        scratch_pool_(std::make_shared<internal::ScratchPool>()),
         default_queue_(std::make_unique<CommandQueue>(this)) {}
 
   // The default queue holds a pointer back to this device.
@@ -127,6 +191,22 @@ class Device {
   /// Allocates an uninitialized device buffer of `n` elements.
   template <typename T>
   DeviceBuffer<T> CreateBuffer(std::size_t n);
+
+  /// Acquires a pooled scratch buffer of at least `n` doubles (rounded up
+  /// to a power-of-two bucket). Contents are stale — callers must write
+  /// before reading. The buffer parks back into the pool when the last
+  /// handle drops, so enqueued kernel bodies may capture the handle to
+  /// keep scratch alive exactly as long as the command chain needs it.
+  /// Pool traffic is host-side bookkeeping only: never metered in the
+  /// ledger, never charged on the modeled clocks.
+  ScratchBuffer AcquireScratch(std::size_t n);
+
+  /// Snapshot of the scratch-pool counters.
+  BufferPoolStats scratch_pool_stats() const;
+
+  /// Frees every parked scratch buffer (outstanding handles are
+  /// unaffected and still park on release).
+  void TrimScratchPool();
 
   /// Copies `n` host elements into `dst` starting at element `offset`,
   /// blocking until completion (enqueue + wait). Empty transfers are free.
@@ -210,41 +290,13 @@ class Device {
   double stall_s_ = 0.0;       ///< HostStallSeconds accumulator.
   double busy_s_ = 0.0;        ///< DeviceBusySeconds accumulator.
 
+  /// Shared with every ScratchBuffer deleter: a handle released after the
+  /// device is gone still parks into a live pool.
+  std::shared_ptr<internal::ScratchPool> scratch_pool_;
+
   /// Declared last: destroyed first, draining all pending commands while
   /// the profile/ledger/pool above are still alive.
   std::unique_ptr<CommandQueue> default_queue_;
-};
-
-/// \brief Typed device-resident memory.
-///
-/// Mirrors an OpenCL buffer: created via `Device::CreateBuffer`, filled via
-/// `Device::CopyToDevice`, and read back via `Device::CopyToHost`. Kernel
-/// functors access storage via `device_data()`. Move-only, like a real
-/// device allocation: copying would silently duplicate "device memory"
-/// without any metered transfer and mask transfer bugs.
-template <typename T>
-class DeviceBuffer {
- public:
-  DeviceBuffer() = default;
-  DeviceBuffer(const DeviceBuffer&) = delete;
-  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
-  DeviceBuffer(DeviceBuffer&&) noexcept = default;
-  DeviceBuffer& operator=(DeviceBuffer&&) noexcept = default;
-
-  std::size_t size() const { return storage_.size(); }
-  bool empty() const { return storage_.empty(); }
-
-  /// Raw storage pointer — for use inside kernel functors only. Stable
-  /// across moves of the buffer object (the backing heap allocation moves
-  /// with it), which lets enqueued commands capture it safely as long as
-  /// the buffer outlives them.
-  T* device_data() { return storage_.data(); }
-  const T* device_data() const { return storage_.data(); }
-
- private:
-  friend class Device;
-  explicit DeviceBuffer(std::size_t n) : storage_(n) {}
-  std::vector<T> storage_;
 };
 
 template <typename T>

@@ -1,0 +1,99 @@
+#include "parallel/device_group.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fkde {
+
+DeviceGroup::DeviceGroup(const std::vector<DeviceProfile>& profiles,
+                         DeviceGroupOptions options, ThreadPool* pool)
+    : options_(std::move(options)) {
+  FKDE_CHECK_MSG(!profiles.empty(), "DeviceGroup needs at least one device");
+  FKDE_CHECK_MSG(options_.initial_weights.empty() ||
+                     options_.initial_weights.size() == profiles.size(),
+                 "initial_weights must match the device count");
+  devices_.reserve(profiles.size());
+  for (const DeviceProfile& profile : profiles) {
+    devices_.push_back(std::make_unique<Device>(profile, pool));
+  }
+}
+
+std::vector<double> DeviceGroup::InitialWeights() const {
+  std::vector<double> weights = options_.initial_weights;
+  if (weights.empty()) {
+    weights.reserve(devices_.size());
+    for (const auto& device : devices_) {
+      weights.push_back(device->profile().compute_throughput);
+    }
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    FKDE_CHECK_MSG(w > 0.0, "shard weights must be positive");
+    total += w;
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+double DeviceGroup::MaxModeledSeconds() const {
+  double max_s = 0.0;
+  for (const auto& device : devices_) {
+    max_s = std::max(max_s, device->ModeledSeconds());
+  }
+  return max_s;
+}
+
+double DeviceGroup::TotalHostStallSeconds() const {
+  double total = 0.0;
+  for (const auto& device : devices_) total += device->HostStallSeconds();
+  return total;
+}
+
+TransferLedger DeviceGroup::AggregateLedger() const {
+  TransferLedger total;
+  for (const auto& device : devices_) {
+    const TransferLedger& ledger = device->ledger();
+    total.bytes_to_device += ledger.bytes_to_device;
+    total.bytes_to_host += ledger.bytes_to_host;
+    total.transfers_to_device += ledger.transfers_to_device;
+    total.transfers_to_host += ledger.transfers_to_host;
+    total.kernel_launches += ledger.kernel_launches;
+  }
+  return total;
+}
+
+void DeviceGroup::AdvanceHostTime(double seconds) {
+  for (const auto& device : devices_) device->AdvanceHostTime(seconds);
+}
+
+void DeviceGroup::ResetModeledTime() {
+  for (const auto& device : devices_) device->ResetModeledTime();
+}
+
+void DeviceGroup::ResetLedger() {
+  for (const auto& device : devices_) device->ResetLedger();
+}
+
+Result<std::vector<DeviceProfile>> ParseDeviceTopology(
+    const std::string& spec) {
+  std::vector<DeviceProfile> profiles;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find('+', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string name = spec.substr(begin, end - begin);
+    if (name == "cpu") {
+      profiles.push_back(DeviceProfile::OpenClCpu());
+    } else if (name == "gpu") {
+      profiles.push_back(DeviceProfile::SimulatedGtx460());
+    } else {
+      return Status::InvalidArgument("unknown device in topology '" + spec +
+                                     "': '" + name + "' (want cpu|gpu)");
+    }
+    begin = end + 1;
+  }
+  return profiles;
+}
+
+}  // namespace fkde

@@ -10,7 +10,11 @@ namespace {
 /// modeled timeline that is external host time, during which enqueued
 /// device work keeps running.
 void ModelQueryExecution(const RunOptions& options) {
-  if (options.device != nullptr && options.modeled_execution_s > 0.0) {
+  if (options.modeled_execution_s <= 0.0) return;
+  if (options.device_group != nullptr) {
+    // Every device in the group sees the same external wall time.
+    options.device_group->AdvanceHostTime(options.modeled_execution_s);
+  } else if (options.device != nullptr) {
     options.device->AdvanceHostTime(options.modeled_execution_s);
   }
 }

@@ -26,6 +26,7 @@
 #include "common/stats.h"
 #include "estimator/estimator.h"
 #include "parallel/device.h"
+#include "parallel/device_group.h"
 #include "runtime/executor.h"
 #include "workload/workload.h"
 
@@ -53,6 +54,9 @@ struct RunOptions {
   /// `device->AdvanceHostTime` — the window that hides enqueued device
   /// work on the modeled timeline.
   Device* device = nullptr;
+  /// Multi-device variant of `device`: the execution window advances every
+  /// device in the group (takes precedence when both are set).
+  DeviceGroup* device_group = nullptr;
   /// Modeled wall time of executing one query in the database, seconds.
   double modeled_execution_s = 0.0;
 };

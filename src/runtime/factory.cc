@@ -27,16 +27,21 @@ Result<std::unique_ptr<SelectivityEstimator>> BuildEstimator(
 
   auto build_kde = [&](KdeSelectivityEstimator::Mode mode)
       -> Result<std::unique_ptr<SelectivityEstimator>> {
-    if (context.device == nullptr) {
-      return Status::InvalidArgument("KDE estimators need context.device");
+    if (context.device == nullptr && context.device_group == nullptr) {
+      return Status::InvalidArgument(
+          "KDE estimators need context.device or context.device_group");
     }
     KdeConfig config = context.kde;
     config.sample_size = std::max<std::size_t>(16, bytes / (sizeof(float) * d));
     config.seed = context.seed;
-    FKDE_ASSIGN_OR_RETURN(
-        std::unique_ptr<KdeSelectivityEstimator> kde,
-        KdeSelectivityEstimator::Create(mode, context.device, table, config,
-                                        context.training));
+    Result<std::unique_ptr<KdeSelectivityEstimator>> built =
+        context.device_group != nullptr
+            ? KdeSelectivityEstimator::Create(mode, context.device_group,
+                                              table, config, context.training)
+            : KdeSelectivityEstimator::Create(mode, context.device, table,
+                                              config, context.training);
+    FKDE_ASSIGN_OR_RETURN(std::unique_ptr<KdeSelectivityEstimator> kde,
+                          std::move(built));
     return std::unique_ptr<SelectivityEstimator>(std::move(kde));
   };
 

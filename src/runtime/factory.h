@@ -23,6 +23,7 @@
 #include "estimator/estimator.h"
 #include "kde/kde_estimator.h"
 #include "parallel/device.h"
+#include "parallel/device_group.h"
 #include "runtime/executor.h"
 #include "workload/workload.h"
 
@@ -31,6 +32,10 @@ namespace fkde {
 /// \brief Everything needed to build any evaluated estimator.
 struct EstimatorBuildContext {
   Device* device = nullptr;        ///< For KDE variants.
+  /// When set, KDE variants shard their sample across this group instead
+  /// of `device` (Section 5.4 past one device's ceiling); `device` is
+  /// then ignored for them.
+  DeviceGroup* device_group = nullptr;
   Executor* executor = nullptr;    ///< Table access + STHoles counting.
   std::size_t memory_bytes = 0;    ///< Paper budget: d * 4096.
   std::uint64_t seed = 7;

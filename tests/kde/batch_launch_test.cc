@@ -145,6 +145,50 @@ TEST(BatchLaunch, BatchedObjectiveAtLeastFiveTimesFasterOnGpuModel) {
       << "batched " << batched_s << "s vs per-query " << per_query_s << "s";
 }
 
+TEST(BatchLaunch, EmptyBatchIsAMeteredNoOp) {
+  // m == 0 must not touch the device at all: no descriptor upload, no
+  // kernel, no read-back, no modeled time — on either batched entry
+  // point. Pinned via the ledger so a stray unconditional upload or
+  // launch in the batch pipeline fails loudly.
+  LaunchFixture f(DeviceProfile::OpenClCpu());
+  f.device->ResetLedger();
+  f.device->ResetModeledTime();
+
+  f.engine->EstimateBatch({}, {});
+  f.engine->EstimateBatchWithGradient({}, {}, {});
+
+  const TransferLedger& ledger = f.device->ledger();
+  EXPECT_EQ(ledger.kernel_launches, 0u);
+  EXPECT_EQ(ledger.transfers_to_device, 0u);
+  EXPECT_EQ(ledger.transfers_to_host, 0u);
+  EXPECT_EQ(ledger.total_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(f.device->ModeledSeconds(), 0.0);
+}
+
+TEST(BatchLaunch, BatchScratchComesFromThePoolAfterWarmup) {
+  // The batched paths draw their temporaries (descriptor upload, tile
+  // contribution/partial buffers, per-query sums) from the device scratch
+  // pool: after one warm-up call, repeated evaluations of the same shape
+  // must allocate NOTHING — every acquisition is a pool hit.
+  LaunchFixture f(DeviceProfile::OpenClCpu());
+  const std::vector<Box> boxes = f.RandomBoxes(32, 67);
+  std::vector<double> estimates(boxes.size());
+  std::vector<double> gradients(boxes.size() * f.engine->dims());
+
+  f.engine->EstimateBatch(boxes, estimates);
+  f.engine->EstimateBatchWithGradient(boxes, estimates, gradients);
+  const BufferPoolStats warm = f.device->scratch_pool_stats();
+
+  for (int i = 0; i < 4; ++i) {
+    f.engine->EstimateBatch(boxes, estimates);
+    f.engine->EstimateBatchWithGradient(boxes, estimates, gradients);
+  }
+  const BufferPoolStats steady = f.device->scratch_pool_stats();
+  EXPECT_EQ(steady.misses, warm.misses) << "batched path allocated";
+  EXPECT_GT(steady.hits, warm.hits);
+  EXPECT_EQ(steady.outstanding, warm.outstanding);
+}
+
 TEST(BatchLaunch, ScottInitIsTwoLaunchesPerConstruction) {
   // The fused moments kernel + one segmented reduction, regardless of d —
   // formerly ~4d launches (per-dimension sum and sum-of-squares trees).

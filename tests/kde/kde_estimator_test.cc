@@ -214,7 +214,8 @@ TEST(KdeEstimator, SampleSizeClampedToTable) {
 TEST(KdeEstimator, RejectsInvalidConstruction) {
   EstimatorFixture f(15);
   KdeConfig config;
-  EXPECT_FALSE(KdeSelectivityEstimator::Create(Mode::kHeuristic, nullptr,
+  EXPECT_FALSE(KdeSelectivityEstimator::Create(Mode::kHeuristic,
+                                               static_cast<Device*>(nullptr),
                                                f.table.get(), config)
                    .ok());
   EXPECT_FALSE(KdeSelectivityEstimator::Create(Mode::kHeuristic,

@@ -1,0 +1,101 @@
+#include "parallel/device_group.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fkde {
+namespace {
+
+TEST(DeviceGroup, ParsesTopologySpecs) {
+  const std::vector<DeviceProfile> single =
+      ParseDeviceTopology("gpu").ValueOrDie();
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0].compute_throughput,
+            DeviceProfile::SimulatedGtx460().compute_throughput);
+
+  const std::vector<DeviceProfile> mixed =
+      ParseDeviceTopology("cpu+gpu").ValueOrDie();
+  ASSERT_EQ(mixed.size(), 2u);
+  EXPECT_EQ(mixed[0].compute_throughput,
+            DeviceProfile::OpenClCpu().compute_throughput);
+  EXPECT_EQ(mixed[1].compute_throughput,
+            DeviceProfile::SimulatedGtx460().compute_throughput);
+
+  EXPECT_EQ(ParseDeviceTopology("gpu+gpu").ValueOrDie().size(), 2u);
+  EXPECT_FALSE(ParseDeviceTopology("tpu").ok());
+  EXPECT_FALSE(ParseDeviceTopology("").ok());
+  EXPECT_FALSE(ParseDeviceTopology("cpu+").ok());
+}
+
+TEST(DeviceGroup, InitialWeightsFollowModeledThroughput) {
+  DeviceGroup group(ParseDeviceTopology("cpu+gpu").ValueOrDie());
+  ASSERT_EQ(group.size(), 2u);
+  const std::vector<double> weights = group.InitialWeights();
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_NEAR(weights[0] + weights[1], 1.0, 1e-12);
+  const double cpu = DeviceProfile::OpenClCpu().compute_throughput;
+  const double gpu = DeviceProfile::SimulatedGtx460().compute_throughput;
+  EXPECT_NEAR(weights[1] / weights[0], gpu / cpu, 1e-9);
+}
+
+TEST(DeviceGroup, ExplicitInitialWeightsOverrideProfiles) {
+  DeviceGroupOptions options;
+  options.initial_weights = {3.0, 1.0};
+  DeviceGroup group(ParseDeviceTopology("gpu+gpu").ValueOrDie(), options);
+  const std::vector<double> weights = group.InitialWeights();
+  EXPECT_NEAR(weights[0], 0.75, 1e-12);
+  EXPECT_NEAR(weights[1], 0.25, 1e-12);
+}
+
+TEST(DeviceGroup, MemberDevicesRunIndependentQueues) {
+  DeviceGroup group(ParseDeviceTopology("gpu+gpu").ValueOrDie());
+  // Identical work on both members submitted back-to-back: each runs on
+  // its own queue, so the group cost is the max, not the sum.
+  std::vector<Event> events;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    events.push_back(group.device(i)->default_queue()->EnqueueLaunch(
+        "work", 1 << 16, 16.0, [](std::size_t, std::size_t) {}));
+  }
+  for (Event& e : events) e.Wait();
+  const double d0 = group.device(0)->ModeledSeconds();
+  const double d1 = group.device(1)->ModeledSeconds();
+  EXPECT_GT(d0, 0.0);
+  EXPECT_GT(d1, 0.0);
+  const double group_cost = group.MaxModeledSeconds();
+  EXPECT_LT(group_cost, d0 + d1);
+  EXPECT_GE(group_cost + 1e-15, std::max(d0, d1));
+}
+
+TEST(DeviceGroup, AggregateLedgerSumsMembers) {
+  DeviceGroup group(ParseDeviceTopology("cpu+gpu").ValueOrDie());
+  std::vector<double> payload(100, 1.0);
+  auto b0 = group.device(0)->CreateBuffer<double>(100);
+  auto b1 = group.device(1)->CreateBuffer<double>(50);
+  group.device(0)->CopyToDevice(payload.data(), 100, &b0);
+  group.device(1)->CopyToDevice(payload.data(), 50, &b1);
+  const TransferLedger total = group.AggregateLedger();
+  EXPECT_EQ(total.transfers_to_device, 2u);
+  EXPECT_EQ(total.bytes_to_device, 150u * sizeof(double));
+  group.ResetLedger();
+  EXPECT_EQ(group.AggregateLedger().total_bytes(), 0u);
+}
+
+TEST(DeviceGroup, AdvanceHostTimeCoversAllMembers) {
+  DeviceGroup group(ParseDeviceTopology("gpu+gpu").ValueOrDie());
+  // Enqueue work on both devices, advance external time past both, then
+  // wait: no member should stall.
+  std::vector<Event> events;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    events.push_back(group.device(i)->default_queue()->EnqueueLaunch(
+        "work", 1024, 4.0, [](std::size_t, std::size_t) {}));
+  }
+  group.AdvanceHostTime(1.0);  // Far beyond the enqueued work.
+  for (Event& e : events) e.Wait();
+  EXPECT_DOUBLE_EQ(group.TotalHostStallSeconds(), 0.0);
+  group.ResetModeledTime();
+  EXPECT_DOUBLE_EQ(group.MaxModeledSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace fkde
