@@ -323,6 +323,37 @@ BENCHMARK(BM_EstimateSharded)
     ->ArgsProduct({{16384, 262144}, {0, 1}})
     ->Unit(benchmark::kMicrosecond);
 
+// The same sharded workload with the group-wide strict hazard checker
+// attached. Comparing against BM_EstimateSharded bounds the checker's
+// overhead on the hot path — and pins that the checker-off path costs
+// nothing but a null-pointer branch (the two must match when this one is
+// run with the checker detached).
+void BM_EstimateShardedHazardChecked(benchmark::State& state) {
+  const std::size_t sample_size = static_cast<std::size_t>(state.range(0));
+  const std::string topology = state.range(1) == 0 ? "cpu+gpu" : "gpu+gpu";
+  DeviceGroupOptions options;
+  options.hazard_mode = HazardMode::kStrict;
+  DeviceGroup group(ParseDeviceTopology(topology).MoveValueOrDie(),
+                    std::move(options));
+  DeviceSample sample(&group, sample_size, 8);
+  ClusterBoxesParams params;
+  params.rows = sample_size * 2;
+  params.dims = 8;
+  const Table table = GenerateClusterBoxes(params, 7);
+  Rng rng(8);
+  FKDE_CHECK_OK(sample.LoadFromTable(table, &rng));
+  KdeEngine engine(&sample, KernelType::kGaussian);
+  const Box box(std::vector<double>(8, 0.25), std::vector<double>(8, 0.75));
+  group.ResetModeledTime();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Estimate(box));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EstimateShardedHazardChecked)
+    ->ArgsProduct({{16384, 262144}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
 // Scratch-pool effectiveness under the batched paths: after the first
 // iteration every acquisition should hit the pool, so the steady-state
 // hit rate approaches 1 and no per-call allocations remain.

@@ -139,6 +139,9 @@ std::vector<double> KdeEngine::ComputeScottBandwidth() {
     host_sums[si].resize(2 * d);
     const float* data = sample_->shard_buffer(si).device_data();
     double* out = moments[si]->device_data();
+    const BufferAccess moments_acc[] = {
+        Reads(sample_->shard_buffer(si), 0, rows * d),
+        Writes(*moments[si], 0, 2 * d * rows)};
     queue->EnqueueLaunch(
         "scott_moments", rows, 2.0 * static_cast<double>(d),
         [data, out, d, rows](std::size_t begin, std::size_t end) {
@@ -150,7 +153,8 @@ std::vector<double> KdeEngine::ComputeScottBandwidth() {
               out[(2 * dim + 1) * rows + i] = v * v;
             }
           }
-        });
+        },
+        moments_acc);
     EnqueueReduceSumSegments(queue, *moments[si], 0, rows, 2 * d,
                              sums[si].get());
     done[si] = queue->EnqueueCopyToHost(*sums[si], 0, 2 * d,
@@ -219,6 +223,13 @@ double KdeEngine::Estimate(const Box& box) {
     const KernelType kernel = kernel_;
     const float* scales =
         has_scales_ ? sh.point_scales.device_data() : nullptr;
+    BufferAccess acc[5];
+    std::size_t na = 0;
+    acc[na++] = Reads(sample_->shard_buffer(si), 0, rows * d);
+    acc[na++] = Reads(sh.bounds_dev, 0, 2 * d);
+    acc[na++] = Reads(sh.bandwidth_dev, 0, d);
+    acc[na++] = Writes(sh.contributions, 0, rows);
+    if (has_scales_) acc[na++] = Reads(sh.point_scales, 0, rows);
     queue->EnqueueLaunch(
         "kde_contributions", rows, static_cast<double>(d),
         [=](std::size_t begin, std::size_t end) {
@@ -234,7 +245,8 @@ double KdeEngine::Estimate(const Box& box) {
             }
             contrib[i] = prod;
           }
-        });
+        },
+        std::span<const BufferAccess>(acc, na));
     EnqueueReduceSumSegments(queue, sh.contributions, 0, rows, 1,
                              &sh.est_sum);
     done[si] = queue->EnqueueCopyToHost(sh.est_sum, 0, 1, &sh.est_staging);
@@ -296,8 +308,17 @@ void KdeEngine::EnqueueGradientPartialsKernel(std::size_t shard) {
       }
     }
   };
+  BufferAccess acc[6];
+  std::size_t na = 0;
+  acc[na++] = Reads(sample_->shard_buffer(shard), 0, rows * d);
+  acc[na++] = Reads(sh.bounds_dev, 0, 2 * d);
+  acc[na++] = Reads(sh.bandwidth_dev, 0, d);
+  acc[na++] = Writes(sh.contributions, 0, rows);
+  acc[na++] = Writes(sh.grad_partials, 0, d * rows);
+  if (has_scales_) acc[na++] = Reads(sh.point_scales, 0, rows);
   sh.device->default_queue()->EnqueueLaunch(
-      "kde_contributions_grad", rows, 3.0 * static_cast<double>(d), body);
+      "kde_contributions_grad", rows, 3.0 * static_cast<double>(d), body,
+      std::span<const BufferAccess>(acc, na));
 }
 
 double KdeEngine::EstimateWithGradient(const Box& box,
@@ -477,8 +498,16 @@ std::vector<KdeEngine::BatchShard> KdeEngine::EnqueueBatchPipelines(
           (void)hold_bounds;
           (void)hold_contrib;
         };
+        BufferAccess acc[5];
+        std::size_t na = 0;
+        acc[na++] = Reads(sample_->shard_buffer(si), 0, rows * d);
+        acc[na++] = Reads(*bs.bounds, t0 * 2 * d, t * 2 * d);
+        acc[na++] = Reads(sh.bandwidth_dev, 0, d);
+        acc[na++] = Writes(*bs.contrib, 0, t * rows);
+        if (has_scales_) acc[na++] = Reads(sh.point_scales, 0, rows);
         queue->EnqueueLaunch("kde_batch_contributions", rows,
-                             static_cast<double>(t * d), body);
+                             static_cast<double>(t * d), body,
+                             std::span<const BufferAccess>(acc, na));
       } else {
         // Fused contribution+gradient kernel over the rows×tile grid,
         // reusing the prefix/suffix-product scheme of
@@ -519,8 +548,17 @@ std::vector<KdeEngine::BatchShard> KdeEngine::EnqueueBatchPipelines(
           (void)hold_contrib;
           (void)hold_partials;
         };
+        BufferAccess acc[6];
+        std::size_t na = 0;
+        acc[na++] = Reads(sample_->shard_buffer(si), 0, rows * d);
+        acc[na++] = Reads(*bs.bounds, t0 * 2 * d, t * 2 * d);
+        acc[na++] = Reads(sh.bandwidth_dev, 0, d);
+        acc[na++] = Writes(*bs.contrib, 0, t * rows);
+        acc[na++] = Writes(*bs.partials, 0, t * d * rows);
+        if (has_scales_) acc[na++] = Reads(sh.point_scales, 0, rows);
         queue->EnqueueLaunch("kde_batch_contributions_grad", rows,
-                             3.0 * static_cast<double>(t * d), body);
+                             3.0 * static_cast<double>(t * d), body,
+                             std::span<const BufferAccess>(acc, na));
       }
       // All tile estimates advance through every reduction level
       // together.
@@ -700,7 +738,10 @@ double KdeEngine::EstimateBatchLoss(std::span<const Box> boxes,
         (void)hold_est;
         (void)hold_bounds;
       };
-      dev->Launch("kde_batch_loss", 1, static_cast<double>(m), body);
+      const BufferAccess acc[] = {Reads(*bs.est, 0, m),
+                                  Reads(*bs.bounds, m * 2 * d, m),
+                                  Writes(*results, 0, 1)};
+      dev->Launch("kde_batch_loss", 1, static_cast<double>(m), body, acc);
     };
     EnqueueBatchPipelines(boxes, descriptors, m, /*with_partials=*/false,
                           /*reduce_gradients=*/false, fold,
@@ -766,8 +807,12 @@ double KdeEngine::EstimateBatchLoss(std::span<const Box> boxes,
       (void)hold_bounds;
       (void)hold_partials;
     };
+    const BufferAccess acc[] = {Reads(*bs.est, t0, t),
+                                Reads(*bs.bounds, m * 2 * d + t0, t),
+                                Reads(*bs.partials, 0, t * d * s),
+                                Writes(*fold_buf, 0, (d + 1) * gpseg)};
     dev->Launch("kde_batch_loss_grad_fold", (d + 1) * gpseg,
-                static_cast<double>(t * kReduceGroupSize), body);
+                static_cast<double>(t * kReduceGroupSize), body, acc);
     ReduceSumSegments(dev, *fold_buf, 0, gpseg, d + 1, results.get(), 0);
     dev->CopyToHost(*results, 0, d + 1, tile_results.data());
     for (std::size_t k = 0; k < d; ++k) grad_total[k] += tile_results[k];

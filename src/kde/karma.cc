@@ -117,6 +117,9 @@ void KarmaMaintainer::EnqueueUpdate(const Box& box, double true_selectivity) {
     std::uint32_t* flags = sh.flags.device_data();
     const std::size_t words = (rows + 31) / 32;
     CommandQueue* queue = sample->shard_device(si)->default_queue();
+    const BufferAccess acc[] = {
+        Reads(engine_->shard_contributions(si), 0, rows),
+        ReadsWrites(sh.karma, 0, rows), Writes(sh.flags, 0, words)};
     queue->EnqueueLaunch(
         "karma_update", words, 32.0,
         [=](std::size_t begin, std::size_t end) {
@@ -142,7 +145,8 @@ void KarmaMaintainer::EnqueueUpdate(const Box& box, double true_selectivity) {
             }
             flags[w] = word;
           }
-        });
+        },
+        acc);
 
     // Enqueue the bitmap read-back (rows/8 bytes) behind the kernel; the
     // event is the collection handle.

@@ -93,6 +93,9 @@ void DeviceSample::UploadPartitioned(const std::vector<float>& staging,
       slot_map_[global] = {static_cast<std::uint32_t>(i),
                            static_cast<std::uint32_t>(local)};
     }
+    // Transfers auto-declare their device-side access-sets (see
+    // command_queue.h), so the sample's upload/gather/migration traffic
+    // is hazard-checked without explicit declarations here.
     shard.device->CopyToDevice(staging.data() + next_row * dims_,
                                shard.size * dims_, &shard.buffer);
     next_row += shard.size;

@@ -24,16 +24,17 @@ Result<std::vector<double>> ComputeVariableScales(
   // makes the returned scales global-slot indexed, as SetPointScales
   // expects. Single-shard samples use their buffer directly.
   DeviceBuffer<float> gathered;
-  const float* data;
+  const DeviceBuffer<float>* points;
   if (engine->sample()->num_shards() > 1) {
     const std::vector<double> rows = engine->sample()->GatherRows();
     std::vector<float> staging(rows.begin(), rows.end());
     gathered = device->CreateBuffer<float>(staging.size());
     device->CopyToDevice(staging.data(), staging.size(), &gathered);
-    data = gathered.device_data();
+    points = &gathered;
   } else {
-    data = engine->sample()->buffer().device_data();
+    points = &engine->sample()->buffer();
   }
+  const float* data = points->device_data();
   const std::vector<double>& h = engine->bandwidth();
 
   // Pilot density at each sample point: leave-one-out Gaussian product
@@ -52,6 +53,8 @@ Result<std::vector<double>> ComputeVariableScales(
     const double inv_h0 = inv_h[0];  // Silence unused in 1D fast path.
     (void)inv_h0;
     std::vector<double> inv_h_vec(inv_h, inv_h + d);
+    const BufferAccess acc[] = {Reads(*points, 0, s * d),
+                                Writes(densities, 0, s)};
     device->Launch(
         "variable_pilot_density", s, static_cast<double>(s * d) / 256.0,
         [out, data, s, d, norm, inv_h_vec](std::size_t begin,
@@ -73,7 +76,8 @@ Result<std::vector<double>> ComputeVariableScales(
             }
             out[i] = norm * total / static_cast<double>(s > 1 ? s - 1 : 1);
           }
-        });
+        },
+        acc);
   }
   std::vector<double> pilot(s);
   device->CopyToHost(densities, 0, s, pilot.data());

@@ -1,9 +1,11 @@
 #include "parallel/command_queue.h"
 
+#include <atomic>
 #include <cstring>
 #include <utility>
 
 #include "parallel/device.h"
+#include "parallel/hazard_checker.h"
 
 namespace fkde {
 
@@ -34,23 +36,42 @@ void Event::Wait() const {
   if (!state_) return;
   state_->WaitReal();
   state_->device->SyncHostTo(state_->modeled_end_s);
+  if (HazardChecker* checker = state_->device->hazard_checker()) {
+    checker->OnEventWaited(*state_);
+  }
 }
 
 double Event::modeled_end_seconds() const {
   return state_ ? state_->modeled_end_s : 0.0;
 }
 
-CommandQueue::CommandQueue(Device* device) : device_(device) {
+namespace {
+
+std::uint64_t NextQueueId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+CommandQueue::CommandQueue(Device* device)
+    : device_(device), id_(NextQueueId()) {
   dispatcher_ = std::thread([this] { DispatchLoop(); });
 }
 
 CommandQueue::~CommandQueue() {
+  // Destroying a queue with in-flight commands must not drop their
+  // modeled time: Finish() stalls the host clock to the last command's
+  // modeled end before the dispatcher is joined.
+  Finish();
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
   cv_.notify_all();
   dispatcher_.join();
+  FKDE_CHECK_MSG(pending_.empty(),
+                 "command queue destroyed without draining");
 }
 
 double CommandQueue::MaxModeledEnd(std::span<const Event> wait_list) {
@@ -64,8 +85,8 @@ double CommandQueue::MaxModeledEnd(std::span<const Event> wait_list) {
 Event CommandQueue::EnqueueLaunch(
     const char* kernel_name, std::size_t global_size, double ops_per_item,
     std::function<void(std::size_t, std::size_t)> body,
+    std::span<const BufferAccess> accesses,
     std::span<const Event> wait_list) {
-  (void)kernel_name;  // Retained for debugging/tracing hooks.
   const double end = device_->BookLaunch(global_size, ops_per_item,
                                          MaxModeledEnd(wait_list));
   ThreadPool* pool = device_->pool();
@@ -74,23 +95,32 @@ Event CommandQueue::EnqueueLaunch(
     // Grain keeps per-chunk scheduling cost negligible relative to work.
     pool->ParallelFor(global_size, 1024, body);
   };
-  return Push(std::move(run), end, wait_list);
+  return Push(std::move(run), end, CommandKind::kKernel, kernel_name,
+              accesses, wait_list);
 }
 
 Event CommandQueue::EnqueueCopyBytes(void* dst, const void* src,
                                      std::size_t bytes, bool to_device,
+                                     const BufferAccess& device_access,
                                      std::span<const Event> wait_list) {
   const double end =
       device_->BookTransfer(bytes, to_device, MaxModeledEnd(wait_list));
   auto run = [dst, src, bytes] { std::memcpy(dst, src, bytes); };
-  return Push(std::move(run), end, wait_list);
+  return Push(std::move(run), end,
+              to_device ? CommandKind::kCopyToDevice
+                        : CommandKind::kCopyToHost,
+              to_device ? "copy_to_device" : "copy_to_host",
+              std::span<const BufferAccess>(&device_access, 1), wait_list);
 }
 
 Event CommandQueue::Push(std::function<void()> run, double modeled_end_s,
+                         CommandKind kind, const char* name,
+                         std::span<const BufferAccess> accesses,
                          std::span<const Event> wait_list) {
   auto state = std::make_shared<internal::EventState>();
   state->modeled_end_s = modeled_end_s;
   state->device = device_;
+  state->queue_id = id_;
   Command command;
   command.run = std::move(run);
   for (const Event& e : wait_list) {
@@ -100,6 +130,12 @@ Event CommandQueue::Push(std::function<void()> run, double modeled_end_s,
   Event event(std::move(state));
   {
     std::lock_guard<std::mutex> lock(mu_);
+    command.done->queue_index = ++next_index_;
+    // Record before the dispatcher can see the command: the checker
+    // writes the happens-before clock into the (not yet shared) state.
+    if (HazardChecker* checker = device_->hazard_checker()) {
+      checker->RecordCommand(command.done, kind, name, accesses, wait_list);
+    }
     pending_.push_back(std::move(command));
     last_ = event;
   }

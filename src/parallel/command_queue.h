@@ -51,18 +51,34 @@
 /// `Finish()`, or destruction of the queue, which drains it). Owners of
 /// device buffers that receive enqueued commands must `Finish()` the
 /// queue before the buffers are destroyed.
+///
+/// ## Declared access-sets
+///
+/// Every command may declare the device-buffer byte ranges it touches as
+/// a list of `BufferAccess` records. Transfers declare theirs
+/// automatically (the typed enqueue wrappers know buffer, offset, and
+/// element count); kernels pass a span built with the `Reads`/`Writes`/
+/// `ReadsWrites` helpers in device.h. When a `HazardChecker` (see
+/// hazard_checker.h) is attached to the device, the declarations feed a
+/// command-DAG race analysis; when none is attached they cost one branch
+/// per enqueue. A kernel launched with an empty access-set is *opaque*:
+/// it is assumed to potentially touch anything, which suppresses
+/// use-before-initialization reports for buffers it may have produced
+/// but forfeits race checking for the ranges it touches.
 
 #ifndef FKDE_PARALLEL_COMMAND_QUEUE_H_
 #define FKDE_PARALLEL_COMMAND_QUEUE_H_
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace fkde {
@@ -72,17 +88,50 @@ class CommandQueue;
 template <typename T>
 class DeviceBuffer;
 
+/// \brief How a command touches a declared buffer range.
+enum class AccessMode : std::uint8_t { kRead, kWrite, kReadWrite };
+
+/// \brief One declared buffer access of an enqueued command: the byte
+/// range `[offset_bytes, offset_bytes + length_bytes)` of the registered
+/// device buffer `buffer_id` (see `DeviceBuffer::buffer_id()`), touched
+/// with `mode`. Built via the typed `Reads`/`Writes`/`ReadsWrites`
+/// helpers in device.h rather than by hand.
+struct BufferAccess {
+  std::uint64_t buffer_id = 0;
+  std::size_t offset_bytes = 0;
+  std::size_t length_bytes = 0;
+  AccessMode mode = AccessMode::kRead;
+};
+
+/// \brief Hazard-checking mode of a device (see hazard_checker.h).
+///  * `kOff`      — no checker attached; enqueues pay one null-branch.
+///  * `kDeferred` — record everything, report via `Validate()`.
+///  * `kStrict`   — abort with a diagnostic at the first hazard.
+enum class HazardMode : std::uint8_t { kOff, kDeferred, kStrict };
+
+/// \brief What kind of command a DAG node is (diagnostics + readback
+/// tracking in the hazard checker).
+enum class CommandKind : std::uint8_t { kKernel, kCopyToDevice, kCopyToHost };
+
 namespace internal {
 
-/// Shared completion state of one enqueued command. `modeled_end_s` and
-/// `device` are written once at enqueue time (before the state is shared
-/// with the dispatcher); `complete` is the only cross-thread field.
+/// Shared completion state of one enqueued command. Everything except
+/// `complete` is written once at enqueue time (before the state is
+/// shared with the dispatcher); `complete` is the only cross-thread
+/// field.
 struct EventState {
   std::mutex mu;
   std::condition_variable cv;
   bool complete = false;
   double modeled_end_s = 0.0;  ///< Absolute device-timeline completion.
   Device* device = nullptr;
+  std::uint64_t queue_id = 0;     ///< Owning queue (process-unique).
+  std::uint64_t queue_index = 0;  ///< 1-based position within the queue.
+  /// Vector clock over in-order queues: `{queue, index}` pairs, sorted by
+  /// queue id; command u happens-before this command iff
+  /// `clock[queue(u)] >= index(u)`. Filled only while a hazard checker is
+  /// attached (empty otherwise).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> hazard_clock;
 
   void MarkComplete();
   /// Blocks until the command really finished, without touching the
@@ -118,6 +167,7 @@ class Event {
 
  private:
   friend class CommandQueue;
+  friend class HazardChecker;  // Reads the DAG metadata off state_.
   explicit Event(std::shared_ptr<internal::EventState> state)
       : state_(std::move(state)) {}
 
@@ -133,7 +183,10 @@ class Event {
 class CommandQueue {
  public:
   explicit CommandQueue(Device* device);
-  /// Drains all pending commands, then joins the dispatcher.
+  /// `Finish()`es the queue (charging any remaining modeled stall to the
+  /// host clock — destroying a queue with in-flight commands must not
+  /// drop their modeled time), joins the dispatcher, and asserts the
+  /// queue really drained.
   ~CommandQueue();
 
   CommandQueue(const CommandQueue&) = delete;
@@ -141,13 +194,20 @@ class CommandQueue {
 
   Device* device() const { return device_; }
 
+  /// Process-unique queue id (diagnostics; stable for the queue's life).
+  std::uint64_t id() const { return id_; }
+
   /// Enqueues a data-parallel kernel over `global_size` work items and
   /// returns immediately. `ops_per_item` is the modeled work-unit count
   /// per item. The functor receives a half-open index range [begin, end)
   /// and runs on the thread pool once the command is dispatched.
+  /// `accesses` declares the device-buffer byte ranges the kernel touches
+  /// (see the access-set discipline in the header comment); an empty span
+  /// marks the kernel opaque.
   Event EnqueueLaunch(const char* kernel_name, std::size_t global_size,
                       double ops_per_item,
                       std::function<void(std::size_t, std::size_t)> body,
+                      std::span<const BufferAccess> accesses = {},
                       std::span<const Event> wait_list = {});
 
   /// Enqueues a host->device transfer of `n` elements into `dst` at
@@ -183,20 +243,27 @@ class CommandQueue {
   static double MaxModeledEnd(std::span<const Event> wait_list);
 
   /// Type-erased transfer enqueue shared by both copy directions.
+  /// `device_access` names the device-buffer side of the transfer (the
+  /// host side is untracked staging memory).
   Event EnqueueCopyBytes(void* dst, const void* src, std::size_t bytes,
-                         bool to_device, std::span<const Event> wait_list);
+                         bool to_device, const BufferAccess& device_access,
+                         std::span<const Event> wait_list);
 
   Event Push(std::function<void()> run, double modeled_end_s,
+             CommandKind kind, const char* name,
+             std::span<const BufferAccess> accesses,
              std::span<const Event> wait_list);
 
   void DispatchLoop();
 
   Device* device_;
+  const std::uint64_t id_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Command> pending_;
   bool shutdown_ = false;
   Event last_;
+  std::uint64_t next_index_ = 0;  ///< Guarded by mu_.
   std::thread dispatcher_;
 };
 

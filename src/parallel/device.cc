@@ -1,6 +1,30 @@
 #include "parallel/device.h"
 
+#include <cstdlib>
+#include <cstring>
+
 namespace fkde {
+
+namespace internal {
+
+std::shared_ptr<HazardChecker> EnvHazardChecker() {
+  const char* env = std::getenv("HAZARD_STRICT");
+  if (env == nullptr || env[0] == '\0' || std::strcmp(env, "0") == 0) {
+    return nullptr;
+  }
+  return HazardChecker::Create(HazardMode::kStrict);
+}
+
+}  // namespace internal
+
+void Device::EnableHazardChecking(HazardMode mode) {
+  hazard_checker_ =
+      mode == HazardMode::kOff ? nullptr : HazardChecker::Create(mode);
+}
+
+void Device::AttachHazardChecker(std::shared_ptr<HazardChecker> checker) {
+  hazard_checker_ = std::move(checker);
+}
 
 DeviceProfile DeviceProfile::OpenClCpu() {
   DeviceProfile p;
@@ -130,6 +154,7 @@ ScratchBuffer Device::AcquireScratch(std::size_t n) {
   const std::size_t bucket = ScratchBucket(n);
   std::shared_ptr<internal::ScratchPool> pool = scratch_pool_;
   DeviceBuffer<double> buffer;
+  bool reused = false;
   {
     std::lock_guard<std::mutex> lock(pool->mu);
     std::vector<DeviceBuffer<double>>& parked = pool->free_by_bucket[bucket];
@@ -138,18 +163,29 @@ ScratchBuffer Device::AcquireScratch(std::size_t n) {
       parked.pop_back();
       pool->stats.hits += 1;
       pool->stats.pooled_bytes -= bucket * sizeof(double);
+      reused = true;
     } else {
       buffer = DeviceBuffer<double>(bucket);
       pool->stats.misses += 1;
     }
     pool->stats.outstanding += 1;
   }
+  if (reused && hazard_checker_ != nullptr) {
+    // The buffer keeps its registry id across park/reuse, but its
+    // contents are stale again: reset its initialized-range tracking.
+    hazard_checker_->OnScratchReused(buffer.buffer_id());
+  }
   // The deleter owns a pool reference, so a handle outliving the device
   // still parks safely; the pool frees its contents when the last
-  // reference (device or handle) drops.
+  // reference (device or handle) drops. The checker reference is weak:
+  // parks after the checker detached are not the checker's business.
+  std::weak_ptr<HazardChecker> weak_checker = hazard_checker_;
   return ScratchBuffer(
       new DeviceBuffer<double>(std::move(buffer)),
-      [pool](DeviceBuffer<double>* released) {
+      [pool, weak_checker](DeviceBuffer<double>* released) {
+        if (std::shared_ptr<HazardChecker> checker = weak_checker.lock()) {
+          checker->OnScratchParked(released->buffer_id());
+        }
         {
           std::lock_guard<std::mutex> lock(pool->mu);
           pool->stats.outstanding -= 1;
@@ -175,8 +211,10 @@ void Device::TrimScratchPool() {
 
 void Device::Launch(const char* kernel_name, std::size_t global_size,
                     double ops_per_item,
-                    const std::function<void(std::size_t, std::size_t)>& body) {
-  default_queue_->EnqueueLaunch(kernel_name, global_size, ops_per_item, body)
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::span<const BufferAccess> accesses) {
+  default_queue_
+      ->EnqueueLaunch(kernel_name, global_size, ops_per_item, body, accesses)
       .Wait();
 }
 
@@ -202,6 +240,8 @@ double ReduceSum(Device* device, const DeviceBuffer<double>& buffer,
   ScratchBuffer scratch_b =
       device->AcquireScratch((first_groups + kGroup - 1) / kGroup);
   const double* in = buffer.device_data() + offset;
+  const DeviceBuffer<double>* in_buf = &buffer;
+  std::size_t in_off = offset;
   DeviceBuffer<double>* dst = scratch_a.get();
   DeviceBuffer<double>* spare = scratch_b.get();
   std::size_t active = n;
@@ -220,11 +260,15 @@ double ReduceSum(Device* device, const DeviceBuffer<double>& buffer,
         out[g] = acc;
       }
     };
+    const BufferAccess acc[] = {Reads(*in_buf, in_off, active),
+                                Writes(*dst, 0, groups)};
     queue->EnqueueLaunch("reduce_sum_level", groups,
-                         static_cast<double>(kGroup), body);
+                         static_cast<double>(kGroup), body, acc);
     active = groups;
     if (active <= 1) break;
     in = dst->device_data();
+    in_buf = dst;
+    in_off = 0;
     std::swap(dst, spare);
   }
   double result = 0.0;
@@ -256,11 +300,13 @@ Event EnqueueReduceSumSegments(CommandQueue* queue,
   // per-segment sums straight into `out`.
   if (segment_size == 0) {
     double* final_out = out->device_data() + out_offset;
+    const BufferAccess acc[] = {Writes(*out, out_offset, num_segments)};
     return queue->EnqueueLaunch(
         "reduce_segments_zero", num_segments, 1.0,
         [final_out](std::size_t begin, std::size_t end) {
           for (std::size_t g = begin; g < end; ++g) final_out[g] = 0.0;
-        });
+        },
+        acc);
   }
   const std::size_t first_groups = (segment_size + kGroup - 1) / kGroup;
   // Pooled ping-pong scratch: each level's kernel body captures the
@@ -271,6 +317,8 @@ Event EnqueueReduceSumSegments(CommandQueue* queue,
   ScratchBuffer scratch_b = device->AcquireScratch(
       num_segments * ((first_groups + kGroup - 1) / kGroup));
   const double* in = buffer.device_data() + offset;
+  const DeviceBuffer<double>* in_buf = &buffer;
+  std::size_t in_off = offset;
   std::size_t in_stride = segment_size;
   DeviceBuffer<double>* dst = scratch_a.get();
   DeviceBuffer<double>* spare = scratch_b.get();
@@ -297,12 +345,18 @@ Event EnqueueReduceSumSegments(CommandQueue* queue,
       (void)scratch_a;
       (void)scratch_b;
     };
+    const BufferAccess acc[] = {
+        Reads(*in_buf, in_off, num_segments * level_stride),
+        groups == 1 ? Writes(*out, out_offset, num_segments)
+                    : Writes(*dst, 0, num_segments * groups)};
     last = queue->EnqueueLaunch("reduce_segments_level",
                                 num_segments * groups,
-                                static_cast<double>(kGroup), body);
+                                static_cast<double>(kGroup), body, acc);
     if (groups == 1) break;
     active = groups;
     in = dst->device_data();
+    in_buf = dst;
+    in_off = 0;
     in_stride = groups;
     std::swap(dst, spare);
   }

@@ -42,10 +42,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
 #include "parallel/command_queue.h"
+#include "parallel/hazard_checker.h"
 #include "parallel/thread_pool.h"
 
 namespace fkde {
@@ -110,11 +112,29 @@ class DeviceBuffer {
   DeviceBuffer() = default;
   DeviceBuffer(const DeviceBuffer&) = delete;
   DeviceBuffer& operator=(const DeviceBuffer&) = delete;
-  DeviceBuffer(DeviceBuffer&&) noexcept = default;
-  DeviceBuffer& operator=(DeviceBuffer&&) noexcept = default;
+  DeviceBuffer(DeviceBuffer&& other) noexcept
+      : storage_(std::move(other.storage_)),
+        id_(std::exchange(other.id_, 0)) {}
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      // Release the moved-over allocation's registration BEFORE adopting
+      // the new one, so the old id never lingers in device bookkeeping
+      // (the hazard checker treats a lingering id as still-live memory).
+      ReleaseRegistration();
+      storage_ = std::move(other.storage_);
+      id_ = std::exchange(other.id_, 0);
+    }
+    return *this;
+  }
+  ~DeviceBuffer() { ReleaseRegistration(); }
 
   std::size_t size() const { return storage_.size(); }
   bool empty() const { return storage_.empty(); }
+
+  /// Process-unique id in the global buffer registry (see
+  /// hazard_checker.h); 0 for a default-constructed (unallocated)
+  /// buffer. Declared access-sets name buffers by this id.
+  std::uint64_t buffer_id() const { return id_; }
 
   /// Raw storage pointer — for use inside kernel functors only. Stable
   /// across moves of the buffer object (the backing heap allocation moves
@@ -125,9 +145,63 @@ class DeviceBuffer {
 
  private:
   friend class Device;
-  explicit DeviceBuffer(std::size_t n) : storage_(n) {}
+  explicit DeviceBuffer(std::size_t n)
+      : storage_(n),
+        id_(internal::BufferRegistry::Global().Register(n * sizeof(T))) {}
+
+  void ReleaseRegistration() {
+    if (id_ != 0) {
+      internal::BufferRegistry::Global().Release(id_);
+      id_ = 0;
+    }
+  }
+
   std::vector<T> storage_;
+  std::uint64_t id_ = 0;
 };
+
+/// Sentinel element count meaning "through the end of the buffer" for the
+/// access-set helpers below.
+inline constexpr std::size_t kWholeBuffer = ~static_cast<std::size_t>(0);
+
+namespace internal {
+
+template <typename T>
+BufferAccess MakeAccess(const DeviceBuffer<T>& buffer, AccessMode mode,
+                        std::size_t offset, std::size_t n) {
+  if (n == kWholeBuffer) {
+    n = buffer.size() - std::min(offset, buffer.size());
+  }
+  FKDE_CHECK_MSG(offset + n <= buffer.size(),
+                 "declared buffer access out of bounds");
+  return BufferAccess{buffer.buffer_id(), offset * sizeof(T), n * sizeof(T),
+                      mode};
+}
+
+}  // namespace internal
+
+/// Access-set builders for kernel launches: the byte range covering `n`
+/// elements starting at element `offset` (defaults: the whole buffer).
+/// Example:
+///   const BufferAccess acc[] = {Reads(sample), Writes(contributions)};
+///   queue->EnqueueLaunch("kde_contributions", s, d, body, acc);
+template <typename T>
+BufferAccess Reads(const DeviceBuffer<T>& buffer, std::size_t offset = 0,
+                   std::size_t n = kWholeBuffer) {
+  return internal::MakeAccess(buffer, AccessMode::kRead, offset, n);
+}
+
+template <typename T>
+BufferAccess Writes(const DeviceBuffer<T>& buffer, std::size_t offset = 0,
+                    std::size_t n = kWholeBuffer) {
+  return internal::MakeAccess(buffer, AccessMode::kWrite, offset, n);
+}
+
+template <typename T>
+BufferAccess ReadsWrites(const DeviceBuffer<T>& buffer, std::size_t offset = 0,
+                         std::size_t n = kWholeBuffer) {
+  return internal::MakeAccess(buffer, AccessMode::kReadWrite, offset, n);
+}
 
 /// \brief Counters of a device's scratch-buffer pool (see
 /// `Device::AcquireScratch`). A *hit* reuses a parked buffer — no
@@ -158,6 +232,11 @@ struct ScratchPool {
   BufferPoolStats stats;
 };
 
+/// Strict checker when `HAZARD_STRICT=1` is set in the environment (the
+/// CI toggle that runs every suite under hazard checking); nullptr
+/// otherwise.
+std::shared_ptr<HazardChecker> EnvHazardChecker();
+
 }  // namespace internal
 
 /// \brief An execution device with device-resident memory.
@@ -175,6 +254,7 @@ class Device {
       : profile_(std::move(profile)),
         pool_(pool),
         scratch_pool_(std::make_shared<internal::ScratchPool>()),
+        hazard_checker_(internal::EnvHazardChecker()),
         default_queue_(std::make_unique<CommandQueue>(this)) {}
 
   // The default queue holds a pointer back to this device.
@@ -224,9 +304,31 @@ class Device {
   /// blocks until completion. `ops_per_item` is the work-unit count per
   /// item used for modeled-time accounting. The functor receives a
   /// half-open index range [begin, end) (a "work-group" of items).
+  /// `accesses` declares the buffer ranges the kernel touches (see
+  /// command_queue.h).
   void Launch(const char* kernel_name, std::size_t global_size,
               double ops_per_item,
-              const std::function<void(std::size_t, std::size_t)>& body);
+              const std::function<void(std::size_t, std::size_t)>& body,
+              std::span<const BufferAccess> accesses = {});
+
+  /// Attaches a fresh hazard checker in `mode` (replacing any current
+  /// one), or detaches with `HazardMode::kOff`. Overrides the
+  /// `HAZARD_STRICT=1` environment toggle applied at construction.
+  /// Attach/detach before enqueuing work — the pointer is read unlocked
+  /// on the enqueue paths.
+  void EnableHazardChecking(HazardMode mode);
+
+  /// Shares an existing checker (e.g. a DeviceGroup-wide one, so
+  /// cross-device wait-list edges resolve against one DAG).
+  void AttachHazardChecker(std::shared_ptr<HazardChecker> checker);
+
+  /// The attached checker, or nullptr when checking is off. The
+  /// zero-cost-when-off flag: enqueue paths branch on this pointer.
+  HazardChecker* hazard_checker() const { return hazard_checker_.get(); }
+
+  std::shared_ptr<HazardChecker> shared_hazard_checker() const {
+    return hazard_checker_;
+  }
 
   /// Advances the host modeled clock by `seconds` of *external* work —
   /// e.g. the database executing the query whose selectivity was just
@@ -294,6 +396,11 @@ class Device {
   /// device is gone still parks into a live pool.
   std::shared_ptr<internal::ScratchPool> scratch_pool_;
 
+  /// Hazard checker, or nullptr when checking is off. Declared before
+  /// the queue: the queue's destructor drains through `Event::Wait`,
+  /// which notifies the checker.
+  std::shared_ptr<HazardChecker> hazard_checker_;
+
   /// Declared last: destroyed first, draining all pending commands while
   /// the profile/ledger/pool above are still alive.
   std::unique_ptr<CommandQueue> default_queue_;
@@ -311,8 +418,11 @@ Event CommandQueue::EnqueueCopyToDevice(const T* host, std::size_t n,
                                         std::span<const Event> wait_list) {
   FKDE_CHECK_MSG(offset + n <= dst->size(), "CopyToDevice out of bounds");
   if (n == 0) return Event();  // Nothing moves: not metered, not charged.
+  // Transfers auto-declare their device-side access-set; the host
+  // pointer is untracked staging memory.
   return EnqueueCopyBytes(dst->device_data() + offset, host, n * sizeof(T),
-                          /*to_device=*/true, wait_list);
+                          /*to_device=*/true, Writes(*dst, offset, n),
+                          wait_list);
 }
 
 template <typename T>
@@ -323,7 +433,8 @@ Event CommandQueue::EnqueueCopyToHost(const DeviceBuffer<T>& src,
   FKDE_CHECK_MSG(offset + n <= src.size(), "CopyToHost out of bounds");
   if (n == 0) return Event();  // Nothing moves: not metered, not charged.
   return EnqueueCopyBytes(host, src.device_data() + offset, n * sizeof(T),
-                          /*to_device=*/false, wait_list);
+                          /*to_device=*/false, Reads(src, offset, n),
+                          wait_list);
 }
 
 template <typename T>

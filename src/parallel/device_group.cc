@@ -17,6 +17,20 @@ DeviceGroup::DeviceGroup(const std::vector<DeviceProfile>& profiles,
   for (const DeviceProfile& profile : profiles) {
     devices_.push_back(std::make_unique<Device>(profile, pool));
   }
+  // One shared checker for the whole group: cross-device wait-list edges
+  // only resolve against a single command DAG. An explicit option wins;
+  // otherwise, if HAZARD_STRICT attached per-device strict checkers at
+  // construction, promote them to one shared strict checker.
+  HazardMode mode = options_.hazard_mode;
+  if (mode == HazardMode::kOff && devices_.front()->hazard_checker()) {
+    mode = devices_.front()->hazard_checker()->mode();
+  }
+  if (mode != HazardMode::kOff) {
+    hazard_checker_ = HazardChecker::Create(mode);
+    for (const auto& device : devices_) {
+      device->AttachHazardChecker(hazard_checker_);
+    }
+  }
 }
 
 std::vector<double> DeviceGroup::InitialWeights() const {

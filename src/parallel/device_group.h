@@ -56,6 +56,14 @@ struct DeviceGroupOptions {
   /// No shard shrinks below this many rows (when the sample has them),
   /// keeping every device warm enough to measure.
   std::size_t min_shard_rows = 64;
+
+  /// Hazard checking for the whole group: one shared `HazardChecker`
+  /// attached to every member device, so cross-device wait-list edges
+  /// resolve against a single command DAG. `kOff` defers to the
+  /// per-device `HAZARD_STRICT=1` environment toggle — but a group
+  /// promotes even env-attached per-device checkers to one shared
+  /// checker (per-device DAGs cannot order cross-device edges).
+  HazardMode hazard_mode = HazardMode::kOff;
 };
 
 /// \brief Owns N devices that jointly host one sharded KDE model.
@@ -76,6 +84,10 @@ class DeviceGroup {
   std::size_t size() const { return devices_.size(); }
   Device* device(std::size_t i) const { return devices_[i].get(); }
   const DeviceGroupOptions& options() const { return options_; }
+
+  /// The group-wide hazard checker shared by every member device, or
+  /// nullptr when checking is off.
+  HazardChecker* hazard_checker() const { return hazard_checker_.get(); }
 
   /// Initial shard weights, normalized to sum 1: `options.initial_weights`
   /// when set, else each device's modeled `compute_throughput`.
@@ -100,6 +112,9 @@ class DeviceGroup {
 
  private:
   DeviceGroupOptions options_;
+  /// Declared before the devices: member queues drain (and notify the
+  /// checker) during device destruction.
+  std::shared_ptr<HazardChecker> hazard_checker_;
   std::vector<std::unique_ptr<Device>> devices_;
 };
 

@@ -105,7 +105,7 @@ TEST(CommandQueue, WaitListSequencesAcrossQueues) {
   const Event second = side_queue.EnqueueLaunch(
       "second", 1, 1.0,
       [&](std::size_t, std::size_t) { ordered = first_ran.load(); },
-      std::span<const Event>(&first, 1));
+      /*accesses=*/{}, std::span<const Event>(&first, 1));
   EXPECT_GE(second.modeled_end_seconds(), first.modeled_end_seconds());
   release.store(true);
   second.Wait();
