@@ -1,0 +1,120 @@
+// Kernel-backend throughput check: measures the per-element throughput of
+// the scalar and simd fused-contribution loops (the calibration the cost
+// model installs into the cpu-simd profile), prints a human table, writes
+// the machine-readable BENCH_micro.json, and exits non-zero when the simd
+// backend misses the required speedup — the tentpole's >= 3x acceptance
+// gate at s = 256K, d = 3.
+//
+// On hosts without AVX2 (or with FKDE_KERNEL_BACKEND=scalar forced) the
+// gate is skipped: the ratio is reported as 1x and the exit code is 0,
+// so CI legs that force the scalar fallback still pass.
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "kde/kernel_backend.h"
+#include "parallel/device.h"
+#include "parallel/simd.h"
+
+int main(int argc, char** argv) {
+  using namespace fkde;
+
+  std::int64_t rows = 262144;
+  std::int64_t dims = 3;
+  std::int64_t reps = 5;
+  double min_speedup = 3.0;
+  std::string json_path = "BENCH_micro.json";
+  bool csv = false;
+  FlagParser parser;
+  parser.AddInt64("rows", &rows, "sample points per measurement");
+  parser.AddInt64("dims", &dims, "dimensions per point");
+  parser.AddInt64("reps", &reps, "timed repetitions per backend");
+  parser.AddDouble("min-speedup", &min_speedup,
+                   "required simd/scalar throughput ratio (0 disables)");
+  parser.AddString("json", &json_path,
+                   "machine-readable output path (empty disables)");
+  parser.AddBool("csv", &csv, "emit CSV instead of an aligned table");
+  parser.Parse(argc, argv).AbortIfError("flags");
+
+  const bool simd_available =
+      ResolveKernelBackend(KernelBackend::kSimd) == KernelBackend::kSimd;
+
+  struct Cell {
+    const char* name;
+    KernelBackend backend;
+    KernelPrecision precision;
+    double ops_per_sec = 0.0;
+  };
+  Cell cells[] = {
+      {"scalar", KernelBackend::kScalar, KernelPrecision::kDouble},
+      {"simd-double", KernelBackend::kSimd, KernelPrecision::kDouble},
+      {"simd-float", KernelBackend::kSimd, KernelPrecision::kFloat},
+  };
+  for (Cell& cell : cells) {
+    cell.ops_per_sec = kb::MeasureFusedContributionThroughput(
+        cell.backend, cell.precision, KernelType::kGaussian,
+        static_cast<std::size_t>(rows), static_cast<std::size_t>(dims),
+        static_cast<std::size_t>(reps));
+  }
+
+  // The acceptance ratio is mixed precision vs the scalar reference —
+  // the same pair the cost-model calibration installs.
+  const double ratio =
+      simd_available ? cells[2].ops_per_sec / cells[0].ops_per_sec : 1.0;
+
+  TablePrinter printer;
+  printer.SetHeader({"backend", "precision", "Melem/s", "speedup"});
+  for (const Cell& cell : cells) {
+    const bool is_simd = cell.backend == KernelBackend::kSimd;
+    printer.AddRow(
+        {cell.name, KernelPrecisionName(cell.precision),
+         TablePrinter::Num(cell.ops_per_sec * 1e-6, 4),
+         TablePrinter::Num(cell.ops_per_sec / cells[0].ops_per_sec, 3)});
+    if (is_simd && !simd_available) break;  // Fallback rows are identical.
+  }
+  printer.Print(csv);
+  if (!simd_available) {
+    std::fprintf(stderr,
+                 "simd backend resolves to scalar here (no AVX2 or forced "
+                 "off); speedup gate skipped\n");
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f,
+                   "{\n  \"benchmark\": \"backend_check\",\n"
+                   "  \"rows\": %lld,\n  \"dims\": %lld,\n"
+                   "  \"simd_available\": %s,\n  \"cells\": [\n",
+                   static_cast<long long>(rows),
+                   static_cast<long long>(dims),
+                   simd_available ? "true" : "false");
+      const std::size_t n = sizeof(cells) / sizeof(cells[0]);
+      for (std::size_t i = 0; i < n; ++i) {
+        std::fprintf(
+            f,
+            "    {\"backend\": \"%s\", \"elements_per_sec\": %.6g, "
+            "\"speedup\": %.6g}%s\n",
+            cells[i].name, cells[i].ops_per_sec,
+            cells[i].ops_per_sec / cells[0].ops_per_sec,
+            i + 1 < n ? "," : "");
+      }
+      std::fprintf(f, "  ],\n  \"mixed_precision_speedup\": %.6g\n}\n",
+                   ratio);
+      std::fclose(f);
+      std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    }
+  }
+
+  if (simd_available && min_speedup > 0.0 && ratio < min_speedup) {
+    std::fprintf(stderr, "FAIL: simd speedup %.2fx < required %.2fx\n",
+                 ratio, min_speedup);
+    return 1;
+  }
+  std::printf("simd mixed-precision speedup: %.2fx (gate: %s)\n", ratio,
+              simd_available && min_speedup > 0.0 ? "enforced" : "skipped");
+  return 0;
+}

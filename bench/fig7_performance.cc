@@ -46,8 +46,45 @@ struct Row {
   std::string device;
   double ms_modeled = 0.0;
   double ms_measured = 0.0;
+  /// Host stall fraction of the modeled clock (Event::Wait time /
+  /// ModeledSeconds), summed across group members for '+'-topologies.
+  double idle_gap = 0.0;
   std::string note;
 };
+
+std::string JsonEscape(const std::string& value) {
+  std::string out;
+  for (char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+// Machine-readable mirror of the table for CI trend tracking.
+void WriteJson(const std::string& path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"fig7_performance\",\n  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(f,
+                 "    {\"model_points\": %s, \"estimator\": \"%s\", "
+                 "\"device\": \"%s\", \"ms_modeled\": %.6g, "
+                 "\"ms_measured\": %.6g, \"idle_gap\": %.6g, "
+                 "\"note\": \"%s\"}%s\n",
+                 row.model_points.c_str(), JsonEscape(row.estimator).c_str(),
+                 JsonEscape(row.device).c_str(), row.ms_modeled,
+                 row.ms_measured, row.idle_gap, JsonEscape(row.note).c_str(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
 
 }  // namespace
 
@@ -69,6 +106,9 @@ int main(int argc, char** argv) {
   parser.AddInt64("exec-ms", &exec_ms,
                   "modeled per-query database execution time that hides "
                   "enqueued estimator work (ms)");
+  std::string json_path = "BENCH_fig7.json";
+  parser.AddString("json", &json_path,
+                   "machine-readable output path (empty disables)");
   parser.Parse(argc, argv).AbortIfError("flags");
   common.Finalize();
   if (common.full) {
@@ -95,9 +135,10 @@ int main(int argc, char** argv) {
     // past one device's ceiling): the '+'-topologies split the sample
     // across the devices, every per-query pass runs per-shard
     // concurrently, and the group-level modeled cost is the max over the
-    // member clocks.
+    // member clocks. cpu-simd is the vectorized CPU backend whose modeled
+    // throughput comes from the measured calibration ratio.
     for (const std::string device_name :
-         {"cpu", "gpu", "cpu+gpu", "gpu+gpu"}) {
+         {"cpu", "cpu-simd", "gpu", "cpu+gpu", "cpu-simd+gpu", "gpu+gpu"}) {
       for (const std::string estimator_name :
            {"kde_heuristic", "kde_adaptive"}) {
         const bool grouped = device_name.find('+') != std::string::npos;
@@ -151,9 +192,15 @@ int main(int argc, char** argv) {
         row.ms_modeled = (grouped ? group->MaxModeledSeconds()
                                   : device->ModeledSeconds()) *
                          1e3 / workload.size();
-        row.ms_measured =
-            device_name == "cpu" ? watch.ElapsedMillis() / workload.size()
-                                 : 0.0;
+        const double modeled_s =
+            grouped ? group->MaxModeledSeconds() : device->ModeledSeconds();
+        const double stall_s = grouped ? group->TotalHostStallSeconds()
+                                       : device->HostStallSeconds();
+        row.idle_gap = modeled_s > 0.0 ? stall_s / modeled_s : 0.0;
+        // Backends executing on real host threads also report wall-clock.
+        row.ms_measured = (device_name == "cpu" || device_name == "cpu-simd")
+                              ? watch.ElapsedMillis() / workload.size()
+                              : 0.0;
         if (grouped) {
           DeviceSample* sample =
               static_cast<KdeSelectivityEstimator*>(estimator.get())
@@ -216,15 +263,17 @@ int main(int argc, char** argv) {
 
   TablePrinter printer;
   printer.SetHeader({"model_points", "estimator", "device", "ms_modeled",
-                     "ms_measured", "note"});
+                     "ms_measured", "idle_gap", "note"});
   for (const Row& row : rows) {
     printer.AddRow({row.model_points, row.estimator, row.device,
                     TablePrinter::Num(row.ms_modeled, 4),
                     row.ms_measured > 0.0
                         ? TablePrinter::Num(row.ms_measured, 4)
                         : "-",
+                    TablePrinter::Num(row.idle_gap, 3),
                     row.note.empty() ? "-" : row.note});
   }
   printer.Print(common.csv);
+  if (!json_path.empty()) WriteJson(json_path, rows);
   return 0;
 }

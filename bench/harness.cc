@@ -3,18 +3,29 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "kde/kernel_backend.h"
 
 namespace fkde {
 namespace bench {
 
 DeviceProfile ProfileByName(const std::string& name) {
   if (name == "gpu") return DeviceProfile::SimulatedGtx460();
+  if (name == "cpu-simd") {
+    // Measure the real vectorized-vs-scalar throughput ratio first so the
+    // profile's modeled ops/sec reflects this host (no-op after the first
+    // call; pinned to 1x when the simd backend cannot resolve here).
+    kb::CalibrateKernelBackends();
+    return DeviceProfile::SimdCpu();
+  }
   FKDE_CHECK_MSG(name == "cpu", "unknown device profile: " + name);
   return DeviceProfile::OpenClCpu();
 }
 
 std::unique_ptr<DeviceGroup> MakeDeviceGroup(const std::string& topology,
                                              DeviceGroupOptions options) {
+  if (topology.find("cpu-simd") != std::string::npos) {
+    kb::CalibrateKernelBackends();
+  }
   return std::make_unique<DeviceGroup>(
       ParseDeviceTopology(topology).MoveValueOrDie(), std::move(options));
 }

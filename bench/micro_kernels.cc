@@ -10,7 +10,9 @@
 #include "data/generators.h"
 #include "kde/engine.h"
 #include "kde/karma.h"
+#include "kde/kernel_backend.h"
 #include "parallel/device_group.h"
+#include "parallel/simd.h"
 
 namespace fkde {
 namespace {
@@ -285,14 +287,71 @@ void BM_SampleReplaceRow(benchmark::State& state) {
 }
 BENCHMARK(BM_SampleReplaceRow)->Unit(benchmark::kNanosecond);
 
+// The raw fused contribution loop of one kernel backend, outside the
+// device/queue machinery: per-element cost of the scalar reference, the
+// simd double path (hoisted scalar math over SoA strips; 4-wide for
+// Epanechnikov), and the simd float path (8-wide AVX2 with the polynomial
+// erf/exp lanes). This is the tentpole's per-element number — the
+// speedup column is the calibration ratio the cost model installs.
+// args: {sample_size, backend(0=scalar, 1=simd-double, 2=simd-float)}.
+void BM_FusedContribution(benchmark::State& state) {
+  const std::size_t s = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = 3;
+  const KernelBackend requested =
+      state.range(1) == 0 ? KernelBackend::kScalar : KernelBackend::kSimd;
+  const KernelPrecision requested_precision = state.range(1) == 2
+                                                  ? KernelPrecision::kFloat
+                                                  : KernelPrecision::kDouble;
+  const KernelBackend backend = ResolveKernelBackend(requested);
+  if (requested == KernelBackend::kSimd &&
+      backend != KernelBackend::kSimd) {
+    state.SkipWithError("simd backend unavailable (no AVX2 or forced off)");
+    return;
+  }
+  Rng rng(8);
+  std::vector<float> aos(s * d);
+  for (float& x : aos) x = static_cast<float>(rng.Uniform());
+  std::vector<float> soa(s * d);
+  for (std::size_t i = 0; i < s; ++i) {
+    for (std::size_t j = 0; j < d; ++j) soa[j * s + i] = aos[i * d + j];
+  }
+  const std::vector<double> h(d, 0.12);
+  std::vector<double> bounds(2 * d);
+  for (std::size_t j = 0; j < d; ++j) {
+    bounds[2 * j] = 0.2;
+    bounds[2 * j + 1] = 0.7;
+  }
+  kb::ShardKernelView view;
+  view.backend = backend;
+  view.precision = ResolveKernelPrecision(requested_precision);
+  view.kernel = KernelType::kGaussian;
+  view.d = d;
+  view.aos = aos.data();
+  view.soa = backend == KernelBackend::kSimd ? soa.data() : nullptr;
+  view.soa_stride = s;
+  view.h = h.data();
+  std::vector<double> contrib(s);
+  for (auto _ : state) {
+    kb::FusedContribution(view, bounds.data(), contrib.data(), 0, s);
+    benchmark::DoNotOptimize(contrib.data());
+  }
+  state.SetItemsProcessed(state.iterations() * s * d);
+}
+BENCHMARK(BM_FusedContribution)
+    ->ArgsProduct({{16384, 262144}, {0, 1, 2}})
+    ->Unit(benchmark::kMicrosecond);
+
 // Sharded estimation across a DeviceGroup vs the same sample on one
 // device. Per-device counters expose how well the concurrent per-shard
 // chains overlap on the modeled timeline: modeled_ms is the group max,
 // idle_gap_i each member's stall fraction (host waiting on the fold).
-// args: {sample_size, topology(0=cpu+gpu, 1=gpu+gpu)}.
+// args: {sample_size, topology(0=cpu+gpu, 1=gpu+gpu, 2=cpu-simd+gpu)}.
 void BM_EstimateSharded(benchmark::State& state) {
   const std::size_t sample_size = static_cast<std::size_t>(state.range(0));
-  const std::string topology = state.range(1) == 0 ? "cpu+gpu" : "gpu+gpu";
+  static const char* kTopologies[] = {"cpu+gpu", "gpu+gpu", "cpu-simd+gpu"};
+  const std::string topology = kTopologies[state.range(1)];
+  // Install the measured ratio into the simd profile before building it.
+  if (state.range(1) == 2) kb::CalibrateKernelBackends();
   DeviceGroup group(ParseDeviceTopology(topology).MoveValueOrDie());
   DeviceSample sample(&group, sample_size, 8);
   ClusterBoxesParams params;
@@ -320,7 +379,7 @@ void BM_EstimateSharded(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EstimateSharded)
-    ->ArgsProduct({{16384, 262144}, {0, 1}})
+    ->ArgsProduct({{16384, 262144}, {0, 1, 2}})
     ->Unit(benchmark::kMicrosecond);
 
 // The same sharded workload with the group-wide strict hazard checker

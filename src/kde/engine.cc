@@ -7,6 +7,8 @@ namespace fkde {
 
 KdeEngine::KdeEngine(DeviceSample* sample, KernelType kernel)
     : sample_(sample), kernel_(kernel) {
+  // The backend's fused loops size their stack arrays to the same ceiling.
+  static_assert(kMaxDims == kb::kMaxDims);
   FKDE_CHECK(sample != nullptr);
   FKDE_CHECK_MSG(!sample->empty(), "engine requires a loaded sample");
   FKDE_CHECK_MSG(sample->dims() <= kMaxDims, "dims beyond engine limit");
@@ -16,6 +18,14 @@ KdeEngine::KdeEngine(DeviceSample* sample, KernelType kernel)
   for (std::size_t si = 0; si < shards_.size(); ++si) {
     EngineShard& sh = shards_[si];
     sh.device = sample_->shard_device(si);
+    // Resolve the profile's requested backend against CPU capability and
+    // the FKDE_KERNEL_BACKEND / FKDE_KERNEL_PRECISION overrides, once.
+    sh.backend = ResolveKernelBackend(sh.device->profile().kernel_backend);
+    sh.precision =
+        ResolveKernelPrecision(sh.device->profile().kernel_precision);
+    // Simd shards read dim-major strips; mirror the shard before the
+    // Scott pass below touches it.
+    if (sh.backend == KernelBackend::kSimd) sample_->EnableSoaMirror(si);
     sh.bandwidth_dev = sh.device->CreateBuffer<double>(d);
     sh.bounds_dev = sh.device->CreateBuffer<double>(2 * d);
     // Capacity-sized so rebalancing growth never reallocates under
@@ -133,28 +143,26 @@ std::vector<double> KdeEngine::ComputeScottBandwidth() {
     EngineShard& sh = shards_[si];
     const std::size_t rows = sample_->shard_size(si);
     if (rows == 0) continue;
+    if (sh.backend == KernelBackend::kSimd) sample_->EnsureSoaCurrent(si);
     CommandQueue* queue = sh.device->default_queue();
     moments[si] = sh.device->AcquireScratch(2 * d * rows);
     sums[si] = sh.device->AcquireScratch(2 * d);
     host_sums[si].resize(2 * d);
-    const float* data = sample_->shard_buffer(si).device_data();
+    const kb::ShardKernelView view = ShardView(si);
     double* out = moments[si]->device_data();
-    const BufferAccess moments_acc[] = {
-        Reads(sample_->shard_buffer(si), 0, rows * d),
-        Writes(*moments[si], 0, 2 * d * rows)};
+    BufferAccess moments_acc[3];
+    std::size_t na = 0;
+    moments_acc[na++] = Reads(sample_->shard_buffer(si), 0, rows * d);
+    moments_acc[na++] = Writes(*moments[si], 0, 2 * d * rows);
+    if (view.soa != nullptr) {
+      moments_acc[na++] = Reads(sample_->shard_soa(si));
+    }
     queue->EnqueueLaunch(
         "scott_moments", rows, 2.0 * static_cast<double>(d),
-        [data, out, d, rows](std::size_t begin, std::size_t end) {
-          for (std::size_t i = begin; i < end; ++i) {
-            const float* row = data + i * d;
-            for (std::size_t dim = 0; dim < d; ++dim) {
-              const double v = static_cast<double>(row[dim]);
-              out[(2 * dim) * rows + i] = v;
-              out[(2 * dim + 1) * rows + i] = v * v;
-            }
-          }
+        [view, out, rows](std::size_t begin, std::size_t end) {
+          kb::Moments(view, out, rows, begin, end);
         },
-        moments_acc);
+        std::span<const BufferAccess>(moments_acc, na));
     EnqueueReduceSumSegments(queue, *moments[si], 0, rows, 2 * d,
                              sums[si].get());
     done[si] = queue->EnqueueCopyToHost(*sums[si], 0, 2 * d,
@@ -193,6 +201,23 @@ void KdeEngine::StageBounds(const Box& box, double* staging) const {
   }
 }
 
+kb::ShardKernelView KdeEngine::ShardView(std::size_t shard) const {
+  const EngineShard& sh = shards_[shard];
+  kb::ShardKernelView view;
+  view.backend = sh.backend;
+  view.precision = sh.precision;
+  view.kernel = kernel_;
+  view.d = dims();
+  view.aos = sample_->shard_buffer(shard).device_data();
+  if (sh.backend == KernelBackend::kSimd && sample_->soa_enabled(shard)) {
+    view.soa = sample_->shard_soa(shard).device_data();
+    view.soa_stride = sample_->soa_stride();
+  }
+  view.h = sh.bandwidth_dev.device_data();
+  view.scales = has_scales_ ? sh.point_scales.device_data() : nullptr;
+  return view;
+}
+
 double KdeEngine::Estimate(const Box& box) {
   PrepareForPass();
   const std::size_t d = dims();
@@ -214,37 +239,24 @@ double KdeEngine::Estimate(const Box& box) {
     const std::size_t rows = sample_->shard_size(si);
     sh.est_staging = 0.0;
     if (rows == 0) continue;
+    if (sh.backend == KernelBackend::kSimd) sample_->EnsureSoaCurrent(si);
     CommandQueue* queue = sh.device->default_queue();
     queue->EnqueueCopyToDevice(staging, 2 * d, &sh.bounds_dev);
-    const float* data = sample_->shard_buffer(si).device_data();
+    const kb::ShardKernelView view = ShardView(si);
     const double* bounds = sh.bounds_dev.device_data();
-    const double* h = sh.bandwidth_dev.device_data();
     double* contrib = sh.contributions.device_data();
-    const KernelType kernel = kernel_;
-    const float* scales =
-        has_scales_ ? sh.point_scales.device_data() : nullptr;
-    BufferAccess acc[5];
+    BufferAccess acc[6];
     std::size_t na = 0;
     acc[na++] = Reads(sample_->shard_buffer(si), 0, rows * d);
     acc[na++] = Reads(sh.bounds_dev, 0, 2 * d);
     acc[na++] = Reads(sh.bandwidth_dev, 0, d);
     acc[na++] = Writes(sh.contributions, 0, rows);
     if (has_scales_) acc[na++] = Reads(sh.point_scales, 0, rows);
+    if (view.soa != nullptr) acc[na++] = Reads(sample_->shard_soa(si));
     queue->EnqueueLaunch(
         "kde_contributions", rows, static_cast<double>(d),
-        [=](std::size_t begin, std::size_t end) {
-          for (std::size_t i = begin; i < end; ++i) {
-            double prod = 1.0;
-            const float* row = data + i * d;
-            const double scale =
-                scales ? static_cast<double>(scales[i]) : 1.0;
-            for (std::size_t j = 0; j < d; ++j) {
-              prod *= kernel::CdfDiff(kernel, static_cast<double>(row[j]),
-                                      h[j] * scale, bounds[j],
-                                      bounds[d + j]);
-            }
-            contrib[i] = prod;
-          }
+        [view, bounds, contrib](std::size_t begin, std::size_t end) {
+          kb::FusedContribution(view, bounds, contrib, begin, end);
         },
         std::span<const BufferAccess>(acc, na));
     EnqueueReduceSumSegments(queue, sh.contributions, 0, rows, 1,
@@ -266,13 +278,11 @@ void KdeEngine::EnqueueGradientPartialsKernel(std::size_t shard) {
   EngineShard& sh = shards_[shard];
   const std::size_t rows = sample_->shard_size(shard);
   const std::size_t d = dims();
-  const float* data = sample_->shard_buffer(shard).device_data();
+  if (sh.backend == KernelBackend::kSimd) sample_->EnsureSoaCurrent(shard);
+  const kb::ShardKernelView view = ShardView(shard);
   const double* bounds = sh.bounds_dev.device_data();
-  const double* h = sh.bandwidth_dev.device_data();
   double* contrib = sh.contributions.device_data();
   double* partials = sh.grad_partials.device_data();
-  const KernelType kernel = kernel_;
-  const float* scales = has_scales_ ? sh.point_scales.device_data() : nullptr;
 
   // Fused kernel: per sample point, the per-dimension CDF differences and
   // their h-derivatives give both the contribution (13) and, via
@@ -281,34 +291,12 @@ void KdeEngine::EnqueueGradientPartialsKernel(std::size_t shard) {
   // ops/item; whether that cost reaches the host depends on who waits —
   // the synchronous path blocks on it, the enqueued path lets it run
   // while the database executes the query (Section 5.5).
-  auto body = [=](std::size_t begin, std::size_t end) {
-    double cdf[kMaxDims];
-    double dcdf[kMaxDims];
-    double suffix[kMaxDims + 1];
-    for (std::size_t i = begin; i < end; ++i) {
-      const float* row = data + i * d;
-      const double scale = scales ? static_cast<double>(scales[i]) : 1.0;
-      for (std::size_t j = 0; j < d; ++j) {
-        const double t = static_cast<double>(row[j]);
-        const double hj = h[j] * scale;
-        cdf[j] = kernel::CdfDiff(kernel, t, hj, bounds[j], bounds[d + j]);
-        // Chain rule for the variable model: d/dh_j K(.; h_j * s_i)
-        // = s_i * K'(.; h_j * s_i).
-        dcdf[j] =
-            scale *
-            kernel::CdfDiffDh(kernel, t, hj, bounds[j], bounds[d + j]);
-      }
-      suffix[d] = 1.0;
-      for (std::size_t j = d; j-- > 0;) suffix[j] = suffix[j + 1] * cdf[j];
-      contrib[i] = suffix[0];
-      double prefix = 1.0;
-      for (std::size_t j = 0; j < d; ++j) {
-        partials[j * rows + i] = prefix * dcdf[j] * suffix[j + 1];
-        prefix *= cdf[j];
-      }
-    }
+  auto body = [view, bounds, contrib, partials,
+               rows](std::size_t begin, std::size_t end) {
+    kb::FusedContributionGrad(view, bounds, contrib, partials, rows, begin,
+                              end);
   };
-  BufferAccess acc[6];
+  BufferAccess acc[7];
   std::size_t na = 0;
   acc[na++] = Reads(sample_->shard_buffer(shard), 0, rows * d);
   acc[na++] = Reads(sh.bounds_dev, 0, 2 * d);
@@ -316,6 +304,7 @@ void KdeEngine::EnqueueGradientPartialsKernel(std::size_t shard) {
   acc[na++] = Writes(sh.contributions, 0, rows);
   acc[na++] = Writes(sh.grad_partials, 0, d * rows);
   if (has_scales_) acc[na++] = Reads(sh.point_scales, 0, rows);
+  if (view.soa != nullptr) acc[na++] = Reads(sample_->shard_soa(shard));
   sh.device->default_queue()->EnqueueLaunch(
       "kde_contributions_grad", rows, 3.0 * static_cast<double>(d), body,
       std::span<const BufferAccess>(acc, na));
@@ -439,6 +428,7 @@ std::vector<KdeEngine::BatchShard> KdeEngine::EnqueueBatchPipelines(
     EngineShard& sh = shards_[si];
     const std::size_t rows = sample_->shard_size(si);
     if (rows == 0) continue;
+    if (sh.backend == KernelBackend::kSimd) sample_->EnsureSoaCurrent(si);
     BatchShard& bs = states[si];
     CommandQueue* queue = sh.device->default_queue();
 
@@ -456,14 +446,10 @@ std::vector<KdeEngine::BatchShard> KdeEngine::EnqueueBatchPipelines(
     bs.est = sh.device->AcquireScratch(m);
     if (reduce_gradients) bs.grad = sh.device->AcquireScratch(m * d);
 
-    const float* data = sample_->shard_buffer(si).device_data();
+    const kb::ShardKernelView view = ShardView(si);
     const double* bounds = bs.bounds->device_data();
-    const double* h = sh.bandwidth_dev.device_data();
     double* contrib = bs.contrib->device_data();
     double* partials = with_partials ? bs.partials->device_data() : nullptr;
-    const KernelType kernel = kernel_;
-    const float* scales =
-        has_scales_ ? sh.point_scales.device_data() : nullptr;
     // Keep the scratch handles alive until the shard's chain completes:
     // the last command to hold them releases them back to the pool.
     const ScratchBuffer hold_bounds = bs.bounds;
@@ -477,34 +463,25 @@ std::vector<KdeEngine::BatchShard> KdeEngine::EnqueueBatchPipelines(
         // work item owns a sample point and covers the whole query tile,
         // so all m contribution maps cost ONE launch (Figure 3 step 2,
         // batched). The query loop is hoisted outside the point loop so
-        // the contrib writes of a work-group stay contiguous per query.
+        // the contrib writes of a work-group stay contiguous per query —
+        // and so the backend re-hoists the per-(query, dim) reciprocals
+        // once per query descriptor.
         auto body = [=](std::size_t begin, std::size_t end) {
           for (std::size_t q = 0; q < t; ++q) {
-            const double* qb = bounds + (t0 + q) * 2 * d;
-            double* out = contrib + q * rows;
-            for (std::size_t i = begin; i < end; ++i) {
-              const float* row = data + i * d;
-              const double scale =
-                  scales ? static_cast<double>(scales[i]) : 1.0;
-              double prod = 1.0;
-              for (std::size_t j = 0; j < d; ++j) {
-                prod *= kernel::CdfDiff(kernel,
-                                        static_cast<double>(row[j]),
-                                        h[j] * scale, qb[j], qb[d + j]);
-              }
-              out[i] = prod;
-            }
+            kb::FusedContribution(view, bounds + (t0 + q) * 2 * d,
+                                  contrib + q * rows, begin, end);
           }
           (void)hold_bounds;
           (void)hold_contrib;
         };
-        BufferAccess acc[5];
+        BufferAccess acc[6];
         std::size_t na = 0;
         acc[na++] = Reads(sample_->shard_buffer(si), 0, rows * d);
         acc[na++] = Reads(*bs.bounds, t0 * 2 * d, t * 2 * d);
         acc[na++] = Reads(sh.bandwidth_dev, 0, d);
         acc[na++] = Writes(*bs.contrib, 0, t * rows);
         if (has_scales_) acc[na++] = Reads(sh.point_scales, 0, rows);
+        if (view.soa != nullptr) acc[na++] = Reads(sample_->shard_soa(si));
         queue->EnqueueLaunch("kde_batch_contributions", rows,
                              static_cast<double>(t * d), body,
                              std::span<const BufferAccess>(acc, na));
@@ -515,40 +492,17 @@ std::vector<KdeEngine::BatchShard> KdeEngine::EnqueueBatchPipelines(
         // ((q*d + j)*rows + i) so both the per-query segmented reduction
         // and the loss-weighted fold read contiguous segments.
         auto body = [=](std::size_t begin, std::size_t end) {
-          double cdf[kMaxDims];
-          double dcdf[kMaxDims];
-          double suffix[kMaxDims + 1];
           for (std::size_t q = 0; q < t; ++q) {
-            const double* qb = bounds + (t0 + q) * 2 * d;
-            for (std::size_t i = begin; i < end; ++i) {
-              const float* row = data + i * d;
-              const double scale =
-                  scales ? static_cast<double>(scales[i]) : 1.0;
-              for (std::size_t j = 0; j < d; ++j) {
-                const double v = static_cast<double>(row[j]);
-                const double hj = h[j] * scale;
-                cdf[j] = kernel::CdfDiff(kernel, v, hj, qb[j], qb[d + j]);
-                dcdf[j] = scale * kernel::CdfDiffDh(kernel, v, hj, qb[j],
-                                                    qb[d + j]);
-              }
-              suffix[d] = 1.0;
-              for (std::size_t j = d; j-- > 0;) {
-                suffix[j] = suffix[j + 1] * cdf[j];
-              }
-              contrib[q * rows + i] = suffix[0];
-              double prefix = 1.0;
-              for (std::size_t j = 0; j < d; ++j) {
-                partials[(q * d + j) * rows + i] =
-                    prefix * dcdf[j] * suffix[j + 1];
-                prefix *= cdf[j];
-              }
-            }
+            kb::FusedContributionGrad(view, bounds + (t0 + q) * 2 * d,
+                                      contrib + q * rows,
+                                      partials + q * d * rows, rows, begin,
+                                      end);
           }
           (void)hold_bounds;
           (void)hold_contrib;
           (void)hold_partials;
         };
-        BufferAccess acc[6];
+        BufferAccess acc[7];
         std::size_t na = 0;
         acc[na++] = Reads(sample_->shard_buffer(si), 0, rows * d);
         acc[na++] = Reads(*bs.bounds, t0 * 2 * d, t * 2 * d);
@@ -556,6 +510,7 @@ std::vector<KdeEngine::BatchShard> KdeEngine::EnqueueBatchPipelines(
         acc[na++] = Writes(*bs.contrib, 0, t * rows);
         acc[na++] = Writes(*bs.partials, 0, t * d * rows);
         if (has_scales_) acc[na++] = Reads(sh.point_scales, 0, rows);
+        if (view.soa != nullptr) acc[na++] = Reads(sample_->shard_soa(si));
         queue->EnqueueLaunch("kde_batch_contributions_grad", rows,
                              3.0 * static_cast<double>(t * d), body,
                              std::span<const BufferAccess>(acc, na));

@@ -44,6 +44,7 @@
 
 #include "common/status.h"
 #include "data/box.h"
+#include "kde/kernel_backend.h"
 #include "kde/kernels.h"
 #include "kde/loss.h"
 #include "kde/sample.h"
@@ -185,6 +186,16 @@ class KdeEngine {
     return shards_[shard].contributions;
   }
 
+  /// Kernel backend shard `shard` runs (resolved from its device profile
+  /// at construction — AVX2 availability and the FKDE_KERNEL_BACKEND /
+  /// FKDE_KERNEL_PRECISION overrides applied).
+  KernelBackend shard_backend(std::size_t shard) const {
+    return shards_[shard].backend;
+  }
+  KernelPrecision shard_precision(std::size_t shard) const {
+    return shards_[shard].precision;
+  }
+
   /// Model footprint: sample payload + bandwidth + retained contributions.
   /// Deliberately EXCLUDES transient evaluation scratch — the batched
   /// query descriptors, tile contribution/partial buffers and reduction
@@ -200,6 +211,9 @@ class KdeEngine {
   /// device pointers).
   struct EngineShard {
     Device* device = nullptr;
+    /// Resolved kernel backend/precision for this shard's fused loops.
+    KernelBackend backend = KernelBackend::kScalar;
+    KernelPrecision precision = KernelPrecision::kDouble;
     DeviceBuffer<double> bandwidth_dev;  // d doubles (replicated).
     DeviceBuffer<double> bounds_dev;     // 2d doubles: l_0..l_d-1,u_0..
     DeviceBuffer<double> contributions;  // capacity doubles.
@@ -226,6 +240,12 @@ class KdeEngine {
 
   /// Stages `box` bounds into `staging` (2d doubles).
   void StageBounds(const Box& box, double* staging) const;
+
+  /// Builds the kernel-backend view of shard `shard` (raw device pointers
+  /// plus resolved backend/precision) captured by the fused kernel
+  /// bodies. For simd shards, call `sample_->EnsureSoaCurrent(shard)`
+  /// before enqueuing a body that consumes the view.
+  kb::ShardKernelView ShardView(std::size_t shard) const;
 
   /// Enqueues the fused gradient-partials kernel on shard `shard` for the
   /// bounds currently resident in its bounds_dev (shared by

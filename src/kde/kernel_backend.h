@@ -1,0 +1,151 @@
+/// \file kernel_backend.h
+/// \brief Pluggable execution backends for the fused KDE inner loops.
+///
+/// Every KDE hot path runs one of three fused per-point loops inside a
+/// kernel body: the contribution kernel (eq. 13 product of per-dimension
+/// CDF differences), the fused contribution+gradient kernel (eq. 17 via
+/// prefix/suffix products), and the Scott moments kernel. This layer
+/// provides those loops in two backends behind one call signature, so the
+/// engine's `EnqueueLaunch` bodies are thin dispatchers:
+///
+///  * **scalar** — the seed's per-point loops over `kernel::CdfDiff*`,
+///    reading the row-major (AoS) sample. With the per-(query, dim)
+///    reciprocals hoisted by `kernel::HoistFactors` the math is
+///    bitwise-identical to the pre-backend engine.
+///  * **simd** — explicitly vectorized AVX2 loops reading a
+///    structure-of-arrays (SoA) view of the shard (see
+///    `DeviceSample::EnableSoaMirror`), so each lane load is a contiguous
+///    per-dimension strip. 8-wide float lanes in `kFloat` precision with
+///    the polynomial `ErfApproxF`/`ExpApproxF` math of kernels.h; 4-wide
+///    double lanes in `kDouble` precision (the Gaussian double path calls
+///    libm `erf`/`exp` per lane — there is no vector libm to lean on —
+///    so it gains from the SoA strips and hoisting only, while the
+///    Epanechnikov double path vectorizes fully).
+///
+/// ## Precision contract
+///
+/// The contribution/partial buffers are ALWAYS double and the segmented
+/// reductions are untouched: float lane products are widened to double at
+/// store. Consequences, pinned by kernel_backend_test:
+///
+///  * `kDouble` lanes produce estimates within 1e-12 (relative) of the
+///    scalar backend — identical per-point math for the Gaussian; the
+///    vectorized Epanechnikov may differ only by FMA-contraction rounding.
+///  * `kFloat` lanes carry the polynomial-approximation error: each
+///    Gaussian CDF-difference factor is within 1e-6 absolute (A&S 7.1.26
+///    bound + float rounding), so a d-dimensional per-point contribution
+///    is within ~d·1e-6 absolute and the averaged estimate within
+///    `FloatPathEstimateTolerance(d)`.
+///
+/// ## Calibration
+///
+/// `CalibrateKernelBackends()` measures the raw per-element throughput of
+/// the fused contribution loop under both backends (cached after the
+/// first call) and installs the simd/scalar ratio via
+/// `SetSimdThroughputRatio`, so `DeviceProfile::SimdCpu()` profiles
+/// created afterwards model the cpu shard of `cpu-simd+gpu` topologies at
+/// this machine's real vectorized throughput.
+
+#ifndef FKDE_KDE_KERNEL_BACKEND_H_
+#define FKDE_KDE_KERNEL_BACKEND_H_
+
+#include <cstddef>
+
+#include "kde/kernels.h"
+#include "parallel/simd.h"
+
+namespace fkde {
+namespace kb {
+
+/// Dimension ceiling of the fused loops' stack arrays; must match the
+/// engine's kMaxDims (static_asserted in engine.cc).
+inline constexpr std::size_t kMaxDims = 32;
+
+/// \brief Everything a fused loop needs to read one shard: resolved
+/// backend/precision, kernel type, and raw device pointers. Built per
+/// shard per pass by the engine and captured by value into kernel bodies.
+struct ShardKernelView {
+  KernelBackend backend = KernelBackend::kScalar;
+  KernelPrecision precision = KernelPrecision::kDouble;
+  KernelType kernel = KernelType::kGaussian;
+  std::size_t d = 0;
+  /// Row-major sample storage (rows*d floats) — the scalar backend's
+  /// input.
+  const float* aos = nullptr;
+  /// Dim-major SoA strips (`soa[j * soa_stride + i]`) — the simd
+  /// backend's input; nullptr for scalar shards.
+  const float* soa = nullptr;
+  std::size_t soa_stride = 0;
+  /// Device-resident diagonal bandwidth (d doubles).
+  const double* h = nullptr;
+  /// Per-point bandwidth scales (variable KDE), or nullptr. Scales defeat
+  /// the per-query hoisting (h_eff = h_j * scale_i is per point) but both
+  /// backends still vectorize/stream over them.
+  const float* scales = nullptr;
+};
+
+/// Fused contribution loop over points [begin, end): writes the
+/// d-dimensional product of CDF differences for query bounds `qb`
+/// (layout l_0..l_{d-1}, u_0..u_{d-1}) into `contrib[i]`. Serves both the
+/// single-query kernel and, called once per query of a tile, the batched
+/// kernel.
+void FusedContribution(const ShardKernelView& view, const double* qb,
+                       double* contrib, std::size_t begin, std::size_t end);
+
+/// Fused contribution+gradient loop: additionally writes the per-dimension
+/// gradient partial `prefix_j * dcdf_j * suffix_{j+1}` into
+/// `partials[j * row_pitch + i]`. `row_pitch` is the segment pitch of the
+/// downstream segmented reduction (the shard's current row count).
+void FusedContributionGrad(const ShardKernelView& view, const double* qb,
+                           double* contrib, double* partials,
+                           std::size_t row_pitch, std::size_t begin,
+                           std::size_t end);
+
+/// Scott moments loop: writes x into `out[(2j) * rows + i]` and x² into
+/// `out[(2j+1) * rows + i]` for each dimension j. Always double math on
+/// the widened float value (both precisions), so results are
+/// backend-independent.
+void Moments(const ShardKernelView& view, double* out, std::size_t rows,
+             std::size_t begin, std::size_t end);
+
+/// Absolute tolerance of the float-precision estimate (mean of s
+/// per-point contributions, each a product of d factors with ≤1e-6
+/// absolute error on factors bounded by 1): d · 1e-6 plus slack for
+/// accumulated float rounding. Pinned empirically by kernel_backend_test.
+inline double FloatPathEstimateTolerance(std::size_t d) {
+  return 2e-6 * static_cast<double>(d);
+}
+
+/// \brief Measured raw throughput of the fused contribution loop, in
+/// point-attributes per second (the `ops_per_item` unit of the device
+/// cost model).
+struct BackendCalibration {
+  double scalar_ops_per_sec = 0.0;
+  double simd_ops_per_sec = 0.0;
+  /// simd / scalar; 1.0 when the simd backend resolves to scalar (no
+  /// AVX2 or `FKDE_KERNEL_BACKEND=scalar`).
+  double ratio = 1.0;
+};
+
+/// Measures both backends once per process (Gaussian kernel, d=3,
+/// thousands of points, single-threaded raw loops — no Device in the
+/// way), caches the result, and installs the ratio into the parallel
+/// layer via `SetSimdThroughputRatio`. Call before constructing
+/// `DeviceProfile::SimdCpu()` devices whose modeled time should reflect
+/// the measured CPU (the bench harness does this for `cpu-simd`
+/// topologies).
+const BackendCalibration& CalibrateKernelBackends();
+
+/// Raw single-threaded throughput of one backend/precision combination
+/// over `rows` synthetic points in `d` dimensions — the measurement
+/// underlying both `CalibrateKernelBackends` and the backend_check bench.
+/// Returns point-attributes per second.
+double MeasureFusedContributionThroughput(KernelBackend backend,
+                                          KernelPrecision precision,
+                                          KernelType kernel, std::size_t rows,
+                                          std::size_t d, int repetitions);
+
+}  // namespace kb
+}  // namespace fkde
+
+#endif  // FKDE_KDE_KERNEL_BACKEND_H_

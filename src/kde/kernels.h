@@ -20,6 +20,7 @@
 #define FKDE_KDE_KERNELS_H_
 
 #include <cmath>
+#include <cstdint>
 #include <string>
 
 #include "common/status.h"
@@ -100,6 +101,192 @@ inline double CdfDiffDh(KernelType type, double t, double h, double l,
                         double u) {
   return type == KernelType::kGaussian ? GaussianCdfDiffDh(t, h, l, u)
                                        : EpanechnikovCdfDiffDh(t, h, l, u);
+}
+
+// ---------------------------------------------------------------------------
+// Hoisted-factor variants.
+//
+// Every CdfDiff above recomputes a per-(query, dim) reciprocal —
+// `kInvSqrt2 / h`, `1/h`, or `1/h²` — for every sample point, even though
+// it is loop-invariant across the point loop. These variants take the
+// reciprocal precomputed by `HoistFactors` once per query descriptor. The
+// hoisted reciprocal is computed by the *identical* expression, so the
+// per-point math (and therefore the result) is bitwise-identical to the
+// unhoisted functions; kernels_test pins this.
+
+/// The loop-invariant reciprocals of one (kernel, bandwidth) pair:
+/// `inv_cdf` feeds CdfDiffHoisted, `inv_dh` feeds CdfDiffDhHoisted.
+struct HoistedFactors {
+  double inv_cdf;
+  double inv_dh;
+};
+
+inline HoistedFactors HoistFactors(KernelType type, double h) {
+  if (type == KernelType::kGaussian) {
+    return HoistedFactors{kInvSqrt2 / h, 1.0 / (h * h)};
+  }
+  const double inv = 1.0 / h;
+  return HoistedFactors{inv, inv};
+}
+
+inline double GaussianCdfDiffHoisted(double t, double inv, double l,
+                                     double u) {
+  return 0.5 * (std::erf((u - t) * inv) - std::erf((l - t) * inv));
+}
+
+inline double GaussianCdfDiffDhHoisted(double t, double inv_h2, double l,
+                                       double u) {
+  const double dl = l - t;
+  const double du = u - t;
+  return kInvSqrt2Pi * inv_h2 *
+         (dl * std::exp(-0.5 * dl * dl * inv_h2) -
+          du * std::exp(-0.5 * du * du * inv_h2));
+}
+
+inline double EpanechnikovCdfDiffHoisted(double t, double inv, double l,
+                                         double u) {
+  return EpanechnikovCdf((u - t) * inv) - EpanechnikovCdf((l - t) * inv);
+}
+
+inline double EpanechnikovCdfDiffDhHoisted(double t, double inv, double l,
+                                           double u) {
+  const double zl = (l - t) * inv;
+  const double zu = (u - t) * inv;
+  auto density = [](double z) {
+    return (z <= -1.0 || z >= 1.0) ? 0.0 : 0.75 * (1.0 - z * z);
+  };
+  return (zl * density(zl) - zu * density(zu)) * inv;
+}
+
+inline double CdfDiffHoisted(KernelType type, double t, double inv, double l,
+                             double u) {
+  return type == KernelType::kGaussian
+             ? GaussianCdfDiffHoisted(t, inv, l, u)
+             : EpanechnikovCdfDiffHoisted(t, inv, l, u);
+}
+
+inline double CdfDiffDhHoisted(KernelType type, double t, double inv_dh,
+                               double l, double u) {
+  return type == KernelType::kGaussian
+             ? GaussianCdfDiffDhHoisted(t, inv_dh, l, u)
+             : EpanechnikovCdfDiffDhHoisted(t, inv_dh, l, u);
+}
+
+// ---------------------------------------------------------------------------
+// Float-precision approximations (the mixed-precision kernel backend's
+// lane math — see parallel/simd.h and kde/kernel_backend.h).
+//
+// The SIMD float path cannot call libm per lane, so it uses polynomial
+// approximations with proven bounds; these scalar mirrors compute the
+// SAME formulas and serve as the remainder-lane tail of the vector
+// kernels and as the reference for the pinned error-bound tests.
+
+/// Cephes-style single-precision exp: x = n·ln2 + r with |r| ≤ ln2/2,
+/// e^r by a degree-6 minimax polynomial, scale by 2^n through the
+/// exponent bits. Relative error ≤ 2^-21 (~5e-7) over the clamped domain
+/// [-87.3, 88.7]; inputs below/above clamp to the boundary value.
+inline float ExpApproxF(float x) {
+  constexpr float kLog2E = 1.44269504088896341f;
+  constexpr float kC1 = 0.693359375f;        // ln2 split: high part,
+  constexpr float kC2 = -2.12194440e-4f;     // low part (Cody-Waite).
+  x = x > 88.7f ? 88.7f : (x < -87.3f ? -87.3f : x);
+  const float n = std::floor(kLog2E * x + 0.5f);
+  float r = x - n * kC1;
+  r -= n * kC2;
+  const float r2 = r * r;
+  float p = 1.9875691500e-4f;
+  p = p * r + 1.3981999507e-3f;
+  p = p * r + 8.3334519073e-3f;
+  p = p * r + 4.1665795894e-2f;
+  p = p * r + 1.6666665459e-1f;
+  p = p * r + 5.0000001201e-1f;
+  const float y = p * r2 + r + 1.0f;
+  // 2^n via exponent-bit assembly (n is integral and within [-127, 127]
+  // after the clamp above).
+  union {
+    std::uint32_t bits;
+    float value;
+  } scale;
+  scale.bits =
+      static_cast<std::uint32_t>(static_cast<int>(n) + 127) << 23;
+  return y * scale.value;
+}
+
+/// Abramowitz & Stegun 7.1.26 single-precision erf: with
+/// s = 1/(1 + p·|x|), erf(|x|) ≈ 1 − (a1·s + … + a5·s⁵)·e^(−x²), extended
+/// oddly to x < 0. The rational bound is ≤ 1.5e-7 absolute in exact
+/// arithmetic; with float rounding and ExpApproxF's error the total
+/// absolute error is ≤ 1e-6 (pinned by kernel_backend_test over a dense
+/// sweep).
+inline float ErfApproxF(float x) {
+  constexpr float kP = 0.3275911f;
+  constexpr float kA1 = 0.254829592f;
+  constexpr float kA2 = -0.284496736f;
+  constexpr float kA3 = 1.421413741f;
+  constexpr float kA4 = -1.453152027f;
+  constexpr float kA5 = 1.061405429f;
+  const float ax = x < 0.0f ? -x : x;
+  const float s = 1.0f / (1.0f + kP * ax);
+  float poly = kA5;
+  poly = poly * s + kA4;
+  poly = poly * s + kA3;
+  poly = poly * s + kA2;
+  poly = poly * s + kA1;
+  const float y = 1.0f - poly * s * ExpApproxF(-ax * ax);
+  return x < 0.0f ? -y : y;
+}
+
+/// Float GaussianCdfDiff over the hoisted reciprocal `inv` = kInvSqrt2/h.
+/// Absolute error ≤ 1e-6 per factor (half the sum of two ErfApproxF
+/// errors, plus rounding).
+inline float GaussianCdfDiffF(float t, float inv, float l, float u) {
+  return 0.5f * (ErfApproxF((u - t) * inv) - ErfApproxF((l - t) * inv));
+}
+
+/// Float GaussianCdfDiffDh over the hoisted `inv_h2` = 1/h². The leading
+/// 1/h² factor means the error is relative to the gradient's own scale;
+/// the backend tests pin an atol+rtol form.
+inline float GaussianCdfDiffDhF(float t, float inv_h2, float l, float u) {
+  constexpr float kInvSqrt2PiF = 0.3989422804014327f;
+  const float dl = l - t;
+  const float du = u - t;
+  return kInvSqrt2PiF * inv_h2 *
+         (dl * ExpApproxF(-0.5f * dl * dl * inv_h2) -
+          du * ExpApproxF(-0.5f * du * du * inv_h2));
+}
+
+inline float EpanechnikovCdfF(float z) {
+  if (z <= -1.0f) return 0.0f;
+  if (z >= 1.0f) return 1.0f;
+  return 0.25f * (2.0f + 3.0f * z - z * z * z);
+}
+
+/// Float EpanechnikovCdfDiff over the hoisted `inv` = 1/h. Pure
+/// polynomial: error is float rounding only (≤ a few ulp).
+inline float EpanechnikovCdfDiffF(float t, float inv, float l, float u) {
+  return EpanechnikovCdfF((u - t) * inv) - EpanechnikovCdfF((l - t) * inv);
+}
+
+inline float EpanechnikovCdfDiffDhF(float t, float inv, float l, float u) {
+  const float zl = (l - t) * inv;
+  const float zu = (u - t) * inv;
+  auto density = [](float z) {
+    return (z <= -1.0f || z >= 1.0f) ? 0.0f : 0.75f * (1.0f - z * z);
+  };
+  return (zl * density(zl) - zu * density(zu)) * inv;
+}
+
+inline float CdfDiffHoistedF(KernelType type, float t, float inv, float l,
+                             float u) {
+  return type == KernelType::kGaussian ? GaussianCdfDiffF(t, inv, l, u)
+                                       : EpanechnikovCdfDiffF(t, inv, l, u);
+}
+
+inline float CdfDiffDhHoistedF(KernelType type, float t, float inv_dh,
+                               float l, float u) {
+  return type == KernelType::kGaussian
+             ? GaussianCdfDiffDhF(t, inv_dh, l, u)
+             : EpanechnikovCdfDiffDhF(t, inv_dh, l, u);
 }
 
 }  // namespace kernel

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
+#include <utility>
 
 namespace fkde {
 
@@ -99,6 +101,9 @@ void DeviceSample::UploadPartitioned(const std::vector<float>& staging,
     shard.device->CopyToDevice(staging.data() + next_row * dims_,
                                shard.size * dims_, &shard.buffer);
     next_row += shard.size;
+    // A bulk upload invalidates the whole SoA mirror.
+    shard.soa_full_dirty = !shard.soa.empty();
+    shard.soa_dirty_rows.clear();
   }
   size_ = rows;
 }
@@ -153,6 +158,79 @@ void DeviceSample::ReplaceRow(std::size_t slot, std::span<const double> row) {
   const auto [shard, local] = slot_map_[slot];
   shards_[shard].device->CopyToDevice(staging, dims_, &shards_[shard].buffer,
                                       local * dims_);
+  MarkSoaDirty(shard, local, 1);
+}
+
+void DeviceSample::EnableSoaMirror(std::size_t shard) {
+  Shard& sh = shards_[shard];
+  if (!sh.soa.empty()) return;
+  sh.soa = sh.device->CreateBuffer<float>(capacity_ * dims_);
+  sh.soa_full_dirty = true;
+  sh.soa_dirty_rows.clear();
+}
+
+void DeviceSample::MarkSoaDirty(std::size_t shard, std::size_t first,
+                                std::size_t count) {
+  Shard& sh = shards_[shard];
+  if (sh.soa.empty() || sh.soa_full_dirty || count == 0) return;
+  if (sh.soa_dirty_rows.size() + count > sh.size / 4) {
+    // Past a quarter of the shard the full transpose streams better than
+    // a scatter (and keeps the dirty list bounded).
+    sh.soa_full_dirty = true;
+    sh.soa_dirty_rows.clear();
+    return;
+  }
+  for (std::size_t k = 0; k < count; ++k) {
+    sh.soa_dirty_rows.push_back(static_cast<std::uint32_t>(first + k));
+  }
+}
+
+void DeviceSample::EnsureSoaCurrent(std::size_t shard) {
+  Shard& sh = shards_[shard];
+  if (sh.soa.empty()) return;
+  if (!sh.soa_full_dirty && sh.soa_dirty_rows.empty()) return;
+  const std::size_t rows = sh.size;
+  if (rows == 0) {
+    sh.soa_full_dirty = false;
+    sh.soa_dirty_rows.clear();
+    return;
+  }
+  const std::size_t d = dims_;
+  const std::size_t stride = capacity_;
+  const float* aos = sh.buffer.device_data();
+  float* soa = sh.soa.device_data();
+  if (sh.soa_full_dirty) {
+    const BufferAccess acc[] = {Reads(sh.buffer, 0, rows * d),
+                                Writes(sh.soa)};
+    sh.device->default_queue()->EnqueueLaunch(
+        "sample_soa_pack", rows, static_cast<double>(d),
+        [aos, soa, d, stride](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            for (std::size_t j = 0; j < d; ++j) {
+              soa[j * stride + i] = aos[i * d + j];
+            }
+          }
+        },
+        acc);
+  } else {
+    const auto dirty = std::make_shared<std::vector<std::uint32_t>>(
+        std::move(sh.soa_dirty_rows));
+    const BufferAccess acc[] = {Reads(sh.buffer, 0, rows * d),
+                                Writes(sh.soa)};
+    sh.device->default_queue()->EnqueueLaunch(
+        "sample_soa_scatter", dirty->size(), static_cast<double>(d),
+        [aos, soa, d, stride, dirty](std::size_t begin, std::size_t end) {
+          for (std::size_t k = begin; k < end; ++k) {
+            const std::size_t i = (*dirty)[k];
+            for (std::size_t j = 0; j < d; ++j) {
+              soa[j * stride + i] = aos[i * d + j];
+            }
+          }
+        },
+        acc);
+  }
+  sh.soa_full_dirty = false;
+  sh.soa_dirty_rows.clear();
 }
 
 std::vector<double> DeviceSample::ReadRow(std::size_t slot) {
@@ -287,6 +365,9 @@ void DeviceSample::MigrateRows(std::size_t from, std::size_t to,
   donor.size -= count;
   receiver.size += count;
   rows_migrated_ += count;
+  // The receiver's new tail is stale in its SoA mirror; the donor only
+  // shrank, so its strips stay valid for the surviving rows.
+  MarkSoaDirty(to, receiver.size - count, count);
 }
 
 std::vector<std::size_t> DeviceSample::shard_sizes() const {

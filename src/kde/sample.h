@@ -30,6 +30,19 @@
 /// stays honest. Each migration bumps `migration_epoch()`; consumers
 /// caching per-slot device state (Karma bitmaps, point scales) must
 /// refresh when the epoch moves.
+///
+/// ## SoA mirror (simd kernel backend)
+///
+/// The canonical storage stays row-major (AoS) — that is what keeps
+/// maintenance a d-float transfer. Shards feeding a simd-backend device
+/// additionally keep a device-resident structure-of-arrays mirror
+/// (`soa[j * soa_stride() + i]`), opted into per shard via
+/// `EnableSoaMirror`, so 8-wide lanes load contiguous per-dimension
+/// strips. The mirror is maintained lazily: maintenance marks rows dirty
+/// and `EnsureSoaCurrent` (engine-called before each pass enqueues on the
+/// shard) repacks them with an ordinary metered kernel — a full
+/// transpose (`sample_soa_pack`) after bulk loads or heavy churn, a
+/// dirty-row scatter (`sample_soa_scatter`) after point replacements.
 
 #ifndef FKDE_KDE_SAMPLE_H_
 #define FKDE_KDE_SAMPLE_H_
@@ -103,6 +116,31 @@ class DeviceSample {
   /// Shard-0 storage — the whole sample for single-shard callers.
   const DeviceBuffer<float>& buffer() const { return shards_[0].buffer; }
 
+  /// Allocates the dim-major SoA mirror for `shard` (capacity * dims
+  /// floats) and marks it fully dirty. Idempotent. Called by the engine
+  /// for shards whose device profile selects the simd kernel backend.
+  void EnableSoaMirror(std::size_t shard);
+
+  bool soa_enabled(std::size_t shard) const {
+    return !shards_[shard].soa.empty();
+  }
+
+  /// Dim-major mirror of one shard (`soa[j * soa_stride() + i]` for local
+  /// row i). Valid only after `EnableSoaMirror`; strips are current only
+  /// after `EnsureSoaCurrent`.
+  const DeviceBuffer<float>& shard_soa(std::size_t shard) const {
+    return shards_[shard].soa;
+  }
+
+  /// Strip pitch of every SoA mirror. Full capacity, so rebalancing never
+  /// restructures strips — migrated rows land as dirty tail entries.
+  std::size_t soa_stride() const { return capacity_; }
+
+  /// Repacks the shard's dirty rows into its SoA mirror with a metered
+  /// kernel launch (no-op when the mirror is absent or clean). Engine-
+  /// called before enqueuing simd-backend work on the shard.
+  void EnsureSoaCurrent(std::size_t shard);
+
   /// Global slot currently held by local row `local` of `shard`.
   std::size_t GlobalSlot(std::size_t shard, std::size_t local) const {
     return shards_[shard].global_ids[local];
@@ -159,7 +197,19 @@ class DeviceSample {
     std::vector<std::uint32_t> global_ids;
     /// Throughput EWMA, rows/busy-second; 0 = unmeasured.
     double rate_ewma = 0.0;
+    /// Dim-major SoA mirror (capacity * dims floats); empty unless
+    /// `EnableSoaMirror` opted this shard in.
+    DeviceBuffer<float> soa;
+    /// Mirror staleness: full rebuild pending, or individual dirty local
+    /// rows (ignored while soa_full_dirty is set).
+    bool soa_full_dirty = false;
+    std::vector<std::uint32_t> soa_dirty_rows;
   };
+
+  /// Marks local rows [first, first + count) of `shard` stale in its SoA
+  /// mirror (no-op when the mirror is absent). Escalates to a full
+  /// rebuild when the dirty list outgrows a quarter of the shard.
+  void MarkSoaDirty(std::size_t shard, std::size_t first, std::size_t count);
 
   /// Splits `rows` into per-shard targets proportional to `weights`
   /// (largest-remainder rounding, then a min_shard_rows floor).

@@ -1,9 +1,31 @@
 #include "parallel/device.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 
 namespace fkde {
+
+namespace {
+
+/// Measured simd/scalar throughput ratio of the fused contribution
+/// kernel, installed by the KDE layer's calibration. Stored as an atomic
+/// so benches can calibrate from one thread while another builds
+/// profiles. 1.0 until calibration runs: an uncalibrated SimdCpu profile
+/// models the same cost as the scalar CPU rather than guessing.
+std::atomic<double> g_simd_throughput_ratio{1.0};
+
+}  // namespace
+
+void SetSimdThroughputRatio(double ratio) {
+  if (ratio > 0.0) {
+    g_simd_throughput_ratio.store(ratio, std::memory_order_relaxed);
+  }
+}
+
+double SimdThroughputRatio() {
+  return g_simd_throughput_ratio.load(std::memory_order_relaxed);
+}
 
 namespace internal {
 
@@ -37,6 +59,22 @@ DeviceProfile DeviceProfile::OpenClCpu() {
   // ~32K-point 8D model estimated in ~1 ms (paper Section 6.4):
   // 32768 * 8 / 1e-3 s ~= 2.6e8 point-attributes/s.
   p.compute_throughput = 2.56e8;
+  return p;
+}
+
+DeviceProfile DeviceProfile::SimdCpu() {
+  DeviceProfile p = OpenClCpu();
+  p.name = "cpu-simd";
+  p.kernel_backend = KernelBackend::kSimd;
+  p.kernel_precision = KernelPrecision::kFloat;
+  // Calibrated, not assumed: the KDE layer measures the fused
+  // contribution kernel under both backends and installs the ratio; the
+  // modeled cpu shard then speeds up by exactly what this machine's
+  // vector units deliver. Without calibration (or without AVX2, where
+  // the backend resolves to scalar anyway) the ratio is 1.0.
+  if (CpuSupportsSimd()) {
+    p.compute_throughput *= SimdThroughputRatio();
+  }
   return p;
 }
 

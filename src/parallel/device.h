@@ -48,6 +48,7 @@
 #include "common/logging.h"
 #include "parallel/command_queue.h"
 #include "parallel/hazard_checker.h"
+#include "parallel/simd.h"
 #include "parallel/thread_pool.h"
 
 namespace fkde {
@@ -71,6 +72,14 @@ struct DeviceProfile {
   /// one `ops_per_item` unit reported at launch time (we use
   /// one sample-point-attribute as the unit for KDE kernels).
   double compute_throughput = 2.56e8;
+  /// How the fused KDE kernels execute on the host threads backing this
+  /// device (see simd.h). Scalar by default: the seed's per-point loops,
+  /// bit-identical ledger and launch behavior. Engines resolve this
+  /// request per shard via `ResolveKernelBackend` (env override + CPU
+  /// feature dispatch).
+  KernelBackend kernel_backend = KernelBackend::kScalar;
+  /// Lane precision of the SIMD path; ignored by the scalar backend.
+  KernelPrecision kernel_precision = KernelPrecision::kDouble;
 
   /// Profile matching the paper's quad-core Xeon E5620 running Intel's
   /// OpenCL SDK: ~32K-point 8D models evaluated in ~1 ms.
@@ -80,7 +89,25 @@ struct DeviceProfile {
   /// kernel throughput, higher per-launch and per-transfer latency, and
   /// PCIe-limited transfers. ~128K-point 8D models evaluated in ~1 ms.
   static DeviceProfile SimulatedGtx460();
+
+  /// The OpenClCpu host with the AVX2 kernel backend and float lane math:
+  /// same launch/transfer costs, but `compute_throughput` is scaled by
+  /// the *measured* simd-vs-scalar throughput ratio of the fused
+  /// contribution kernel (see kde/kernel_backend.h's calibration), so
+  /// modeled time for cpu shards in `cpu-simd+gpu` topologies reflects
+  /// the real vectorized CPU. Falls back to scalar math (and the scalar
+  /// cost model) on machines without AVX2.
+  static DeviceProfile SimdCpu();
 };
+
+/// Installs the calibrated simd-vs-scalar throughput ratio used by
+/// `DeviceProfile::SimdCpu()`. Called once by the KDE layer's calibration
+/// (kde/kernel_backend.h) — the parallel layer cannot measure KDE math
+/// itself without inverting the dependency. Ratios <= 0 are ignored.
+void SetSimdThroughputRatio(double ratio);
+
+/// The currently installed simd throughput ratio (1.0 until calibrated).
+double SimdThroughputRatio();
 
 /// \brief Counters for all traffic and launches on a device.
 ///

@@ -99,11 +99,14 @@ Result<std::vector<DeviceProfile>> ParseDeviceTopology(
     const std::string name = spec.substr(begin, end - begin);
     if (name == "cpu") {
       profiles.push_back(DeviceProfile::OpenClCpu());
+    } else if (name == "cpu-simd") {
+      profiles.push_back(DeviceProfile::SimdCpu());
     } else if (name == "gpu") {
       profiles.push_back(DeviceProfile::SimulatedGtx460());
     } else {
       return Status::InvalidArgument("unknown device in topology '" + spec +
-                                     "': '" + name + "' (want cpu|gpu)");
+                                     "': '" + name +
+                                     "' (want cpu|cpu-simd|gpu)");
     }
     begin = end + 1;
   }

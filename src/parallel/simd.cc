@@ -1,0 +1,115 @@
+#include "parallel/simd.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <mutex>
+
+namespace fkde {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Reads an environment variable once per process; kernels resolve their
+/// backend on every engine construction, and mid-run environment flips
+/// would make the equivalence tests racy.
+const char* CachedEnv(const char* name, std::string* storage,
+                      std::once_flag* flag) {
+  std::call_once(*flag, [&] {
+    const char* v = std::getenv(name);
+    if (v != nullptr) *storage = v;
+  });
+  return storage->empty() ? nullptr : storage->c_str();
+}
+
+const char* BackendEnv() {
+  static std::string storage;
+  static std::once_flag flag;
+  return CachedEnv("FKDE_KERNEL_BACKEND", &storage, &flag);
+}
+
+const char* PrecisionEnv() {
+  static std::string storage;
+  static std::once_flag flag;
+  return CachedEnv("FKDE_KERNEL_PRECISION", &storage, &flag);
+}
+
+}  // namespace
+
+const char* KernelBackendName(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kScalar:
+      return "scalar";
+    case KernelBackend::kSimd:
+      return "simd";
+  }
+  return "unknown";
+}
+
+const char* KernelPrecisionName(KernelPrecision precision) {
+  switch (precision) {
+    case KernelPrecision::kDouble:
+      return "double";
+    case KernelPrecision::kFloat:
+      return "float";
+  }
+  return "unknown";
+}
+
+Result<KernelBackend> ParseKernelBackendName(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "scalar") return KernelBackend::kScalar;
+  if (lower == "simd") return KernelBackend::kSimd;
+  return Status::InvalidArgument("unknown kernel backend: " + name +
+                                 " (expected scalar|simd)");
+}
+
+Result<KernelPrecision> ParseKernelPrecisionName(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "double" || lower == "f64") return KernelPrecision::kDouble;
+  if (lower == "float" || lower == "f32") return KernelPrecision::kFloat;
+  return Status::InvalidArgument("unknown kernel precision: " + name +
+                                 " (expected double|float)");
+}
+
+bool CpuSupportsSimd() {
+#if defined(__x86_64__) || defined(_M_X64)
+  // __builtin_cpu_supports caches CPUID internally; wrap it anyway so the
+  // answer is a single load after first use.
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported;
+#else
+  return false;
+#endif
+}
+
+KernelBackend ResolveKernelBackend(KernelBackend requested) {
+  if (const char* env = BackendEnv()) {
+    const std::string lower = ToLower(env);
+    if (lower == "scalar") return KernelBackend::kScalar;
+    if (lower == "simd") {
+      requested = KernelBackend::kSimd;
+    }
+    // "auto" (or anything unrecognized) keeps the profile's request.
+  }
+  if (requested == KernelBackend::kSimd && !CpuSupportsSimd()) {
+    return KernelBackend::kScalar;
+  }
+  return requested;
+}
+
+KernelPrecision ResolveKernelPrecision(KernelPrecision requested) {
+  if (const char* env = PrecisionEnv()) {
+    const std::string lower = ToLower(env);
+    if (lower == "double" || lower == "f64") return KernelPrecision::kDouble;
+    if (lower == "float" || lower == "f32") return KernelPrecision::kFloat;
+  }
+  return requested;
+}
+
+}  // namespace fkde

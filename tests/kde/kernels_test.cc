@@ -1,8 +1,11 @@
 #include "kde/kernels.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
+
+#include "common/rng.h"
 
 namespace fkde {
 namespace {
@@ -153,6 +156,30 @@ TEST(GaussianCdfDiff, MatchesNormalQuantiles) {
 TEST(GaussianCdfDiffDh, ZeroForCenteredSymmetricIntervalExtremes) {
   // For a huge interval the mass is ~1 regardless of h: derivative ~0.
   EXPECT_NEAR(kernel::GaussianCdfDiffDh(0.0, 1.0, -100.0, 100.0), 0.0, 1e-12);
+}
+
+TEST(HoistedFactors, BitwiseEqualToUnhoistedForms) {
+  // The kernel backends hoist the per-(query, dim) reciprocals once per
+  // descriptor; this must be a pure refactor — the hoisted forms compute
+  // the same expressions in the same order, so results are bitwise equal,
+  // which is what keeps the scalar backend's ledger pins intact.
+  Rng rng(29);
+  for (const KernelType type :
+       {KernelType::kGaussian, KernelType::kEpanechnikov}) {
+    for (int i = 0; i < 2000; ++i) {
+      const double t = rng.Uniform(-2.0, 2.0);
+      const double h = rng.Uniform(0.01, 1.5);
+      const double a = rng.Uniform(-2.0, 2.0);
+      const double b = rng.Uniform(-2.0, 2.0);
+      const double l = std::min(a, b);
+      const double u = std::max(a, b);
+      const kernel::HoistedFactors f = kernel::HoistFactors(type, h);
+      EXPECT_EQ(kernel::CdfDiffHoisted(type, t, f.inv_cdf, l, u),
+                kernel::CdfDiff(type, t, h, l, u));
+      EXPECT_EQ(kernel::CdfDiffDhHoisted(type, t, f.inv_dh, l, u),
+                kernel::CdfDiffDh(type, t, h, l, u));
+    }
+  }
 }
 
 }  // namespace
