@@ -1,0 +1,26 @@
+/// \file annotations.h
+/// \brief Source annotations consumed by both the compiler and fkde-lint.
+///
+/// `FKDE_HOT` marks a function as being on the per-point kernel hot
+/// path: it is called O(sample_size) times per estimate (the fused
+/// contribution loops, the loss evaluations inside batch kernels).
+/// Two consumers:
+///
+///   * the compiler: `[[gnu::hot]]` biases inlining and code layout;
+///   * fkde-lint: the `hot-alloc` check forbids heap allocation
+///     (new/malloc/allocating containers) inside FKDE_HOT bodies and
+///     kernel lambdas — scratch must come from Device::AcquireScratch.
+///
+/// Keep the annotation on both the declaration and the definition: the
+/// linter models one translation unit at a time.
+
+#ifndef FKDE_COMMON_ANNOTATIONS_H_
+#define FKDE_COMMON_ANNOTATIONS_H_
+
+#if defined(__GNUC__) || defined(__clang__)
+#define FKDE_HOT [[gnu::hot]]
+#else
+#define FKDE_HOT
+#endif
+
+#endif  // FKDE_COMMON_ANNOTATIONS_H_

@@ -148,7 +148,11 @@ std::vector<double> KdeEngine::ComputeScottBandwidth() {
     moments[si] = sh.device->AcquireScratch(2 * d * rows);
     sums[si] = sh.device->AcquireScratch(2 * d);
     host_sums[si].resize(2 * d);
-    const kb::ShardKernelView view = ShardView(si);
+    // The trimmed MomentsView (no bandwidth/scale pointers — kb::Moments
+    // reads raw sample values only, and the bandwidth it derives is not
+    // initialized yet) keeps the declared set equal to the kernel's real
+    // pointer surface, which fkde-lint checks at view granularity.
+    const kb::ShardKernelView view = MomentsView(si);
     double* out = moments[si]->device_data();
     BufferAccess moments_acc[3];
     std::size_t na = 0;
@@ -201,7 +205,7 @@ void KdeEngine::StageBounds(const Box& box, double* staging) const {
   }
 }
 
-kb::ShardKernelView KdeEngine::ShardView(std::size_t shard) const {
+kb::ShardKernelView KdeEngine::MomentsView(std::size_t shard) const {
   const EngineShard& sh = shards_[shard];
   kb::ShardKernelView view;
   view.backend = sh.backend;
@@ -213,6 +217,12 @@ kb::ShardKernelView KdeEngine::ShardView(std::size_t shard) const {
     view.soa = sample_->shard_soa(shard).device_data();
     view.soa_stride = sample_->soa_stride();
   }
+  return view;
+}
+
+kb::ShardKernelView KdeEngine::ShardView(std::size_t shard) const {
+  const EngineShard& sh = shards_[shard];
+  kb::ShardKernelView view = MomentsView(shard);
   view.h = sh.bandwidth_dev.device_data();
   view.scales = has_scales_ ? sh.point_scales.device_data() : nullptr;
   return view;

@@ -247,6 +247,14 @@ class KdeEngine {
   /// before enqueuing a body that consumes the view.
   kb::ShardKernelView ShardView(std::size_t shard) const;
 
+  /// Sample-only subset of ShardView for the Scott moments kernel: no
+  /// bandwidth/scale pointers, because `kb::Moments` reads raw sample
+  /// values only — and at moments time the bandwidth the moments will
+  /// *derive* is not initialized yet, so packing its pointer would hand
+  /// the kernel uninitialized memory (flagged by both fkde-lint's
+  /// access-set check and the hazard checker's use-before-init).
+  kb::ShardKernelView MomentsView(std::size_t shard) const;
+
   /// Enqueues the fused gradient-partials kernel on shard `shard` for the
   /// bounds currently resident in its bounds_dev (shared by
   /// EstimateWithGradient and EnqueueGradient).

@@ -548,8 +548,9 @@ __attribute__((target("avx2,fma"))) void ContributionEpaDoubleAvx2(
 
 }  // namespace
 
-void FusedContribution(const ShardKernelView& view, const double* qb,
-                       double* contrib, std::size_t begin, std::size_t end) {
+FKDE_HOT void FusedContribution(const ShardKernelView& view,
+                                const double* qb, double* contrib,
+                                std::size_t begin, std::size_t end) {
   if (view.backend == KernelBackend::kSimd && view.soa != nullptr) {
 #if defined(FKDE_KB_X86)
     if (CpuSupportsSimd()) {
@@ -571,10 +572,10 @@ void FusedContribution(const ShardKernelView& view, const double* qb,
   ScalarContribution(view, qb, contrib, begin, end);
 }
 
-void FusedContributionGrad(const ShardKernelView& view, const double* qb,
-                           double* contrib, double* partials,
-                           std::size_t row_pitch, std::size_t begin,
-                           std::size_t end) {
+FKDE_HOT void FusedContributionGrad(const ShardKernelView& view,
+                                    const double* qb, double* contrib,
+                                    double* partials, std::size_t row_pitch,
+                                    std::size_t begin, std::size_t end) {
   if (view.backend == KernelBackend::kSimd && view.soa != nullptr) {
 #if defined(FKDE_KB_X86)
     if (CpuSupportsSimd() && view.precision == KernelPrecision::kFloat) {
@@ -590,8 +591,9 @@ void FusedContributionGrad(const ShardKernelView& view, const double* qb,
   ScalarContributionGrad(view, qb, contrib, partials, row_pitch, begin, end);
 }
 
-void Moments(const ShardKernelView& view, double* out, std::size_t rows,
-             std::size_t begin, std::size_t end) {
+FKDE_HOT void Moments(const ShardKernelView& view, double* out,
+                      std::size_t rows, std::size_t begin,
+                      std::size_t end) {
   if (view.backend == KernelBackend::kSimd && view.soa != nullptr) {
     MomentsSoa(view, out, rows, begin, end);
     return;

@@ -51,6 +51,7 @@
 
 #include <cstddef>
 
+#include "common/annotations.h"
 #include "kde/kernels.h"
 #include "parallel/simd.h"
 
@@ -89,24 +90,25 @@ struct ShardKernelView {
 /// (layout l_0..l_{d-1}, u_0..u_{d-1}) into `contrib[i]`. Serves both the
 /// single-query kernel and, called once per query of a tile, the batched
 /// kernel.
-void FusedContribution(const ShardKernelView& view, const double* qb,
-                       double* contrib, std::size_t begin, std::size_t end);
+FKDE_HOT void FusedContribution(const ShardKernelView& view,
+                                const double* qb, double* contrib,
+                                std::size_t begin, std::size_t end);
 
 /// Fused contribution+gradient loop: additionally writes the per-dimension
 /// gradient partial `prefix_j * dcdf_j * suffix_{j+1}` into
 /// `partials[j * row_pitch + i]`. `row_pitch` is the segment pitch of the
 /// downstream segmented reduction (the shard's current row count).
-void FusedContributionGrad(const ShardKernelView& view, const double* qb,
-                           double* contrib, double* partials,
-                           std::size_t row_pitch, std::size_t begin,
-                           std::size_t end);
+FKDE_HOT void FusedContributionGrad(const ShardKernelView& view,
+                                    const double* qb, double* contrib,
+                                    double* partials, std::size_t row_pitch,
+                                    std::size_t begin, std::size_t end);
 
 /// Scott moments loop: writes x into `out[(2j) * rows + i]` and x² into
 /// `out[(2j+1) * rows + i]` for each dimension j. Always double math on
 /// the widened float value (both precisions), so results are
 /// backend-independent.
-void Moments(const ShardKernelView& view, double* out, std::size_t rows,
-             std::size_t begin, std::size_t end);
+FKDE_HOT void Moments(const ShardKernelView& view, double* out,
+                      std::size_t rows, std::size_t begin, std::size_t end);
 
 /// Absolute tolerance of the float-precision estimate (mean of s
 /// per-point contributions, each a product of d factors with ≤1e-6

@@ -33,8 +33,8 @@ const char* LossName(LossType type) {
   return "unknown";
 }
 
-double EvaluateLoss(LossType type, double estimate, double truth,
-                    double lambda) {
+FKDE_HOT double EvaluateLoss(LossType type, double estimate, double truth,
+                             double lambda) {
   FKDE_DCHECK(lambda > 0.0);
   const double diff = estimate - truth;
   switch (type) {
@@ -57,8 +57,8 @@ double EvaluateLoss(LossType type, double estimate, double truth,
   return 0.0;
 }
 
-double LossDerivative(LossType type, double estimate, double truth,
-                      double lambda) {
+FKDE_HOT double LossDerivative(LossType type, double estimate,
+                               double truth, double lambda) {
   FKDE_DCHECK(lambda > 0.0);
   const double diff = estimate - truth;
   const double sign = diff > 0.0 ? 1.0 : (diff < 0.0 ? -1.0 : 0.0);

@@ -12,6 +12,7 @@
 #include <cmath>
 #include <string>
 
+#include "common/annotations.h"
 #include "common/status.h"
 
 namespace fkde {
@@ -32,12 +33,12 @@ const char* LossName(LossType type);
 
 /// \brief Loss evaluation. `lambda` is the small positive smoothing
 /// constant preventing divisions by zero in the relative/Q metrics.
-double EvaluateLoss(LossType type, double estimate, double truth,
-                    double lambda = 1e-5);
+FKDE_HOT double EvaluateLoss(LossType type, double estimate, double truth,
+                             double lambda = 1e-5);
 
 /// \brief dL/dp̂ at (estimate, truth) — the first factor of eq. (14).
-double LossDerivative(LossType type, double estimate, double truth,
-                      double lambda = 1e-5);
+FKDE_HOT double LossDerivative(LossType type, double estimate, double truth,
+                               double lambda = 1e-5);
 
 }  // namespace fkde
 

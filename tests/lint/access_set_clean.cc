@@ -1,0 +1,50 @@
+// fkde-lint fixture: access-set discipline done right. Analyzed (not
+// compiled) by `ctest -L lint`; must produce zero findings. Exercises
+// the idioms the analyzer has to accept without noise: conditional
+// entries, incremental `acc[na++] =` arrays, and ternary-initialized
+// pointers.
+#include "parallel/command_queue.h"
+#include "parallel/device.h"
+
+namespace fkde {
+
+// Braced array, every captured buffer declared.
+void DeclaredLaunch(CommandQueue* queue, DeviceBuffer<double>& in,
+                    DeviceBuffer<double>& out, std::size_t rows) {
+  const double* a = in.device_data();
+  double* b = out.device_data();
+  const BufferAccess acc[] = {Reads(in, 0, rows), Writes(out, 0, rows)};
+  queue->EnqueueLaunch(
+      "fixture_declared", rows, 1.0,
+      [a, b](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) b[i] = a[i] * 2.0;
+      },
+      acc);
+}
+
+// Incrementally built array with a conditionally present buffer: the
+// ternary-initialized pointer only counts against the access set when
+// the matching conditional entry is absent.
+void ConditionalLaunch(CommandQueue* queue, DeviceBuffer<double>& in,
+                       DeviceBuffer<double>& out,
+                       DeviceBuffer<float>& scales, bool has_scales,
+                       std::size_t rows) {
+  const double* a = in.device_data();
+  double* b = out.device_data();
+  const float* sc = has_scales ? scales.device_data() : nullptr;
+  BufferAccess acc[3];
+  std::size_t na = 0;
+  acc[na++] = Reads(in, 0, rows);
+  acc[na++] = Writes(out, 0, rows);
+  if (has_scales) acc[na++] = Reads(scales, 0, rows);
+  queue->EnqueueLaunch(
+      "fixture_conditional", rows, 1.0,
+      [a, b, sc](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          b[i] = sc != nullptr ? a[i] * sc[i] : a[i];
+        }
+      },
+      acc);
+}
+
+}  // namespace fkde

@@ -1,0 +1,58 @@
+// fkde-lint fixture: access-set violations. This TU is never compiled;
+// it is analyzed by fkde-lint in `ctest -L lint` and mirrors the
+// production enqueue idiom of src/kde/engine.cc. Expected diagnostics
+// are pinned (check, file, line) in access_set_violating.expected.
+#include "parallel/command_queue.h"
+#include "parallel/device.h"
+
+namespace fkde {
+
+// The kernel body reads `extra` (an alias of `side`), but `side` is
+// missing from the declared access set.
+void MissingCapture(CommandQueue* queue, DeviceBuffer<double>& in,
+                    DeviceBuffer<double>& out, DeviceBuffer<double>& side,
+                    std::size_t rows) {
+  const double* a = in.device_data();
+  double* b = out.device_data();
+  const double* extra = side.device_data();
+  const BufferAccess acc[] = {Reads(in, 0, rows), Writes(out, 0, rows)};
+  queue->EnqueueLaunch(
+      "fixture_missing", rows, 1.0,
+      [a, b, extra](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) b[i] = a[i] + extra[i];
+      },
+      acc);
+}
+
+// The access set still declares `old_weights` from a previous revision
+// of the kernel, which no longer touches it.
+void StaleDeclaration(CommandQueue* queue, DeviceBuffer<double>& in,
+                      DeviceBuffer<double>& out,
+                      DeviceBuffer<double>& old_weights, std::size_t rows) {
+  const double* a = in.device_data();
+  double* b = out.device_data();
+  const double* w = old_weights.device_data();
+  const BufferAccess acc[] = {Reads(in, 0, rows), Writes(out, 0, rows),
+                              Reads(old_weights, 0, rows)};
+  queue->EnqueueLaunch(
+      "fixture_stale", rows, 1.0,
+      [a, b](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) b[i] = a[i];
+      },
+      acc);
+  (void)w;
+}
+
+// No access set at all: the launch is invisible to the hazard checker.
+void OpaqueLaunch(CommandQueue* queue, DeviceBuffer<double>& out,
+                  std::size_t rows) {
+  double* b = out.device_data();
+  queue->EnqueueLaunch("fixture_opaque", rows, 1.0,
+                       [b](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           b[i] = 0.0;
+                         }
+                       });
+}
+
+}  // namespace fkde

@@ -1,0 +1,47 @@
+// fkde-lint fixture: readback discipline done right. Analyzed (not
+// compiled) by `ctest -L lint`; must produce zero findings. Covers the
+// accepted orderings: explicit Wait(), chained Wait(), a later
+// Finish() on the same in-order queue, and an event parked in a member
+// for the caller to wait on.
+#include <vector>
+
+#include "parallel/command_queue.h"
+#include "parallel/device.h"
+
+namespace fkde {
+
+double WaitedReadback(CommandQueue* queue, DeviceBuffer<double>& buf,
+                      std::size_t rows) {
+  std::vector<double> host(rows);
+  Event done = queue->EnqueueCopyToHost(buf, 0, rows, host.data());
+  done.Wait();
+  return host[0];
+}
+
+double ChainedWaitReadback(CommandQueue* queue, DeviceBuffer<double>& buf,
+                           std::size_t rows) {
+  std::vector<double> host(rows);
+  queue->EnqueueCopyToHost(buf, 0, rows, host.data()).Wait();
+  return host[0];
+}
+
+// In-order queue: a later Finish() orders the discarded copy.
+double FinishedReadback(CommandQueue* queue, DeviceBuffer<double>& buf,
+                        std::size_t rows) {
+  std::vector<double> host(rows);
+  queue->EnqueueCopyToHost(buf, 0, rows, host.data());
+  queue->Finish();
+  return host[0];
+}
+
+struct PendingReadback {
+  Event pending;
+
+  // The event escapes into a member; the caller synchronizes.
+  void Start(CommandQueue* queue, DeviceBuffer<double>& buf, double* host,
+             std::size_t rows) {
+    pending = queue->EnqueueCopyToHost(buf, 0, rows, host);
+  }
+};
+
+}  // namespace fkde

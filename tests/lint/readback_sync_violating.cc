@@ -1,0 +1,27 @@
+// fkde-lint fixture: readback-sync violations. Analyzed (not compiled)
+// by `ctest -L lint`. Both functions read back device memory without
+// ever ordering the host read behind the copy.
+#include <vector>
+
+#include "parallel/command_queue.h"
+#include "parallel/device.h"
+
+namespace fkde {
+
+// The returned event is bound but never reaches Wait()/Finish();
+// `host` may be read before the copy lands.
+double UnwaitedReadback(CommandQueue* queue, DeviceBuffer<double>& buf,
+                        std::size_t rows) {
+  std::vector<double> host(rows);
+  Event done = queue->EnqueueCopyToHost(buf, 0, rows, host.data());
+  return host[0];
+}
+
+// The returned event is discarded outright and no later Finish() on
+// the queue orders the host read.
+void DiscardedReadback(CommandQueue* queue, DeviceBuffer<double>& buf,
+                       double* host, std::size_t rows) {
+  queue->EnqueueCopyToHost(buf, 0, rows, host);
+}
+
+}  // namespace fkde

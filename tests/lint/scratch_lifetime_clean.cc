@@ -1,0 +1,58 @@
+// fkde-lint fixture: scratch lifetime done right. Analyzed (not
+// compiled) by `ctest -L lint`; must produce zero findings. The three
+// sanctioned patterns: a hold capture (ScratchBuffer copied by value
+// into the kernel), a blocking point after the last queued use, and
+// parking the handle in a member that outlives the queue.
+#include "parallel/command_queue.h"
+#include "parallel/device.h"
+
+namespace fkde {
+
+// The kernel capture copies the shared_ptr; the pool cannot reclaim
+// the scratch until the kernel body is destroyed.
+void HeldByCapture(Device* dev, CommandQueue* queue,
+                   DeviceBuffer<double>& out, std::size_t rows) {
+  ScratchBuffer tmp = dev->AcquireScratch(rows);
+  double* t = tmp->device_data();
+  double* b = out.device_data();
+  const BufferAccess acc[] = {Writes(*tmp, 0, rows), Writes(out, 0, rows)};
+  queue->EnqueueLaunch(
+      "fixture_held_scratch", rows, 1.0,
+      [tmp, t, b](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          t[i] = 1.0;
+          b[i] = t[i];
+        }
+      },
+      acc);
+}
+
+// Finish() drains the queue before the handle goes out of scope.
+void DrainedBeforeRelease(Device* dev, CommandQueue* queue,
+                          DeviceBuffer<double>& out, std::size_t rows) {
+  ScratchBuffer tmp = dev->AcquireScratch(rows);
+  double* t = tmp->device_data();
+  double* b = out.device_data();
+  const BufferAccess acc[] = {Writes(*tmp, 0, rows), Writes(out, 0, rows)};
+  queue->EnqueueLaunch(
+      "fixture_drained_scratch", rows, 1.0,
+      [t, b](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          t[i] = 2.0;
+          b[i] = t[i];
+        }
+      },
+      acc);
+  queue->Finish();
+}
+
+struct BatchState {
+  ScratchBuffer bounds;
+
+  // Parked in a member: the owner synchronizes before reuse.
+  void Acquire(Device* dev, std::size_t rows) {
+    bounds = dev->AcquireScratch(rows);
+  }
+};
+
+}  // namespace fkde

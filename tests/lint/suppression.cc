@@ -1,0 +1,22 @@
+// fkde-lint fixture: the FKDE_LINT_SUPPRESS escape hatch. Analyzed
+// (not compiled) by `ctest -L lint`. The first readback is suppressed
+// with a reason and must NOT be reported; the second, identical one
+// has no suppression and must still be reported — proving suppressions
+// are per-line, not per-file.
+#include "parallel/command_queue.h"
+#include "parallel/device.h"
+
+namespace fkde {
+
+void SuppressedReadback(CommandQueue* queue, DeviceBuffer<double>& buf,
+                        double* host, std::size_t rows) {
+  // FKDE_LINT_SUPPRESS(readback-sync): the caller waits on the queue.
+  queue->EnqueueCopyToHost(buf, 0, rows, host);
+}
+
+void UnsuppressedReadback(CommandQueue* queue, DeviceBuffer<double>& buf,
+                          double* host, std::size_t rows) {
+  queue->EnqueueCopyToHost(buf, 0, rows, host);
+}
+
+}  // namespace fkde

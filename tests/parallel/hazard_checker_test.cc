@@ -372,6 +372,61 @@ TEST(HazardPositive, ShardedBatchGradientValidatesClean) {
 // Satellite regressions: DeviceBuffer move semantics against the global
 // registry, and the draining queue destructor.
 
+// ---------------------------------------------------------------------------
+// Regression: the scott_moments view surface (found by fkde-lint's
+// access-set check). The moments kernel received a ShardKernelView
+// packing a `bandwidth_dev` pointer its declared access set omitted —
+// undeclared accesses are invisible here: the checker reasons only over
+// declared sets, so had the kernel dereferenced that pointer, a
+// concurrent bandwidth write would have raced it silently. The fix
+// trims the view (KdeEngine::MomentsView packs only the sample buffers
+// kb::Moments reads — the bandwidth the moments *derive* is not even
+// initialized yet; declaring the read instead trips use-before-init).
+// The pair below pins both halves of why the static rule exists: an
+// undeclared surface is invisible, a declared one is ordered.
+
+TEST(HazardRegression, UndeclaredViewPointerHidesBandwidthRace) {
+  Device device(DeviceProfile::OpenClCpu());
+  auto checker = AttachDeferred(&device);
+  auto moments = device.CreateBuffer<double>(32);
+  auto bandwidth = device.CreateBuffer<double>(4);
+  CommandQueue side(&device);
+  // The pre-fix shape: only the output declared, not the view-packed
+  // pointer the kernel could have read.
+  const BufferAccess undeclared[] = {Writes(moments)};
+  const BufferAccess bw_writes[] = {Writes(bandwidth)};
+  device.default_queue()->EnqueueLaunch("scott_moments", 1, 1.0, Nop,
+                                        undeclared);
+  side.EnqueueLaunch("bandwidth_update", 1, 1.0, Nop, bw_writes);
+  side.Finish();
+  device.default_queue()->Finish();
+  // A genuine race, but no report: declared sets are the checker's whole
+  // world. fkde-lint's access-set check closes this gap statically.
+  EXPECT_TRUE(checker->Validate().empty());
+}
+
+TEST(HazardRegression, DeclaredViewPointerOrdersBandwidthRace) {
+  Device device(DeviceProfile::OpenClCpu());
+  auto checker = AttachDeferred(&device);
+  auto moments = device.CreateBuffer<double>(32);
+  auto bandwidth = device.CreateBuffer<double>(4);
+  CommandQueue side(&device);
+  // The declared shape: with the read in the access set, the same
+  // concurrent write is detected and reported.
+  const BufferAccess declared[] = {Writes(moments), Reads(bandwidth)};
+  const BufferAccess bw_writes[] = {Writes(bandwidth)};
+  device.default_queue()->EnqueueLaunch("scott_moments", 1, 1.0, Nop,
+                                        declared);
+  side.EnqueueLaunch("bandwidth_update", 1, 1.0, Nop, bw_writes);
+  side.Finish();
+  device.default_queue()->Finish();
+  const std::vector<HazardReport> reports = checker->Validate();
+  ASSERT_EQ(CountKind(reports, HazardKind::kWar), 1u) << Messages(reports);
+  const std::string& msg = Messages(reports);
+  EXPECT_NE(msg.find("'scott_moments'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'bandwidth_update'"), std::string::npos) << msg;
+}
+
 TEST(BufferRegistry, MoveAssignReleasesMovedOverRegistration) {
   Device device(DeviceProfile::OpenClCpu());
   auto a = device.CreateBuffer<double>(4);

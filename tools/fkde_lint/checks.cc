@@ -1,0 +1,399 @@
+/// \file checks.cc
+/// \brief Implementations of the four fkde-lint checks over SourceFile.
+
+#include "checks.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace fkde_lint {
+
+namespace {
+
+bool Enabled(const std::vector<std::string>& enabled, const char* name) {
+  if (enabled.empty()) return true;
+  return std::find(enabled.begin(), enabled.end(), name) != enabled.end();
+}
+
+/// True when `name`'s alias class contains a key seen in a buffer
+/// position (Reads/Writes subject, device_data, CreateBuffer,
+/// AcquireScratch).
+bool ClassBufferish(const FunctionInfo& fn, const std::string& name) {
+  const std::string rep = fn.Find(name);
+  for (const std::string& b : fn.bufferish) {
+    if (fn.Find(b) == rep) return true;
+  }
+  return false;
+}
+
+/// A name escapes when it is a parameter, is returned, is bound to
+/// non-local state, or was never locally declared (member/global).
+bool Escapes(const FunctionInfo& fn, const std::string& name) {
+  if (name.empty()) return false;
+  return fn.escaping.count(name) > 0 || fn.locals.count(name) == 0;
+}
+
+void Emit(std::vector<Finding>& out, const SourceFile& sf,
+          const char* check, int line, std::string message) {
+  Finding f;
+  f.check = check;
+  f.path = sf.path;
+  f.line = line;
+  f.message = std::move(message);
+  for (int l : {line, line - 1}) {
+    auto it = sf.suppressions.find(l);
+    if (it != sf.suppressions.end() &&
+        (it->second.count(check) || it->second.count("*"))) {
+      f.suppressed = true;
+      break;
+    }
+  }
+  out.push_back(std::move(f));
+}
+
+// ------------------------------------------------------------------ //
+// access-set
+
+struct Use {
+  std::string display;  ///< A name to print (capture or summary key).
+  bool from_summary = false;
+};
+
+void CheckAccessSet(const SourceFile& sf, const FunctionInfo& fn,
+                    std::vector<Finding>& out) {
+  const TokenStream& ts = sf.stream;
+  for (const LaunchSite& ls : fn.launches) {
+    if (ls.forwarded) continue;
+    const std::string kname =
+        ls.kernel_name.empty() ? fn.name : ls.kernel_name;
+    if (!ls.has_accesses) {
+      Emit(out, sf, "access-set", ls.line,
+           "kernel '" + kname +
+               "' is launched with an empty access set (opaque to the "
+               "hazard checker)");
+      continue;
+    }
+    if (!ls.body_resolved) continue;  // Nothing to compare against.
+
+    std::map<std::string, Use> uses;  // class rep -> info
+    bool staleness_ok = true;
+    auto add_use = [&](const std::string& key, bool from_summary) {
+      const std::string rep = fn.Find(key);
+      auto [it, inserted] = uses.try_emplace(rep, Use{key, from_summary});
+      if (!inserted && it->second.from_summary && !from_summary) {
+        it->second = Use{key, false};
+      }
+    };
+
+    for (const std::string& c : ls.body.captures) {
+      auto cr = fn.call_refs.find(c);
+      if (cr != fn.call_refs.end()) {
+        auto sit = sf.summaries.find(cr->second);
+        if (sit != sf.summaries.end() && !sit->second.keys.empty()) {
+          for (const auto& [key, cond] : sit->second.keys) {
+            add_use(key, true);
+          }
+          continue;
+        }
+      }
+      if (ClassBufferish(fn, c)) {
+        add_use(c, false);
+        continue;
+      }
+      if (fn.benign.count(c)) continue;
+      // Unknown capture: completeness still runs on what we resolved,
+      // but a stale-declaration verdict would be unsafe.
+      staleness_ok = false;
+    }
+    if (ls.body.capture_default) {
+      for (std::size_t j = ls.body.body_begin + 1; j < ls.body.body_end;
+           ++j) {
+        if (ts.tokens[j].kind != TokKind::kIdent) continue;
+        const std::string id(ts.tokens[j].text);
+        auto cr = fn.call_refs.find(id);
+        if (cr != fn.call_refs.end()) {
+          auto sit = sf.summaries.find(cr->second);
+          if (sit != sf.summaries.end() && !sit->second.keys.empty()) {
+            for (const auto& [key, cond] : sit->second.keys) {
+              add_use(key, true);
+            }
+            continue;
+          }
+        }
+        if (ClassBufferish(fn, id)) add_use(id, false);
+      }
+    }
+    // Direct buffer touches inside the body.
+    for (std::size_t j = ls.body.body_begin + 1; j < ls.body.body_end;
+         ++j) {
+      if (IsIdent(ts.tokens[j], "device_data")) {
+        const std::string key = DeviceDataChainKey(ts, j);
+        if (!key.empty()) add_use(key, false);
+      }
+    }
+
+    std::set<std::string> declared;
+    for (const AccessEntry& e : ls.entries) {
+      declared.insert(fn.Find(e.key));
+    }
+    for (const auto& [rep, use] : uses) {
+      if (declared.count(rep)) continue;
+      Emit(out, sf, "access-set", ls.line,
+           "kernel '" + kname + "' touches buffer '" + use.display +
+               "' that is missing from its declared access set");
+    }
+    if (staleness_ok) {
+      for (const AccessEntry& e : ls.entries) {
+        if (uses.count(fn.Find(e.key))) continue;
+        Emit(out, sf, "access-set", e.line,
+             "access set declares buffer '" + e.key + "' that kernel '" +
+                 kname + "' never touches (stale declaration)");
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------ //
+// readback-sync
+
+void CheckReadbackSync(const SourceFile& sf, const FunctionInfo& fn,
+                       std::vector<Finding>& out) {
+  for (const ReadbackSite& rb : fn.readbacks) {
+    if (rb.chained_wait) continue;
+    if (rb.lhs_terminal.empty() && rb.lhs_base.empty()) {
+      // Discarded event. The queue is in-order, so a later Finish() or
+      // a later *waited* enqueue on the same queue orders the copy
+      // before any host read.
+      bool ordered = false;
+      for (const auto& [base, tok] : fn.finishes) {
+        if (tok > rb.token && (base == rb.queue_base || base.empty())) {
+          ordered = true;
+          break;
+        }
+      }
+      if (!ordered) {
+        for (const auto& ea : fn.enqueue_assigns) {
+          if (ea.token > rb.token && ea.queue_base == rb.queue_base &&
+              (ea.lhs_escapes || fn.waited_bases.count(ea.lhs_base))) {
+            ordered = true;
+            break;
+          }
+        }
+      }
+      if (!ordered) {
+        Emit(out, sf, "readback-sync", rb.line,
+             "EnqueueCopyToHost result is discarded and no later "
+             "Wait()/Finish() on queue '" +
+                 rb.queue_base + "' orders the host read");
+      }
+      continue;
+    }
+    if (Escapes(fn, rb.lhs_base) || Escapes(fn, rb.lhs_terminal)) continue;
+    if (fn.waited_bases.count(rb.lhs_base) ||
+        fn.waited_bases.count(rb.lhs_terminal)) {
+      continue;
+    }
+    Emit(out, sf, "readback-sync", rb.line,
+         "readback event '" + rb.lhs_terminal +
+             "' never reaches Wait()/Finish(); the host buffer may be "
+             "read before the copy completes");
+  }
+}
+
+// ------------------------------------------------------------------ //
+// hot-alloc
+
+const char* AllocCall(std::string_view id) {
+  static constexpr std::string_view kCalls[] = {
+      "malloc", "calloc", "realloc", "aligned_alloc", "strdup",
+      "make_unique", "make_shared"};
+  for (std::string_view c : kCalls) {
+    if (id == c) return c.data();
+  }
+  return nullptr;
+}
+
+const char* GrowthCall(std::string_view id) {
+  static constexpr std::string_view kCalls[] = {
+      "push_back", "emplace_back", "resize",  "reserve",
+      "insert",    "emplace",      "assign",  "append"};
+  for (std::string_view c : kCalls) {
+    if (id == c) return c.data();
+  }
+  return nullptr;
+}
+
+bool IsOwningContainer(std::string_view id) {
+  static constexpr std::string_view kTypes[] = {
+      "vector", "string", "basic_string", "map",  "unordered_map",
+      "set",    "unordered_set",          "deque", "list", "function"};
+  for (std::string_view t : kTypes) {
+    if (id == t) return true;
+  }
+  return false;
+}
+
+void ScanHotRegion(const SourceFile& sf, std::size_t begin,
+                   std::size_t end, const std::string& context,
+                   std::vector<Finding>& out) {
+  const auto& toks = sf.stream.tokens;
+  for (std::size_t j = begin + 1; j < end; ++j) {
+    const Token& t = toks[j];
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text == "new" &&
+        !(j > 0 && (IsPunct(toks[j - 1], ".") ||
+                    IsPunct(toks[j - 1], "->")))) {
+      Emit(out, sf, "hot-alloc", t.line,
+           "heap allocation ('new') inside " + context);
+      continue;
+    }
+    const bool called = j + 1 < end && IsPunct(toks[j + 1], "(");
+    if (called) {
+      if (const char* a = AllocCall(t.text)) {
+        Emit(out, sf, "hot-alloc", t.line,
+             "allocating call '" + std::string(a) + "' inside " + context);
+        continue;
+      }
+      if (j > 0 && (IsPunct(toks[j - 1], ".") ||
+                    IsPunct(toks[j - 1], "->"))) {
+        if (const char* g = GrowthCall(t.text)) {
+          Emit(out, sf, "hot-alloc", t.line,
+               "allocating container call '" + std::string(g) +
+                   "' inside " + context);
+          continue;
+        }
+      }
+    }
+    // std::vector<...> v / std::string s(...) constructed in the body.
+    if (IsOwningContainer(t.text) && j >= 2 &&
+        IsPunct(toks[j - 1], "::") && IsIdent(toks[j - 2], "std")) {
+      // Skip template arguments, then decide: a reference/pointer type
+      // position is fine, a constructed object is not.
+      std::size_t k = j + 1;
+      if (k < end && IsPunct(toks[k], "<")) {
+        int angle = 0;
+        while (k < end) {
+          if (IsPunct(toks[k], "<")) ++angle;
+          if (IsPunct(toks[k], ">")) --angle;
+          if (IsPunct(toks[k], ">>")) angle -= 2;
+          ++k;
+          if (angle <= 0) break;
+        }
+      }
+      if (k < end && !IsPunct(toks[k], "&") && !IsPunct(toks[k], "*") &&
+          !IsPunct(toks[k], ">") && !IsPunct(toks[k], ",") &&
+          !IsPunct(toks[k], ")")) {
+        Emit(out, sf, "hot-alloc", t.line,
+             "allocating container 'std::" + std::string(t.text) +
+                 "' constructed inside " + context);
+      }
+    }
+  }
+}
+
+void CheckHotAlloc(const SourceFile& sf, const FunctionInfo& fn,
+                   std::vector<Finding>& out) {
+  std::set<std::size_t> seen;
+  if (fn.hot) {
+    seen.insert(fn.body_begin);
+    ScanHotRegion(sf, fn.body_begin, fn.body_end,
+                  "FKDE_HOT function '" + fn.name + "'", out);
+  }
+  for (const LaunchSite& ls : fn.launches) {
+    if (!ls.body_resolved) continue;
+    if (!seen.insert(ls.body.body_begin).second) continue;
+    const std::string kname =
+        ls.kernel_name.empty() ? fn.name : ls.kernel_name;
+    ScanHotRegion(sf, ls.body.body_begin, ls.body.body_end,
+                  "kernel '" + kname + "'", out);
+  }
+}
+
+// ------------------------------------------------------------------ //
+// scratch-lifetime
+
+void CheckScratchLifetime(const SourceFile& sf, const FunctionInfo& fn,
+                          std::vector<Finding>& out) {
+  const auto& toks = sf.stream.tokens;
+  for (const ScratchSite& sc : fn.scratches) {
+    if (sc.lhs_terminal.empty() && sc.lhs_base.empty()) {
+      Emit(out, sf, "scratch-lifetime", sc.line,
+           "AcquireScratch handle is discarded; the scratch returns to "
+           "the pool immediately");
+      continue;
+    }
+    if (Escapes(fn, sc.lhs_base) || Escapes(fn, sc.lhs_terminal)) {
+      continue;  // Parked in a member / returned to the caller.
+    }
+    const std::string rep = fn.Find(sc.lhs_terminal);
+    std::size_t last_async = 0;
+    for (const auto& [b, e] : fn.async_arg_spans) {
+      for (std::size_t j = b; j < e; ++j) {
+        if (toks[j].kind == TokKind::kIdent &&
+            fn.Find(std::string(toks[j].text)) == rep) {
+          last_async = std::max(last_async, j);
+        }
+      }
+    }
+    if (last_async == 0) continue;  // Only used by blocking calls.
+    // Held alive by a kernel capture? Only a ScratchBuffer-valued name
+    // (shared_ptr copy) extends the lifetime — a raw pointer from
+    // `device_data()` shares the alias class but not the ownership.
+    const auto holds = [&](const std::string& name) {
+      return fn.scratch_handles.count(name) != 0 && fn.Find(name) == rep;
+    };
+    bool held = false;
+    for (const LaunchSite& ls : fn.launches) {
+      if (!ls.body_resolved) continue;
+      for (const std::string& c : ls.body.captures) {
+        if (holds(c)) held = true;
+      }
+      if (ls.body.capture_default) {
+        for (std::size_t j = ls.body.body_begin + 1;
+             j < ls.body.body_end && !held; ++j) {
+          if (toks[j].kind == TokKind::kIdent &&
+              holds(std::string(toks[j].text))) {
+            held = true;
+          }
+        }
+      }
+      if (held) break;
+    }
+    if (held) continue;
+    // Or does a blocking point drain the queue after the last use?
+    bool drained = false;
+    for (std::size_t p : fn.blocking_points) {
+      if (p >= last_async) drained = true;
+    }
+    if (drained) continue;
+    Emit(out, sf, "scratch-lifetime", sc.line,
+         "scratch '" + sc.lhs_terminal +
+             "' may be released before queued work that references it "
+             "completes (no hold capture or blocking point)");
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> RunChecks(const SourceFile& sf,
+                               const std::vector<std::string>& enabled) {
+  std::vector<Finding> out;
+  if (sf.io_error) return out;
+  for (const FunctionInfo& fn : sf.functions) {
+    if (Enabled(enabled, "access-set")) CheckAccessSet(sf, fn, out);
+    if (Enabled(enabled, "readback-sync")) CheckReadbackSync(sf, fn, out);
+    if (Enabled(enabled, "hot-alloc")) CheckHotAlloc(sf, fn, out);
+    if (Enabled(enabled, "scratch-lifetime")) {
+      CheckScratchLifetime(sf, fn, out);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.check < b.check;
+            });
+  return out;
+}
+
+}  // namespace fkde_lint

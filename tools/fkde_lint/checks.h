@@ -1,0 +1,46 @@
+/// \file checks.h
+/// \brief The four fkde-lint checks and their findings.
+///
+/// Check names (used in diagnostics, `--checks`, and the
+/// `FKDE_LINT_SUPPRESS(name)` escape hatch):
+///
+///   * `access-set`       — kernel capture/declaration completeness and
+///                          staleness at EnqueueLaunch / Device::Launch.
+///   * `readback-sync`    — every EnqueueCopyToHost result reaches an
+///                          Event::Wait / Queue::Finish (or escapes to a
+///                          caller who can wait).
+///   * `hot-alloc`        — no allocation inside kernel bodies or
+///                          FKDE_HOT functions.
+///   * `scratch-lifetime` — AcquireScratch handles are parked, held by
+///                          the kernel, or outlive a blocking point.
+
+#ifndef FKDE_TOOLS_LINT_CHECKS_H_
+#define FKDE_TOOLS_LINT_CHECKS_H_
+
+#include <string>
+#include <vector>
+
+#include "model.h"
+
+namespace fkde_lint {
+
+struct Finding {
+  std::string check;    ///< One of the four check names.
+  std::string path;
+  int line = 0;
+  std::string message;
+  bool suppressed = false;
+};
+
+inline constexpr const char* kAllChecks[] = {
+    "access-set", "readback-sync", "hot-alloc", "scratch-lifetime"};
+
+/// Runs every check in `enabled` (empty = all) over one modeled file.
+/// Findings covered by a FKDE_LINT_SUPPRESS comment are returned with
+/// `suppressed = true` so the report can count them.
+std::vector<Finding> RunChecks(const SourceFile& sf,
+                               const std::vector<std::string>& enabled);
+
+}  // namespace fkde_lint
+
+#endif  // FKDE_TOOLS_LINT_CHECKS_H_

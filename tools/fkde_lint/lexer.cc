@@ -1,0 +1,204 @@
+#include "lexer.h"
+
+#include <array>
+#include <cctype>
+
+namespace fkde_lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character operators, longest first within each leading char.
+constexpr std::array<std::string_view, 36> kMultiOps = {
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "<<", ">>",
+    "<=>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=",
+    "/=",  "%=", "&=", "|=", "^=", ".*", "##", "//", "/*", "*/",
+    "",    "",   "",   "",   "",  ""};
+
+}  // namespace
+
+TokenStream Tokenize(std::string_view src) {
+  TokenStream out;
+  std::size_t i = 0;
+  int line = 1;
+  const std::size_t n = src.size();
+
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line, honoring backslash
+    // continuations. Only when '#' starts the line (modulo whitespace).
+    if (c == '#') {
+      bool line_start = true;
+      for (std::size_t k = i; k-- > 0;) {
+        if (src[k] == '\n') break;
+        if (!std::isspace(static_cast<unsigned char>(src[k]))) {
+          line_start = false;
+          break;
+        }
+      }
+      if (line_start) {
+        while (i < n) {
+          if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+            ++line;
+            i += 2;
+            continue;
+          }
+          if (src[i] == '\n') break;
+          ++i;
+        }
+        continue;
+      }
+      out.tokens.push_back({TokKind::kPunct, src.substr(i, 1), line});
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      const std::size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      out.comments.push_back({src.substr(start, i - start), line, line});
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && peek(1) == '*') {
+      const std::size_t start = i;
+      const int start_line = line;
+      i += 2;
+      while (i < n && !(src[i] == '*' && peek(1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) i += 2;
+      out.comments.push_back(
+          {src.substr(start, i - start), start_line, line});
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t d = i + 2;
+      while (d < n && src[d] != '(' && src[d] != '\n' && d - i < 20) ++d;
+      if (d < n && src[d] == '(') {
+        std::string closer;
+        closer.reserve(d - i);
+        closer.push_back(')');
+        closer.append(src.substr(i + 2, d - (i + 2)));
+        closer.push_back('"');
+        const std::size_t end = src.find(closer, d + 1);
+        const std::size_t stop =
+            end == std::string_view::npos ? n : end + closer.size();
+        const int start_line = line;
+        for (std::size_t k = i; k < stop; ++k) {
+          if (src[k] == '\n') ++line;
+        }
+        out.tokens.push_back(
+            {TokKind::kString, src.substr(i, stop - i), start_line});
+        i = stop;
+        continue;
+      }
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const std::size_t start = i;
+      ++i;
+      while (i < n && src[i] != c) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        if (src[i] == '\n') ++line;  // Tolerate unterminated literals.
+        ++i;
+      }
+      if (i < n) ++i;
+      out.tokens.push_back(
+          {TokKind::kString, src.substr(start, i - start), line});
+      continue;
+    }
+    // Identifier.
+    if (IsIdentStart(c)) {
+      const std::size_t start = i;
+      while (i < n && IsIdentChar(src[i])) ++i;
+      out.tokens.push_back(
+          {TokKind::kIdent, src.substr(start, i - start), line});
+      continue;
+    }
+    // Number (also eats 1e-3, 0x1f, 1'000, trailing suffixes).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      const std::size_t start = i;
+      while (i < n) {
+        const char d = src[i];
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          ++i;
+        } else if ((d == '+' || d == '-') && i > start &&
+                   (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                    src[i - 1] == 'p' || src[i - 1] == 'P')) {
+          ++i;
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back(
+          {TokKind::kNumber, src.substr(start, i - start), line});
+      continue;
+    }
+    // Punctuation: maximal munch over the multi-op table.
+    std::size_t len = 1;
+    for (std::string_view op : kMultiOps) {
+      if (op.empty()) break;
+      if (op.size() > n - i) continue;
+      if (src.substr(i, op.size()) == op && op.size() > len) len = op.size();
+    }
+    // "//" and "/*" never reach here (handled above); "*/" inside code is
+    // malformed anyway — emit as-is.
+    out.tokens.push_back({TokKind::kPunct, src.substr(i, len), line});
+    i += len;
+  }
+  out.tokens.push_back({TokKind::kEnd, {}, line});
+
+  // Bracket matching: one stack — (), {}, [] nest properly in valid C++.
+  out.match.assign(out.tokens.size(), 0);
+  std::vector<std::size_t> stack;
+  for (std::size_t t = 0; t < out.tokens.size(); ++t) {
+    const Token& tok = out.tokens[t];
+    if (tok.kind != TokKind::kPunct || tok.text.size() != 1) continue;
+    const char p = tok.text[0];
+    if (p == '(' || p == '{' || p == '[') {
+      stack.push_back(t);
+      out.match[t] = t;  // Unmatched until proven otherwise.
+    } else if (p == ')' || p == '}' || p == ']') {
+      const char open = p == ')' ? '(' : (p == '}' ? '{' : '[');
+      // Tolerate mismatches: pop until the matching opener kind.
+      while (!stack.empty() &&
+             out.tokens[stack.back()].text[0] != open) {
+        stack.pop_back();
+      }
+      if (!stack.empty()) {
+        out.match[stack.back()] = t;
+        out.match[t] = stack.back();
+        stack.pop_back();
+      } else {
+        out.match[t] = t;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fkde_lint

@@ -1,0 +1,299 @@
+/// \file main.cc
+/// \brief fkde-lint command-line driver.
+///
+/// Usage:
+///   fkde_lint_tool [options] [files...]
+///     -p <dir|compile_commands.json>  analyze every "file" entry of an
+///                                     exported compilation database
+///     --filter <prefix>    keep only database files under this prefix
+///     --headers <dir>      also analyze every *.h under dir (recursive)
+///     --checks a,b,c       run a subset of checks
+///     --json <path>        write the findings report as JSON
+///     --expect <path>      fixture mode: compare findings against an
+///                          expectation file (lines of
+///                          `<basename>:<line>: [<check>] <substring>`);
+///                          exit 0 iff they match exactly
+///     --expect-clean       exit 0 iff there are no unsuppressed findings
+///
+/// Exit codes: 0 success/clean, 1 findings or expectation mismatch,
+/// 2 usage or I/O error.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checks.h"
+#include "model.h"
+
+namespace {
+
+using fkde_lint::Finding;
+
+std::string Basename(const std::string& path) {
+  const std::size_t pos = path.find_last_of('/');
+  return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+
+/// Pulls the "file" entries out of a compile_commands.json without a
+/// JSON library: scans for `"file"` keys and unescapes the values.
+std::vector<std::string> DatabaseFiles(const std::string& db_path) {
+  std::vector<std::string> files;
+  std::ifstream in(db_path);
+  if (!in) return files;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  const std::string key = "\"file\"";
+  std::size_t pos = 0;
+  while ((pos = text.find(key, pos)) != std::string::npos) {
+    pos += key.size();
+    pos = text.find('"', pos);
+    if (pos == std::string::npos) break;
+    ++pos;
+    std::string value;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;
+      value.push_back(text[pos]);
+      ++pos;
+    }
+    files.push_back(value);
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::vector<std::string> HeaderFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  std::filesystem::recursive_directory_iterator it(dir, ec);
+  if (ec) return files;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".h") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+struct Expectation {
+  std::string basename;
+  int line = 0;
+  std::string check;
+  std::string substring;
+  bool matched = false;
+};
+
+std::vector<Expectation> LoadExpectations(const std::string& path,
+                                          bool& ok) {
+  std::vector<Expectation> out;
+  std::ifstream in(path);
+  if (!in) {
+    ok = false;
+    return out;
+  }
+  ok = true;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    // <basename>:<line>: [<check>] <substring>
+    const std::size_t c1 = line.find(':');
+    if (c1 == std::string::npos) continue;
+    const std::size_t c2 = line.find(':', c1 + 1);
+    if (c2 == std::string::npos) continue;
+    const std::size_t ob = line.find('[', c2);
+    const std::size_t cb = line.find(']', ob == std::string::npos ? 0 : ob);
+    if (ob == std::string::npos || cb == std::string::npos) continue;
+    Expectation e;
+    e.basename = line.substr(0, c1);
+    e.line = std::atoi(line.substr(c1 + 1, c2 - c1 - 1).c_str());
+    e.check = line.substr(ob + 1, cb - ob - 1);
+    std::size_t msg = cb + 1;
+    while (msg < line.size() && line[msg] == ' ') ++msg;
+    e.substring = line.substr(msg);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::vector<std::string> checks;
+  std::string filter;
+  std::string json_path;
+  std::string expect_path;
+  bool expect_clean = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* opt) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "fkde-lint: missing value for " << opt << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "-p") {
+      std::string p = next("-p");
+      if (std::filesystem::is_directory(p)) {
+        p += "/compile_commands.json";
+      }
+      auto db = DatabaseFiles(p);
+      if (db.empty()) {
+        std::cerr << "fkde-lint: no files found in database " << p << "\n";
+        return 2;
+      }
+      files.insert(files.end(), db.begin(), db.end());
+    } else if (arg == "--filter") {
+      filter = next("--filter");
+    } else if (arg == "--headers") {
+      auto hs = HeaderFiles(next("--headers"));
+      files.insert(files.end(), hs.begin(), hs.end());
+    } else if (arg == "--checks") {
+      std::stringstream ss(next("--checks"));
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        if (!item.empty()) checks.push_back(item);
+      }
+    } else if (arg == "--json") {
+      json_path = next("--json");
+    } else if (arg == "--expect") {
+      expect_path = next("--expect");
+    } else if (arg == "--expect-clean") {
+      expect_clean = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "fkde-lint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (!filter.empty()) {
+    std::erase_if(files, [&](const std::string& f) {
+      return f.compare(0, filter.size(), filter) != 0;
+    });
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  if (files.empty()) {
+    std::cerr << "fkde-lint: no input files\n";
+    return 2;
+  }
+
+  std::vector<Finding> all;
+  int io_errors = 0;
+  for (const std::string& f : files) {
+    const fkde_lint::SourceFile sf = fkde_lint::BuildModel(f);
+    if (sf.io_error) {
+      std::cerr << "fkde-lint: cannot read " << f << "\n";
+      ++io_errors;
+      continue;
+    }
+    auto fs = fkde_lint::RunChecks(sf, checks);
+    all.insert(all.end(), fs.begin(), fs.end());
+  }
+
+  int unsuppressed = 0;
+  int suppressed = 0;
+  for (const Finding& f : all) {
+    if (f.suppressed) {
+      ++suppressed;
+      continue;
+    }
+    ++unsuppressed;
+    std::cout << f.path << ":" << f.line << ": [" << f.check << "] "
+              << f.message << "\n";
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"files\": " << files.size()
+        << ",\n  \"suppressed\": " << suppressed
+        << ",\n  \"findings\": [\n";
+    bool first = true;
+    for (const Finding& f : all) {
+      if (f.suppressed) continue;
+      if (!first) out << ",\n";
+      first = false;
+      out << "    {\"check\": \"" << f.check << "\", \"file\": \""
+          << JsonEscape(f.path) << "\", \"line\": " << f.line
+          << ", \"message\": \"" << JsonEscape(f.message) << "\"}";
+    }
+    out << "\n  ]\n}\n";
+  }
+
+  if (!expect_path.empty()) {
+    bool loaded = false;
+    auto expectations = LoadExpectations(expect_path, loaded);
+    if (!loaded) {
+      std::cerr << "fkde-lint: cannot read expectations " << expect_path
+                << "\n";
+      return 2;
+    }
+    bool failed = false;
+    for (const Finding& f : all) {
+      if (f.suppressed) continue;
+      bool matched = false;
+      for (Expectation& e : expectations) {
+        if (e.matched || e.basename != Basename(f.path) ||
+            e.line != f.line || e.check != f.check) {
+          continue;
+        }
+        if (!e.substring.empty() &&
+            f.message.find(e.substring) == std::string::npos) {
+          continue;
+        }
+        e.matched = true;
+        matched = true;
+        break;
+      }
+      if (!matched) {
+        std::cerr << "fkde-lint: unexpected finding: " << Basename(f.path)
+                  << ":" << f.line << ": [" << f.check << "] " << f.message
+                  << "\n";
+        failed = true;
+      }
+    }
+    for (const Expectation& e : expectations) {
+      if (!e.matched) {
+        std::cerr << "fkde-lint: expected finding not reported: "
+                  << e.basename << ":" << e.line << ": [" << e.check
+                  << "] " << e.substring << "\n";
+        failed = true;
+      }
+    }
+    if (io_errors > 0) return 2;
+    return failed ? 1 : 0;
+  }
+
+  std::cerr << "fkde-lint: " << files.size() << " file(s), "
+            << unsuppressed << " finding(s), " << suppressed
+            << " suppressed\n";
+  if (io_errors > 0) return 2;
+  if (expect_clean) return unsuppressed == 0 ? 0 : 1;
+  return unsuppressed == 0 ? 0 : 1;
+}

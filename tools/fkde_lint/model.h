@@ -1,0 +1,225 @@
+/// \file model.h
+/// \brief fkde-lint's per-TU source model: functions, buffer alias
+/// classes, declared access-sets, launch/readback/scratch sites.
+///
+/// The model is what the checks consume; it is deliberately independent
+/// of how it was extracted (today: the bundled token frontend in
+/// model.cc; tomorrow: a Clang LibTooling frontend producing the same
+/// structures — see README.md). All reasoning is *name-class* based:
+///
+///  * Every device-buffer-ish expression is normalized to a **terminal
+///    key** — the last identifier of its postfix chain, skipping
+///    `.get()` / `.device_data()` / index and call argument lists. So
+///    `engine_->shard_contributions(si)`, `*bs.bounds`, `sums[si].get()`
+///    normalize to `shard_contributions`, `bounds`, `sums`.
+///  * Within one function, assignments/initializations union keys into
+///    **alias classes** (union-find): `double* out =
+///    moments[si]->device_data();` puts `out` and `moments` in one
+///    class; `std::swap(dst, spare)`, `in_buf = dst;`, reference
+///    bindings, and ternaries union likewise. Classes are
+///    flow-insensitive — ping-pong reduction buffers legitimately
+///    collapse into one class, trading precision for zero false
+///    positives on that idiom.
+///  * Functions that package buffer pointers into a struct (the
+///    `ShardKernelView` builder) get a **summary**: the set of buffer
+///    keys whose `.device_data()` appears in their body, each flagged
+///    conditional when guarded by `if`/`?:`. A capture initialized from
+///    such a call expands to the summary's keys at the launch site.
+///
+/// A key is **bufferish** when it was seen as the subject of
+/// `Reads`/`Writes`/`ReadsWrites`, `.device_data()`, `CreateBuffer`, or
+/// `AcquireScratch`. Only classes containing a bufferish key
+/// participate in the access-set check; scalar aliasing noise is inert.
+
+#ifndef FKDE_TOOLS_LINT_MODEL_H_
+#define FKDE_TOOLS_LINT_MODEL_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace fkde_lint {
+
+/// One declared BufferAccess entry of an access array.
+struct AccessEntry {
+  std::string key;       ///< Normalized buffer key.
+  std::string text;      ///< Source text of the builder call, for messages.
+  int line = 0;
+  std::size_t token = 0;     ///< Token index of the builder ident.
+  bool conditional = false;  ///< Guarded by if/?: relative to the array.
+};
+
+/// One declared access array (`BufferAccess acc[4];` or
+/// `const BufferAccess acc[] = {...};`). The same name may be declared
+/// in sibling scopes (if/else arms); launch sites resolve the nearest
+/// preceding declaration by token position.
+struct AccessArray {
+  std::string name;
+  std::size_t decl_token = 0;
+  int decl_depth = 0;  ///< Brace depth of the declaration, for marking
+                       ///< entries added in nested scopes conditional.
+  std::vector<AccessEntry> entries;
+};
+
+/// A kernel lambda: capture names plus body token range.
+struct LambdaInfo {
+  std::vector<std::string> captures;  ///< Explicit capture names.
+  bool capture_default = false;       ///< [=] or [&] present.
+  std::size_t body_begin = 0;         ///< Token index of the body '{'.
+  std::size_t body_end = 0;           ///< Token index of the matching '}'.
+  std::size_t decl_token = 0;         ///< For named lambda variables.
+  int line = 0;
+  bool valid = false;
+};
+
+/// One EnqueueLaunch / Device::Launch call site, with the access-set
+/// declaration already resolved (nearest preceding array of that name,
+/// or the inline braced list).
+struct LaunchSite {
+  int line = 0;
+  std::size_t token = 0;     ///< Token index of the call ident.
+  std::string kernel_name;   ///< The string literal, if present.
+  LambdaInfo body;           ///< Resolved kernel body (possibly via a
+                             ///< named local lambda variable).
+  bool body_resolved = false;
+  std::string access_array;  ///< Name of the access array, empty if inline.
+  std::vector<AccessEntry> entries;  ///< Resolved declared entries.
+  bool has_accesses = false; ///< False => opaque kernel.
+  bool forwarded = false;    ///< Accesses arg is a forwarded span
+                             ///< parameter (wrapper function) — skip.
+};
+
+/// One EnqueueCopyToHost call site (readback discipline check).
+struct ReadbackSite {
+  int line = 0;
+  std::size_t token = 0;       ///< Index of the EnqueueCopyToHost ident.
+  std::string queue_base;      ///< Base ident of the queue expression.
+  std::string lhs_base;        ///< Base ident of the assignment LHS ("" if
+                               ///< the returned event is discarded).
+  std::string lhs_terminal;    ///< Terminal ident of the LHS.
+  bool chained_wait = false;   ///< `EnqueueCopyToHost(...).Wait()`.
+};
+
+/// One AcquireScratch call site (scratch lifetime check).
+struct ScratchSite {
+  int line = 0;
+  std::size_t token = 0;
+  std::string lhs_base;      ///< "" when the handle is discarded.
+  std::string lhs_terminal;
+};
+
+/// One analyzed function (or method) definition.
+struct FunctionInfo {
+  std::string name;          ///< Terminal identifier (no qualifiers).
+  int line = 0;              ///< Line of the body '{'.
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+  bool hot = false;          ///< FKDE_HOT in the signature.
+
+  /// Union-find over normalized keys (resolved; query via Find()).
+  std::map<std::string, std::string> parent;
+  std::set<std::string> bufferish;    ///< Keys seen in buffer positions.
+  /// Names declared inside this function (params included). A name
+  /// assigned to but never declared is a member/global — it escapes.
+  std::set<std::string> locals;
+  /// Keys whose class escapes the function: members/globals the key was
+  /// bound to, returned locals, and function parameters.
+  std::set<std::string> escaping;
+  /// Capture name -> called function name, for summary expansion
+  /// (`view = ShardView(si)`).
+  std::map<std::string, std::string> call_refs;
+  /// Names with provably host-only types (size_t/double/Event/...), or
+  /// initialized via make_shared of host data — ignored as captures.
+  std::set<std::string> benign;
+  /// Declared access arrays, in declaration order.
+  std::vector<AccessArray> access_arrays;
+  /// Entries not attached to any named array (inline braced lists in
+  /// call arguments); launches claim them by token span.
+  std::vector<AccessEntry> loose_entries;
+  /// Named local lambdas (`auto body = [...](...) {...};`), in
+  /// declaration order; launches resolve the nearest preceding one.
+  std::vector<std::pair<std::string, LambdaInfo>> lambda_vars;
+
+  std::vector<LaunchSite> launches;
+  std::vector<ReadbackSite> readbacks;
+  std::vector<ScratchSite> scratches;
+  /// Names that hold a ScratchBuffer *by value* (shared_ptr copy):
+  /// AcquireScratch assignment targets, ScratchBuffer-typed
+  /// declarations, and chain-only aliases of either. Only these keep a
+  /// scratch allocation alive when captured — a raw pointer from
+  /// `device_data()` shares the alias class but not the ownership.
+  std::set<std::string> scratch_handles;
+
+  /// Token indices of blocking synchronization points: `.Wait(`,
+  /// `Finish(`, blocking `CopyToHost`/`CopyToDevice`/`Launch`,
+  /// `ReduceSum(`/`ReduceSumSegments(`.
+  std::vector<std::size_t> blocking_points;
+  /// Base idents that are waited on somewhere: `X.Wait()`/`X[i].Wait()`.
+  std::set<std::string> waited_bases;
+  /// Queue base idents that see a `Finish()` call, with token position.
+  std::vector<std::pair<std::string, std::size_t>> finishes;
+  /// Later-enqueue rule inputs: (queue_base, lhs_base, token) of every
+  /// `X = Q->Enqueue*(...)` assignment.
+  struct EnqueueAssign {
+    std::string queue_base;
+    std::string lhs_base;
+    bool lhs_escapes = false;
+    std::size_t token = 0;
+  };
+  std::vector<EnqueueAssign> enqueue_assigns;
+  /// Token spans (begin, end) of Enqueue* call argument lists, used to
+  /// detect asynchronous uses of scratch classes.
+  std::vector<std::pair<std::size_t, std::size_t>> async_arg_spans;
+  /// Names returned from this function.
+  std::set<std::string> returned;
+
+  /// Resolved union-find lookup (const: path not compressed).
+  std::string Find(const std::string& key) const;
+  /// True when `a` and `b` are in the same alias class.
+  bool SameClass(const std::string& a, const std::string& b) const;
+};
+
+/// A struct-builder summary: buffer keys packaged by a function.
+struct ViewSummary {
+  /// key -> conditional (guarded by if/?:).
+  std::map<std::string, bool> keys;
+};
+
+/// Fully extracted model of one translation unit.
+struct SourceFile {
+  std::string path;
+  std::string contents;   ///< Owns the bytes tokens view into.
+  TokenStream stream;
+  std::vector<FunctionInfo> functions;
+  /// Function name -> summary, for capture expansion across functions
+  /// of the same TU.
+  std::map<std::string, ViewSummary> summaries;
+  /// line -> suppressed check names ("*" suppresses all) parsed from
+  /// `// FKDE_LINT_SUPPRESS(check): reason` comments. A suppression on
+  /// line L covers findings on L and L+1.
+  std::map<int, std::set<std::string>> suppressions;
+  bool io_error = false;
+};
+
+/// Loads and models one file. Sets io_error when unreadable.
+SourceFile BuildModel(const std::string& path);
+
+/// Normalizes an expression token range [begin, end) to its terminal
+/// key; empty string when no identifier chain is present. Exposed for
+/// tests and the check layer.
+std::string TerminalKey(const TokenStream& ts, std::size_t begin,
+                        std::size_t end);
+
+/// Given the token index of a `device_data` identifier, walks the
+/// postfix chain backwards and returns its terminal key
+/// (`bs.bounds->device_data()` -> "bounds"). Used by the check layer to
+/// spot direct buffer uses inside kernel bodies.
+std::string DeviceDataChainKey(const TokenStream& ts, std::size_t devpos);
+
+}  // namespace fkde_lint
+
+#endif  // FKDE_TOOLS_LINT_MODEL_H_
