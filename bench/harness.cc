@@ -3,31 +3,21 @@
 #include <algorithm>
 
 #include "common/logging.h"
-#include "kde/kernel_backend.h"
+#include "runtime/topology.h"
 
 namespace fkde {
 namespace bench {
 
 DeviceProfile ProfileByName(const std::string& name) {
-  if (name == "gpu") return DeviceProfile::SimulatedGtx460();
-  if (name == "cpu-simd") {
-    // Measure the real vectorized-vs-scalar throughput ratio first so the
-    // profile's modeled ops/sec reflects this host (no-op after the first
-    // call; pinned to 1x when the simd backend cannot resolve here).
-    kb::CalibrateKernelBackends();
-    return DeviceProfile::SimdCpu();
-  }
-  FKDE_CHECK_MSG(name == "cpu", "unknown device profile: " + name);
-  return DeviceProfile::OpenClCpu();
+  // Thin wrapper over the shared vocabulary (runtime/topology.h); bench
+  // call sites want the crash-on-typo ergonomics.
+  return ::fkde::DeviceProfileByName(name).MoveValueOrDie();
 }
 
 std::unique_ptr<DeviceGroup> MakeDeviceGroup(const std::string& topology,
                                              DeviceGroupOptions options) {
-  if (topology.find("cpu-simd") != std::string::npos) {
-    kb::CalibrateKernelBackends();
-  }
-  return std::make_unique<DeviceGroup>(
-      ParseDeviceTopology(topology).MoveValueOrDie(), std::move(options));
+  return ::fkde::BuildDeviceGroup(topology, std::move(options))
+      .MoveValueOrDie();
 }
 
 CellResult RunCell(const CellSpec& spec,
@@ -41,7 +31,7 @@ CellResult RunCell(const CellSpec& spec,
   const WorkloadGenerator generator(table);
   // A '+'-topology shards the KDE sample across a device group; a plain
   // profile name keeps the single-device path.
-  const bool grouped = spec.device.find('+') != std::string::npos;
+  const bool grouped = IsGroupTopology(spec.device);
   std::unique_ptr<DeviceGroup> group;
   std::unique_ptr<Device> device;
   if (grouped) {

@@ -1,0 +1,265 @@
+/// \file serving_bench.cc
+/// \brief Multi-model serving benchmark: N adaptive KDE models sharing one
+/// device group behind a `ModelCatalog`.
+///
+/// Two acceptance properties are measured, not assumed:
+///
+///  1. **Isolation under sharing** (`bitwise_match_isolated`): a mixed
+///     round-robin query+feedback workload served through the catalog
+///     returns, per model, exactly the estimate bits of the same model
+///     running alone on its own device.
+///  2. **Eviction transparency** (`eviction_restore_bitwise`): the same
+///     workload under a device-memory budget small enough to force
+///     continuous evict->snapshot->fault-back cycling returns the same
+///     bits again.
+///
+/// Also reported per model: mean absolute error and modeled p50/p99
+/// serving latency (per-query deltas of the group's modeled clock).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "data/generators.h"
+#include "harness.h"
+#include "runtime/catalog.h"
+#include "runtime/topology.h"
+#include "workload/workload.h"
+
+namespace fkde {
+namespace {
+
+struct ModelRun {
+  ModelKey key;
+  std::vector<double> estimates;
+  std::vector<double> abs_errors;
+  std::vector<double> latencies_s;  ///< Modeled seconds per served query.
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+/// Serves every model's workload through `catalog` in round-robin order
+/// (query j of model 0, then model 1, ... then query j+1), the arrival
+/// pattern a shared optimizer would produce.
+std::vector<ModelRun> ServeInterleaved(
+    ModelCatalog* catalog, const std::vector<ModelKey>& keys,
+    const std::vector<std::vector<Query>>& workloads) {
+  std::vector<ModelRun> runs(keys.size());
+  for (std::size_t m = 0; m < keys.size(); ++m) runs[m].key = keys[m];
+  const std::size_t queries = workloads[0].size();
+  for (std::size_t q = 0; q < queries; ++q) {
+    for (std::size_t m = 0; m < keys.size(); ++m) {
+      const Query& query = workloads[m][q];
+      const double t0 = catalog->group()->MaxModeledSeconds();
+      const double estimate =
+          catalog->Estimate(keys[m], query.box).MoveValueOrDie();
+      catalog->Feedback(keys[m], query.box, query.selectivity)
+          .AbortIfError("feedback");
+      const double t1 = catalog->group()->MaxModeledSeconds();
+      runs[m].estimates.push_back(estimate);
+      runs[m].abs_errors.push_back(std::abs(estimate - query.selectivity));
+      runs[m].latencies_s.push_back(t1 - t0);
+    }
+  }
+  return runs;
+}
+
+bool SameBits(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+}  // namespace
+}  // namespace fkde
+
+int main(int argc, char** argv) {
+  using namespace fkde;
+
+  std::int64_t models = 8;
+  std::int64_t queries = 40;
+  std::int64_t rows = 20000;
+  std::int64_t dims = 3;
+  std::int64_t seed = 1;
+  bool json = false;
+  FlagParser parser;
+  parser.AddInt64("models", &models, "concurrently served models");
+  parser.AddInt64("queries", &queries, "served queries per model");
+  parser.AddInt64("rows", &rows, "rows per model's base table");
+  parser.AddInt64("dims", &dims, "dimensionality of every model");
+  parser.AddInt64("seed", &seed, "base random seed");
+  parser.AddBool("json", &json, "write BENCH_serving.json");
+  parser.Parse(argc, argv).AbortIfError("flags");
+
+  const std::size_t n_models = static_cast<std::size_t>(models);
+  const std::size_t d = static_cast<std::size_t>(dims);
+
+  // Each model covers its own relation (distinct synthetic dataset) with
+  // its own workload; all share one single-device "gpu" group, so their
+  // enqueued passes interleave on one in-order queue.
+  std::vector<Table> tables;
+  std::vector<std::vector<Query>> workloads;
+  std::vector<ModelKey> keys;
+  std::vector<KdeConfig> configs;
+  tables.reserve(n_models);
+  for (std::size_t m = 0; m < n_models; ++m) {
+    const std::uint64_t model_seed =
+        static_cast<std::uint64_t>(seed) * 7919 + m;
+    tables.push_back(GenerateDataset("synthetic",
+                                     static_cast<std::size_t>(rows), d,
+                                     model_seed)
+                         .MoveValueOrDie());
+    WorkloadGenerator generator(tables.back());
+    Rng rng(model_seed + 17);
+    const WorkloadSpec spec = ParseWorkloadName("dt").ValueOrDie();
+    workloads.push_back(generator.Generate(
+        spec, static_cast<std::size_t>(queries), &rng));
+    ModelKey key;
+    key.table = "t";
+    key.table += std::to_string(m);
+    for (std::size_t c = 0; c < d; ++c) {
+      std::string col = "c";
+      col += std::to_string(c);
+      key.columns.push_back(std::move(col));
+    }
+    keys.push_back(std::move(key));
+    KdeConfig config;
+    config.sample_size = 1024;  // The paper's d*4kB float budget.
+    config.seed = model_seed + 29;
+    configs.push_back(config);
+  }
+
+  const auto register_all = [&](ModelCatalog* catalog) {
+    for (std::size_t m = 0; m < n_models; ++m) {
+      ModelSpec spec;
+      spec.mode = KdeSelectivityEstimator::Mode::kAdaptive;
+      spec.config = configs[m];
+      spec.table = &tables[m];
+      catalog->Register(keys[m], std::move(spec)).AbortIfError("register");
+    }
+  };
+
+  // --- Shared serving, unlimited memory. ---
+  std::unique_ptr<DeviceGroup> shared_group =
+      BuildDeviceGroup("gpu").MoveValueOrDie();
+  ModelCatalog shared_catalog(shared_group.get());
+  register_all(&shared_catalog);
+  const std::vector<ModelRun> shared =
+      ServeInterleaved(&shared_catalog, keys, workloads);
+
+  // --- Isolated baselines: one model, one fresh device, same seeds. ---
+  bool bitwise_match_isolated = true;
+  for (std::size_t m = 0; m < n_models; ++m) {
+    std::unique_ptr<DeviceGroup> solo_group =
+        BuildDeviceGroup("gpu").MoveValueOrDie();
+    auto solo = KdeSelectivityEstimator::Create(
+                    KdeSelectivityEstimator::Mode::kAdaptive,
+                    solo_group.get(), &tables[m], configs[m])
+                    .MoveValueOrDie();
+    std::vector<double> estimates;
+    for (const Query& query : workloads[m]) {
+      estimates.push_back(solo->EstimateSelectivity(query.box));
+      solo->ObserveTrueSelectivity(query.box, query.selectivity);
+    }
+    if (!SameBits(estimates, shared[m].estimates)) {
+      bitwise_match_isolated = false;
+      std::fprintf(stderr, "model %zu diverged from its isolated run\n", m);
+    }
+  }
+
+  // --- Constrained budget: evict/fault-back must not change the bits. ---
+  std::size_t model_bytes = 0;
+  for (std::size_t m = 0; m < n_models; ++m) {
+    model_bytes = std::max(
+        model_bytes,
+        shared_catalog.StatsFor(keys[m]).MoveValueOrDie().device_bytes);
+  }
+  std::unique_ptr<DeviceGroup> tight_group =
+      BuildDeviceGroup("gpu").MoveValueOrDie();
+  CatalogOptions tight_options;
+  // Room for ~2 resident models out of N: every round-robin turn faults.
+  tight_options.device_budget_bytes = model_bytes * 5 / 2;
+  ModelCatalog tight_catalog(tight_group.get(), tight_options);
+  register_all(&tight_catalog);
+  const std::vector<ModelRun> constrained =
+      ServeInterleaved(&tight_catalog, keys, workloads);
+  bool eviction_restore_bitwise = true;
+  for (std::size_t m = 0; m < n_models; ++m) {
+    if (!SameBits(constrained[m].estimates, shared[m].estimates)) {
+      eviction_restore_bitwise = false;
+      std::fprintf(stderr, "model %zu diverged under eviction\n", m);
+    }
+  }
+  const CatalogStats tight_stats = tight_catalog.Stats();
+
+  // --- Report. ---
+  std::printf("serving %zu models x %lld queries (shared gpu group)\n",
+              n_models, static_cast<long long>(queries));
+  std::printf("bitwise_match_isolated:   %s\n",
+              bitwise_match_isolated ? "true" : "false");
+  std::printf("eviction_restore_bitwise: %s (evictions=%llu faults=%llu)\n",
+              eviction_restore_bitwise ? "true" : "false",
+              static_cast<unsigned long long>(tight_stats.evictions),
+              static_cast<unsigned long long>(tight_stats.faults));
+  for (std::size_t m = 0; m < n_models; ++m) {
+    std::printf(
+        "  %-12s mae=%.5f modeled p50=%.3fms p99=%.3fms\n",
+        shared[m].key.ToString().c_str(), Mean(shared[m].abs_errors),
+        Percentile(shared[m].latencies_s, 0.50) * 1e3,
+        Percentile(shared[m].latencies_s, 0.99) * 1e3);
+  }
+
+  if (json) {
+    std::FILE* f = std::fopen("BENCH_serving.json", "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write BENCH_serving.json\n");
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"models\": %zu,\n", n_models);
+    std::fprintf(f, "  \"queries_per_model\": %lld,\n",
+                 static_cast<long long>(queries));
+    std::fprintf(f, "  \"bitwise_match_isolated\": %s,\n",
+                 bitwise_match_isolated ? "true" : "false");
+    std::fprintf(f, "  \"eviction_restore_bitwise\": %s,\n",
+                 eviction_restore_bitwise ? "true" : "false");
+    std::fprintf(f, "  \"evictions\": %llu,\n",
+                 static_cast<unsigned long long>(tight_stats.evictions));
+    std::fprintf(f, "  \"faults\": %llu,\n",
+                 static_cast<unsigned long long>(tight_stats.faults));
+    std::fprintf(f, "  \"per_model\": [\n");
+    for (std::size_t m = 0; m < n_models; ++m) {
+      std::fprintf(
+          f,
+          "    {\"key\": \"%s\", \"mae\": %.17g, \"modeled_p50_ms\": %.17g, "
+          "\"modeled_p99_ms\": %.17g}%s\n",
+          shared[m].key.ToString().c_str(), Mean(shared[m].abs_errors),
+          Percentile(shared[m].latencies_s, 0.50) * 1e3,
+          Percentile(shared[m].latencies_s, 0.99) * 1e3,
+          m + 1 < n_models ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote BENCH_serving.json\n");
+  }
+  return (bitwise_match_isolated && eviction_restore_bitwise) ? 0 : 1;
+}

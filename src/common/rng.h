@@ -19,6 +19,17 @@
 
 namespace fkde {
 
+/// \brief Full serializable state of an `Rng` (model snapshots).
+///
+/// Covers the xoshiro256** words plus the Marsaglia-polar spare, so a
+/// restored generator continues the exact stream of the saved one —
+/// including a buffered second Gaussian variate.
+struct RngState {
+  std::uint64_t state[4] = {};
+  bool has_spare = false;
+  double spare = 0.0;
+};
+
 /// \brief xoshiro256** pseudo-random number generator.
 ///
 /// Satisfies the UniformRandomBitGenerator concept so it can also be used
@@ -135,6 +146,22 @@ class Rng {
   /// Derives an independent child generator; used to hand deterministic
   /// streams to parallel workers.
   Rng Fork() { return Rng(Next64() ^ 0xD1B54A32D192ED03ULL); }
+
+  /// Captures the complete generator state for serialization.
+  RngState SaveState() const {
+    RngState s;
+    for (std::size_t i = 0; i < 4; ++i) s.state[i] = state_[i];
+    s.has_spare = has_spare_;
+    s.spare = spare_;
+    return s;
+  }
+
+  /// Resumes the exact stream captured by `SaveState`.
+  void RestoreState(const RngState& s) {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = s.state[i];
+    has_spare_ = s.has_spare;
+    spare_ = s.spare;
+  }
 
  private:
   static std::uint64_t Rotl(std::uint64_t x, int k) {

@@ -26,6 +26,34 @@ void AdaptiveBandwidth::ResetBatch() {
   batch_count_ = 0;
 }
 
+AdaptiveBandwidthState AdaptiveBandwidth::SaveState() const {
+  AdaptiveBandwidthState state;
+  state.grad_accum = grad_accum_;
+  state.batch_count = batch_count_;
+  state.magnitude_avg = magnitude_avg_;
+  state.rates = rates_;
+  state.prev_grad = prev_grad_;
+  state.has_prev_grad = has_prev_grad_;
+  state.updates_applied = updates_applied_;
+  return state;
+}
+
+Status AdaptiveBandwidth::RestoreState(const AdaptiveBandwidthState& state) {
+  if (state.grad_accum.size() != dims_ ||
+      state.magnitude_avg.size() != dims_ || state.rates.size() != dims_ ||
+      state.prev_grad.size() != dims_) {
+    return Status::InvalidArgument("adaptive state arity mismatch");
+  }
+  grad_accum_ = state.grad_accum;
+  batch_count_ = state.batch_count;
+  magnitude_avg_ = state.magnitude_avg;
+  rates_ = state.rates;
+  prev_grad_ = state.prev_grad;
+  has_prev_grad_ = state.has_prev_grad;
+  updates_applied_ = state.updates_applied;
+  return Status::OK();
+}
+
 bool AdaptiveBandwidth::Observe(std::span<const double> loss_grad,
                                 std::vector<double>* bandwidth) {
   FKDE_CHECK(loss_grad.size() == dims_);

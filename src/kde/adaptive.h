@@ -40,6 +40,20 @@ struct AdaptiveOptions {
   bool log_updates = true;      ///< Update log h instead of h (App. D).
 };
 
+/// \brief Serializable optimizer state of an `AdaptiveBandwidth` (model
+/// snapshots): the partially accumulated mini-batch, the RMS magnitude
+/// averages, the per-dimension Rprop rates and the sign-agreement memory.
+/// A restored learner applies bitwise-identical updates to the saved one.
+struct AdaptiveBandwidthState {
+  std::vector<double> grad_accum;
+  std::size_t batch_count = 0;
+  std::vector<double> magnitude_avg;
+  std::vector<double> rates;
+  std::vector<double> prev_grad;
+  bool has_prev_grad = false;
+  std::size_t updates_applied = 0;
+};
+
 /// \brief Mini-batch RMSprop state machine for one bandwidth vector.
 ///
 /// Owns no device state: the caller computes the loss gradient dL/dh on
@@ -78,6 +92,13 @@ class AdaptiveBandwidth {
   /// Drops any partially accumulated mini-batch (used when the sample is
   /// rebuilt and pending gradients no longer describe the model).
   void ResetBatch();
+
+  /// Captures the complete optimizer state for serialization.
+  AdaptiveBandwidthState SaveState() const;
+
+  /// Resumes the exact optimizer trajectory captured by `SaveState`.
+  /// Vector arities must match this learner's dims.
+  Status RestoreState(const AdaptiveBandwidthState& state);
 
  private:
   void ApplyUpdate(std::span<const double> mean_grad,

@@ -94,6 +94,12 @@ class KdeEngine {
   void ClearPointScales() { has_scales_ = false; }
   bool has_point_scales() const { return has_scales_; }
 
+  /// Host copy of the per-point scales, global-slot indexed (snapshot
+  /// serialization). Meaningful only while `has_point_scales()`.
+  const std::vector<double>& point_scales_host() const {
+    return scales_host_;
+  }
+
   /// Computes Scott's rule (eq. 3) from the device-resident sample via
   /// parallel reductions: h_i = s^(-1/(d+4)) * sigma_i. Per-shard moment
   /// kernels run concurrently; the per-dimension sums fold on the host.

@@ -205,6 +205,30 @@ void KarmaMaintainer::ResetSlot(std::size_t slot) {
                                             local);
 }
 
+Status KarmaMaintainer::RestoreKarma(std::span<const double> karma_by_slot) {
+  if (update_pending_) {
+    return Status::FailedPrecondition(
+        "cannot restore Karma under a pending update");
+  }
+  DeviceSample* sample = engine_->sample();
+  if (karma_by_slot.size() != sample->size()) {
+    return Status::InvalidArgument("karma arity does not match sample size");
+  }
+  std::vector<double> staging;
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    const std::size_t rows = sample->shard_size(si);
+    if (rows == 0) continue;
+    staging.resize(rows);
+    for (std::size_t local = 0; local < rows; ++local) {
+      staging[local] = karma_by_slot[sample->GlobalSlot(si, local)];
+    }
+    sample->shard_device(si)->CopyToDevice(staging.data(), rows,
+                                           &shards_[si].karma);
+  }
+  epoch_ = sample->migration_epoch();
+  return Status::OK();
+}
+
 std::vector<double> KarmaMaintainer::ReadKarma() {
   DeviceSample* sample = engine_->sample();
   const std::size_t s = engine_->sample_size();

@@ -40,6 +40,7 @@
 #define FKDE_KDE_KARMA_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -101,6 +102,12 @@ class KarmaMaintainer {
 
   /// Reads back the full Karma vector (metered; tests/diagnostics).
   std::vector<double> ReadKarma();
+
+  /// Installs saved cumulative Karma scores, global-slot indexed as
+  /// produced by `ReadKarma` (snapshot warm restart; one transfer per
+  /// non-empty shard). Requires no pending update and an arity equal to
+  /// the sample size.
+  Status RestoreKarma(std::span<const double> karma_by_slot);
 
   const KarmaOptions& options() const { return options_; }
 

@@ -214,20 +214,47 @@ void KdeSelectivityEstimator::ObserveTrueSelectivity(const Box& box,
   // Karma maintenance (Section 5.6): first collect the pass enqueued at
   // the PREVIOUS feedback — it ran while this query executed — and
   // replace the sample points it flagged (one d-float row upload each).
+  // A quiesce (snapshot/eviction) may already have collected the pass
+  // into pending_karma_slots_; either way the replacements apply here.
   if (karma_.has_value() && table_ != nullptr && !table_->empty()) {
     if (karma_->update_pending()) {
-      for (std::size_t slot : karma_->CollectPending()) {
-        const std::size_t row = table_->RandomRowIndex(&rng_);
-        sample_->ReplaceRow(slot, table_->Row(row));
-        karma_->ResetSlot(slot);
-        ++karma_replacements_;
-      }
+      const std::vector<std::size_t> slots = karma_->CollectPending();
+      pending_karma_slots_.insert(pending_karma_slots_.end(), slots.begin(),
+                                  slots.end());
     }
+    ApplyPendingKarma();
     // Then enqueue the scoring pass for THIS query's feedback; it reuses
     // the retained contributions and runs while the database processes
     // the next statement.
     karma_->EnqueueUpdate(box, selectivity);
   }
+}
+
+void KdeSelectivityEstimator::ApplyPendingKarma() {
+  for (std::size_t slot : pending_karma_slots_) {
+    const std::size_t row = table_->RandomRowIndex(&rng_);
+    sample_->ReplaceRow(slot, table_->Row(row));
+    karma_->ResetSlot(slot);
+    ++karma_replacements_;
+  }
+  pending_karma_slots_.clear();
+}
+
+void KdeSelectivityEstimator::Quiesce() {
+  if (engine_->gradient_pending()) {
+    // The pass belongs to last_box_; dropping it is safe because clearing
+    // has_last_box_ below routes the next feedback through the recompute
+    // path, which reproduces the same gradient bitwise (the pass is a
+    // deterministic function of sample, bandwidth and box).
+    std::vector<double> discarded;
+    engine_->CollectGradient(&discarded);
+  }
+  if (karma_.has_value() && karma_->update_pending()) {
+    const std::vector<std::size_t> slots = karma_->CollectPending();
+    pending_karma_slots_.insert(pending_karma_slots_.end(), slots.begin(),
+                                slots.end());
+  }
+  has_last_box_ = false;
 }
 
 void KdeSelectivityEstimator::OnInsert(std::span<const double> row,

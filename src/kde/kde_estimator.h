@@ -99,6 +99,15 @@ class KdeSelectivityEstimator : public SelectivityEstimator {
                 std::size_t table_rows_after) override;
   std::size_t ModelBytes() const override;
 
+  /// Folds every in-flight device pass into host state so the model can
+  /// be serialized or torn down without losing behavior: a pending
+  /// gradient is collected and discarded (the next out-of-order feedback
+  /// recomputes it, bitwise-identically), and a pending Karma pass is
+  /// collected into `pending_karma_slots_`, to be applied at the next
+  /// feedback exactly as the non-quiesced path would. Estimates before
+  /// and after a quiesce are unchanged; snapshot/eviction call this.
+  void Quiesce();
+
   /// Current bandwidth (host copy) — diagnostics and tests.
   const std::vector<double>& bandwidth() const { return engine_->bandwidth(); }
   Mode mode() const { return mode_; }
@@ -113,6 +122,10 @@ class KdeSelectivityEstimator : public SelectivityEstimator {
   const BatchReport& batch_report() const { return batch_report_; }
 
  private:
+  /// Snapshot codec (kde/snapshot.cc): reads/writes the private model
+  /// state and rebuilds estimators outside the Create path.
+  friend class ModelSnapshotAccess;
+
   KdeSelectivityEstimator(Mode mode, const Table* table,
                           const KdeConfig& config);
 
@@ -121,6 +134,12 @@ class KdeSelectivityEstimator : public SelectivityEstimator {
   static Result<std::unique_ptr<KdeSelectivityEstimator>> CreateCommon(
       std::unique_ptr<KdeSelectivityEstimator> est, const Table* table,
       const KdeConfig& config, std::span<const Query> training);
+
+  /// Replaces the sample rows queued in `pending_karma_slots_` with fresh
+  /// table tuples (one rng_ draw + d-float transfer each) and clears the
+  /// queue. Both the live feedback path and the snapshot-restored path
+  /// apply replacements through here, so a quiesce never reorders them.
+  void ApplyPendingKarma();
 
   Mode mode_;
   const Table* table_;
@@ -139,6 +158,11 @@ class KdeSelectivityEstimator : public SelectivityEstimator {
   Box last_box_;
   bool has_last_box_ = false;
   std::size_t karma_replacements_ = 0;
+  /// Replacement slots collected from the device but not yet applied:
+  /// Karma lands its replacements one query late (Section 5.6), so a
+  /// collected pass parks here until the next feedback. Survives
+  /// snapshots, which is what keeps evict/restore bitwise-faithful.
+  std::vector<std::size_t> pending_karma_slots_;
 
   // Periodic mode: ring buffer of recent feedback (Section 3.4 step 1).
   std::vector<Query> feedback_ring_;

@@ -36,6 +36,12 @@ class ReservoirMaintainer {
   std::size_t accepted() const { return accepted_; }
   std::size_t observed() const { return observed_; }
 
+  /// Restores the accept/observe counters (snapshot warm restart).
+  void RestoreCounters(std::size_t accepted, std::size_t observed) {
+    accepted_ = accepted;
+    observed_ = observed;
+  }
+
  private:
   DeviceSample* sample_;
   Rng* rng_;

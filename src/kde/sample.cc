@@ -147,6 +147,81 @@ Status DeviceSample::LoadRows(std::span<const double> rows_data,
   return Status::OK();
 }
 
+Status DeviceSample::LoadShardLayout(
+    std::span<const double> rows_data, std::size_t rows,
+    const std::vector<std::vector<std::uint32_t>>& shard_slots) {
+  if (rows_data.size() != rows * dims_) {
+    return Status::InvalidArgument("row data size mismatch");
+  }
+  if (rows > capacity_) {
+    return Status::InvalidArgument("more rows than sample capacity");
+  }
+  if (shard_slots.size() != shards_.size()) {
+    return Status::InvalidArgument(
+        "shard layout arity does not match the shard count");
+  }
+  std::vector<bool> seen(rows, false);
+  std::size_t total = 0;
+  for (const auto& slots : shard_slots) {
+    total += slots.size();
+    for (std::uint32_t slot : slots) {
+      if (slot >= rows || seen[slot]) {
+        return Status::InvalidArgument(
+            "shard layout must cover every global slot exactly once");
+      }
+      seen[slot] = true;
+    }
+  }
+  if (total != rows) {
+    return Status::InvalidArgument("shard layout row count mismatch");
+  }
+
+  slot_map_.assign(rows, {0, 0});
+  std::vector<float> staging;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = shards_[i];
+    shard.size = shard_slots[i].size();
+    shard.global_ids.assign(shard_slots[i].begin(), shard_slots[i].end());
+    staging.resize(shard.size * dims_);
+    for (std::size_t local = 0; local < shard.size; ++local) {
+      const std::size_t global = shard.global_ids[local];
+      slot_map_[global] = {static_cast<std::uint32_t>(i),
+                           static_cast<std::uint32_t>(local)};
+      for (std::size_t j = 0; j < dims_; ++j) {
+        staging[local * dims_ + j] =
+            static_cast<float>(rows_data[global * dims_ + j]);
+      }
+    }
+    if (shard.size > 0) {
+      shard.device->CopyToDevice(staging.data(), shard.size * dims_,
+                                 &shard.buffer);
+    }
+    shard.soa_full_dirty = !shard.soa.empty();
+    shard.soa_dirty_rows.clear();
+  }
+  size_ = rows;
+  return Status::OK();
+}
+
+std::vector<std::vector<std::uint32_t>> DeviceSample::ShardSlots() const {
+  std::vector<std::vector<std::uint32_t>> slots;
+  slots.reserve(shards_.size());
+  for (const Shard& shard : shards_) slots.push_back(shard.global_ids);
+  return slots;
+}
+
+Status DeviceSample::RestoreRates(std::span<const double> rates,
+                                  std::size_t observed_passes) {
+  if (rates.size() != shards_.size()) {
+    return Status::InvalidArgument("rate arity does not match shard count");
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i].rate_ewma = rates[i];
+  }
+  observed_passes_ = observed_passes;
+  return Status::OK();
+}
+
 void DeviceSample::ReplaceRow(std::size_t slot, std::span<const double> row) {
   FKDE_CHECK(slot < size_);
   FKDE_CHECK(row.size() == dims_);

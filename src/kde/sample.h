@@ -83,6 +83,28 @@ class DeviceSample {
   /// transfer per shard; the sample size becomes `rows`.
   Status LoadRows(std::span<const double> rows_data, std::size_t rows);
 
+  /// Uploads explicit rows (row-major doubles in GLOBAL-SLOT order) into
+  /// an EXPLICIT shard layout: `shard_slots[i]` lists, in local-row
+  /// order, the global slots resident on shard i. Unlike `LoadRows`,
+  /// which re-apportions rows by the group's initial weights, this
+  /// reproduces a saved post-migration placement exactly — the snapshot
+  /// warm-restart path. Every global slot in [0, rows) must appear
+  /// exactly once across the shards.
+  Status LoadShardLayout(
+      std::span<const double> rows_data, std::size_t rows,
+      const std::vector<std::vector<std::uint32_t>>& shard_slots);
+
+  /// Per-shard global-slot residency, local-row ordered — the layout
+  /// `LoadShardLayout` consumes (snapshot serialization).
+  std::vector<std::vector<std::uint32_t>> ShardSlots() const;
+
+  /// Restores the throughput EWMAs and the rebalance pass counter saved
+  /// from another sample (snapshot warm restart), so the self-tuning
+  /// partitioner resumes the saved trajectory. `rates` arity must match
+  /// the shard count.
+  Status RestoreRates(std::span<const double> rates,
+                      std::size_t observed_passes);
+
   /// Replaces the row at global slot `slot` with `row` using a single
   /// d-float transfer to whichever shard currently hosts the slot (the
   /// Karma/reservoir replacement path).
@@ -184,6 +206,10 @@ class DeviceSample {
   /// Measured per-shard throughput EWMAs, rows/busy-second (0 until the
   /// first observation).
   std::vector<double> shard_rates() const;
+
+  /// Estimate passes whose shard timings have been observed so far — the
+  /// rebalance counter `RestoreRates` re-installs on warm restart.
+  std::size_t observed_passes() const { return observed_passes_; }
 
   /// Model bytes consumed by the sample payload.
   std::size_t PayloadBytes() const { return size_ * dims_ * sizeof(float); }

@@ -1,0 +1,543 @@
+#include "kde/snapshot.h"
+
+#include <bit>
+#include <cstring>
+#include <utility>
+
+namespace fkde {
+namespace {
+
+/// FNV-1a 64-bit over a byte range — the blob's integrity check.
+std::uint64_t Fnv1a64(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Little-endian byte writer over a growing vector.
+class Writer {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(v); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(std::uint8_t(v >> (8 * i)));
+  }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(std::uint8_t(v >> (8 * i)));
+  }
+  void F64(double v) { U64(std::bit_cast<std::uint64_t>(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void Doubles(std::span<const double> v) {
+    U64(v.size());
+    for (double x : v) F64(x);
+  }
+  void Sizes(std::span<const std::size_t> v) {
+    U64(v.size());
+    for (std::size_t x : v) U64(x);
+  }
+
+  /// Appends the checksum of everything written so far and releases the
+  /// finished blob.
+  std::vector<std::uint8_t> Finish() {
+    U64(Fnv1a64(out_.data(), out_.size()));
+    return std::move(out_);
+  }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+/// Little-endian byte reader; every accessor fails soft by latching
+/// `ok()` false, so call sites chain reads and check once.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t U8() {
+    if (!Need(1)) return 0;
+    return bytes_[pos_++];
+  }
+  std::uint32_t U32() {
+    if (!Need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t(bytes_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t U64() {
+    if (!Need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t(bytes_[pos_++]) << (8 * i);
+    return v;
+  }
+  double F64() { return std::bit_cast<double>(U64()); }
+  bool Bool() { return U8() != 0; }
+  std::vector<double> Doubles() {
+    const std::uint64_t n = U64();
+    if (!Need(n * 8)) return {};
+    std::vector<double> v(n);
+    for (auto& x : v) x = F64();
+    return v;
+  }
+  std::vector<std::size_t> Sizes() {
+    const std::uint64_t n = U64();
+    if (!Need(n * 8)) return {};
+    std::vector<std::size_t> v(n);
+    for (auto& x : v) x = static_cast<std::size_t>(U64());
+    return v;
+  }
+
+  bool ok() const { return ok_; }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  bool Need(std::uint64_t n) {
+    if (!ok_ || n > bytes_.size() - pos_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void WriteConfig(Writer* w, const KdeConfig& c) {
+  w->U64(c.sample_size);
+  w->U32(static_cast<std::uint32_t>(c.kernel));
+  w->U32(static_cast<std::uint32_t>(c.loss));
+  w->F64(c.lambda);
+  w->U64(c.seed);
+  // Adaptive (Listing 1) knobs.
+  w->U64(c.adaptive.mini_batch);
+  w->F64(c.adaptive.alpha);
+  w->F64(c.adaptive.lr_min);
+  w->F64(c.adaptive.lr_max);
+  w->F64(c.adaptive.lr_increase);
+  w->F64(c.adaptive.lr_decrease);
+  w->F64(c.adaptive.lr_initial);
+  w->Bool(c.adaptive.log_updates);
+  // Karma knobs.
+  w->F64(c.karma.k_max);
+  w->F64(c.karma.threshold);
+  w->U32(static_cast<std::uint32_t>(c.karma.loss));
+  w->F64(c.karma.lambda);
+  w->Bool(c.karma.empty_region_shortcut);
+  // Batch-optimizer knobs (the periodic variant re-optimizes with them
+  // after restore, so they are state, not just construction input).
+  w->U32(static_cast<std::uint32_t>(c.batch.loss));
+  w->F64(c.batch.lambda);
+  w->Bool(c.batch.log_space);
+  w->F64(c.batch.min_factor);
+  w->F64(c.batch.max_factor);
+  w->U64(c.batch.local.max_iterations);
+  w->U64(c.batch.local.history);
+  w->F64(c.batch.local.gradient_tolerance);
+  w->F64(c.batch.local.f_tolerance);
+  w->U64(c.batch.local.max_line_search_steps);
+  w->U64(c.batch.global.num_samples);
+  w->U64(c.batch.global.num_rounds);
+  w->U64(c.batch.global.starts_per_round);
+  w->F64(c.batch.global.link_radius_fraction);
+  // SCV knobs (construction-time only; kept for config fidelity).
+  w->F64(c.scv.min_factor);
+  w->F64(c.scv.max_factor);
+  w->U64(c.scv.max_iterations);
+  w->U64(c.scv.restarts);
+  w->U64(c.scv.max_rows);
+  w->U64(c.scv.seed);
+  w->Bool(c.enable_karma);
+  w->Bool(c.enable_reservoir);
+  w->U64(c.feedback_window);
+  w->U64(c.reoptimize_every);
+}
+
+KdeConfig ReadConfig(Reader* r) {
+  KdeConfig c;
+  c.sample_size = static_cast<std::size_t>(r->U64());
+  c.kernel = static_cast<KernelType>(r->U32());
+  c.loss = static_cast<LossType>(r->U32());
+  c.lambda = r->F64();
+  c.seed = r->U64();
+  c.adaptive.mini_batch = static_cast<std::size_t>(r->U64());
+  c.adaptive.alpha = r->F64();
+  c.adaptive.lr_min = r->F64();
+  c.adaptive.lr_max = r->F64();
+  c.adaptive.lr_increase = r->F64();
+  c.adaptive.lr_decrease = r->F64();
+  c.adaptive.lr_initial = r->F64();
+  c.adaptive.log_updates = r->Bool();
+  c.karma.k_max = r->F64();
+  c.karma.threshold = r->F64();
+  c.karma.loss = static_cast<LossType>(r->U32());
+  c.karma.lambda = r->F64();
+  c.karma.empty_region_shortcut = r->Bool();
+  c.batch.loss = static_cast<LossType>(r->U32());
+  c.batch.lambda = r->F64();
+  c.batch.log_space = r->Bool();
+  c.batch.min_factor = r->F64();
+  c.batch.max_factor = r->F64();
+  c.batch.local.max_iterations = static_cast<std::size_t>(r->U64());
+  c.batch.local.history = static_cast<std::size_t>(r->U64());
+  c.batch.local.gradient_tolerance = r->F64();
+  c.batch.local.f_tolerance = r->F64();
+  c.batch.local.max_line_search_steps = static_cast<std::size_t>(r->U64());
+  c.batch.global.num_samples = static_cast<std::size_t>(r->U64());
+  c.batch.global.num_rounds = static_cast<std::size_t>(r->U64());
+  c.batch.global.starts_per_round = static_cast<std::size_t>(r->U64());
+  c.batch.global.link_radius_fraction = r->F64();
+  c.scv.min_factor = r->F64();
+  c.scv.max_factor = r->F64();
+  c.scv.max_iterations = static_cast<std::size_t>(r->U64());
+  c.scv.restarts = static_cast<std::size_t>(r->U64());
+  c.scv.max_rows = static_cast<std::size_t>(r->U64());
+  c.scv.seed = r->U64();
+  c.enable_karma = r->Bool();
+  c.enable_reservoir = r->Bool();
+  c.feedback_window = static_cast<std::size_t>(r->U64());
+  c.reoptimize_every = static_cast<std::size_t>(r->U64());
+  return c;
+}
+
+void WriteBox(Writer* w, const Box& box) {
+  w->Doubles(box.lower_bounds());
+  w->Doubles(box.upper_bounds());
+}
+
+Box ReadBox(Reader* r) {
+  std::vector<double> lower = r->Doubles();
+  std::vector<double> upper = r->Doubles();
+  if (!r->ok() || lower.size() != upper.size()) return Box();
+  for (std::size_t i = 0; i < lower.size(); ++i) {
+    if (!(lower[i] <= upper[i])) return Box();
+  }
+  return Box(std::move(lower), std::move(upper));
+}
+
+}  // namespace
+
+/// Friend of KdeSelectivityEstimator: reads/writes the private model
+/// state and rebuilds estimators outside the Create path.
+class ModelSnapshotAccess {
+ public:
+  static Result<std::vector<std::uint8_t>> Snapshot(
+      KdeSelectivityEstimator* m) {
+    // Fold in-flight device passes into host state; behavior-neutral (see
+    // Quiesce's contract), so the original may keep serving afterwards.
+    m->Quiesce();
+
+    DeviceSample* sample = m->sample_.get();
+    KdeEngine* engine = m->engine_.get();
+    const std::size_t rows = sample->size();
+    const std::size_t dims = sample->dims();
+
+    Writer w;
+    w.U32(kModelSnapshotMagic);
+    w.U32(kModelSnapshotVersion);
+    w.U32(static_cast<std::uint32_t>(m->mode_));
+    w.U32(static_cast<std::uint32_t>(dims));
+    w.U64(sample->capacity());
+    w.U64(rows);
+    w.U32(static_cast<std::uint32_t>(sample->num_shards()));
+    WriteConfig(&w, m->config_);
+
+    const RngState rng = m->rng_.SaveState();
+    for (std::uint64_t s : rng.state) w.U64(s);
+    w.Bool(rng.has_spare);
+    w.F64(rng.spare);
+
+    // Sample payload in global-slot order. The device stores floats; the
+    // widening to double here and the narrowing on restore are exact.
+    w.Doubles(sample->GatherRows());
+    // Per-shard placement, so a rebalanced layout restores verbatim.
+    const auto shard_slots = sample->ShardSlots();
+    for (const auto& slots : shard_slots) {
+      w.U64(slots.size());
+      for (std::uint32_t id : slots) w.U32(id);
+    }
+    w.Doubles(sample->shard_rates());
+    w.U64(sample->observed_passes());
+
+    w.Doubles(engine->bandwidth());
+    w.Bool(engine->has_point_scales());
+    if (engine->has_point_scales()) w.Doubles(engine->point_scales_host());
+
+    w.Bool(m->adaptive_.has_value());
+    if (m->adaptive_.has_value()) {
+      const AdaptiveBandwidthState st = m->adaptive_->SaveState();
+      w.Doubles(st.grad_accum);
+      w.U64(st.batch_count);
+      w.Doubles(st.magnitude_avg);
+      w.Doubles(st.rates);
+      w.Doubles(st.prev_grad);
+      w.Bool(st.has_prev_grad);
+      w.U64(st.updates_applied);
+    }
+
+    w.Bool(m->karma_.has_value());
+    if (m->karma_.has_value()) w.Doubles(m->karma_->ReadKarma());
+    w.Sizes(m->pending_karma_slots_);
+
+    w.Bool(m->reservoir_.has_value());
+    if (m->reservoir_.has_value()) {
+      w.U64(m->reservoir_->accepted());
+      w.U64(m->reservoir_->observed());
+    }
+
+    w.U64(m->feedback_ring_.size());
+    for (const Query& q : m->feedback_ring_) {
+      WriteBox(&w, q.box);
+      w.F64(q.selectivity);
+    }
+    w.U64(m->ring_next_);
+    w.U64(m->feedback_since_optimize_);
+    w.U64(m->reoptimizations_);
+    w.U64(m->karma_replacements_);
+
+    w.F64(m->batch_report_.initial_error);
+    w.F64(m->batch_report_.final_error);
+    w.U64(m->batch_report_.evaluations);
+    w.Bool(m->batch_report_.converged);
+
+    return w.Finish();
+  }
+
+  static Result<std::unique_ptr<KdeSelectivityEstimator>> Restore(
+      std::span<const std::uint8_t> bytes, Device* device, DeviceGroup* group,
+      const Table* table) {
+    if (table == nullptr) {
+      return Status::InvalidArgument("restore requires the base table");
+    }
+    if ((device == nullptr) == (group == nullptr)) {
+      return Status::InvalidArgument(
+          "restore requires exactly one of device or group");
+    }
+    if (bytes.size() < 8) {
+      return Status::InvalidArgument("snapshot blob truncated");
+    }
+    // Verify integrity before trusting any field.
+    const std::size_t body = bytes.size() - 8;
+    std::uint64_t stored = 0;
+    for (int i = 0; i < 8; ++i) {
+      stored |= std::uint64_t(bytes[body + i]) << (8 * i);
+    }
+    if (Fnv1a64(bytes.data(), body) != stored) {
+      return Status::InvalidArgument("snapshot checksum mismatch");
+    }
+
+    FKDE_ASSIGN_OR_RETURN(const ModelSnapshotHeader header,
+                          ReadModelSnapshotHeader(bytes));
+    Reader r(bytes.subspan(0, body));
+    r.U32();  // magic (validated above)
+    r.U32();  // version
+    r.U32();  // mode
+    r.U32();  // dims
+    r.U64();  // capacity
+    r.U64();  // rows
+    r.U32();  // shards
+    if (table->num_cols() != header.dims) {
+      return Status::InvalidArgument("table dims do not match the snapshot");
+    }
+    const std::size_t shards = group != nullptr ? group->size() : 1;
+    if (shards != header.shards) {
+      return Status::FailedPrecondition(
+          "snapshot shard layout does not match the target topology");
+    }
+    if (header.rows == 0 || header.rows > header.capacity) {
+      return Status::InvalidArgument("snapshot row counts are inconsistent");
+    }
+
+    const KdeConfig config = ReadConfig(&r);
+
+    RngState rng;
+    for (std::uint64_t& s : rng.state) s = r.U64();
+    rng.has_spare = r.Bool();
+    rng.spare = r.F64();
+
+    const std::vector<double> rows_data = r.Doubles();
+    if (rows_data.size() != header.rows * header.dims) {
+      return Status::InvalidArgument("snapshot sample payload truncated");
+    }
+    std::vector<std::vector<std::uint32_t>> shard_slots(header.shards);
+    for (auto& slots : shard_slots) {
+      const std::uint64_t count = r.U64();
+      if (!r.ok() || count > header.rows) {
+        return Status::InvalidArgument("snapshot shard layout truncated");
+      }
+      slots.resize(count);
+      for (auto& id : slots) id = r.U32();
+    }
+    const std::vector<double> rates = r.Doubles();
+    const std::size_t observed_passes = static_cast<std::size_t>(r.U64());
+
+    const std::vector<double> bandwidth = r.Doubles();
+    const bool has_scales = r.Bool();
+    const std::vector<double> scales = has_scales ? r.Doubles()
+                                                  : std::vector<double>();
+
+    const bool has_adaptive = r.Bool();
+    AdaptiveBandwidthState adaptive_state;
+    if (has_adaptive) {
+      adaptive_state.grad_accum = r.Doubles();
+      adaptive_state.batch_count = static_cast<std::size_t>(r.U64());
+      adaptive_state.magnitude_avg = r.Doubles();
+      adaptive_state.rates = r.Doubles();
+      adaptive_state.prev_grad = r.Doubles();
+      adaptive_state.has_prev_grad = r.Bool();
+      adaptive_state.updates_applied = static_cast<std::size_t>(r.U64());
+    }
+
+    const bool has_karma = r.Bool();
+    const std::vector<double> karma_scores =
+        has_karma ? r.Doubles() : std::vector<double>();
+    const std::vector<std::size_t> pending_karma = r.Sizes();
+
+    const bool has_reservoir = r.Bool();
+    std::uint64_t accepted = 0, observed = 0;
+    if (has_reservoir) {
+      accepted = r.U64();
+      observed = r.U64();
+    }
+
+    const std::uint64_t ring_count = r.U64();
+    if (!r.ok() || ring_count > (body - r.pos()) / 8) {
+      return Status::InvalidArgument("snapshot feedback ring truncated");
+    }
+    std::vector<Query> ring(static_cast<std::size_t>(ring_count));
+    for (Query& q : ring) {
+      q.box = ReadBox(&r);
+      q.selectivity = r.F64();
+      if (r.ok() && q.box.dims() != header.dims) {
+        return Status::InvalidArgument("snapshot ring box dims mismatch");
+      }
+    }
+    const std::size_t ring_next = static_cast<std::size_t>(r.U64());
+    const std::size_t since_optimize = static_cast<std::size_t>(r.U64());
+    const std::size_t reoptimizations = static_cast<std::size_t>(r.U64());
+    const std::size_t karma_replacements = static_cast<std::size_t>(r.U64());
+
+    BatchReport report;
+    report.initial_error = r.F64();
+    report.final_error = r.F64();
+    report.evaluations = static_cast<std::size_t>(r.U64());
+    report.converged = r.Bool();
+
+    if (!r.ok()) {
+      return Status::InvalidArgument("snapshot blob truncated");
+    }
+
+    // Rebuild. The Create path's mode-specific construction (SCV/batch
+    // optimization, Scott tuning) must NOT re-run: the saved state IS the
+    // post-construction, post-adaptation model.
+    std::unique_ptr<KdeSelectivityEstimator> est(
+        new KdeSelectivityEstimator(header.mode, table, config));
+    est->sample_ = group != nullptr
+                       ? std::make_unique<DeviceSample>(
+                             group, static_cast<std::size_t>(header.capacity),
+                             header.dims)
+                       : std::make_unique<DeviceSample>(
+                             device, static_cast<std::size_t>(header.capacity),
+                             header.dims);
+    FKDE_RETURN_NOT_OK(est->sample_->LoadShardLayout(
+        rows_data, static_cast<std::size_t>(header.rows), shard_slots));
+    // The engine constructor runs a Scott pass (feeding the rebalancer's
+    // EWMA on multi-shard samples), so the saved rates install after it.
+    est->engine_ =
+        std::make_unique<KdeEngine>(est->sample_.get(), config.kernel);
+    FKDE_RETURN_NOT_OK(est->sample_->RestoreRates(rates, observed_passes));
+    FKDE_RETURN_NOT_OK(est->engine_->SetBandwidth(bandwidth));
+    if (has_scales) {
+      FKDE_RETURN_NOT_OK(est->engine_->SetPointScales(scales));
+    }
+    est->rng_.RestoreState(rng);
+    if (has_adaptive) {
+      est->adaptive_.emplace(header.dims, config.adaptive);
+      FKDE_RETURN_NOT_OK(est->adaptive_->RestoreState(adaptive_state));
+    }
+    if (has_karma) {
+      est->karma_.emplace(est->engine_.get(), config.karma);
+      FKDE_RETURN_NOT_OK(est->karma_->RestoreKarma(karma_scores));
+    }
+    for (std::size_t slot : pending_karma) {
+      if (slot >= est->sample_->size()) {
+        return Status::InvalidArgument("snapshot pending slot out of range");
+      }
+    }
+    est->pending_karma_slots_ = pending_karma;
+    if (has_reservoir) {
+      est->reservoir_.emplace(est->sample_.get(), &est->rng_);
+      est->reservoir_->RestoreCounters(static_cast<std::size_t>(accepted),
+                                       static_cast<std::size_t>(observed));
+    }
+    est->feedback_ring_ = std::move(ring);
+    est->ring_next_ = ring_next;
+    est->feedback_since_optimize_ = since_optimize;
+    est->reoptimizations_ = reoptimizations;
+    est->karma_replacements_ = karma_replacements;
+    est->batch_report_ = report;
+    return est;
+  }
+};
+
+Result<ModelSnapshotHeader> ReadModelSnapshotHeader(
+    std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  const std::uint32_t magic = r.U32();
+  ModelSnapshotHeader header;
+  header.version = r.U32();
+  const std::uint32_t mode = r.U32();
+  header.dims = r.U32();
+  header.capacity = r.U64();
+  header.rows = r.U64();
+  header.shards = r.U32();
+  if (!r.ok()) {
+    return Status::InvalidArgument("snapshot header truncated");
+  }
+  if (magic != kModelSnapshotMagic) {
+    return Status::InvalidArgument("not a model snapshot (bad magic)");
+  }
+  if (header.version != kModelSnapshotVersion) {
+    return Status::InvalidArgument(
+        "unsupported snapshot version " + std::to_string(header.version) +
+        " (expected " + std::to_string(kModelSnapshotVersion) + ")");
+  }
+  if (mode > static_cast<std::uint32_t>(
+                 KdeSelectivityEstimator::Mode::kAdaptive)) {
+    return Status::InvalidArgument("snapshot mode out of range");
+  }
+  header.mode = static_cast<KdeSelectivityEstimator::Mode>(mode);
+  if (header.dims == 0 || header.shards == 0) {
+    return Status::InvalidArgument("snapshot header fields out of range");
+  }
+  return header;
+}
+
+Result<std::vector<std::uint8_t>> SnapshotModel(
+    KdeSelectivityEstimator* model) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("model must be non-null");
+  }
+  return ModelSnapshotAccess::Snapshot(model);
+}
+
+Result<std::unique_ptr<KdeSelectivityEstimator>> RestoreModel(
+    std::span<const std::uint8_t> bytes, Device* device, const Table* table) {
+  if (device == nullptr) {
+    return Status::InvalidArgument("device must be non-null");
+  }
+  return ModelSnapshotAccess::Restore(bytes, device, nullptr, table);
+}
+
+Result<std::unique_ptr<KdeSelectivityEstimator>> RestoreModel(
+    std::span<const std::uint8_t> bytes, DeviceGroup* group,
+    const Table* table) {
+  if (group == nullptr) {
+    return Status::InvalidArgument("group must be non-null");
+  }
+  return ModelSnapshotAccess::Restore(bytes, nullptr, group, table);
+}
+
+}  // namespace fkde

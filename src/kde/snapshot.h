@@ -1,0 +1,104 @@
+/// \file snapshot.h
+/// \brief Versioned binary model snapshots (warm restart / eviction).
+///
+/// A database keeps one KDE model per (table, column-set) and must carry
+/// them across restarts — the role of `pg_kdemodels` in the original
+/// GPU-KDE Postgres integration, where ANALYZE-built models are written
+/// to a catalog relation and reloaded lazily. `SnapshotModel` serializes
+/// a `KdeSelectivityEstimator` into a self-contained blob and
+/// `RestoreModel` rebuilds it onto a (possibly different) device or
+/// device group, with the guarantee that matters for an optimizer:
+///
+///   **a restored model is bitwise-faithful** — it returns the same
+///   `Estimate`/`EstimateBatch` bits and makes the same Karma replacement
+///   and bandwidth-update decisions the original would have made for any
+///   subsequent query stream.
+///
+/// That guarantee holds because everything behavior-bearing is captured
+/// exactly: the sample rows (stored as device floats; the double staging
+/// in the blob is a lossless widening), their per-shard placement (a
+/// rebalanced layout is reproduced verbatim, not re-apportioned), the
+/// bandwidth and optional per-point scale bits, the RMSprop optimizer
+/// trajectory, the cumulative Karma scores, replacement slots collected
+/// but not yet applied, the reservoir counters, the periodic feedback
+/// ring, and the full xoshiro256** RNG state (including the buffered
+/// Gaussian spare). In-flight device passes are folded into host state by
+/// `KdeSelectivityEstimator::Quiesce()` before serialization.
+///
+/// ## Format
+///
+/// Little-endian, fixed-width fields; doubles are stored as their raw
+/// IEEE-754 bits (bitwise round-trip by construction). The layout is
+///
+///   magic u32 ("FKDM") | version u32 | mode u32 | dims u32 |
+///   capacity u64 | rows u64 | shards u32 | config block | rng block |
+///   sample rows (rows*dims f64, global-slot order) | shard layout |
+///   shard rate EWMAs | bandwidth | scales? | adaptive state? |
+///   karma scores? | pending replacement slots | reservoir counters? |
+///   periodic ring | counters | batch report | fnv1a-64 checksum u64
+///
+/// `kModelSnapshotVersion` pins the layout; readers reject unknown
+/// versions and corrupt blobs (checksum mismatch) rather than guess.
+
+#ifndef FKDE_KDE_SNAPSHOT_H_
+#define FKDE_KDE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+#include "kde/kde_estimator.h"
+#include "parallel/device.h"
+#include "parallel/device_group.h"
+
+namespace fkde {
+
+/// First bytes of every snapshot blob: "FKDM" in file order.
+inline constexpr std::uint32_t kModelSnapshotMagic = 0x4D444B46U;
+
+/// Current layout version; bumped on any incompatible format change.
+inline constexpr std::uint32_t kModelSnapshotVersion = 1;
+
+/// \brief Parsed fixed-size snapshot prefix (catalog admission checks and
+/// diagnostics — cheap to read without touching the payload).
+struct ModelSnapshotHeader {
+  std::uint32_t version = 0;
+  KdeSelectivityEstimator::Mode mode =
+      KdeSelectivityEstimator::Mode::kHeuristic;
+  std::uint32_t dims = 0;
+  std::uint64_t capacity = 0;  ///< Sample capacity, rows.
+  std::uint64_t rows = 0;      ///< Live sample rows.
+  std::uint32_t shards = 0;    ///< Shard count the layout was saved for.
+};
+
+/// Parses and validates the header of `bytes` (magic + version checked;
+/// the payload checksum is NOT verified here — RestoreModel does that).
+Result<ModelSnapshotHeader> ReadModelSnapshotHeader(
+    std::span<const std::uint8_t> bytes);
+
+/// Serializes `model` into a versioned blob. Quiesces the model first
+/// (collects in-flight gradient/Karma passes into host state), which
+/// never changes the model's subsequent estimates or decisions — the
+/// original may keep serving after being snapshotted.
+Result<std::vector<std::uint8_t>> SnapshotModel(
+    KdeSelectivityEstimator* model);
+
+/// Rebuilds the serialized model onto `device` (single-shard snapshots
+/// only). `table` is the model's base table — the adaptive variant draws
+/// Karma replacement rows from it — and must have the snapshot's dims.
+Result<std::unique_ptr<KdeSelectivityEstimator>> RestoreModel(
+    std::span<const std::uint8_t> bytes, Device* device, const Table* table);
+
+/// Rebuilds the serialized model sharded across `group`; the group's
+/// device count must equal the snapshot's shard count (a saved layout is
+/// reproduced verbatim, never re-apportioned).
+Result<std::unique_ptr<KdeSelectivityEstimator>> RestoreModel(
+    std::span<const std::uint8_t> bytes, DeviceGroup* group,
+    const Table* table);
+
+}  // namespace fkde
+
+#endif  // FKDE_KDE_SNAPSHOT_H_

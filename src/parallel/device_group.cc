@@ -77,6 +77,23 @@ TransferLedger DeviceGroup::AggregateLedger() const {
   return total;
 }
 
+BufferPoolStats DeviceGroup::AggregateScratchStats() const {
+  BufferPoolStats total;
+  for (const auto& device : devices_) {
+    const BufferPoolStats stats = device->scratch_pool_stats();
+    total.hits += stats.hits;
+    total.misses += stats.misses;
+    total.releases += stats.releases;
+    total.outstanding += stats.outstanding;
+    total.pooled_bytes += stats.pooled_bytes;
+  }
+  return total;
+}
+
+void DeviceGroup::TrimScratchPools() {
+  for (const auto& device : devices_) device->TrimScratchPool();
+}
+
 void DeviceGroup::AdvanceHostTime(double seconds) {
   for (const auto& device : devices_) device->AdvanceHostTime(seconds);
 }

@@ -103,6 +103,17 @@ class DeviceGroup {
   /// Element-wise sum of member ledgers.
   TransferLedger AggregateLedger() const;
 
+  /// Element-wise sum of member scratch-pool counters — the group's
+  /// reclaimable (`pooled_bytes`) and in-use (`outstanding`) scratch
+  /// footprint, which the model catalog folds into its device-memory
+  /// budget accounting.
+  BufferPoolStats AggregateScratchStats() const;
+
+  /// Frees every parked scratch buffer on every member device — the
+  /// cheap first response to budget pressure, tried before any model is
+  /// evicted (outstanding handles are unaffected).
+  void TrimScratchPools();
+
   /// Advances every member's host clock (external work covers all
   /// devices' enqueued passes at once — there is one host).
   void AdvanceHostTime(double seconds);

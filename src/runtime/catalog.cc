@@ -1,0 +1,274 @@
+#include "runtime/catalog.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "kde/snapshot.h"
+
+namespace fkde {
+namespace {
+
+/// Catalog-bound estimator facade: routes the SelectivityEstimator
+/// protocol through the catalog so residency stays fluid underneath a
+/// long-lived handle.
+class CatalogModelHandle : public SelectivityEstimator {
+ public:
+  CatalogModelHandle(ModelCatalog* catalog, ModelKey key, std::size_t dims)
+      : catalog_(catalog), key_(std::move(key)), dims_(dims) {}
+
+  std::string name() const override { return "catalog:" + key_.ToString(); }
+  std::size_t dims() const override { return dims_; }
+
+  double EstimateSelectivity(const Box& box) override {
+    return catalog_->Estimate(key_, box).MoveValueOrDie();
+  }
+
+  void ObserveTrueSelectivity(const Box& box, double selectivity) override {
+    FKDE_CHECK_OK(catalog_->Feedback(key_, box, selectivity));
+  }
+
+  void OnInsert(std::span<const double> row,
+                std::size_t table_rows_after) override {
+    // Insert notifications only matter to a resident adaptive model; a
+    // cold model's reservoir counters resume from its snapshot, exactly
+    // as the paper's lazily-loaded models miss no correctness (the
+    // sample just refreshes through later inserts/Karma).
+    Result<KdeSelectivityEstimator*> model = catalog_->Open(key_);
+    FKDE_CHECK_OK(model.status());
+    model.ValueOrDie()->OnInsert(row, table_rows_after);
+  }
+
+  std::size_t ModelBytes() const override {
+    Result<ModelStats> stats = catalog_->StatsFor(key_);
+    return stats.ok() ? stats.ValueOrDie().device_bytes : 0;
+  }
+
+ private:
+  ModelCatalog* catalog_;
+  ModelKey key_;
+  std::size_t dims_;
+};
+
+}  // namespace
+
+std::string ModelKey::ToString() const {
+  std::string out = table + "(";
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += ",";
+    out += columns[i];
+  }
+  out += ")";
+  return out;
+}
+
+ModelCatalog::ModelCatalog(DeviceGroup* group, CatalogOptions options)
+    : group_(group), options_(options) {
+  FKDE_CHECK(group != nullptr);
+}
+
+ModelCatalog::~ModelCatalog() = default;
+
+Status ModelCatalog::Register(const ModelKey& key, ModelSpec spec) {
+  if (spec.table == nullptr || spec.table->empty()) {
+    return Status::InvalidArgument("model spec needs a non-empty table");
+  }
+  if (!key.columns.empty() &&
+      key.columns.size() != spec.table->num_cols()) {
+    return Status::InvalidArgument(
+        "key names " + std::to_string(key.columns.size()) +
+        " columns but the table has " +
+        std::to_string(spec.table->num_cols()));
+  }
+  if (entries_.count(key) > 0) {
+    return Status::AlreadyExists("model already registered: " +
+                                 key.ToString());
+  }
+  Entry& entry = entries_[key];
+  entry.spec = std::move(spec);
+  return Status::OK();
+}
+
+Status ModelCatalog::RegisterFromSnapshot(const ModelKey& key, ModelSpec spec,
+                                          std::vector<std::uint8_t> snapshot) {
+  FKDE_ASSIGN_OR_RETURN(const ModelSnapshotHeader header,
+                        ReadModelSnapshotHeader(snapshot));
+  if (spec.table != nullptr && spec.table->num_cols() != header.dims) {
+    return Status::InvalidArgument("snapshot dims do not match the table");
+  }
+  FKDE_RETURN_NOT_OK(Register(key, std::move(spec)));
+  entries_[key].snapshot = std::move(snapshot);
+  return Status::OK();
+}
+
+Status ModelCatalog::Drop(const ModelKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::NotFound("no model registered: " + key.ToString());
+  }
+  entries_.erase(it);
+  return Status::OK();
+}
+
+Result<ModelCatalog::Entry*> ModelCatalog::Find(const ModelKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::NotFound("no model registered: " + key.ToString());
+  }
+  return &it->second;
+}
+
+Result<double> ModelCatalog::Estimate(const ModelKey& key, const Box& box) {
+  FKDE_ASSIGN_OR_RETURN(Entry * entry, Find(key));
+  FKDE_RETURN_NOT_OK(EnsureResident(entry));
+  ++entry->stats.queries_served;
+  return entry->model->EstimateSelectivity(box);
+}
+
+Status ModelCatalog::Feedback(const ModelKey& key, const Box& box,
+                              double selectivity) {
+  FKDE_ASSIGN_OR_RETURN(Entry * entry, Find(key));
+  FKDE_RETURN_NOT_OK(EnsureResident(entry));
+  ++entry->stats.feedback_applied;
+  entry->model->ObserveTrueSelectivity(box, selectivity);
+  entry->stats.device_bytes = entry->model->ModelBytes();
+  return Status::OK();
+}
+
+Result<KdeSelectivityEstimator*> ModelCatalog::Open(const ModelKey& key) {
+  FKDE_ASSIGN_OR_RETURN(Entry * entry, Find(key));
+  FKDE_RETURN_NOT_OK(EnsureResident(entry));
+  return entry->model.get();
+}
+
+Status ModelCatalog::Pin(const ModelKey& key, bool pinned) {
+  FKDE_ASSIGN_OR_RETURN(Entry * entry, Find(key));
+  entry->stats.pinned = pinned;
+  return Status::OK();
+}
+
+Result<std::vector<std::uint8_t>> ModelCatalog::SaveSnapshot(
+    const ModelKey& key) {
+  FKDE_ASSIGN_OR_RETURN(Entry * entry, Find(key));
+  if (entry->model != nullptr) {
+    return SnapshotModel(entry->model.get());
+  }
+  if (!entry->snapshot.empty()) return entry->snapshot;
+  return Status::FailedPrecondition(
+      "model was never built, nothing to snapshot: " + key.ToString());
+}
+
+Status ModelCatalog::Evict(const ModelKey& key) {
+  FKDE_ASSIGN_OR_RETURN(Entry * entry, Find(key));
+  if (entry->model == nullptr) return Status::OK();
+  if (entry->stats.pinned) {
+    return Status::FailedPrecondition("model is pinned: " + key.ToString());
+  }
+  return EvictEntry(entry);
+}
+
+Result<std::unique_ptr<SelectivityEstimator>> ModelCatalog::Handle(
+    const ModelKey& key) {
+  FKDE_ASSIGN_OR_RETURN(Entry * entry, Find(key));
+  return std::unique_ptr<SelectivityEstimator>(std::make_unique<
+      CatalogModelHandle>(this, key, entry->spec.table->num_cols()));
+}
+
+Result<ModelStats> ModelCatalog::StatsFor(const ModelKey& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::NotFound("no model registered: " + key.ToString());
+  }
+  return it->second.stats;
+}
+
+CatalogStats ModelCatalog::Stats() const {
+  CatalogStats stats;
+  stats.models = entries_.size();
+  for (const auto& [key, entry] : entries_) {
+    if (entry.stats.resident) ++stats.resident_models;
+  }
+  stats.evictions = evictions_;
+  stats.faults = faults_;
+  stats.budget_bytes = options_.device_budget_bytes;
+  stats.used_bytes = UsedBytes();
+  return stats;
+}
+
+std::vector<ModelKey> ModelCatalog::Keys() const {
+  std::vector<ModelKey> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) keys.push_back(key);
+  return keys;
+}
+
+Status ModelCatalog::EnsureResident(Entry* entry) {
+  entry->lru_tick = ++lru_clock_;
+  if (entry->model == nullptr) {
+    if (!entry->snapshot.empty()) {
+      // Fault the evicted model back; the restored instance is
+      // bitwise-faithful, so eviction history never shows in estimates.
+      FKDE_ASSIGN_OR_RETURN(
+          entry->model,
+          RestoreModel(entry->snapshot, group_, entry->spec.table));
+      ++entry->stats.faults;
+      ++faults_;
+    } else {
+      FKDE_ASSIGN_OR_RETURN(
+          entry->model,
+          KdeSelectivityEstimator::Create(entry->spec.mode, group_,
+                                          entry->spec.table,
+                                          entry->spec.config,
+                                          entry->spec.training));
+    }
+    entry->stats.resident = true;
+    entry->stats.device_bytes = entry->model->ModelBytes();
+  }
+  // Admit first, then shed: the serving model itself is exempt, so a
+  // single over-budget model still serves (matching how the paper's
+  // directory never refuses the model the optimizer is asking for).
+  return EnforceBudget(entry);
+}
+
+Status ModelCatalog::EnforceBudget(const Entry* keep) {
+  if (options_.device_budget_bytes == 0) return Status::OK();
+  if (UsedBytes() <= options_.device_budget_bytes) return Status::OK();
+  // Cheapest first: parked scratch buffers are pure cache.
+  group_->TrimScratchPools();
+  while (UsedBytes() > options_.device_budget_bytes) {
+    Entry* victim = nullptr;
+    for (auto& [key, entry] : entries_) {
+      if (entry.model == nullptr || entry.stats.pinned || &entry == keep) {
+        continue;
+      }
+      if (victim == nullptr || entry.lru_tick < victim->lru_tick) {
+        victim = &entry;
+      }
+    }
+    if (victim == nullptr) return Status::OK();  // Nothing evictable left.
+    FKDE_RETURN_NOT_OK(EvictEntry(victim));
+  }
+  return Status::OK();
+}
+
+Status ModelCatalog::EvictEntry(Entry* entry) {
+  // SnapshotModel quiesces: in-flight gradient/Karma passes fold into
+  // host state before the engine's destructor drains the queues.
+  FKDE_ASSIGN_OR_RETURN(entry->snapshot, SnapshotModel(entry->model.get()));
+  entry->model.reset();
+  entry->stats.resident = false;
+  entry->stats.device_bytes = 0;
+  ++entry->stats.evictions;
+  ++evictions_;
+  return Status::OK();
+}
+
+std::size_t ModelCatalog::UsedBytes() const {
+  std::size_t bytes = group_->AggregateScratchStats().pooled_bytes;
+  for (const auto& [key, entry] : entries_) {
+    bytes += entry.stats.device_bytes;
+  }
+  return bytes;
+}
+
+}  // namespace fkde

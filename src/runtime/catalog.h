@@ -1,0 +1,203 @@
+/// \file catalog.h
+/// \brief Multi-model serving: many KDE models on one shared device group.
+///
+/// A database does not keep one selectivity model — it keeps one per
+/// (table, column-set) that ANALYZE has seen, all sharing the one
+/// accelerator. In the paper's Postgres integration this is the
+/// `pg_kdemodels` catalog relation plus the in-memory model directory:
+/// models are built at ANALYZE time, persisted, reloaded lazily on first
+/// use, and dropped when memory runs short. `ModelCatalog` is that layer:
+///
+///  * **Lifecycle** — `Register` declares a model spec under a `ModelKey`;
+///    the estimator itself is built lazily on the first query ("open"),
+///    and `Drop` removes it. Per-model `ModelStats` count queries served,
+///    feedback observations applied, evictions, faults and the model's
+///    device footprint.
+///  * **Persistence** — eviction and `SaveSnapshot` serialize models with
+///    the versioned codec of kde/snapshot.h; a restored model is
+///    bitwise-faithful (same estimate bits, same Karma/bandwidth
+///    decisions), so serving quality never depends on residency history.
+///  * **Admission & eviction** — `CatalogOptions::device_budget_bytes`
+///    bounds the models' aggregate device footprint. On pressure the
+///    catalog first trims the group's parked scratch buffers (free
+///    memory, no model impact), then evicts least-recently-used
+///    non-pinned models: quiesce, snapshot to the in-memory blob store,
+///    destroy. An evicted model faults back transparently on its next
+///    query.
+///
+/// All models are tenants of ONE `DeviceGroup`: their per-query passes
+/// interleave on the shared in-order queues, which is safe because every
+/// engine pass declares its buffer access-sets (hazard checker) and each
+/// model's buffers are disjoint.
+
+#ifndef FKDE_RUNTIME_CATALOG_H_
+#define FKDE_RUNTIME_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+#include "estimator/estimator.h"
+#include "kde/kde_estimator.h"
+#include "parallel/device_group.h"
+#include "workload/workload.h"
+
+namespace fkde {
+
+/// \brief Catalog key: which relation and attribute set a model covers.
+struct ModelKey {
+  std::string table;
+  std::vector<std::string> columns;
+
+  bool operator<(const ModelKey& other) const {
+    if (table != other.table) return table < other.table;
+    return columns < other.columns;
+  }
+  bool operator==(const ModelKey& other) const {
+    return table == other.table && columns == other.columns;
+  }
+
+  /// "orders(price,discount)" — diagnostics and handle names.
+  std::string ToString() const;
+};
+
+/// \brief Everything the catalog needs to build (and rebuild) one model.
+struct ModelSpec {
+  KdeSelectivityEstimator::Mode mode =
+      KdeSelectivityEstimator::Mode::kAdaptive;
+  KdeConfig config;
+  /// Base table; must outlive the catalog entry (replacement rows and
+  /// lazy builds read it).
+  const Table* table = nullptr;
+  /// Training workload (required by Mode::kBatch, ignored otherwise).
+  /// Owned: a lazy build may happen long after the caller's span died.
+  std::vector<Query> training;
+};
+
+/// \brief Per-model serving counters.
+struct ModelStats {
+  std::uint64_t queries_served = 0;
+  std::uint64_t feedback_applied = 0;
+  std::uint64_t evictions = 0;  ///< Times spilled to a snapshot.
+  std::uint64_t faults = 0;     ///< Times restored from a snapshot.
+  std::size_t device_bytes = 0;  ///< Model footprint while resident, else 0.
+  bool resident = false;
+  bool pinned = false;
+};
+
+/// \brief Catalog-wide counters and budget occupancy.
+struct CatalogStats {
+  std::size_t models = 0;
+  std::size_t resident_models = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t faults = 0;
+  std::size_t budget_bytes = 0;  ///< 0 = unbounded.
+  /// Resident model bytes + the group's parked scratch bytes — what the
+  /// budget is enforced against.
+  std::size_t used_bytes = 0;
+};
+
+struct CatalogOptions {
+  /// Aggregate device-memory budget for model payloads plus parked
+  /// scratch; 0 disables eviction. The most-recently-touched model is
+  /// never evicted, so one model over budget still serves.
+  std::size_t device_budget_bytes = 0;
+};
+
+/// \brief Registry of concurrently-served KDE models sharing one group.
+class ModelCatalog {
+ public:
+  /// All models shard across (or, for a one-device group, reside on)
+  /// `group`, which must outlive the catalog.
+  ModelCatalog(DeviceGroup* group, CatalogOptions options = {});
+  ~ModelCatalog();
+
+  ModelCatalog(const ModelCatalog&) = delete;
+  ModelCatalog& operator=(const ModelCatalog&) = delete;
+
+  /// Declares a model. Construction is lazy: the estimator is built on
+  /// the first query (ANALYZE writes the catalog row; the optimizer's
+  /// first lookup loads the model). AlreadyExists on a duplicate key,
+  /// InvalidArgument on a null/empty table or a column-count mismatch.
+  Status Register(const ModelKey& key, ModelSpec spec);
+
+  /// Removes the model, its snapshot blob and its stats entirely.
+  Status Drop(const ModelKey& key);
+
+  /// Serves one estimate through the model (building or faulting it in
+  /// first if needed).
+  Result<double> Estimate(const ModelKey& key, const Box& box);
+
+  /// Applies query feedback through the model.
+  Status Feedback(const ModelKey& key, const Box& box, double selectivity);
+
+  /// Ensures the model is resident and returns it (catalog retains
+  /// ownership; the pointer is valid until the model is evicted or
+  /// dropped). Prefer Estimate/Feedback, which also maintain stats.
+  Result<KdeSelectivityEstimator*> Open(const ModelKey& key);
+
+  /// Pins (or unpins) the model: pinned models are never evicted.
+  Status Pin(const ModelKey& key, bool pinned);
+
+  /// Serializes the model's current state (resident or not) and returns
+  /// the blob — external persistence across process restarts.
+  Result<std::vector<std::uint8_t>> SaveSnapshot(const ModelKey& key);
+
+  /// Registers a model directly from a snapshot blob (warm restart from
+  /// external storage). The model starts cold and faults in on first use.
+  Status RegisterFromSnapshot(const ModelKey& key, ModelSpec spec,
+                              std::vector<std::uint8_t> snapshot);
+
+  /// Evicts the model now (quiesce + snapshot + destroy); no-op when not
+  /// resident. FailedPrecondition when pinned.
+  Status Evict(const ModelKey& key);
+
+  /// Wraps the model as a `SelectivityEstimator` bound to this catalog —
+  /// drivers and benches run unchanged against it while the catalog keeps
+  /// the model's residency fluid underneath.
+  Result<std::unique_ptr<SelectivityEstimator>> Handle(const ModelKey& key);
+
+  Result<ModelStats> StatsFor(const ModelKey& key) const;
+  CatalogStats Stats() const;
+  DeviceGroup* group() const { return group_; }
+  const CatalogOptions& options() const { return options_; }
+
+  /// Registered keys in key order (diagnostics, benches).
+  std::vector<ModelKey> Keys() const;
+
+ private:
+  struct Entry {
+    ModelSpec spec;
+    /// Live estimator; null while cold (snapshot holds the state).
+    std::unique_ptr<KdeSelectivityEstimator> model;
+    /// Last snapshot; state of record while the model is cold.
+    std::vector<std::uint8_t> snapshot;
+    ModelStats stats;
+    std::uint64_t lru_tick = 0;
+  };
+
+  Result<Entry*> Find(const ModelKey& key);
+  /// Builds or faults in the entry's model and bumps its LRU tick; then
+  /// sheds memory down to the budget (never evicting `entry` itself).
+  Status EnsureResident(Entry* entry);
+  /// Trims scratch, then evicts LRU non-pinned models until under budget.
+  /// `keep` survives (the model serving the current query).
+  Status EnforceBudget(const Entry* keep);
+  Status EvictEntry(Entry* entry);
+  std::size_t UsedBytes() const;
+
+  DeviceGroup* group_;
+  CatalogOptions options_;
+  std::map<ModelKey, Entry> entries_;
+  std::uint64_t lru_clock_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t faults_ = 0;
+};
+
+}  // namespace fkde
+
+#endif  // FKDE_RUNTIME_CATALOG_H_

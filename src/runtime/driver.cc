@@ -97,4 +97,34 @@ void FeedbackDriver::Train(SelectivityEstimator* estimator,
   }
 }
 
+Result<RunStats> FeedbackDriver::RunCatalog(ModelCatalog* catalog,
+                                            const ModelKey& key,
+                                            std::span<const Query> workload,
+                                            const RunOptions& options) {
+  if (catalog == nullptr) {
+    return Status::InvalidArgument("catalog must be non-null");
+  }
+  RunOptions effective = options;
+  if (effective.device_group == nullptr && effective.device == nullptr) {
+    effective.device_group = catalog->group();
+  }
+  RunStats stats;
+  stats.absolute_errors.reserve(workload.size());
+  stats.signed_errors.reserve(workload.size());
+  stats.truths.reserve(workload.size());
+  for (const Query& query : workload) {
+    FKDE_ASSIGN_OR_RETURN(const double estimate,
+                          catalog->Estimate(key, query.box));
+    ModelQueryExecution(effective);
+    if (effective.feedback) {
+      FKDE_RETURN_NOT_OK(
+          catalog->Feedback(key, query.box, query.selectivity));
+    }
+    stats.absolute_errors.push_back(std::abs(estimate - query.selectivity));
+    stats.signed_errors.push_back(estimate - query.selectivity);
+    stats.truths.push_back(query.selectivity);
+  }
+  return stats;
+}
+
 }  // namespace fkde

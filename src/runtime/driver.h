@@ -27,6 +27,7 @@
 #include "estimator/estimator.h"
 #include "parallel/device.h"
 #include "parallel/device_group.h"
+#include "runtime/catalog.h"
 #include "runtime/executor.h"
 #include "workload/workload.h"
 
@@ -90,6 +91,16 @@ class FeedbackDriver {
   static void Train(SelectivityEstimator* estimator,
                     std::span<const Query> workload,
                     const RunOptions& options = {});
+
+  /// Runs a precomputed workload through one catalog-served model: the
+  /// serving analogue of RunPrecomputed, where residency (lazy build,
+  /// eviction, fault-back) is the catalog's business. When
+  /// `options.device_group` is unset, the catalog's group is used for the
+  /// modeled execution window.
+  static Result<RunStats> RunCatalog(ModelCatalog* catalog,
+                                     const ModelKey& key,
+                                     std::span<const Query> workload,
+                                     const RunOptions& options = {});
 };
 
 }  // namespace fkde

@@ -27,13 +27,36 @@ Result<std::unique_ptr<SelectivityEstimator>> BuildEstimator(
 
   auto build_kde = [&](KdeSelectivityEstimator::Mode mode)
       -> Result<std::unique_ptr<SelectivityEstimator>> {
-    if (context.device == nullptr && context.device_group == nullptr) {
-      return Status::InvalidArgument(
-          "KDE estimators need context.device or context.device_group");
-    }
     KdeConfig config = context.kde;
     config.sample_size = std::max<std::size_t>(16, bytes / (sizeof(float) * d));
     config.seed = context.seed;
+    if (context.catalog != nullptr) {
+      // Serving path: register the model under its (table, column-set)
+      // key and hand back a catalog handle. Construction happens lazily
+      // on the first query, under the catalog's device-memory budget.
+      ModelKey key;
+      key.table = context.table_name;
+      key.columns = context.columns;
+      if (key.columns.empty()) {
+        for (std::size_t i = 0; i < d; ++i) {
+          std::string col = "c";
+          col += std::to_string(i);
+          key.columns.push_back(std::move(col));
+        }
+      }
+      ModelSpec spec;
+      spec.mode = mode;
+      spec.config = config;
+      spec.table = table;
+      spec.training.assign(context.training.begin(), context.training.end());
+      FKDE_RETURN_NOT_OK(context.catalog->Register(key, std::move(spec)));
+      return context.catalog->Handle(key);
+    }
+    if (context.device == nullptr && context.device_group == nullptr) {
+      return Status::InvalidArgument(
+          "KDE estimators need context.device, context.device_group or "
+          "context.catalog");
+    }
     Result<std::unique_ptr<KdeSelectivityEstimator>> built =
         context.device_group != nullptr
             ? KdeSelectivityEstimator::Create(mode, context.device_group,

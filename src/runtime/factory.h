@@ -24,6 +24,7 @@
 #include "kde/kde_estimator.h"
 #include "parallel/device.h"
 #include "parallel/device_group.h"
+#include "runtime/catalog.h"
 #include "runtime/executor.h"
 #include "workload/workload.h"
 
@@ -45,6 +46,15 @@ struct EstimatorBuildContext {
   /// Overrides for the KDE configuration (loss, kernel, adaptive knobs);
   /// sample_size is recomputed from memory_bytes.
   KdeConfig kde;
+
+  /// When set, KDE variants are registered in this catalog (keyed by
+  /// `table_name` + `columns`) and built lazily under its memory budget;
+  /// the returned estimator is a catalog handle, and `device` /
+  /// `device_group` are ignored in favor of the catalog's group.
+  ModelCatalog* catalog = nullptr;
+  /// Catalog key parts; columns default to "c0".."c{d-1}" when empty.
+  std::string table_name = "table";
+  std::vector<std::string> columns;
 };
 
 /// Names accepted by BuildEstimator, in the paper's presentation order.

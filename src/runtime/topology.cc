@@ -1,0 +1,39 @@
+#include "runtime/topology.h"
+
+#include <utility>
+
+#include "kde/kernel_backend.h"
+
+namespace fkde {
+
+bool IsGroupTopology(const std::string& spec) {
+  return spec.find('+') != std::string::npos;
+}
+
+Result<DeviceProfile> DeviceProfileByName(const std::string& name) {
+  if (IsGroupTopology(name)) {
+    return Status::InvalidArgument("'" + name +
+                                   "' is a group topology, not a profile");
+  }
+  if (name == "cpu-simd") {
+    // The SimdCpu profile's modeled ops/sec is the measured ratio on this
+    // host; no-op after the first call, pinned to 1x when the simd
+    // backend cannot resolve here.
+    kb::CalibrateKernelBackends();
+  }
+  FKDE_ASSIGN_OR_RETURN(std::vector<DeviceProfile> profiles,
+                        ParseDeviceTopology(name));
+  return profiles[0];
+}
+
+Result<std::unique_ptr<DeviceGroup>> BuildDeviceGroup(
+    const std::string& topology, DeviceGroupOptions options) {
+  if (topology.find("cpu-simd") != std::string::npos) {
+    kb::CalibrateKernelBackends();
+  }
+  FKDE_ASSIGN_OR_RETURN(std::vector<DeviceProfile> profiles,
+                        ParseDeviceTopology(topology));
+  return std::make_unique<DeviceGroup>(profiles, std::move(options));
+}
+
+}  // namespace fkde

@@ -1,0 +1,44 @@
+/// \file topology.h
+/// \brief The one device-topology vocabulary shared by runtime and bench.
+///
+/// Device specs appear wherever an experiment or a serving catalog names
+/// its hardware: a single profile name ("cpu", "cpu-simd", "gpu") or a
+/// '+'-separated multi-device group ("cpu+gpu", "gpu+gpu") whose members
+/// jointly host sharded KDE samples. The name->profile mapping itself
+/// lives in `ParseDeviceTopology` (parallel layer); these helpers add the
+/// piece the parallel layer cannot: the "cpu-simd" profile's modeled
+/// throughput is only honest after `kb::CalibrateKernelBackends()` has
+/// measured this host's vectorized-vs-scalar ratio, and that calibration
+/// lives in the KDE layer. Every call site that previously paired the
+/// parse with an ad-hoc calibration check now routes through here.
+
+#ifndef FKDE_RUNTIME_TOPOLOGY_H_
+#define FKDE_RUNTIME_TOPOLOGY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "parallel/device.h"
+#include "parallel/device_group.h"
+
+namespace fkde {
+
+/// True when `spec` names a multi-device group ('+'-separated) rather
+/// than a single profile.
+bool IsGroupTopology(const std::string& spec);
+
+/// Resolves one profile name ("cpu", "cpu-simd", "gpu") through the
+/// `ParseDeviceTopology` vocabulary, calibrating the simd backend first
+/// when the name requires it.
+Result<DeviceProfile> DeviceProfileByName(const std::string& name);
+
+/// Builds a `DeviceGroup` from a topology spec; single names yield a
+/// one-device group. Calibrates the simd backend when any member needs
+/// it.
+Result<std::unique_ptr<DeviceGroup>> BuildDeviceGroup(
+    const std::string& topology, DeviceGroupOptions options = {});
+
+}  // namespace fkde
+
+#endif  // FKDE_RUNTIME_TOPOLOGY_H_

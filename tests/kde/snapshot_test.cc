@@ -1,0 +1,284 @@
+// Snapshot codec: golden format pin (magic/version/header bytes), corrupt
+// and version-mismatch rejection, and the warm-restart property — a
+// restored model is bitwise-faithful to the original over a long
+// subsequent query stream, including its Karma replacement decisions.
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/box.h"
+#include "data/generators.h"
+#include "kde/kde_estimator.h"
+#include "kde/snapshot.h"
+#include "parallel/device.h"
+#include "parallel/device_group.h"
+#include "workload/workload.h"
+
+namespace fkde {
+namespace {
+
+Table MakeTable(std::size_t rows = 4000, std::size_t dims = 3,
+                std::uint64_t seed = 11) {
+  return GenerateDataset("synthetic", rows, dims, seed).MoveValueOrDie();
+}
+
+std::vector<Query> MakeQueries(const Table& table, std::size_t count,
+                               std::uint64_t seed) {
+  WorkloadGenerator generator(table);
+  Rng rng(seed);
+  return generator.Generate(ParseWorkloadName("dt").ValueOrDie(), count,
+                            &rng);
+}
+
+KdeConfig SmallConfig() {
+  KdeConfig config;
+  config.sample_size = 256;
+  config.seed = 5;
+  return config;
+}
+
+std::unique_ptr<KdeSelectivityEstimator> MakeAdaptive(Device* device,
+                                                      const Table* table) {
+  return KdeSelectivityEstimator::Create(
+             KdeSelectivityEstimator::Mode::kAdaptive, device, table,
+             SmallConfig())
+      .MoveValueOrDie();
+}
+
+// ---------------------------------------------------------------------------
+// Golden format pin. These bytes are the on-disk contract: if this test
+// breaks, bump kModelSnapshotVersion instead of silently changing layout.
+
+TEST(SnapshotFormat, GoldenHeaderBytes) {
+  Device device(DeviceProfile::OpenClCpu());
+  const Table table = MakeTable();
+  auto model = MakeAdaptive(&device, &table);
+  const std::vector<std::uint8_t> blob =
+      SnapshotModel(model.get()).MoveValueOrDie();
+
+  // magic "FKDM" little-endian, then version 1, then mode kAdaptive (4),
+  // then dims 3.
+  ASSERT_GE(blob.size(), 16u);
+  const std::uint8_t golden_prefix[16] = {
+      0x46, 0x4B, 0x44, 0x4D,  // magic
+      0x01, 0x00, 0x00, 0x00,  // version
+      0x04, 0x00, 0x00, 0x00,  // mode
+      0x03, 0x00, 0x00, 0x00,  // dims
+  };
+  EXPECT_EQ(std::memcmp(blob.data(), golden_prefix, sizeof(golden_prefix)),
+            0);
+
+  const ModelSnapshotHeader header =
+      ReadModelSnapshotHeader(blob).MoveValueOrDie();
+  EXPECT_EQ(header.version, kModelSnapshotVersion);
+  EXPECT_EQ(header.mode, KdeSelectivityEstimator::Mode::kAdaptive);
+  EXPECT_EQ(header.dims, 3u);
+  EXPECT_EQ(header.capacity, 256u);
+  EXPECT_EQ(header.rows, 256u);
+  EXPECT_EQ(header.shards, 1u);
+}
+
+TEST(SnapshotFormat, RejectsBadMagicVersionAndCorruption) {
+  Device device(DeviceProfile::OpenClCpu());
+  const Table table = MakeTable();
+  auto model = MakeAdaptive(&device, &table);
+  std::vector<std::uint8_t> blob =
+      SnapshotModel(model.get()).MoveValueOrDie();
+
+  std::vector<std::uint8_t> bad_magic = blob;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(ReadModelSnapshotHeader(bad_magic).ok());
+
+  std::vector<std::uint8_t> bad_version = blob;
+  bad_version[4] = 0x7F;
+  EXPECT_FALSE(ReadModelSnapshotHeader(bad_version).ok());
+
+  // Flip one payload byte: header still parses, restore must reject.
+  std::vector<std::uint8_t> corrupt = blob;
+  corrupt[blob.size() / 2] ^= 0x01;
+  EXPECT_TRUE(ReadModelSnapshotHeader(corrupt).ok());
+  Device target(DeviceProfile::OpenClCpu());
+  auto restored = RestoreModel(corrupt, &target, &table);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_TRUE(restored.status().IsInvalidArgument());
+
+  std::vector<std::uint8_t> truncated(blob.begin(), blob.begin() + 40);
+  EXPECT_FALSE(RestoreModel(truncated, &target, &table).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Warm-restart property: original and restored models agree bitwise on
+// every subsequent estimate AND on every Karma replacement decision.
+
+TEST(SnapshotRoundTrip, AdaptiveBitwiseFaithfulOver1kQueries) {
+  const Table table = MakeTable();
+  Device device(DeviceProfile::SimulatedGtx460());
+  auto original = MakeAdaptive(&device, &table);
+
+  // Adapt through a warm-up stream, then snapshot MID-FLIGHT: the last
+  // estimate's gradient pass and the previous feedback's Karma pass are
+  // still pending on the queue when Quiesce folds them in.
+  const std::vector<Query> warmup = MakeQueries(table, 60, 23);
+  for (const Query& q : warmup) {
+    (void)original->EstimateSelectivity(q.box);
+    original->ObserveTrueSelectivity(q.box, q.selectivity);
+  }
+  (void)original->EstimateSelectivity(warmup[0].box);  // Leave one pending.
+
+  const std::vector<std::uint8_t> blob =
+      SnapshotModel(original.get()).MoveValueOrDie();
+  Device target(DeviceProfile::SimulatedGtx460());
+  auto restored = RestoreModel(blob, &target, &table).MoveValueOrDie();
+
+  EXPECT_EQ(restored->mode(), original->mode());
+  EXPECT_EQ(restored->bandwidth(), original->bandwidth());
+  EXPECT_EQ(restored->karma_replacements(), original->karma_replacements());
+
+  const std::vector<Query> stream = MakeQueries(table, 1000, 31);
+  for (const Query& q : stream) {
+    const double a = original->EstimateSelectivity(q.box);
+    const double b = restored->EstimateSelectivity(q.box);
+    ASSERT_EQ(std::memcmp(&a, &b, sizeof(double)), 0)
+        << "estimates diverged at " << q.box.ToString();
+    original->ObserveTrueSelectivity(q.box, q.selectivity);
+    restored->ObserveTrueSelectivity(q.box, q.selectivity);
+    // Same Karma decisions: replacement counters advance in lock-step.
+    ASSERT_EQ(restored->karma_replacements(),
+              original->karma_replacements());
+    ASSERT_EQ(restored->bandwidth(), original->bandwidth());
+  }
+  EXPECT_GT(original->karma_replacements(), 0u);
+}
+
+TEST(SnapshotRoundTrip, EstimateBatchMatchesBitwise) {
+  const Table table = MakeTable();
+  Device device(DeviceProfile::SimulatedGtx460());
+  auto original = MakeAdaptive(&device, &table);
+  const std::vector<Query> warmup = MakeQueries(table, 40, 7);
+  for (const Query& q : warmup) {
+    (void)original->EstimateSelectivity(q.box);
+    original->ObserveTrueSelectivity(q.box, q.selectivity);
+  }
+  const std::vector<std::uint8_t> blob =
+      SnapshotModel(original.get()).MoveValueOrDie();
+  Device target(DeviceProfile::SimulatedGtx460());
+  auto restored = RestoreModel(blob, &target, &table).MoveValueOrDie();
+
+  const std::vector<Query> batch = MakeQueries(table, 64, 13);
+  std::vector<Box> boxes;
+  for (const Query& q : batch) boxes.push_back(q.box);
+  std::vector<double> a(boxes.size()), b(boxes.size());
+  original->engine()->EstimateBatch(boxes, a);
+  restored->engine()->EstimateBatch(boxes, b);
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0);
+}
+
+TEST(SnapshotRoundTrip, SnapshotIsNonDestructive) {
+  // The original must keep serving identically after being snapshotted —
+  // eviction copies state, it does not steal it.
+  const Table table = MakeTable();
+  Device device_a(DeviceProfile::SimulatedGtx460());
+  Device device_b(DeviceProfile::SimulatedGtx460());
+  auto snapshotted = MakeAdaptive(&device_a, &table);
+  auto untouched = MakeAdaptive(&device_b, &table);
+
+  const std::vector<Query> warmup = MakeQueries(table, 50, 41);
+  for (const Query& q : warmup) {
+    (void)snapshotted->EstimateSelectivity(q.box);
+    snapshotted->ObserveTrueSelectivity(q.box, q.selectivity);
+    (void)untouched->EstimateSelectivity(q.box);
+    untouched->ObserveTrueSelectivity(q.box, q.selectivity);
+  }
+  (void)SnapshotModel(snapshotted.get()).MoveValueOrDie();
+
+  const std::vector<Query> stream = MakeQueries(table, 200, 43);
+  for (const Query& q : stream) {
+    const double a = snapshotted->EstimateSelectivity(q.box);
+    const double b = untouched->EstimateSelectivity(q.box);
+    ASSERT_EQ(std::memcmp(&a, &b, sizeof(double)), 0);
+    snapshotted->ObserveTrueSelectivity(q.box, q.selectivity);
+    untouched->ObserveTrueSelectivity(q.box, q.selectivity);
+  }
+}
+
+TEST(SnapshotRoundTrip, PeriodicModeCarriesRingAndCounters) {
+  const Table table = MakeTable();
+  Device device(DeviceProfile::OpenClCpu());
+  KdeConfig config = SmallConfig();
+  config.feedback_window = 32;
+  config.reoptimize_every = 16;
+  auto original = KdeSelectivityEstimator::Create(
+                      KdeSelectivityEstimator::Mode::kPeriodic, &device,
+                      &table, config)
+                      .MoveValueOrDie();
+  const std::vector<Query> warmup = MakeQueries(table, 40, 3);
+  for (const Query& q : warmup) {
+    (void)original->EstimateSelectivity(q.box);
+    original->ObserveTrueSelectivity(q.box, q.selectivity);
+  }
+  EXPECT_GT(original->reoptimizations(), 0u);
+
+  const std::vector<std::uint8_t> blob =
+      SnapshotModel(original.get()).MoveValueOrDie();
+  Device target(DeviceProfile::OpenClCpu());
+  auto restored = RestoreModel(blob, &target, &table).MoveValueOrDie();
+  EXPECT_EQ(restored->reoptimizations(), original->reoptimizations());
+  EXPECT_EQ(restored->feedback_ring().size(),
+            original->feedback_ring().size());
+  EXPECT_EQ(restored->bandwidth(), original->bandwidth());
+
+  // The NEXT re-optimization fires at the same point with the same
+  // result: ring contents and the since-last counter both round-tripped.
+  const std::vector<Query> stream = MakeQueries(table, 40, 9);
+  for (const Query& q : stream) {
+    const double a = original->EstimateSelectivity(q.box);
+    const double b = restored->EstimateSelectivity(q.box);
+    ASSERT_EQ(std::memcmp(&a, &b, sizeof(double)), 0);
+    original->ObserveTrueSelectivity(q.box, q.selectivity);
+    restored->ObserveTrueSelectivity(q.box, q.selectivity);
+    ASSERT_EQ(restored->reoptimizations(), original->reoptimizations());
+  }
+}
+
+TEST(SnapshotRoundTrip, GroupShardLayoutReproducedVerbatim) {
+  const Table table = MakeTable(6000, 3, 19);
+  DeviceGroup group(ParseDeviceTopology("cpu+gpu").MoveValueOrDie());
+  KdeConfig config = SmallConfig();
+  config.sample_size = 512;
+  auto original = KdeSelectivityEstimator::Create(
+                      KdeSelectivityEstimator::Mode::kAdaptive, &group,
+                      &table, config)
+                      .MoveValueOrDie();
+  const std::vector<Query> warmup = MakeQueries(table, 80, 29);
+  for (const Query& q : warmup) {
+    (void)original->EstimateSelectivity(q.box);
+    original->ObserveTrueSelectivity(q.box, q.selectivity);
+  }
+  const std::vector<std::uint8_t> blob =
+      SnapshotModel(original.get()).MoveValueOrDie();
+
+  // Restoring onto a mismatched shard count is refused, not re-split.
+  Device single(DeviceProfile::SimulatedGtx460());
+  auto wrong = RestoreModel(blob, &single, &table);
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_TRUE(wrong.status().IsFailedPrecondition());
+
+  DeviceGroup target(ParseDeviceTopology("cpu+gpu").MoveValueOrDie());
+  auto restored = RestoreModel(blob, &target, &table).MoveValueOrDie();
+  const std::vector<Query> stream = MakeQueries(table, 100, 37);
+  for (const Query& q : stream) {
+    const double a = original->EstimateSelectivity(q.box);
+    const double b = restored->EstimateSelectivity(q.box);
+    ASSERT_EQ(std::memcmp(&a, &b, sizeof(double)), 0);
+    original->ObserveTrueSelectivity(q.box, q.selectivity);
+    restored->ObserveTrueSelectivity(q.box, q.selectivity);
+  }
+}
+
+}  // namespace
+}  // namespace fkde

@@ -1,0 +1,328 @@
+// ModelCatalog: multi-model serving on one shared device group. Pins the
+// PR's acceptance criteria — interleaved serving across >= 8 models is
+// bitwise-identical to isolated single-model runs, and constrained-budget
+// evict/snapshot/fault-back cycles restore bitwise-identical estimates —
+// plus lifecycle, LRU/pinning, stats, external snapshot persistence, and
+// the destruction-order regression for estimators sharing a group.
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "kde/kde_estimator.h"
+#include "parallel/device_group.h"
+#include "runtime/catalog.h"
+#include "runtime/driver.h"
+#include "runtime/factory.h"
+#include "runtime/topology.h"
+#include "workload/workload.h"
+
+namespace fkde {
+namespace {
+
+struct Fleet {
+  explicit Fleet(std::size_t models, std::size_t queries_per_model = 12,
+                 std::uint64_t seed = 3) {
+    tables.reserve(models);
+    for (std::size_t m = 0; m < models; ++m) {
+      const std::uint64_t model_seed = seed * 7919 + m;
+      tables.push_back(
+          GenerateDataset("synthetic", 3000, 3, model_seed).MoveValueOrDie());
+      WorkloadGenerator generator(tables.back());
+      Rng rng(model_seed + 17);
+      workloads.push_back(
+          generator.Generate(ParseWorkloadName("dt").ValueOrDie(),
+                             queries_per_model, &rng));
+      ModelKey key;
+      key.table = "t";
+      key.table += std::to_string(m);
+      key.columns = {"a", "b", "c"};
+      keys.push_back(std::move(key));
+      KdeConfig config;
+      config.sample_size = 128;
+      config.seed = model_seed + 29;
+      configs.push_back(config);
+    }
+  }
+
+  void RegisterAll(ModelCatalog* catalog) const {
+    for (std::size_t m = 0; m < keys.size(); ++m) {
+      ModelSpec spec;
+      spec.mode = KdeSelectivityEstimator::Mode::kAdaptive;
+      spec.config = configs[m];
+      spec.table = &tables[m];
+      ASSERT_TRUE(catalog->Register(keys[m], std::move(spec)).ok());
+    }
+  }
+
+  /// Round-robin estimate+feedback through the catalog; returns per-model
+  /// estimate streams.
+  std::vector<std::vector<double>> Serve(ModelCatalog* catalog) const {
+    std::vector<std::vector<double>> estimates(keys.size());
+    for (std::size_t q = 0; q < workloads[0].size(); ++q) {
+      for (std::size_t m = 0; m < keys.size(); ++m) {
+        const Query& query = workloads[m][q];
+        estimates[m].push_back(
+            catalog->Estimate(keys[m], query.box).MoveValueOrDie());
+        FKDE_CHECK_OK(
+            catalog->Feedback(keys[m], query.box, query.selectivity));
+      }
+    }
+    return estimates;
+  }
+
+  std::vector<Table> tables;
+  std::vector<std::vector<Query>> workloads;
+  std::vector<ModelKey> keys;
+  std::vector<KdeConfig> configs;
+};
+
+bool SameBits(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+TEST(ModelCatalog, LifecycleRegisterDuplicateDrop) {
+  Fleet fleet(1);
+  auto group = BuildDeviceGroup("cpu").MoveValueOrDie();
+  ModelCatalog catalog(group.get());
+  fleet.RegisterAll(&catalog);
+
+  ModelSpec dup;
+  dup.table = &fleet.tables[0];
+  EXPECT_TRUE(catalog.Register(fleet.keys[0], std::move(dup))
+                  .code() == StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.Keys().size(), 1u);
+  EXPECT_EQ(fleet.keys[0].ToString(), "t0(a,b,c)");
+
+  // Lazy build: not resident until the first query.
+  EXPECT_FALSE(catalog.StatsFor(fleet.keys[0]).MoveValueOrDie().resident);
+  (void)catalog.Estimate(fleet.keys[0], fleet.workloads[0][0].box)
+      .MoveValueOrDie();
+  const ModelStats stats = catalog.StatsFor(fleet.keys[0]).MoveValueOrDie();
+  EXPECT_TRUE(stats.resident);
+  EXPECT_EQ(stats.queries_served, 1u);
+  EXPECT_GT(stats.device_bytes, 0u);
+
+  EXPECT_TRUE(catalog.Drop(fleet.keys[0]).ok());
+  EXPECT_TRUE(catalog.Drop(fleet.keys[0]).IsNotFound());
+  EXPECT_FALSE(catalog.Estimate(fleet.keys[0], fleet.workloads[0][0].box)
+                   .ok());
+}
+
+// The PR's first acceptance pin: >= 8 concurrently-live models on ONE
+// shared group, interleaved query+feedback, bitwise-identical to 8
+// isolated single-model runs.
+TEST(ModelCatalog, EightSharedModelsMatchIsolatedRunsBitwise) {
+  Fleet fleet(8);
+  auto group = BuildDeviceGroup("gpu").MoveValueOrDie();
+  ModelCatalog catalog(group.get());
+  fleet.RegisterAll(&catalog);
+  const std::vector<std::vector<double>> shared = fleet.Serve(&catalog);
+
+  for (std::size_t m = 0; m < 8; ++m) {
+    auto solo_group = BuildDeviceGroup("gpu").MoveValueOrDie();
+    auto solo = KdeSelectivityEstimator::Create(
+                    KdeSelectivityEstimator::Mode::kAdaptive,
+                    solo_group.get(), &fleet.tables[m], fleet.configs[m])
+                    .MoveValueOrDie();
+    std::vector<double> isolated;
+    for (const Query& q : fleet.workloads[m]) {
+      isolated.push_back(solo->EstimateSelectivity(q.box));
+      solo->ObserveTrueSelectivity(q.box, q.selectivity);
+    }
+    EXPECT_TRUE(SameBits(shared[m], isolated)) << "model " << m;
+  }
+}
+
+// The PR's second acceptance pin: a budget small enough to force
+// continuous evict -> snapshot -> fault-back cycling must not change one
+// bit of any estimate.
+TEST(ModelCatalog, EvictionUnderBudgetRestoresBitwise) {
+  Fleet fleet(8);
+  auto free_group = BuildDeviceGroup("gpu").MoveValueOrDie();
+  ModelCatalog free_catalog(free_group.get());
+  fleet.RegisterAll(&free_catalog);
+  const std::vector<std::vector<double>> unconstrained =
+      fleet.Serve(&free_catalog);
+  std::size_t model_bytes = 0;
+  for (const ModelKey& key : fleet.keys) {
+    model_bytes = std::max(
+        model_bytes, free_catalog.StatsFor(key).MoveValueOrDie().device_bytes);
+  }
+
+  auto tight_group = BuildDeviceGroup("gpu").MoveValueOrDie();
+  CatalogOptions options;
+  options.device_budget_bytes = model_bytes * 5 / 2;  // ~2 of 8 resident.
+  ModelCatalog tight(tight_group.get(), options);
+  fleet.RegisterAll(&tight);
+  const std::vector<std::vector<double>> constrained = fleet.Serve(&tight);
+
+  for (std::size_t m = 0; m < 8; ++m) {
+    EXPECT_TRUE(SameBits(constrained[m], unconstrained[m])) << "model " << m;
+  }
+  const CatalogStats stats = tight.Stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.faults, 0u);
+  EXPECT_LE(stats.resident_models, 3u);
+}
+
+TEST(ModelCatalog, LruOrderAndPinning) {
+  Fleet fleet(3);
+  auto group = BuildDeviceGroup("cpu").MoveValueOrDie();
+  ModelCatalog catalog(group.get());
+  fleet.RegisterAll(&catalog);
+  // Make all three resident, oldest-touched first.
+  for (std::size_t m = 0; m < 3; ++m) {
+    (void)catalog.Estimate(fleet.keys[m], fleet.workloads[m][0].box)
+        .MoveValueOrDie();
+  }
+  ASSERT_TRUE(catalog.Pin(fleet.keys[0], true).ok());
+  EXPECT_TRUE(catalog.Evict(fleet.keys[0]).IsFailedPrecondition());
+
+  // Manual evict of a non-pinned model spills it; the next query faults
+  // it back transparently.
+  ASSERT_TRUE(catalog.Evict(fleet.keys[1]).ok());
+  EXPECT_FALSE(catalog.StatsFor(fleet.keys[1]).MoveValueOrDie().resident);
+  (void)catalog.Estimate(fleet.keys[1], fleet.workloads[1][1].box)
+      .MoveValueOrDie();
+  const ModelStats faulted = catalog.StatsFor(fleet.keys[1]).MoveValueOrDie();
+  EXPECT_TRUE(faulted.resident);
+  EXPECT_EQ(faulted.evictions, 1u);
+  EXPECT_EQ(faulted.faults, 1u);
+
+  // Unpinned again, model 0 becomes evictable.
+  ASSERT_TRUE(catalog.Pin(fleet.keys[0], false).ok());
+  EXPECT_TRUE(catalog.Evict(fleet.keys[0]).ok());
+}
+
+TEST(ModelCatalog, ExternalSnapshotPersistenceAcrossCatalogs) {
+  Fleet fleet(1, 20);
+  auto group_a = BuildDeviceGroup("cpu").MoveValueOrDie();
+  ModelCatalog catalog_a(group_a.get());
+  fleet.RegisterAll(&catalog_a);
+  const std::vector<std::vector<double>> before = fleet.Serve(&catalog_a);
+  const std::vector<std::uint8_t> blob =
+      catalog_a.SaveSnapshot(fleet.keys[0]).MoveValueOrDie();
+
+  // "Process restart": a fresh catalog on a fresh group, seeded from the
+  // blob. The model must continue exactly where the old one stood.
+  auto group_b = BuildDeviceGroup("cpu").MoveValueOrDie();
+  ModelCatalog catalog_b(group_b.get());
+  ModelSpec spec;
+  spec.mode = KdeSelectivityEstimator::Mode::kAdaptive;
+  spec.config = fleet.configs[0];
+  spec.table = &fleet.tables[0];
+  ASSERT_TRUE(
+      catalog_b.RegisterFromSnapshot(fleet.keys[0], std::move(spec), blob)
+          .ok());
+
+  WorkloadGenerator generator(fleet.tables[0]);
+  Rng rng(97);
+  const std::vector<Query> stream = generator.Generate(
+      ParseWorkloadName("dt").ValueOrDie(), 50, &rng);
+  for (const Query& q : stream) {
+    const double a = catalog_a.Estimate(fleet.keys[0], q.box).MoveValueOrDie();
+    const double b = catalog_b.Estimate(fleet.keys[0], q.box).MoveValueOrDie();
+    ASSERT_EQ(std::memcmp(&a, &b, sizeof(double)), 0);
+    ASSERT_TRUE(catalog_a.Feedback(fleet.keys[0], q.box, q.selectivity).ok());
+    ASSERT_TRUE(catalog_b.Feedback(fleet.keys[0], q.box, q.selectivity).ok());
+  }
+}
+
+TEST(ModelCatalog, FactoryRoutesKdeThroughCatalogAndDriverRuns) {
+  Fleet fleet(1, 15);
+  auto group = BuildDeviceGroup("cpu").MoveValueOrDie();
+  ModelCatalog catalog(group.get());
+  Executor executor(&fleet.tables[0]);
+
+  EstimatorBuildContext context;
+  context.executor = &executor;
+  context.catalog = &catalog;
+  context.table_name = "orders";
+  context.seed = 11;
+  auto handle = BuildEstimator("kde_adaptive", context).MoveValueOrDie();
+  EXPECT_EQ(handle->name(), "catalog:orders(c0,c1,c2)");
+  EXPECT_EQ(handle->dims(), 3u);
+
+  // The handle serves through the catalog: stats move with every call.
+  ModelKey key;
+  key.table = "orders";
+  key.columns = {"c0", "c1", "c2"};
+  (void)handle->EstimateSelectivity(fleet.workloads[0][0].box);
+  handle->ObserveTrueSelectivity(fleet.workloads[0][0].box,
+                                 fleet.workloads[0][0].selectivity);
+  ModelStats stats = catalog.StatsFor(key).MoveValueOrDie();
+  EXPECT_EQ(stats.queries_served, 1u);
+  EXPECT_EQ(stats.feedback_applied, 1u);
+
+  // And the catalog-aware driver produces a full RunStats.
+  const RunStats run =
+      FeedbackDriver::RunCatalog(&catalog, key, fleet.workloads[0])
+          .MoveValueOrDie();
+  EXPECT_EQ(run.absolute_errors.size(), fleet.workloads[0].size());
+  stats = catalog.StatsFor(key).MoveValueOrDie();
+  EXPECT_EQ(stats.queries_served, 1u + fleet.workloads[0].size());
+}
+
+// ---------------------------------------------------------------------------
+// Destruction-order regression: two estimators tenanting one DeviceGroup,
+// both with passes still enqueued, torn down in either order under the
+// strict hazard checker. Destruction must drain cleanly — no queue-drain
+// assert, no leaked scratch handles.
+
+class DestructionOrder : public ::testing::TestWithParam<bool> {};
+
+TEST_P(DestructionOrder, TwoTenantsWithInflightPassesEitherOrder) {
+  const Table table =
+      GenerateDataset("synthetic", 2000, 3, 5).MoveValueOrDie();
+  DeviceGroupOptions options;
+  options.hazard_mode = HazardMode::kStrict;
+  auto group = BuildDeviceGroup("cpu+gpu", options).MoveValueOrDie();
+
+  KdeConfig config;
+  config.sample_size = 128;
+  config.seed = 7;
+  auto first = KdeSelectivityEstimator::Create(
+                   KdeSelectivityEstimator::Mode::kAdaptive, group.get(),
+                   &table, config)
+                   .MoveValueOrDie();
+  config.seed = 8;
+  auto second = KdeSelectivityEstimator::Create(
+                    KdeSelectivityEstimator::Mode::kAdaptive, group.get(),
+                    &table, config)
+                    .MoveValueOrDie();
+
+  WorkloadGenerator generator(table);
+  Rng rng(13);
+  const std::vector<Query> queries = generator.Generate(
+      ParseWorkloadName("dt").ValueOrDie(), 6, &rng);
+  // Interleave, and leave BOTH with a pending gradient pass enqueued.
+  for (const Query& q : queries) {
+    (void)first->EstimateSelectivity(q.box);
+    (void)second->EstimateSelectivity(q.box);
+    first->ObserveTrueSelectivity(q.box, q.selectivity);
+    second->ObserveTrueSelectivity(q.box, q.selectivity);
+  }
+  (void)first->EstimateSelectivity(queries[0].box);
+  (void)second->EstimateSelectivity(queries[1].box);
+
+  if (GetParam()) {
+    first.reset();
+    second.reset();
+  } else {
+    second.reset();
+    first.reset();
+  }
+  // No scratch handle may outlive its estimator.
+  EXPECT_EQ(group->AggregateScratchStats().outstanding, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothOrders, DestructionOrder, ::testing::Bool());
+
+}  // namespace
+}  // namespace fkde

@@ -1,0 +1,66 @@
+// The shared device-topology vocabulary (runtime/topology.h): one
+// name->profile mapping for runtime and bench, group construction from
+// '+'-specs, and loud rejection of typos.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "parallel/device_group.h"
+#include "runtime/topology.h"
+
+namespace fkde {
+namespace {
+
+TEST(Topology, IsGroupTopology) {
+  EXPECT_FALSE(IsGroupTopology("cpu"));
+  EXPECT_FALSE(IsGroupTopology("cpu-simd"));
+  EXPECT_TRUE(IsGroupTopology("cpu+gpu"));
+  EXPECT_TRUE(IsGroupTopology("gpu+gpu+gpu"));
+}
+
+TEST(Topology, ProfileByNameResolvesTheSharedVocabulary) {
+  EXPECT_EQ(DeviceProfileByName("cpu").MoveValueOrDie().name,
+            DeviceProfile::OpenClCpu().name);
+  EXPECT_EQ(DeviceProfileByName("gpu").MoveValueOrDie().name,
+            DeviceProfile::SimulatedGtx460().name);
+  EXPECT_EQ(DeviceProfileByName("cpu-simd").MoveValueOrDie().name,
+            DeviceProfile::SimdCpu().name);
+}
+
+TEST(Topology, ProfileByNameRejectsTyposAndGroupSpecs) {
+  EXPECT_FALSE(DeviceProfileByName("tpu").ok());
+  EXPECT_FALSE(DeviceProfileByName("").ok());
+  // A group spec is not a profile; the error says so rather than
+  // silently returning the first member.
+  EXPECT_FALSE(DeviceProfileByName("cpu+gpu").ok());
+}
+
+TEST(Topology, BuildDeviceGroupSingleAndMulti) {
+  auto single = BuildDeviceGroup("gpu").MoveValueOrDie();
+  EXPECT_EQ(single->size(), 1u);
+  EXPECT_EQ(single->device(0)->profile().name,
+            DeviceProfile::SimulatedGtx460().name);
+
+  auto multi = BuildDeviceGroup("cpu+gpu+cpu-simd").MoveValueOrDie();
+  EXPECT_EQ(multi->size(), 3u);
+  EXPECT_EQ(multi->device(0)->profile().name, DeviceProfile::OpenClCpu().name);
+  EXPECT_EQ(multi->device(1)->profile().name,
+            DeviceProfile::SimulatedGtx460().name);
+  EXPECT_EQ(multi->device(2)->profile().name, DeviceProfile::SimdCpu().name);
+
+  EXPECT_FALSE(BuildDeviceGroup("cpu+warp").ok());
+}
+
+TEST(Topology, BuildDeviceGroupForwardsOptions) {
+  DeviceGroupOptions options;
+  options.rebalance = false;
+  options.min_shard_rows = 7;
+  auto group = BuildDeviceGroup("cpu+cpu", options).MoveValueOrDie();
+  EXPECT_FALSE(group->options().rebalance);
+  EXPECT_EQ(group->options().min_shard_rows, 7u);
+}
+
+}  // namespace
+}  // namespace fkde
