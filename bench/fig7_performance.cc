@@ -49,6 +49,9 @@ struct Row {
   /// Host stall fraction of the modeled clock (Event::Wait time /
   /// ModeledSeconds), summed across group members for '+'-topologies.
   double idle_gap = 0.0;
+  /// Per-member stall fraction for '+'-topologies (empty otherwise): the
+  /// group aggregate hides which shard the host actually waited on.
+  std::vector<double> shard_idle_gaps;
   std::string note;
 };
 
@@ -75,10 +78,14 @@ void WriteJson(const std::string& path, const std::vector<Row>& rows) {
                  "    {\"model_points\": %s, \"estimator\": \"%s\", "
                  "\"device\": \"%s\", \"ms_modeled\": %.6g, "
                  "\"ms_measured\": %.6g, \"idle_gap\": %.6g, "
-                 "\"note\": \"%s\"}%s\n",
+                 "\"shard_idle_gaps\": [",
                  row.model_points.c_str(), JsonEscape(row.estimator).c_str(),
                  JsonEscape(row.device).c_str(), row.ms_modeled,
-                 row.ms_measured, row.idle_gap, JsonEscape(row.note).c_str(),
+                 row.ms_measured, row.idle_gap);
+    for (std::size_t s = 0; s < row.shard_idle_gaps.size(); ++s) {
+      std::fprintf(f, "%s%.6g", s > 0 ? ", " : "", row.shard_idle_gaps[s]);
+    }
+    std::fprintf(f, "], \"note\": \"%s\"}%s\n", JsonEscape(row.note).c_str(),
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -197,6 +204,12 @@ int main(int argc, char** argv) {
         const double stall_s = grouped ? group->TotalHostStallSeconds()
                                        : device->HostStallSeconds();
         row.idle_gap = modeled_s > 0.0 ? stall_s / modeled_s : 0.0;
+        if (grouped) {
+          for (std::size_t i = 0; i < group->size(); ++i) {
+            row.shard_idle_gaps.push_back(
+                group->device(i)->IdleGapFraction());
+          }
+        }
         // Backends executing on real host threads also report wall-clock.
         row.ms_measured = (device_name == "cpu" || device_name == "cpu-simd")
                               ? watch.ElapsedMillis() / workload.size()

@@ -189,11 +189,10 @@ BENCHMARK(BM_BlockingLaunchOverhead)->Unit(benchmark::kNanosecond);
 // modeled time, enqueued should stall for almost none of it.
 void ReportModeledCounters(benchmark::State& state, const Device& device) {
   const double modeled = device.ModeledSeconds();
-  const double stall = device.HostStallSeconds();
   const double iters = static_cast<double>(state.iterations());
   state.counters["modeled_ms"] =
       iters > 0.0 ? modeled * 1e3 / iters : 0.0;
-  state.counters["idle_gap"] = modeled > 0.0 ? stall / modeled : 0.0;
+  state.counters["idle_gap"] = device.IdleGapFraction();
 }
 
 void BM_GradientSync(benchmark::State& state) {
@@ -370,12 +369,11 @@ void BM_EstimateSharded(benchmark::State& state) {
   const double iters = static_cast<double>(state.iterations());
   state.counters["modeled_ms"] = iters > 0.0 ? modeled * 1e3 / iters : 0.0;
   for (std::size_t i = 0; i < group.size(); ++i) {
-    const Device& dev = *group.device(i);
     state.counters["idle_gap_" + std::to_string(i)] =
-        dev.ModeledSeconds() > 0.0
-            ? dev.HostStallSeconds() / dev.ModeledSeconds()
-            : 0.0;
+        group.device(i)->IdleGapFraction();
   }
+  state.counters["queue_depth_hw"] = static_cast<double>(
+      group.AggregateQueueStats().depth_high_water);
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EstimateSharded)

@@ -13,7 +13,6 @@ KdeEngine::KdeEngine(DeviceSample* sample, KernelType kernel)
   FKDE_CHECK_MSG(!sample->empty(), "engine requires a loaded sample");
   FKDE_CHECK_MSG(sample->dims() <= kMaxDims, "dims beyond engine limit");
   const std::size_t d = sample_->dims();
-  const std::size_t capacity = sample_->capacity();
   shards_.resize(sample_->num_shards());
   for (std::size_t si = 0; si < shards_.size(); ++si) {
     EngineShard& sh = shards_[si];
@@ -27,19 +26,30 @@ KdeEngine::KdeEngine(DeviceSample* sample, KernelType kernel)
     // Scott pass below touches it.
     if (sh.backend == KernelBackend::kSimd) sample_->EnableSoaMirror(si);
     sh.bandwidth_dev = sh.device->CreateBuffer<double>(d);
-    sh.bounds_dev = sh.device->CreateBuffer<double>(2 * d);
-    // Capacity-sized so rebalancing growth never reallocates under
-    // enqueued commands that captured the raw device pointers.
-    sh.contributions = sh.device->CreateBuffer<double>(capacity);
-    sh.grad_partials = sh.device->CreateBuffer<double>(d * capacity);
-    sh.grad_sums = sh.device->CreateBuffer<double>(d);
-    sh.est_sum = sh.device->CreateBuffer<double>(1);
-    sh.point_scales = sh.device->CreateBuffer<float>(capacity);
-    // Sized once so enqueued gradient read-backs never race a
-    // reallocation.
-    sh.grad_staging.resize(d);
+    sh.point_scales = sh.device->CreateBuffer<float>(sample_->capacity());
+    // Slot 0 hosts every classic synchronous pass; EnableStreaming grows
+    // the ring.
+    sh.slots.resize(1);
+    AllocateSlot(sh, &sh.slots[0]);
   }
+  bounds_staging_.resize(1);
+  bounds_staging_[0].resize(2 * d);
   FKDE_CHECK_OK(SetBandwidth(ComputeScottBandwidth()));
+}
+
+void KdeEngine::AllocateSlot(EngineShard& sh, ShardSlot* slot) const {
+  const std::size_t d = sample_->dims();
+  const std::size_t capacity = sample_->capacity();
+  slot->bounds_dev = sh.device->CreateBuffer<double>(2 * d);
+  // Capacity-sized so rebalancing growth never reallocates under
+  // enqueued commands that captured the raw device pointers.
+  slot->contributions = sh.device->CreateBuffer<double>(capacity);
+  slot->grad_partials = sh.device->CreateBuffer<double>(d * capacity);
+  slot->grad_sums = sh.device->CreateBuffer<double>(d);
+  slot->est_sum = sh.device->CreateBuffer<double>(1);
+  // Sized once so enqueued gradient read-backs never race a
+  // reallocation.
+  slot->grad_staging.resize(d);
 }
 
 KdeEngine::~KdeEngine() {
@@ -99,6 +109,11 @@ void KdeEngine::UploadScales() {
 }
 
 void KdeEngine::PrepareForPass() {
+  // Streaming freeze: with slot chains in flight a migration would
+  // permute rows under enqueued commands, and even a safe one would make
+  // results depend on where in the stream the drain landed — breaking
+  // the streamed-equals-replay bitwise contract.
+  if (streaming_) return;
   if (shards_.size() < 2) return;
   sample_->MaybeRebalance();
   // Migration permutes local rows; the per-shard scale buffers are
@@ -230,37 +245,49 @@ kb::ShardKernelView KdeEngine::ShardView(std::size_t shard) const {
 
 double KdeEngine::Estimate(const Box& box) {
   PrepareForPass();
-  const std::size_t d = dims();
-  double staging[2 * kMaxDims];
-  StageBounds(box, staging);
   std::vector<double> busy_before;
   SnapshotBusy(&busy_before);
+  BeginEstimateSlot(box, 0);
+  const double estimate = FinishEstimateSlot(0);
+  ObservePass(busy_before);
+  return estimate;
+}
+
+void KdeEngine::BeginEstimateSlot(const Box& box, std::size_t slot) {
+  const std::size_t d = dims();
+  FKDE_CHECK_MSG(slot < bounds_staging_.size(), "slot beyond ring depth");
+  double* staging = bounds_staging_[slot].data();
+  StageBounds(box, staging);
 
   // Figure 3, steps 1-4, per shard and concurrently across shards: bounds
   // upload, one work item per sample point computing the closed-form
   // contribution (13) as a product over dimensions (with the variable-KDE
   // extension, point i smooths with h_j * scales[i]), the binary-tree
   // reduction to one scalar, and the scalar read-back. Each shard's chain
-  // is enqueued back-to-back on its own in-order queue; the host waits on
-  // all read-backs and folds.
-  std::vector<Event> done(shards_.size());
+  // is enqueued back-to-back on its own in-order queue into slot-private
+  // buffers; `FinishEstimateSlot` waits on the read-backs and folds.
+  // Across the ring wrap the slot's previous chain has fully completed
+  // (its query was delivered before the slot came around), so the reuse
+  // WAR hazard is ordered by the in-order queue alone.
   for (std::size_t si = 0; si < shards_.size(); ++si) {
     EngineShard& sh = shards_[si];
+    ShardSlot& sl = sh.slots[slot];
     const std::size_t rows = sample_->shard_size(si);
-    sh.est_staging = 0.0;
+    sl.est_staging = 0.0;
+    sl.est_done = Event();
     if (rows == 0) continue;
     if (sh.backend == KernelBackend::kSimd) sample_->EnsureSoaCurrent(si);
     CommandQueue* queue = sh.device->default_queue();
-    queue->EnqueueCopyToDevice(staging, 2 * d, &sh.bounds_dev);
+    queue->EnqueueCopyToDevice(staging, 2 * d, &sl.bounds_dev);
     const kb::ShardKernelView view = ShardView(si);
-    const double* bounds = sh.bounds_dev.device_data();
-    double* contrib = sh.contributions.device_data();
+    const double* bounds = sl.bounds_dev.device_data();
+    double* contrib = sl.contributions.device_data();
     BufferAccess acc[6];
     std::size_t na = 0;
     acc[na++] = Reads(sample_->shard_buffer(si), 0, rows * d);
-    acc[na++] = Reads(sh.bounds_dev, 0, 2 * d);
+    acc[na++] = Reads(sl.bounds_dev, 0, 2 * d);
     acc[na++] = Reads(sh.bandwidth_dev, 0, d);
-    acc[na++] = Writes(sh.contributions, 0, rows);
+    acc[na++] = Writes(sl.contributions, 0, rows);
     if (has_scales_) acc[na++] = Reads(sh.point_scales, 0, rows);
     if (view.soa != nullptr) acc[na++] = Reads(sample_->shard_soa(si));
     queue->EnqueueLaunch(
@@ -269,30 +296,37 @@ double KdeEngine::Estimate(const Box& box) {
           kb::FusedContribution(view, bounds, contrib, begin, end);
         },
         std::span<const BufferAccess>(acc, na));
-    EnqueueReduceSumSegments(queue, sh.contributions, 0, rows, 1,
-                             &sh.est_sum);
-    done[si] = queue->EnqueueCopyToHost(sh.est_sum, 0, 1, &sh.est_staging);
+    EnqueueReduceSumSegments(queue, sl.contributions, 0, rows, 1,
+                             &sl.est_sum);
+    sl.est_done = queue->EnqueueCopyToHost(sl.est_sum, 0, 1, &sl.est_staging);
   }
+}
+
+double KdeEngine::FinishEstimateSlot(std::size_t slot) {
   double total = 0.0;
-  for (std::size_t si = 0; si < shards_.size(); ++si) {
-    if (!done[si].valid()) continue;
-    done[si].Wait();
-    total += shards_[si].est_staging;
+  for (EngineShard& sh : shards_) {
+    ShardSlot& sl = sh.slots[slot];
+    if (sl.est_done.valid()) {
+      sl.est_done.Wait();
+      sl.est_done = Event();
+    }
+    total += sl.est_staging;
   }
-  ObservePass(busy_before);
   last_estimate_ = total / static_cast<double>(sample_size());
   return last_estimate_;
 }
 
-void KdeEngine::EnqueueGradientPartialsKernel(std::size_t shard) {
+void KdeEngine::EnqueueGradientPartialsKernel(std::size_t shard,
+                                              std::size_t slot) {
   EngineShard& sh = shards_[shard];
+  ShardSlot& sl = sh.slots[slot];
   const std::size_t rows = sample_->shard_size(shard);
   const std::size_t d = dims();
   if (sh.backend == KernelBackend::kSimd) sample_->EnsureSoaCurrent(shard);
   const kb::ShardKernelView view = ShardView(shard);
-  const double* bounds = sh.bounds_dev.device_data();
-  double* contrib = sh.contributions.device_data();
-  double* partials = sh.grad_partials.device_data();
+  const double* bounds = sl.bounds_dev.device_data();
+  double* contrib = sl.contributions.device_data();
+  double* partials = sl.grad_partials.device_data();
 
   // Fused kernel: per sample point, the per-dimension CDF differences and
   // their h-derivatives give both the contribution (13) and, via
@@ -309,10 +343,10 @@ void KdeEngine::EnqueueGradientPartialsKernel(std::size_t shard) {
   BufferAccess acc[7];
   std::size_t na = 0;
   acc[na++] = Reads(sample_->shard_buffer(shard), 0, rows * d);
-  acc[na++] = Reads(sh.bounds_dev, 0, 2 * d);
+  acc[na++] = Reads(sl.bounds_dev, 0, 2 * d);
   acc[na++] = Reads(sh.bandwidth_dev, 0, d);
-  acc[na++] = Writes(sh.contributions, 0, rows);
-  acc[na++] = Writes(sh.grad_partials, 0, d * rows);
+  acc[na++] = Writes(sl.contributions, 0, rows);
+  acc[na++] = Writes(sl.grad_partials, 0, d * rows);
   if (has_scales_) acc[na++] = Reads(sh.point_scales, 0, rows);
   if (view.soa != nullptr) acc[na++] = Reads(sample_->shard_soa(shard));
   sh.device->default_queue()->EnqueueLaunch(
@@ -337,29 +371,30 @@ double KdeEngine::EstimateWithGradient(const Box& box,
   std::vector<Event> done(shards_.size());
   for (std::size_t si = 0; si < shards_.size(); ++si) {
     EngineShard& sh = shards_[si];
+    ShardSlot& sl = sh.slots[0];
     const std::size_t rows = sample_->shard_size(si);
-    sh.est_staging = 0.0;
-    std::fill(sh.grad_staging.begin(), sh.grad_staging.end(), 0.0);
+    sl.est_staging = 0.0;
+    std::fill(sl.grad_staging.begin(), sl.grad_staging.end(), 0.0);
     if (rows == 0) continue;
     CommandQueue* queue = sh.device->default_queue();
-    queue->EnqueueCopyToDevice(staging, 2 * d, &sh.bounds_dev);
-    EnqueueGradientPartialsKernel(si);
-    EnqueueReduceSumSegments(queue, sh.contributions, 0, rows, 1,
-                             &sh.est_sum);
-    queue->EnqueueCopyToHost(sh.est_sum, 0, 1, &sh.est_staging);
-    EnqueueReduceSumSegments(queue, sh.grad_partials, 0, rows, d,
-                             &sh.grad_sums);
+    queue->EnqueueCopyToDevice(staging, 2 * d, &sl.bounds_dev);
+    EnqueueGradientPartialsKernel(si, 0);
+    EnqueueReduceSumSegments(queue, sl.contributions, 0, rows, 1,
+                             &sl.est_sum);
+    queue->EnqueueCopyToHost(sl.est_sum, 0, 1, &sl.est_staging);
+    EnqueueReduceSumSegments(queue, sl.grad_partials, 0, rows, d,
+                             &sl.grad_sums);
     done[si] =
-        queue->EnqueueCopyToHost(sh.grad_sums, 0, d, sh.grad_staging.data());
+        queue->EnqueueCopyToHost(sl.grad_sums, 0, d, sl.grad_staging.data());
   }
   double total = 0.0;
   gradient->assign(d, 0.0);
   for (std::size_t si = 0; si < shards_.size(); ++si) {
     if (!done[si].valid()) continue;
     done[si].Wait();
-    total += shards_[si].est_staging;
+    total += shards_[si].slots[0].est_staging;
     for (std::size_t j = 0; j < d; ++j) {
-      (*gradient)[j] += shards_[si].grad_staging[j];
+      (*gradient)[j] += shards_[si].slots[0].grad_staging[j];
     }
   }
   ObservePass(busy_before);
@@ -370,50 +405,103 @@ double KdeEngine::EstimateWithGradient(const Box& box,
 }
 
 Event KdeEngine::EnqueueGradient() {
+  EnqueueGradientSlot(0);
+  gradient_pending_ = true;
+  // The last shard's read-back is the caller-visible handle (all shards'
+  // events are held in their slots).
+  Event last;
+  for (EngineShard& sh : shards_) {
+    if (sh.slots[0].pending_gradient.valid()) {
+      last = sh.slots[0].pending_gradient;
+    }
+  }
+  return last;
+}
+
+void KdeEngine::EnqueueGradientSlot(std::size_t slot) {
   const std::size_t d = dims();
-  // Section 5.5, steps 5-6, for the bounds of the last Estimate: per
+  // Section 5.5, steps 5-6, for the bounds resident in `slot`: per
   // shard, partials kernel, one segmented reduction, d-double read-back —
   // all enqueued, none waited for. Each shard's in-order queue sequences
   // its chain; the read-back events are the collection handles. A
-  // still-pending previous gradient is simply superseded: its commands
-  // complete in order and its staging writes happen-before ours.
-  Event last;
+  // still-pending previous gradient on the same slot is simply
+  // superseded: its commands complete in order and its staging writes
+  // happen-before ours.
   for (std::size_t si = 0; si < shards_.size(); ++si) {
     EngineShard& sh = shards_[si];
+    ShardSlot& sl = sh.slots[slot];
     const std::size_t rows = sample_->shard_size(si);
     if (rows == 0) {
-      sh.pending_gradient = Event();
-      std::fill(sh.grad_staging.begin(), sh.grad_staging.end(), 0.0);
+      sl.pending_gradient = Event();
+      std::fill(sl.grad_staging.begin(), sl.grad_staging.end(), 0.0);
       continue;
     }
-    EnqueueGradientPartialsKernel(si);
+    EnqueueGradientPartialsKernel(si, slot);
     CommandQueue* queue = sh.device->default_queue();
-    EnqueueReduceSumSegments(queue, sh.grad_partials, 0, rows, d,
-                             &sh.grad_sums);
-    sh.pending_gradient =
-        queue->EnqueueCopyToHost(sh.grad_sums, 0, d, sh.grad_staging.data());
-    last = sh.pending_gradient;
+    EnqueueReduceSumSegments(queue, sl.grad_partials, 0, rows, d,
+                             &sl.grad_sums);
+    sl.pending_gradient =
+        queue->EnqueueCopyToHost(sl.grad_sums, 0, d, sl.grad_staging.data());
   }
-  gradient_pending_ = true;
-  return last;
 }
 
 void KdeEngine::CollectGradient(std::vector<double>* gradient) {
   FKDE_CHECK_MSG(gradient_pending_, "no enqueued gradient to collect");
+  CollectGradientSlot(0, gradient);
+  gradient_pending_ = false;
+}
+
+void KdeEngine::CollectGradientSlot(std::size_t slot,
+                                    std::vector<double>* gradient) {
   const std::size_t d = dims();
   gradient->assign(d, 0.0);
   for (EngineShard& sh : shards_) {
-    if (sh.pending_gradient.valid()) {
-      sh.pending_gradient.Wait();
-      sh.pending_gradient = Event();
+    ShardSlot& sl = sh.slots[slot];
+    if (sl.pending_gradient.valid()) {
+      sl.pending_gradient.Wait();
+      sl.pending_gradient = Event();
       for (std::size_t j = 0; j < d; ++j) {
-        (*gradient)[j] += sh.grad_staging[j];
+        (*gradient)[j] += sl.grad_staging[j];
       }
     }
   }
-  gradient_pending_ = false;
   const double inv_s = 1.0 / static_cast<double>(sample_size());
   for (double& g : *gradient) g *= inv_s;
+}
+
+Status KdeEngine::EnableStreaming(std::size_t depth) {
+  if (depth == 0) {
+    return Status::InvalidArgument("streaming depth must be >= 1");
+  }
+  for (EngineShard& sh : shards_) {
+    while (sh.slots.size() < depth) {
+      sh.slots.emplace_back();
+      AllocateSlot(sh, &sh.slots.back());
+    }
+  }
+  while (bounds_staging_.size() < depth) {
+    bounds_staging_.emplace_back(2 * dims());
+  }
+  streaming_depth_ = std::max(streaming_depth_, depth);
+  streaming_ = true;
+  return Status::OK();
+}
+
+void KdeEngine::DisableStreaming() {
+  // Drain before releasing ring buffers: enqueued slot chains hold raw
+  // device pointers into them.
+  for (EngineShard& sh : shards_) sh.device->default_queue()->Finish();
+  for (EngineShard& sh : shards_) sh.slots.resize(1);
+  bounds_staging_.resize(1);
+  streaming_depth_ = 1;
+  feedback_slot_ = 0;
+  streaming_ = false;
+}
+
+void KdeEngine::SetFeedbackContext(std::size_t slot, double estimate) {
+  FKDE_CHECK_MSG(slot < streaming_depth_, "feedback slot beyond ring");
+  feedback_slot_ = slot;
+  last_estimate_ = estimate;
 }
 
 std::size_t KdeEngine::BatchTile(std::size_t queries, std::size_t shard_rows,

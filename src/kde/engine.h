@@ -173,23 +173,83 @@ class KdeEngine {
                            std::span<const double> truths, LossType loss,
                            double lambda, std::vector<double>* gradient);
 
-  /// Selectivity of `box` at the last Estimate/EstimateWithGradient call.
+  /// Selectivity of `box` at the last Estimate/EstimateWithGradient call
+  /// (or the estimate installed by `SetFeedbackContext` while streaming).
   double last_estimate() const { return last_estimate_; }
+
+  // -- Streaming slot ring (Section 5.5 pipelining, N queries deep) -----
+  //
+  // The classic per-query cycle — Estimate, EnqueueGradient, feedback,
+  // CollectGradient — keeps ONE query's device state resident (slot 0).
+  // Streaming generalizes that state into a ring of `depth` descriptor
+  // slots per shard: `BeginEstimateSlot(box, k % depth)` enqueues query
+  // k's full estimate (+ gradient) chain without waiting, so the chain
+  // for query k+1 enters the in-order queues while query k's gradient
+  // and Karma feedback are still pending on the device. Every command
+  // touches only its slot's buffers, so the per-device in-order queue is
+  // the only ordering needed: slot reuse across the ring wrap (query
+  // k+depth reusing query k's slot) is a WAR hazard resolved by queue
+  // order, which the strict hazard checker verifies. Modeled time never
+  // feeds back into the math, so a streamed schedule produces bitwise
+  // the estimates of its fully-drained replay.
+
+  /// Grows every shard's slot ring to `depth` (>= 1) and freezes the
+  /// sample rebalancer: migrations would permute rows under enqueued
+  /// slot chains AND make results depend on drain timing. Idempotent;
+  /// growing an active ring is allowed, shrinking never happens here.
+  Status EnableStreaming(std::size_t depth);
+
+  /// Drains every shard queue, releases slots 1.., unfreezes the
+  /// rebalancer and resets the feedback slot to 0. Requires no
+  /// uncollected slot passes (the caller owns ticket accounting).
+  void DisableStreaming();
+
+  bool streaming() const { return streaming_; }
+  std::size_t streaming_depth() const { return streaming_depth_; }
+
+  /// Enqueues the full estimate chain of `box` on slot `slot` of every
+  /// shard — bounds upload, contribution kernel, reduction, scalar
+  /// read-back — without waiting. `FinishEstimateSlot(slot)` collects.
+  /// No rebalance housekeeping and no EWMA observation: streaming passes
+  /// overlap, so per-pass busy deltas are not attributable.
+  void BeginEstimateSlot(const Box& box, std::size_t slot);
+
+  /// Waits on slot `slot`'s per-shard read-back events, folds the
+  /// partial sums and returns the estimate (also installed as
+  /// `last_estimate()`). Requires a matching `BeginEstimateSlot`.
+  double FinishEstimateSlot(std::size_t slot);
+
+  /// Enqueues the gradient pass for the bounds resident in slot `slot`
+  /// (the adaptive path calls this right after `BeginEstimateSlot`, so
+  /// both chains pipeline). Collect with `CollectGradientSlot`.
+  void EnqueueGradientSlot(std::size_t slot);
+
+  /// Waits slot `slot`'s pending gradient and folds ∂p̂/∂h into
+  /// `gradient` (arity dims()).
+  void CollectGradientSlot(std::size_t slot, std::vector<double>* gradient);
+
+  /// Points the feedback consumers at slot `slot`: `shard_contributions`
+  /// returns that slot's retained contributions and `last_estimate()`
+  /// returns `estimate` (the raw estimate recorded when the slot's query
+  /// was delivered), so the Karma pass reads the state of the query the
+  /// feedback belongs to — not whichever query streamed last.
+  void SetFeedbackContext(std::size_t slot, double estimate);
 
   /// Per-point contributions p̂^(i)(Ω) of the last estimate on shard 0 —
   /// the whole sample for single-shard engines (for the Karma pass).
   /// Valid for shard-0's row count.
   const DeviceBuffer<double>& contributions() const {
-    return shards_[0].contributions;
+    return shards_[0].slots[feedback_slot_].contributions;
   }
   DeviceBuffer<double>* mutable_contributions() {
-    return &shards_[0].contributions;
+    return &shards_[0].slots[feedback_slot_].contributions;
   }
 
   /// Per-point contributions retained on shard `shard` (local-row
-  /// indexed, sample->shard_size(shard) live entries).
+  /// indexed, sample->shard_size(shard) live entries) — the feedback
+  /// slot's buffer (slot 0 outside streaming).
   const DeviceBuffer<double>& shard_contributions(std::size_t shard) const {
-    return shards_[shard].contributions;
+    return shards_[shard].slots[feedback_slot_].contributions;
   }
 
   /// Kernel backend shard `shard` runs (resolved from its device profile
@@ -212,25 +272,37 @@ class KdeEngine {
   std::size_t ModelBytes() const;
 
  private:
-  /// Per-shard device state. Buffers are capacity-sized so shard growth
-  /// under rebalancing never reallocates (enqueued commands capture raw
-  /// device pointers).
+  /// One in-flight query's device state on one shard: the bounds it
+  /// queried, its retained contributions/partials and the read-back
+  /// staging its enqueued chain writes into. Slot 0 always exists (the
+  /// classic synchronous paths run on it); `EnableStreaming` grows the
+  /// ring. Buffers are capacity-sized so shard growth under rebalancing
+  /// never reallocates (enqueued commands capture raw device pointers).
+  struct ShardSlot {
+    DeviceBuffer<double> bounds_dev;     // 2d doubles: l_0..l_d-1,u_0..
+    DeviceBuffer<double> contributions;  // capacity doubles.
+    DeviceBuffer<double> grad_partials;  // d*capacity doubles, dim-major.
+    DeviceBuffer<double> grad_sums;      // d reduced gradient sums.
+    DeviceBuffer<double> est_sum;        // 1 reduced contribution sum.
+    std::vector<double> grad_staging;    // d-double read-back staging.
+    double est_staging = 0.0;            // 1-double read-back staging.
+    Event est_done;                      // Estimate read-back handle.
+    Event pending_gradient;              // Held until feedback arrives.
+  };
+
+  /// Per-shard device state shared by every slot.
   struct EngineShard {
     Device* device = nullptr;
     /// Resolved kernel backend/precision for this shard's fused loops.
     KernelBackend backend = KernelBackend::kScalar;
     KernelPrecision precision = KernelPrecision::kDouble;
     DeviceBuffer<double> bandwidth_dev;  // d doubles (replicated).
-    DeviceBuffer<double> bounds_dev;     // 2d doubles: l_0..l_d-1,u_0..
-    DeviceBuffer<double> contributions;  // capacity doubles.
-    DeviceBuffer<double> grad_partials;  // d*capacity doubles, dim-major.
-    DeviceBuffer<double> grad_sums;      // d reduced gradient sums.
-    DeviceBuffer<double> est_sum;        // 1 reduced contribution sum.
     DeviceBuffer<float> point_scales;    // capacity floats (variable KDE).
-    std::vector<double> grad_staging;    // d-double read-back staging.
-    double est_staging = 0.0;            // 1-double read-back staging.
-    Event pending_gradient;              // Held until feedback arrives.
+    std::vector<ShardSlot> slots;        // Ring of in-flight query state.
   };
+
+  /// Allocates one slot's device buffers and staging on `sh.device`.
+  void AllocateSlot(EngineShard& sh, ShardSlot* slot) const;
 
   /// Pre-pass housekeeping on multi-shard samples: applies any due
   /// rebalance and re-scatters the point scales if rows migrated. Must
@@ -262,9 +334,9 @@ class KdeEngine {
   kb::ShardKernelView MomentsView(std::size_t shard) const;
 
   /// Enqueues the fused gradient-partials kernel on shard `shard` for the
-  /// bounds currently resident in its bounds_dev (shared by
-  /// EstimateWithGradient and EnqueueGradient).
-  void EnqueueGradientPartialsKernel(std::size_t shard);
+  /// bounds currently resident in slot `slot`'s bounds_dev (shared by
+  /// EstimateWithGradient, EnqueueGradient and EnqueueGradientSlot).
+  void EnqueueGradientPartialsKernel(std::size_t shard, std::size_t slot);
 
   /// Queries per scratch tile for an m-query batch over `shard_rows`
   /// sample rows: bounded so the tile contribution/partial buffers stay
@@ -318,8 +390,17 @@ class KdeEngine {
   std::vector<EngineShard> shards_;
   std::vector<double> scales_host_;  // Global-slot point scales.
   std::uint64_t scales_epoch_ = 0;   // Sample migration epoch at upload.
+  /// Per-slot bounds staging for the enqueued uploads. Lives until the
+  /// slot is reused — by then the ring guarantees the previous upload
+  /// completed (its query was delivered before the slot came around).
+  std::vector<std::vector<double>> bounds_staging_;
   bool gradient_pending_ = false;
   bool has_scales_ = false;
+  bool streaming_ = false;
+  std::size_t streaming_depth_ = 1;
+  /// Slot whose contributions/estimate the feedback consumers (Karma)
+  /// currently see; always 0 outside streaming.
+  std::size_t feedback_slot_ = 0;
   double last_estimate_ = 0.0;
 
   static constexpr std::size_t kMaxDims = 32;

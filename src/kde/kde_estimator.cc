@@ -158,30 +158,7 @@ double KdeSelectivityEstimator::EstimateSelectivity(const Box& box) {
 void KdeSelectivityEstimator::ObserveTrueSelectivity(const Box& box,
                                                      double selectivity) {
   if (mode_ == Mode::kPeriodic) {
-    // Section 3.4 deployment: remember the last q queries in a ring
-    // buffer and periodically re-solve optimization problem (5) over
-    // them, starting from the current bandwidth.
-    Query query;
-    query.box = box;
-    query.selectivity = selectivity;
-    if (feedback_ring_.size() < config_.feedback_window) {
-      feedback_ring_.push_back(std::move(query));
-    } else {
-      feedback_ring_[ring_next_] = std::move(query);
-      ring_next_ = (ring_next_ + 1) % config_.feedback_window;
-    }
-    ++feedback_since_optimize_;
-    if (feedback_since_optimize_ >= config_.reoptimize_every &&
-        feedback_ring_.size() >= config_.reoptimize_every) {
-      feedback_since_optimize_ = 0;
-      BatchOptions batch = config_.batch;
-      batch.loss = config_.loss;
-      batch.lambda = config_.lambda;
-      FKDE_CHECK_OK(
-          OptimizeBandwidthBatch(engine_.get(), feedback_ring_, batch, &rng_)
-              .status());
-      ++reoptimizations_;
-    }
+    ObservePeriodicFeedback(box, selectivity);
     return;
   }
   if (mode_ != Mode::kAdaptive) return;
@@ -230,6 +207,133 @@ void KdeSelectivityEstimator::ObserveTrueSelectivity(const Box& box,
   }
 }
 
+void KdeSelectivityEstimator::ObservePeriodicFeedback(const Box& box,
+                                                      double selectivity) {
+  // Section 3.4 deployment: remember the last q queries in a ring
+  // buffer and periodically re-solve optimization problem (5) over
+  // them, starting from the current bandwidth.
+  Query query;
+  query.box = box;
+  query.selectivity = selectivity;
+  if (feedback_ring_.size() < config_.feedback_window) {
+    feedback_ring_.push_back(std::move(query));
+  } else {
+    feedback_ring_[ring_next_] = std::move(query);
+    ring_next_ = (ring_next_ + 1) % config_.feedback_window;
+  }
+  ++feedback_since_optimize_;
+  if (feedback_since_optimize_ >= config_.reoptimize_every &&
+      feedback_ring_.size() >= config_.reoptimize_every) {
+    feedback_since_optimize_ = 0;
+    BatchOptions batch = config_.batch;
+    batch.loss = config_.loss;
+    batch.lambda = config_.lambda;
+    FKDE_CHECK_OK(
+        OptimizeBandwidthBatch(engine_.get(), feedback_ring_, batch, &rng_)
+            .status());
+    ++reoptimizations_;
+  }
+}
+
+Status KdeSelectivityEstimator::EnableStreaming(std::size_t depth) {
+  if (depth == 0) {
+    return Status::InvalidArgument("streaming depth must be >= 1");
+  }
+  FKDE_CHECK_MSG(tickets_.empty(), "cannot resize an active stream");
+  // Fold classic-path pending state (an enqueued gradient, a pending
+  // Karma pass) into host state so slot 0 starts the stream clean.
+  Quiesce();
+  FKDE_RETURN_NOT_OK(engine_->EnableStreaming(depth));
+  stream_depth_ = depth;
+  return Status::OK();
+}
+
+void KdeSelectivityEstimator::DisableStreaming() {
+  FKDE_CHECK_MSG(tickets_.empty(),
+                 "disable requires all streamed tickets retired");
+  if (stream_depth_ == 0) return;
+  engine_->DisableStreaming();
+  stream_depth_ = 0;
+}
+
+std::uint64_t KdeSelectivityEstimator::StreamBegin(const Box& box) {
+  FKDE_CHECK_MSG(stream_depth_ > 0, "streaming not enabled");
+  FKDE_CHECK_MSG(tickets_.size() < stream_depth_,
+                 "admission window full: deliver feedback first");
+  StreamTicket ticket;
+  ticket.id = next_ticket_++;
+  ticket.slot = static_cast<std::size_t>(ticket.id % stream_depth_);
+  ticket.box = box;
+  engine_->BeginEstimateSlot(box, ticket.slot);
+  if (mode_ == Mode::kAdaptive && adaptive_.has_value()) {
+    // Pipeline the gradient right behind the estimate chain: it crunches
+    // while later queries stream in and is collected at feedback time.
+    engine_->EnqueueGradientSlot(ticket.slot);
+  }
+  tickets_.push_back(std::move(ticket));
+  return tickets_.back().id;
+}
+
+double KdeSelectivityEstimator::StreamDeliver(std::uint64_t ticket) {
+  FKDE_CHECK_MSG(!tickets_.empty(), "no in-flight tickets");
+  StreamTicket& front = tickets_.front();
+  FKDE_CHECK_MSG(front.id == ticket, "tickets deliver FIFO");
+  FKDE_CHECK_MSG(!front.delivered, "ticket already delivered");
+  front.raw_estimate = engine_->FinishEstimateSlot(front.slot);
+  front.delivered = true;
+  return std::clamp(front.raw_estimate, 0.0, 1.0);
+}
+
+void KdeSelectivityEstimator::StreamRetire(std::uint64_t ticket) {
+  FKDE_CHECK_MSG(!tickets_.empty(), "no in-flight tickets");
+  FKDE_CHECK_MSG(tickets_.front().id == ticket, "tickets retire FIFO");
+  FKDE_CHECK_MSG(tickets_.front().delivered, "retire before delivery");
+  tickets_.pop_front();
+}
+
+void KdeSelectivityEstimator::StreamFeedback(std::uint64_t ticket,
+                                             double selectivity) {
+  FKDE_CHECK_MSG(!tickets_.empty(), "no in-flight tickets");
+  const StreamTicket front = tickets_.front();
+  FKDE_CHECK_MSG(front.id == ticket, "tickets retire FIFO");
+  FKDE_CHECK_MSG(front.delivered, "feedback before delivery");
+  tickets_.pop_front();
+  if (mode_ == Mode::kPeriodic) {
+    ObservePeriodicFeedback(front.box, selectivity);
+    return;
+  }
+  if (mode_ != Mode::kAdaptive) return;
+
+  // The same Listing-1 feedback cycle as ObserveTrueSelectivity, keyed to
+  // the ticket's slot: collect ITS pipelined gradient, chain ∂L/∂p̂ from
+  // ITS raw estimate, step RMSprop.
+  std::vector<double> est_grad;
+  engine_->CollectGradientSlot(front.slot, &est_grad);
+  const double dl_dp = LossDerivative(config_.loss, front.raw_estimate,
+                                      selectivity, config_.lambda);
+  for (double& g : est_grad) g *= dl_dp;
+  std::vector<double> bandwidth = engine_->bandwidth();
+  if (adaptive_->Observe(est_grad, &bandwidth)) {
+    FKDE_CHECK_OK(engine_->SetBandwidth(bandwidth));
+  }
+
+  // Karma (Section 5.6), one query late exactly as the classic path:
+  // collect the pass enqueued at the previous ticket's feedback, apply
+  // its replacements, then point the feedback context at THIS ticket's
+  // slot so the new scoring pass reads the contributions and estimate of
+  // the query the feedback belongs to.
+  if (karma_.has_value() && table_ != nullptr && !table_->empty()) {
+    if (karma_->update_pending()) {
+      const std::vector<std::size_t> slots = karma_->CollectPending();
+      pending_karma_slots_.insert(pending_karma_slots_.end(), slots.begin(),
+                                  slots.end());
+    }
+    ApplyPendingKarma();
+    engine_->SetFeedbackContext(front.slot, front.raw_estimate);
+    karma_->EnqueueUpdate(front.box, selectivity);
+  }
+}
+
 void KdeSelectivityEstimator::ApplyPendingKarma() {
   for (std::size_t slot : pending_karma_slots_) {
     const std::size_t row = table_->RandomRowIndex(&rng_);
@@ -241,6 +345,10 @@ void KdeSelectivityEstimator::ApplyPendingKarma() {
 }
 
 void KdeSelectivityEstimator::Quiesce() {
+  // Streamed tickets cannot be folded into host state: their slots hold
+  // estimates the client has not seen yet. The serving layer retires the
+  // stream before snapshotting or evicting a model.
+  FKDE_CHECK_MSG(tickets_.empty(), "quiesce with streamed tickets in flight");
   if (engine_->gradient_pending()) {
     // The pass belongs to last_box_; dropping it is safe because clearing
     // has_last_box_ below routes the next feedback through the recompute

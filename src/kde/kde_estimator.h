@@ -25,6 +25,8 @@
 #ifndef FKDE_KDE_KDE_ESTIMATOR_H_
 #define FKDE_KDE_KDE_ESTIMATOR_H_
 
+#include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <span>
@@ -99,6 +101,52 @@ class KdeSelectivityEstimator : public SelectivityEstimator {
                 std::size_t table_rows_after) override;
   std::size_t ModelBytes() const override;
 
+  // -- Streamed serving (N queries in flight) --------------------------
+  //
+  // The classic EstimateSelectivity / ObserveTrueSelectivity pair keeps
+  // at most one query's device state alive. The ticketed triple below
+  // generalizes it: `StreamBegin` enqueues query k's estimate (and, for
+  // the adaptive variant, its gradient) chain on slot k % depth without
+  // waiting, `StreamDeliver` collects the estimate when the optimizer
+  // needs it, and `StreamFeedback` applies the query's true selectivity
+  // — RMSprop step, Karma collection/replacements, next Karma pass —
+  // against the ticket's own slot, so feedback for query k lands
+  // correctly while queries k+1..k+depth-1 are already in flight.
+  // Tickets deliver and retire strictly FIFO (checked). With depth 1 the
+  // enqueued command sequence is identical to the classic pair's.
+
+  /// Switches the model into streamed serving with `depth` in-flight
+  /// tickets. Quiesces classic-path pending state first (so slot 0 is
+  /// free) and freezes the sample rebalancer for the duration. Requires
+  /// no in-flight tickets.
+  Status EnableStreaming(std::size_t depth);
+
+  /// Drains the device queues and returns to classic serving. Requires
+  /// all tickets retired.
+  void DisableStreaming();
+
+  std::size_t streaming_depth() const { return stream_depth_; }
+  /// Tickets begun but not yet retired by StreamFeedback.
+  std::size_t stream_in_flight() const { return tickets_.size(); }
+
+  /// Admits `box` into the stream: enqueues its estimate (+ gradient)
+  /// chain and returns the ticket. Requires a free slot
+  /// (stream_in_flight() < streaming_depth()).
+  std::uint64_t StreamBegin(const Box& box);
+
+  /// Waits for `ticket`'s estimate read-backs and returns the clamped
+  /// selectivity. Must be called FIFO, once per ticket.
+  double StreamDeliver(std::uint64_t ticket);
+
+  /// Applies the true selectivity for `ticket` (delivered, FIFO) and
+  /// retires it, freeing its slot for the next admission.
+  void StreamFeedback(std::uint64_t ticket, double selectivity);
+
+  /// Retires `ticket` (delivered, FIFO) WITHOUT feedback — the frozen-
+  /// model path. A pipelined gradient left on the slot is superseded
+  /// when the slot is reused.
+  void StreamRetire(std::uint64_t ticket);
+
   /// Folds every in-flight device pass into host state so the model can
   /// be serialized or torn down without losing behavior: a pending
   /// gradient is collected and discarded (the next out-of-order feedback
@@ -141,6 +189,20 @@ class KdeSelectivityEstimator : public SelectivityEstimator {
   /// apply replacements through here, so a quiesce never reorders them.
   void ApplyPendingKarma();
 
+  /// Periodic-mode feedback: ring-buffer append plus the due
+  /// re-optimization (shared by the classic and streamed paths).
+  void ObservePeriodicFeedback(const Box& box, double selectivity);
+
+  /// One streamed query's host-side state, alive from StreamBegin until
+  /// its StreamFeedback retires it.
+  struct StreamTicket {
+    std::uint64_t id = 0;
+    std::size_t slot = 0;      ///< Engine ring slot (id % depth).
+    Box box;                   ///< For the Karma pass at feedback time.
+    double raw_estimate = 0.0; ///< Unclamped, for the loss derivative.
+    bool delivered = false;
+  };
+
   Mode mode_;
   const Table* table_;
   KdeConfig config_;
@@ -163,6 +225,11 @@ class KdeSelectivityEstimator : public SelectivityEstimator {
   /// collected pass parks here until the next feedback. Survives
   /// snapshots, which is what keeps evict/restore bitwise-faithful.
   std::vector<std::size_t> pending_karma_slots_;
+
+  // Streamed serving: FIFO of in-flight tickets; depth 0 = classic mode.
+  std::deque<StreamTicket> tickets_;
+  std::uint64_t next_ticket_ = 0;
+  std::size_t stream_depth_ = 0;
 
   // Periodic mode: ring buffer of recent feedback (Section 3.4 step 1).
   std::vector<Query> feedback_ring_;

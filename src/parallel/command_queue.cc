@@ -1,6 +1,7 @@
 #include "parallel/command_queue.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -137,6 +138,7 @@ Event CommandQueue::Push(std::function<void()> run, double modeled_end_s,
       checker->RecordCommand(command.done, kind, name, accesses, wait_list);
     }
     pending_.push_back(std::move(command));
+    depth_high_water_ = std::max(depth_high_water_, pending_.size());
     last_ = event;
   }
   cv_.notify_one();
@@ -152,12 +154,31 @@ void CommandQueue::Finish() {
   last.Wait();
 }
 
+CommandQueueStats CommandQueue::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CommandQueueStats stats;
+  stats.total_commands = next_index_;
+  stats.depth_high_water = depth_high_water_;
+  stats.pending = pending_.size();
+  stats.dispatcher_wait_s = dispatcher_wait_s_;
+  return stats;
+}
+
 void CommandQueue::DispatchLoop() {
   for (;;) {
     Command command;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !pending_.empty(); });
+      if (!shutdown_ && pending_.empty()) {
+        // Starvation accounting: time the dispatcher sits with nothing to
+        // run. mu_ is released inside the wait, so host enqueues proceed.
+        const auto idle_from = std::chrono::steady_clock::now();
+        cv_.wait(lock, [this] { return shutdown_ || !pending_.empty(); });
+        dispatcher_wait_s_ +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          idle_from)
+                .count();
+      }
       if (pending_.empty()) return;  // Shut down and fully drained.
       command = std::move(pending_.front());
       pending_.pop_front();

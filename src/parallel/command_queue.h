@@ -113,6 +113,21 @@ enum class HazardMode : std::uint8_t { kOff, kDeferred, kStrict };
 /// tracking in the hazard checker).
 enum class CommandKind : std::uint8_t { kKernel, kCopyToDevice, kCopyToHost };
 
+/// \brief Occupancy counters of one in-order queue (see
+/// `CommandQueue::Stats`). `total_commands` and `depth_high_water` are
+/// bumped at enqueue time under the queue mutex, so they are
+/// deterministic; `dispatcher_wait_s` is real (wall-clock) time the
+/// dispatcher thread spent parked with an empty queue — the physical
+/// pipeline-starvation signal the streaming executor drives toward zero.
+/// `DeviceGroup::AggregateQueueStats` folds these per-device: counts and
+/// wait time sum, the high-water mark takes the max.
+struct CommandQueueStats {
+  std::uint64_t total_commands = 0;  ///< Commands ever enqueued.
+  std::size_t depth_high_water = 0;  ///< Max pending-queue depth seen.
+  std::size_t pending = 0;           ///< Enqueued, not yet dispatched.
+  double dispatcher_wait_s = 0.0;    ///< Wall time the dispatcher idled.
+};
+
 namespace internal {
 
 /// Shared completion state of one enqueued command. Everything except
@@ -232,6 +247,9 @@ class CommandQueue {
   /// advances the host modeled clock past the last of them.
   void Finish();
 
+  /// Snapshot of the queue's occupancy counters (see CommandQueueStats).
+  CommandQueueStats Stats() const;
+
  private:
   struct Command {
     std::function<void()> run;
@@ -258,12 +276,14 @@ class CommandQueue {
 
   Device* device_;
   const std::uint64_t id_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Command> pending_;
   bool shutdown_ = false;
   Event last_;
-  std::uint64_t next_index_ = 0;  ///< Guarded by mu_.
+  std::uint64_t next_index_ = 0;       ///< Guarded by mu_.
+  std::size_t depth_high_water_ = 0;   ///< Guarded by mu_.
+  double dispatcher_wait_s_ = 0.0;     ///< Guarded by mu_.
   std::thread dispatcher_;
 };
 

@@ -162,6 +162,11 @@ double Device::DeviceBusySeconds() const {
   return busy_s_;
 }
 
+double Device::IdleGapFraction() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overhead_s_ > 0.0 ? stall_s_ / overhead_s_ : 0.0;
+}
+
 void Device::ResetModeledTime() {
   std::lock_guard<std::mutex> lock(mu_);
   // The timeline positions stay monotone (pending commands keep their

@@ -295,6 +295,11 @@ class Device {
   /// here and hold the returned events.
   CommandQueue* default_queue() { return default_queue_.get(); }
 
+  /// Occupancy counters of the default queue (depth high-water mark,
+  /// total commands, dispatcher idle time) — the pipeline-fill signal the
+  /// streaming executor and the traffic bench report per device.
+  CommandQueueStats queue_stats() const { return default_queue_->Stats(); }
+
   /// Allocates an uninitialized device buffer of `n` elements.
   template <typename T>
   DeviceBuffer<T> CreateBuffer(std::size_t n);
@@ -381,6 +386,13 @@ class Device {
   /// Accumulated modeled device occupancy (compute + transfer durations)
   /// since the last `ResetModeledTime`, whether or not the host waited.
   double DeviceBusySeconds() const;
+
+  /// Stall fraction of the modeled clock —
+  /// `HostStallSeconds / ModeledSeconds`, read under one lock — the
+  /// "idle gap" of the benches: time the host sat waiting for device work
+  /// that enqueue-based overlap could have hidden. 0 when nothing has
+  /// been modeled yet.
+  double IdleGapFraction() const;
 
   void ResetModeledTime();
 

@@ -94,6 +94,19 @@ void DeviceGroup::TrimScratchPools() {
   for (const auto& device : devices_) device->TrimScratchPool();
 }
 
+CommandQueueStats DeviceGroup::AggregateQueueStats() const {
+  CommandQueueStats total;
+  for (const auto& device : devices_) {
+    const CommandQueueStats stats = device->queue_stats();
+    total.total_commands += stats.total_commands;
+    total.dispatcher_wait_s += stats.dispatcher_wait_s;
+    total.depth_high_water =
+        std::max(total.depth_high_water, stats.depth_high_water);
+    total.pending = std::max(total.pending, stats.pending);
+  }
+  return total;
+}
+
 void DeviceGroup::AdvanceHostTime(double seconds) {
   for (const auto& device : devices_) device->AdvanceHostTime(seconds);
 }

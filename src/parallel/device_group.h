@@ -109,6 +109,12 @@ class DeviceGroup {
   /// budget accounting.
   BufferPoolStats AggregateScratchStats() const;
 
+  /// Folds the member queues' occupancy counters: `total_commands` and
+  /// `dispatcher_wait_s` sum, `depth_high_water` and `pending` take the
+  /// max — one command deep everywhere means the pipeline never filled,
+  /// regardless of how many devices it failed to fill on.
+  CommandQueueStats AggregateQueueStats() const;
+
   /// Frees every parked scratch buffer on every member device — the
   /// cheap first response to budget pressure, tried before any model is
   /// evicted (outstanding handles are unaffected).

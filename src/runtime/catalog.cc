@@ -80,12 +80,13 @@ Status ModelCatalog::Register(const ModelKey& key, ModelSpec spec) {
         " columns but the table has " +
         std::to_string(spec.table->num_cols()));
   }
-  if (entries_.count(key) > 0) {
+  auto entry = std::make_shared<Entry>();
+  entry->spec = std::move(spec);
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  if (!entries_.emplace(key, std::move(entry)).second) {
     return Status::AlreadyExists("model already registered: " +
                                  key.ToString());
   }
-  Entry& entry = entries_[key];
-  entry.spec = std::move(spec);
   return Status::OK();
 }
 
@@ -97,11 +98,17 @@ Status ModelCatalog::RegisterFromSnapshot(const ModelKey& key, ModelSpec spec,
     return Status::InvalidArgument("snapshot dims do not match the table");
   }
   FKDE_RETURN_NOT_OK(Register(key, std::move(spec)));
-  entries_[key].snapshot = std::move(snapshot);
+  FKDE_ASSIGN_OR_RETURN(std::shared_ptr<Entry> entry, Find(key));
+  std::lock_guard<std::mutex> lock(entry->mu);
+  entry->snapshot = std::move(snapshot);
   return Status::OK();
 }
 
 Status ModelCatalog::Drop(const ModelKey& key) {
+  // Erase under the registry lock only: a thread mid-serve on this model
+  // holds its own shared_ptr and finishes on the orphaned entry; the
+  // entry (and its device buffers) dies with the last reference.
+  std::lock_guard<std::mutex> lock(registry_mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     return Status::NotFound("no model registered: " + key.ToString());
@@ -110,46 +117,56 @@ Status ModelCatalog::Drop(const ModelKey& key) {
   return Status::OK();
 }
 
-Result<ModelCatalog::Entry*> ModelCatalog::Find(const ModelKey& key) {
+Result<std::shared_ptr<ModelCatalog::Entry>> ModelCatalog::Find(
+    const ModelKey& key) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     return Status::NotFound("no model registered: " + key.ToString());
   }
-  return &it->second;
+  return it->second;
 }
 
 Result<double> ModelCatalog::Estimate(const ModelKey& key, const Box& box) {
-  FKDE_ASSIGN_OR_RETURN(Entry * entry, Find(key));
-  FKDE_RETURN_NOT_OK(EnsureResident(entry));
-  ++entry->stats.queries_served;
+  FKDE_ASSIGN_OR_RETURN(std::shared_ptr<Entry> entry, Find(key));
+  std::lock_guard<std::mutex> lock(entry->mu);
+  FKDE_RETURN_NOT_OK(EnsureResidentLocked(entry.get()));
+  entry->queries_served.fetch_add(1, std::memory_order_relaxed);
   return entry->model->EstimateSelectivity(box);
 }
 
 Status ModelCatalog::Feedback(const ModelKey& key, const Box& box,
                               double selectivity) {
-  FKDE_ASSIGN_OR_RETURN(Entry * entry, Find(key));
-  FKDE_RETURN_NOT_OK(EnsureResident(entry));
-  ++entry->stats.feedback_applied;
+  FKDE_ASSIGN_OR_RETURN(std::shared_ptr<Entry> entry, Find(key));
+  std::lock_guard<std::mutex> lock(entry->mu);
+  FKDE_RETURN_NOT_OK(EnsureResidentLocked(entry.get()));
+  entry->feedback_applied.fetch_add(1, std::memory_order_relaxed);
   entry->model->ObserveTrueSelectivity(box, selectivity);
-  entry->stats.device_bytes = entry->model->ModelBytes();
+  entry->device_bytes.store(entry->model->ModelBytes(),
+                            std::memory_order_relaxed);
   return Status::OK();
 }
 
 Result<KdeSelectivityEstimator*> ModelCatalog::Open(const ModelKey& key) {
-  FKDE_ASSIGN_OR_RETURN(Entry * entry, Find(key));
-  FKDE_RETURN_NOT_OK(EnsureResident(entry));
+  FKDE_ASSIGN_OR_RETURN(std::shared_ptr<Entry> entry, Find(key));
+  std::lock_guard<std::mutex> lock(entry->mu);
+  FKDE_RETURN_NOT_OK(EnsureResidentLocked(entry.get()));
   return entry->model.get();
 }
 
 Status ModelCatalog::Pin(const ModelKey& key, bool pinned) {
-  FKDE_ASSIGN_OR_RETURN(Entry * entry, Find(key));
-  entry->stats.pinned = pinned;
+  FKDE_ASSIGN_OR_RETURN(std::shared_ptr<Entry> entry, Find(key));
+  // Take the entry lock so a pin cannot slip between a concurrent
+  // enforcer's pinned-check and its eviction.
+  std::lock_guard<std::mutex> lock(entry->mu);
+  entry->pinned.store(pinned, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Result<std::vector<std::uint8_t>> ModelCatalog::SaveSnapshot(
     const ModelKey& key) {
-  FKDE_ASSIGN_OR_RETURN(Entry * entry, Find(key));
+  FKDE_ASSIGN_OR_RETURN(std::shared_ptr<Entry> entry, Find(key));
+  std::lock_guard<std::mutex> lock(entry->mu);
   if (entry->model != nullptr) {
     return SnapshotModel(entry->model.get());
   }
@@ -159,51 +176,73 @@ Result<std::vector<std::uint8_t>> ModelCatalog::SaveSnapshot(
 }
 
 Status ModelCatalog::Evict(const ModelKey& key) {
-  FKDE_ASSIGN_OR_RETURN(Entry * entry, Find(key));
+  FKDE_ASSIGN_OR_RETURN(std::shared_ptr<Entry> entry, Find(key));
+  std::lock_guard<std::mutex> lock(entry->mu);
   if (entry->model == nullptr) return Status::OK();
-  if (entry->stats.pinned) {
+  if (entry->pinned.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition("model is pinned: " + key.ToString());
   }
-  return EvictEntry(entry);
+  return EvictEntryLocked(entry.get());
 }
 
 Result<std::unique_ptr<SelectivityEstimator>> ModelCatalog::Handle(
     const ModelKey& key) {
-  FKDE_ASSIGN_OR_RETURN(Entry * entry, Find(key));
+  FKDE_ASSIGN_OR_RETURN(std::shared_ptr<Entry> entry, Find(key));
   return std::unique_ptr<SelectivityEstimator>(std::make_unique<
       CatalogModelHandle>(this, key, entry->spec.table->num_cols()));
 }
 
 Result<ModelStats> ModelCatalog::StatsFor(const ModelKey& key) const {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    return Status::NotFound("no model registered: " + key.ToString());
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      return Status::NotFound("no model registered: " + key.ToString());
+    }
+    entry = it->second;
   }
-  return it->second.stats;
+  ModelStats stats;
+  stats.queries_served = entry->queries_served.load(std::memory_order_relaxed);
+  stats.feedback_applied =
+      entry->feedback_applied.load(std::memory_order_relaxed);
+  stats.evictions = entry->evictions.load(std::memory_order_relaxed);
+  stats.faults = entry->faults.load(std::memory_order_relaxed);
+  stats.device_bytes = entry->device_bytes.load(std::memory_order_relaxed);
+  stats.resident = entry->resident.load(std::memory_order_relaxed);
+  stats.pinned = entry->pinned.load(std::memory_order_relaxed);
+  return stats;
 }
 
 CatalogStats ModelCatalog::Stats() const {
   CatalogStats stats;
-  stats.models = entries_.size();
-  for (const auto& [key, entry] : entries_) {
-    if (entry.stats.resident) ++stats.resident_models;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    stats.models = entries_.size();
+    for (const auto& [key, entry] : entries_) {
+      if (entry->resident.load(std::memory_order_relaxed)) {
+        ++stats.resident_models;
+      }
+    }
   }
-  stats.evictions = evictions_;
-  stats.faults = faults_;
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.faults = faults_.load(std::memory_order_relaxed);
   stats.budget_bytes = options_.device_budget_bytes;
   stats.used_bytes = UsedBytes();
   return stats;
 }
 
 std::vector<ModelKey> ModelCatalog::Keys() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
   std::vector<ModelKey> keys;
   keys.reserve(entries_.size());
   for (const auto& [key, entry] : entries_) keys.push_back(key);
   return keys;
 }
 
-Status ModelCatalog::EnsureResident(Entry* entry) {
-  entry->lru_tick = ++lru_clock_;
+Status ModelCatalog::EnsureResidentLocked(Entry* entry) {
+  entry->lru_tick.store(lru_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
   if (entry->model == nullptr) {
     if (!entry->snapshot.empty()) {
       // Fault the evicted model back; the restored instance is
@@ -211,8 +250,8 @@ Status ModelCatalog::EnsureResident(Entry* entry) {
       FKDE_ASSIGN_OR_RETURN(
           entry->model,
           RestoreModel(entry->snapshot, group_, entry->spec.table));
-      ++entry->stats.faults;
-      ++faults_;
+      entry->faults.fetch_add(1, std::memory_order_relaxed);
+      faults_.fetch_add(1, std::memory_order_relaxed);
     } else {
       FKDE_ASSIGN_OR_RETURN(
           entry->model,
@@ -221,8 +260,9 @@ Status ModelCatalog::EnsureResident(Entry* entry) {
                                           entry->spec.config,
                                           entry->spec.training));
     }
-    entry->stats.resident = true;
-    entry->stats.device_bytes = entry->model->ModelBytes();
+    entry->resident.store(true, std::memory_order_relaxed);
+    entry->device_bytes.store(entry->model->ModelBytes(),
+                              std::memory_order_relaxed);
   }
   // Admit first, then shed: the serving model itself is exempt, so a
   // single over-budget model still serves (matching how the paper's
@@ -236,37 +276,63 @@ Status ModelCatalog::EnforceBudget(const Entry* keep) {
   // Cheapest first: parked scratch buffers are pure cache.
   group_->TrimScratchPools();
   while (UsedBytes() > options_.device_budget_bytes) {
-    Entry* victim = nullptr;
-    for (auto& [key, entry] : entries_) {
-      if (entry.model == nullptr || entry.stats.pinned || &entry == keep) {
-        continue;
-      }
-      if (victim == nullptr || entry.lru_tick < victim->lru_tick) {
-        victim = &entry;
+    // Snapshot the candidates under the registry lock, then lock the
+    // victim OUTSIDE it — blocking on an entry mutex while holding the
+    // registry (or another entry, as the caller does with `keep`) is the
+    // forbidden inversion, so victims are taken with try_lock and busy
+    // models are skipped: whoever is serving them will re-enforce on
+    // their own admission.
+    std::vector<std::shared_ptr<Entry>> candidates;
+    {
+      std::lock_guard<std::mutex> lock(registry_mu_);
+      for (const auto& [key, entry] : entries_) {
+        if (entry.get() == keep) continue;
+        if (!entry->resident.load(std::memory_order_relaxed)) continue;
+        if (entry->pinned.load(std::memory_order_relaxed)) continue;
+        candidates.push_back(entry);
       }
     }
-    if (victim == nullptr) return Status::OK();  // Nothing evictable left.
-    FKDE_RETURN_NOT_OK(EvictEntry(victim));
+    std::sort(candidates.begin(), candidates.end(),
+              [](const std::shared_ptr<Entry>& a,
+                 const std::shared_ptr<Entry>& b) {
+                return a->lru_tick.load(std::memory_order_relaxed) <
+                       b->lru_tick.load(std::memory_order_relaxed);
+              });
+    bool evicted = false;
+    for (const std::shared_ptr<Entry>& victim : candidates) {
+      std::unique_lock<std::mutex> victim_lock(victim->mu, std::try_to_lock);
+      if (!victim_lock.owns_lock()) continue;
+      // Re-check under the lock: the candidate scan was unlocked.
+      if (victim->model == nullptr ||
+          victim->pinned.load(std::memory_order_relaxed)) {
+        continue;
+      }
+      FKDE_RETURN_NOT_OK(EvictEntryLocked(victim.get()));
+      evicted = true;
+      break;
+    }
+    if (!evicted) return Status::OK();  // Nothing evictable (now) left.
   }
   return Status::OK();
 }
 
-Status ModelCatalog::EvictEntry(Entry* entry) {
+Status ModelCatalog::EvictEntryLocked(Entry* entry) {
   // SnapshotModel quiesces: in-flight gradient/Karma passes fold into
   // host state before the engine's destructor drains the queues.
   FKDE_ASSIGN_OR_RETURN(entry->snapshot, SnapshotModel(entry->model.get()));
   entry->model.reset();
-  entry->stats.resident = false;
-  entry->stats.device_bytes = 0;
-  ++entry->stats.evictions;
-  ++evictions_;
+  entry->resident.store(false, std::memory_order_relaxed);
+  entry->device_bytes.store(0, std::memory_order_relaxed);
+  entry->evictions.fetch_add(1, std::memory_order_relaxed);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 std::size_t ModelCatalog::UsedBytes() const {
   std::size_t bytes = group_->AggregateScratchStats().pooled_bytes;
+  std::lock_guard<std::mutex> lock(registry_mu_);
   for (const auto& [key, entry] : entries_) {
-    bytes += entry.stats.device_bytes;
+    bytes += entry->device_bytes.load(std::memory_order_relaxed);
   }
   return bytes;
 }

@@ -29,13 +29,34 @@
 /// interleave on the shared in-order queues, which is safe because every
 /// engine pass declares its buffer access-sets (hazard checker) and each
 /// model's buffers are disjoint.
+///
+/// ## Lock discipline (multi-threaded serving)
+///
+/// Multiple client threads may drive one catalog concurrently. Two lock
+/// levels, never inverted:
+///
+///  * `registry_mu_` guards ONLY the key → entry map (register, drop,
+///    lookup, iteration). It is never held across model work.
+///  * each entry's `mu` serializes that one model's build / serve /
+///    snapshot / evict. Admission onto the shared device queues happens
+///    under it, so one model's command chains enqueue in program order
+///    (per-model estimates stay deterministic); different models'
+///    chains interleave freely on the in-order queues.
+///
+/// Blocking on an entry `mu` while holding `registry_mu_` or another
+/// entry's `mu` is forbidden — budget enforcement walks victims with
+/// `try_lock` and simply skips models another thread is serving.
+/// Cross-thread-read counters (stats, LRU ticks, footprints) are
+/// atomics, so `Stats()`/`UsedBytes()` never need a model's lock.
 
 #ifndef FKDE_RUNTIME_CATALOG_H_
 #define FKDE_RUNTIME_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -138,6 +159,8 @@ class ModelCatalog {
   /// Ensures the model is resident and returns it (catalog retains
   /// ownership; the pointer is valid until the model is evicted or
   /// dropped). Prefer Estimate/Feedback, which also maintain stats.
+  /// Under concurrent serving, `Pin` the model first: another thread's
+  /// budget enforcement may otherwise evict it between your calls.
   Result<KdeSelectivityEstimator*> Open(const ModelKey& key);
 
   /// Pins (or unpins) the model: pinned models are never evicted.
@@ -171,31 +194,51 @@ class ModelCatalog {
 
  private:
   struct Entry {
+    /// Immutable after Register (readable without any lock).
     ModelSpec spec;
+    /// Serializes this model's build / serve / snapshot / evict. Held
+    /// while the model enqueues onto the shared device queues.
+    std::mutex mu;
     /// Live estimator; null while cold (snapshot holds the state).
+    /// Guarded by `mu`.
     std::unique_ptr<KdeSelectivityEstimator> model;
-    /// Last snapshot; state of record while the model is cold.
+    /// Last snapshot; state of record while the model is cold. Guarded
+    /// by `mu`.
     std::vector<std::uint8_t> snapshot;
-    ModelStats stats;
-    std::uint64_t lru_tick = 0;
+    /// Counters read by Stats()/UsedBytes() without taking `mu`.
+    std::atomic<std::uint64_t> queries_served{0};
+    std::atomic<std::uint64_t> feedback_applied{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> faults{0};
+    std::atomic<std::size_t> device_bytes{0};
+    std::atomic<bool> resident{false};
+    std::atomic<bool> pinned{false};
+    std::atomic<std::uint64_t> lru_tick{0};
   };
 
-  Result<Entry*> Find(const ModelKey& key);
+  /// Looks the entry up under `registry_mu_`; the shared_ptr keeps it
+  /// alive across a concurrent Drop.
+  Result<std::shared_ptr<Entry>> Find(const ModelKey& key);
   /// Builds or faults in the entry's model and bumps its LRU tick; then
   /// sheds memory down to the budget (never evicting `entry` itself).
-  Status EnsureResident(Entry* entry);
+  /// Caller holds `entry->mu`.
+  Status EnsureResidentLocked(Entry* entry);
   /// Trims scratch, then evicts LRU non-pinned models until under budget.
-  /// `keep` survives (the model serving the current query).
+  /// `keep` survives (the model serving the current query). Victims are
+  /// acquired with try_lock; models busy in another thread are skipped.
   Status EnforceBudget(const Entry* keep);
-  Status EvictEntry(Entry* entry);
+  /// Caller holds `entry->mu`.
+  Status EvictEntryLocked(Entry* entry);
   std::size_t UsedBytes() const;
 
   DeviceGroup* group_;
   CatalogOptions options_;
-  std::map<ModelKey, Entry> entries_;
-  std::uint64_t lru_clock_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::uint64_t faults_ = 0;
+  /// Guards only the map itself (entries are shared_ptr-stable).
+  mutable std::mutex registry_mu_;
+  std::map<ModelKey, std::shared_ptr<Entry>> entries_;
+  std::atomic<std::uint64_t> lru_clock_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> faults_{0};
 };
 
 }  // namespace fkde

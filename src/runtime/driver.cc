@@ -127,4 +127,38 @@ Result<RunStats> FeedbackDriver::RunCatalog(ModelCatalog* catalog,
   return stats;
 }
 
+Result<RunStats> FeedbackDriver::RunStreamed(
+    KdeSelectivityEstimator* estimator, std::span<const Query> workload,
+    const StreamingOptions& options, StreamingReport* report) {
+  if (estimator == nullptr) {
+    return Status::InvalidArgument("estimator must be non-null");
+  }
+  DeviceGroup* group = estimator->engine()->sample()->group();
+  if (group == nullptr) {
+    return Status::InvalidArgument(
+        "streamed runs need a group-hosted estimator");
+  }
+  std::vector<StreamedQuery> queries(workload.size());
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    queries[i].box = workload[i].box;
+    queries[i].truth = workload[i].selectivity;
+  }
+  StreamingExecutor executor(group, options);
+  FKDE_ASSIGN_OR_RETURN(StreamingReport streamed,
+                        executor.Run(estimator, queries));
+  RunStats stats;
+  stats.absolute_errors.reserve(workload.size());
+  stats.signed_errors.reserve(workload.size());
+  stats.truths.reserve(workload.size());
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    stats.absolute_errors.push_back(
+        std::abs(streamed.estimates[i] - workload[i].selectivity));
+    stats.signed_errors.push_back(streamed.estimates[i] -
+                                  workload[i].selectivity);
+    stats.truths.push_back(workload[i].selectivity);
+  }
+  if (report != nullptr) *report = std::move(streamed);
+  return stats;
+}
+
 }  // namespace fkde

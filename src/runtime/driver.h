@@ -29,6 +29,7 @@
 #include "parallel/device_group.h"
 #include "runtime/catalog.h"
 #include "runtime/executor.h"
+#include "runtime/streaming_executor.h"
 #include "workload/workload.h"
 
 namespace fkde {
@@ -101,6 +102,15 @@ class FeedbackDriver {
                                      const ModelKey& key,
                                      std::span<const Query> workload,
                                      const RunOptions& options = {});
+
+  /// Streamed analogue of RunPrecomputed: keeps `options.window` queries
+  /// in flight through a `StreamingExecutor` (the estimator must be
+  /// hosted on a DeviceGroup) and reports errors in arrival order.
+  /// `report`, when non-null, receives the timing/throughput report.
+  static Result<RunStats> RunStreamed(KdeSelectivityEstimator* estimator,
+                                      std::span<const Query> workload,
+                                      const StreamingOptions& options = {},
+                                      StreamingReport* report = nullptr);
 };
 
 }  // namespace fkde

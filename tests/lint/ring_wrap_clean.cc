@@ -1,0 +1,32 @@
+// fkde-lint fixture: the disciplined version of the streaming
+// descriptor ring. Before a wrapped slot is reused its previous
+// occupant's event is waited, and the tail drains with Finish() before
+// the staging buffers are folded.
+#include <cstddef>
+#include <vector>
+
+#include "parallel/command_queue.h"
+#include "parallel/device.h"
+
+namespace fkde {
+
+double StreamThroughRingOrdered(CommandQueue* queue,
+                                DeviceBuffer<double>& buf,
+                                std::size_t depth, std::size_t queries) {
+  std::vector<Event> pending(depth);
+  std::vector<double> staging(depth, 0.0);
+  double folded = 0.0;
+  for (std::size_t q = 0; q < queries; ++q) {
+    const std::size_t slot = q % depth;
+    // Retire the slot's previous occupant before reuse: the wrap-around
+    // WAR hazard resolves by waiting the in-flight readback.
+    pending[slot].Wait();
+    folded += staging[slot];
+    pending[slot] = queue->EnqueueCopyToHost(buf, q, 1, &staging[slot]);
+  }
+  queue->Finish();  // Drain the tail still in the ring.
+  for (std::size_t slot = 0; slot < depth; ++slot) folded += staging[slot];
+  return folded;
+}
+
+}  // namespace fkde

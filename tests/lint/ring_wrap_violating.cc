@@ -1,0 +1,40 @@
+// fkde-lint fixture: streaming descriptor-ring violations. Analyzed
+// (not compiled) by `ctest -L lint`. A bounded ring keeps `depth`
+// queries in flight; on wrap-around slot k is reused for query
+// k+depth. Both functions overwrite or abandon the slot's readback
+// event without the host read ever being ordered behind the copy.
+#include <cstddef>
+#include <vector>
+
+#include "parallel/command_queue.h"
+#include "parallel/device.h"
+
+namespace fkde {
+
+// The per-slot event is assigned on admission and simply overwritten
+// when the ring wraps: no retire path ever reaches Wait()/Finish(), so
+// `staging` may be read while the copy is still in flight.
+double StreamThroughRing(CommandQueue* queue, DeviceBuffer<double>& buf,
+                         std::size_t depth, std::size_t queries) {
+  std::vector<Event> pending(depth);
+  std::vector<double> staging(depth, 0.0);
+  double folded = 0.0;
+  for (std::size_t q = 0; q < queries; ++q) {
+    const std::size_t slot = q % depth;
+    pending[slot] = queue->EnqueueCopyToHost(buf, q, 1, &staging[slot]);
+    folded += staging[slot];
+  }
+  return folded;
+}
+
+// Same wrap-around shape with the admission enqueue discarded outright;
+// nothing later on the queue orders the retire-side host reads.
+void AdmitWithoutRetire(CommandQueue* queue, DeviceBuffer<double>& buf,
+                        double* staging, std::size_t depth,
+                        std::size_t queries) {
+  for (std::size_t q = 0; q < queries; ++q) {
+    queue->EnqueueCopyToHost(buf, q % depth, 1, staging + q % depth);
+  }
+}
+
+}  // namespace fkde

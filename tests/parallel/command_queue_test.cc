@@ -150,5 +150,38 @@ TEST(CommandQueue, BackToBackCommandsPipelineSubmissionLatency) {
   EXPECT_NEAR(device.DeviceBusySeconds(), 3e-3, 1e-9);
 }
 
+TEST(CommandQueue, StatsTrackDepthHighWaterAndDrain) {
+  Device device(DeviceProfile::OpenClCpu());
+  CommandQueue* queue = device.default_queue();
+  const CommandQueueStats fresh = queue->Stats();
+  EXPECT_EQ(fresh.total_commands, 0u);
+  EXPECT_EQ(fresh.pending, 0u);
+  EXPECT_EQ(fresh.depth_high_water, 0u);
+
+  // Hold the dispatcher on a gate so five more commands pile up behind it.
+  std::atomic<bool> release{false};
+  (void)queue->EnqueueLaunch("gate", 1, 1.0, [&](std::size_t, std::size_t) {
+    while (!release.load()) std::this_thread::yield();
+  });
+  for (int i = 0; i < 5; ++i) {
+    (void)queue->EnqueueLaunch("queued", 1, 1.0,
+                               [](std::size_t, std::size_t) {});
+  }
+  const CommandQueueStats backed_up = queue->Stats();
+  EXPECT_EQ(backed_up.total_commands, 6u);
+  EXPECT_GE(backed_up.pending, 5u);
+  EXPECT_GE(backed_up.depth_high_water, 5u);
+
+  release.store(true);
+  queue->Finish();
+  const CommandQueueStats drained = queue->Stats();
+  EXPECT_EQ(drained.total_commands, 6u);
+  EXPECT_EQ(drained.pending, 0u);
+  // The high-water mark is a high-water mark: draining must not lower it.
+  EXPECT_GE(drained.depth_high_water, backed_up.depth_high_water);
+  // The dispatcher idled at least while the test thread set up the gate.
+  EXPECT_GE(drained.dispatcher_wait_s, 0.0);
+}
+
 }  // namespace
 }  // namespace fkde

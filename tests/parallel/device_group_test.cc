@@ -1,5 +1,6 @@
 #include "parallel/device_group.h"
 
+#include <algorithm>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -95,6 +96,29 @@ TEST(DeviceGroup, AdvanceHostTimeCoversAllMembers) {
   EXPECT_DOUBLE_EQ(group.TotalHostStallSeconds(), 0.0);
   group.ResetModeledTime();
   EXPECT_DOUBLE_EQ(group.MaxModeledSeconds(), 0.0);
+}
+
+TEST(DeviceGroup, AggregateQueueStatsFoldsMemberQueues) {
+  DeviceGroup group(ParseDeviceTopology("gpu+gpu").ValueOrDie());
+  // Unbalanced load: 3 commands on member 0, 1 on member 1. Totals sum
+  // across queues; the depth high-water is the max of the members.
+  for (int i = 0; i < 3; ++i) {
+    (void)group.device(0)->default_queue()->EnqueueLaunch(
+        "a", 16, 1.0, [](std::size_t, std::size_t) {});
+  }
+  (void)group.device(1)->default_queue()->EnqueueLaunch(
+      "b", 16, 1.0, [](std::size_t, std::size_t) {});
+  group.device(0)->default_queue()->Finish();
+  group.device(1)->default_queue()->Finish();
+
+  const CommandQueueStats folded = group.AggregateQueueStats();
+  EXPECT_EQ(folded.total_commands, 4u);
+  EXPECT_EQ(folded.pending, 0u);
+  EXPECT_EQ(folded.depth_high_water,
+            std::max(group.device(0)->queue_stats().depth_high_water,
+                     group.device(1)->queue_stats().depth_high_water));
+  EXPECT_GE(folded.dispatcher_wait_s,
+            group.device(0)->queue_stats().dispatcher_wait_s);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include <cstring>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -267,6 +268,70 @@ TEST(ModelCatalog, FactoryRoutesKdeThroughCatalogAndDriverRuns) {
   EXPECT_EQ(run.absolute_errors.size(), fleet.workloads[0].size());
   stats = catalog.StatsFor(key).MoveValueOrDie();
   EXPECT_EQ(stats.queries_served, 1u + fleet.workloads[0].size());
+}
+
+// Catalog-level lock discipline: K client threads round-robining disjoint
+// model sets through ONE catalog under the strict hazard checker. The
+// per-entry admission mutex serializes each model's serving while the
+// registry mutex only guards map lookups, so the threads make progress
+// concurrently — and every model's estimate stream must be bitwise the
+// single-threaded replay, with no scratch leaked once the models drop.
+TEST(ModelCatalog, ConcurrentClientsMatchSingleThreadedReplayBitwise) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kModelsPerThread = 2;
+  constexpr std::size_t kModels = kThreads * kModelsPerThread;
+  Fleet fleet(kModels, 10);
+  DeviceGroupOptions group_options;
+  group_options.hazard_mode = HazardMode::kStrict;
+  auto group = BuildDeviceGroup("gpu", group_options).MoveValueOrDie();
+  auto catalog = std::make_unique<ModelCatalog>(group.get());
+  fleet.RegisterAll(catalog.get());
+
+  // Thread t owns models {t, t+K, ...}: disjoint ownership keeps each
+  // model's query order deterministic while the catalog arbitrates the
+  // shared group between threads.
+  std::vector<std::vector<std::vector<double>>> streams(kThreads);
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    streams[t].resize(kModelsPerThread);
+    clients.emplace_back([&, t] {
+      for (std::size_t q = 0; q < fleet.workloads[0].size(); ++q) {
+        for (std::size_t j = 0; j < kModelsPerThread; ++j) {
+          const std::size_t m = t + j * kThreads;
+          const Query& query = fleet.workloads[m][q];
+          streams[t][j].push_back(
+              catalog->Estimate(fleet.keys[m], query.box).MoveValueOrDie());
+          FKDE_CHECK_OK(
+              catalog->Feedback(fleet.keys[m], query.box, query.selectivity));
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  // Single-threaded replay on a fresh catalog: per-model bits must agree
+  // (cross-model interleaving never leaks into a model's estimates).
+  auto replay_group = BuildDeviceGroup("gpu", group_options).MoveValueOrDie();
+  ModelCatalog replay(replay_group.get());
+  fleet.RegisterAll(&replay);
+  const std::vector<std::vector<double>> expected = fleet.Serve(&replay);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (std::size_t j = 0; j < kModelsPerThread; ++j) {
+      const std::size_t m = t + j * kThreads;
+      EXPECT_TRUE(SameBits(streams[t][j], expected[m])) << "model " << m;
+    }
+  }
+  for (const ModelKey& key : fleet.keys) {
+    EXPECT_EQ(catalog->StatsFor(key).MoveValueOrDie().queries_served,
+              fleet.workloads[0].size());
+  }
+
+  // Dropping every model tears the estimators down; nothing may leak.
+  for (const ModelKey& key : fleet.keys) {
+    ASSERT_TRUE(catalog->Drop(key).ok());
+  }
+  catalog.reset();
+  EXPECT_EQ(group->AggregateScratchStats().outstanding, 0u);
 }
 
 // ---------------------------------------------------------------------------
