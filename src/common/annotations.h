@@ -13,6 +13,19 @@
 ///
 /// Keep the annotation on both the declaration and the definition: the
 /// linter models one translation unit at a time.
+///
+/// `FKDE_SNAPSHOT_EXCLUDE(reason)` exempts one persistent data member
+/// of a snapshot-friend class (one declaring `friend class
+/// ModelSnapshotAccess`) from fkde-lint's `snapshot-completeness`
+/// check, which otherwise requires every such member to be written by
+/// both the save and restore paths in snapshot.cc. Place it directly
+/// before the member declaration with a string-literal reason:
+///
+///   FKDE_SNAPSHOT_EXCLUDE("borrowed pointer; caller re-supplies it")
+///   const Table* table_;
+///
+/// It expands to nothing — the reason lives in the source, where the
+/// next person deciding whether the member should persist will read it.
 
 #ifndef FKDE_COMMON_ANNOTATIONS_H_
 #define FKDE_COMMON_ANNOTATIONS_H_
@@ -22,5 +35,7 @@
 #else
 #define FKDE_HOT
 #endif
+
+#define FKDE_SNAPSHOT_EXCLUDE(reason)
 
 #endif  // FKDE_COMMON_ANNOTATIONS_H_

@@ -245,6 +245,11 @@ Status KdeSelectivityEstimator::EnableStreaming(std::size_t depth) {
   Quiesce();
   FKDE_RETURN_NOT_OK(engine_->EnableStreaming(depth));
   stream_depth_ = depth;
+  // Ticket ids are session-local: they restart at 0 for every streaming
+  // session. Carrying the counter across sessions made it hidden
+  // persistent state — a restored model would hand out different ids
+  // than the original, breaking streamed replay equivalence.
+  next_ticket_ = 0;
   return Status::OK();
 }
 

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "data/table.h"
@@ -203,8 +204,11 @@ class KdeSelectivityEstimator : public SelectivityEstimator {
     bool delivered = false;
   };
 
+  FKDE_SNAPSHOT_EXCLUDE("serialized in the snapshot header; restore feeds it through the constructor")
   Mode mode_;
+  FKDE_SNAPSHOT_EXCLUDE("borrowed pointer; the caller re-supplies the table at restore")
   const Table* table_;
+  FKDE_SNAPSHOT_EXCLUDE("serialized in the snapshot config block; restore feeds it through the constructor")
   KdeConfig config_;
   Rng rng_;
   std::unique_ptr<DeviceSample> sample_;
@@ -217,7 +221,9 @@ class KdeSelectivityEstimator : public SelectivityEstimator {
   // Feedback pairing: the enqueued gradient pass and Karma's retained
   // contributions are only valid for the last estimated box; out-of-order
   // feedback triggers a recompute.
+  FKDE_SNAPSHOT_EXCLUDE("cleared by the Quiesce() that precedes every snapshot; the next feedback recomputes")
   Box last_box_;
+  FKDE_SNAPSHOT_EXCLUDE("cleared by the Quiesce() that precedes every snapshot; the next feedback recomputes")
   bool has_last_box_ = false;
   std::size_t karma_replacements_ = 0;
   /// Replacement slots collected from the device but not yet applied:
@@ -227,8 +233,11 @@ class KdeSelectivityEstimator : public SelectivityEstimator {
   std::vector<std::size_t> pending_karma_slots_;
 
   // Streamed serving: FIFO of in-flight tickets; depth 0 = classic mode.
+  FKDE_SNAPSHOT_EXCLUDE("streaming session state; Quiesce() asserts no tickets are open at snapshot time")
   std::deque<StreamTicket> tickets_;
+  FKDE_SNAPSHOT_EXCLUDE("session-local ticket counter; EnableStreaming resets it to 0 per session")
   std::uint64_t next_ticket_ = 0;
+  FKDE_SNAPSHOT_EXCLUDE("streaming session state; a restored model starts in classic mode until re-enabled")
   std::size_t stream_depth_ = 0;
 
   // Periodic mode: ring buffer of recent feedback (Section 3.4 step 1).

@@ -1,0 +1,133 @@
+// Unit tests for fkde-lint's bundled tokenizer. Pins the two C++14/11
+// features the original lexer mis-tokenized — digit separators
+// (1'000'000 desynced into a char literal) and encoding-prefixed raw
+// strings (u8R"(...)" split at the identifier boundary) — plus the
+// invariants the source model depends on: line numbers and bracket
+// matching staying synchronized across them.
+
+#include "lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace fkde_lint {
+namespace {
+
+// Tokens minus the kEnd sentinel.
+std::vector<Token> Lex(std::string_view src, TokenStream* keep = nullptr) {
+  static TokenStream ts;  // Keeps string_views alive per call site.
+  ts = Tokenize(src);
+  if (keep != nullptr) *keep = ts;
+  std::vector<Token> out(ts.tokens.begin(), ts.tokens.end());
+  if (!out.empty() && out.back().kind == TokKind::kEnd) out.pop_back();
+  return out;
+}
+
+TEST(LexerTest, DigitSeparatorsStayOneNumberToken) {
+  const auto toks = Lex("x = 1'000'000;");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[2].kind, TokKind::kNumber);
+  EXPECT_EQ(toks[2].text, "1'000'000");
+}
+
+TEST(LexerTest, HexDigitSeparators) {
+  const auto toks = Lex("k = 0xFFFF'FFFF;");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[2].kind, TokKind::kNumber);
+  EXPECT_EQ(toks[2].text, "0xFFFF'FFFF");
+}
+
+TEST(LexerTest, DigitSeparatorDoesNotEatFollowingCharLiteral) {
+  // `case 1:` followed by a char literal: the apostrophe after `1`
+  // starts a literal, it is not a separator. The old lexer consumed it
+  // into the number and desynced every later token.
+  const auto toks = Lex("f(1,'x');");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_EQ(toks[2].text, "1");
+  EXPECT_EQ(toks[2].kind, TokKind::kNumber);
+  EXPECT_EQ(toks[4].kind, TokKind::kString);
+  EXPECT_EQ(toks[4].text, "'x'");
+}
+
+TEST(LexerTest, PlainRawString) {
+  const auto toks = Lex("s = R\"(a \"quoted\" ) no)\";");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[2].kind, TokKind::kString);
+  EXPECT_EQ(toks[2].text, "R\"(a \"quoted\" ) no)\"");
+}
+
+TEST(LexerTest, DelimitedRawString) {
+  const auto toks = Lex("s = R\"ab(x)\" )ab\";");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[2].kind, TokKind::kString);
+  EXPECT_EQ(toks[2].text, "R\"ab(x)\" )ab\"");
+}
+
+TEST(LexerTest, EncodingPrefixedRawStrings) {
+  // u8R / uR / UR / LR are single raw-string tokens, not an
+  // identifier glued to a string.
+  const struct {
+    const char* src;
+    const char* tok;
+  } cases[] = {
+      {"s = u8R\"(payload)\";", "u8R\"(payload)\""},
+      {"s = uR\"(payload)\";", "uR\"(payload)\""},
+      {"s = UR\"(payload)\";", "UR\"(payload)\""},
+      {"s = LR\"(payload)\";", "LR\"(payload)\""},
+  };
+  for (const auto& c : cases) {
+    const auto toks = Lex(c.src);
+    ASSERT_EQ(toks.size(), 4u) << c.src;
+    EXPECT_EQ(toks[2].kind, TokKind::kString) << c.src;
+    EXPECT_EQ(toks[2].text, c.tok) << c.src;
+  }
+}
+
+TEST(LexerTest, PrefixWithoutParenIsAnIdentifier) {
+  // `u8R` not followed by `"` (or `R"x` with no `(` before the
+  // closing quote) must fall back to ordinary tokens, not hang or
+  // swallow text.
+  const auto toks = Lex("u8R = LR + R;");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[0].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[0].text, "u8R");
+  EXPECT_EQ(toks[2].text, "LR");
+  EXPECT_EQ(toks[4].text, "R");
+}
+
+TEST(LexerTest, MultiLineRawStringKeepsLineNumbers) {
+  const auto toks = Lex("a = u8R\"(line1\nline2\nline3)\";\nb = 2;");
+  ASSERT_EQ(toks.size(), 8u);
+  EXPECT_EQ(toks[2].kind, TokKind::kString);
+  EXPECT_EQ(toks[2].line, 1);
+  // `b` is on line 4: the three newlines inside the raw string count.
+  EXPECT_EQ(toks[4].text, "b");
+  EXPECT_EQ(toks[4].line, 4);
+}
+
+TEST(LexerTest, BracketMatchingSurvivesSeparatorsAndRawStrings) {
+  // Parentheses inside the raw string and apostrophes inside the
+  // number must not perturb the bracket matcher.
+  TokenStream ts;
+  const auto toks =
+      Lex("f(1'000, LR\"(unbalanced ( [ {)\", g[2]);", &ts);
+  // f ( 1'000 , LR"(...)" , g [ 2 ] ) ;
+  ASSERT_EQ(toks.size(), 12u);
+  EXPECT_EQ(toks[1].text, "(");
+  EXPECT_EQ(ts.match[1], 10u);
+  EXPECT_EQ(ts.match[10], 1u);
+  EXPECT_EQ(toks[7].text, "[");
+  EXPECT_EQ(ts.match[7], 9u);
+  EXPECT_EQ(ts.match[9], 7u);
+}
+
+TEST(LexerTest, SuppressionCommentsAreRetained) {
+  TokenStream ts;
+  Lex("x = 1; // FKDE_LINT_SUPPRESS(hot-alloc): reason\ny = 2;", &ts);
+  ASSERT_EQ(ts.comments.size(), 1u);
+  EXPECT_NE(ts.comments[0].text.find("FKDE_LINT_SUPPRESS"),
+            std::string_view::npos);
+  EXPECT_EQ(ts.comments[0].line, 1);
+}
+
+}  // namespace
+}  // namespace fkde_lint

@@ -1,0 +1,48 @@
+// fkde-lint fixture: lock-discipline clean patterns. Mirrors the
+// production idiom of src/runtime/catalog.cc — the registry mutex
+// only ever guards map surgery, admission mutexes are taken after it
+// is released, and the eviction scan uses try_to_lock so it can skip
+// busy entries instead of blocking under the registry lock.
+#include <memory>
+#include <mutex>
+
+#include "runtime/catalog.h"
+
+namespace fkde {
+
+// The blessed sequence: registry lock for the map lookup only, entry
+// admission lock taken in a fresh scope after the registry lock is
+// released.
+double LookupThenEstimate(ModelCatalog* catalog, const std::string& name,
+                          const Box& box) {
+  std::shared_ptr<CatalogEntry> entry;
+  {
+    std::lock_guard<std::mutex> registry_lock(catalog->registry_mu_);
+    entry = catalog->entries_[name];
+  }
+  std::lock_guard<std::mutex> admission(entry->mu_);
+  return entry->model->EstimateSelectivity(box);
+}
+
+// Eviction scan: a try_to_lock probe under the registry mutex is
+// non-blocking by construction — a busy entry is simply skipped this
+// round, so no inversion cycle can form.
+void EvictIdle(ModelCatalog* catalog) {
+  std::lock_guard<std::mutex> registry_lock(catalog->registry_mu_);
+  for (auto& [name, entry] : catalog->entries_) {
+    std::unique_lock<std::mutex> probe(entry->mu_, std::try_to_lock);
+    if (!probe.owns_lock()) continue;
+    entry->resident = false;
+  }
+}
+
+// Draining the device is fine once nothing is held.
+void DrainOutsideRegistry(ModelCatalog* catalog, Device* device) {
+  {
+    std::lock_guard<std::mutex> registry_lock(catalog->registry_mu_);
+    catalog->generation_++;
+  }
+  device->Synchronize();
+}
+
+}  // namespace fkde

@@ -1,0 +1,47 @@
+// fkde-lint fixture: lock-discipline violations. This TU is never
+// compiled; it is analyzed by fkde-lint in `ctest -L lint` and mirrors
+// the catalog's two-level locking (registry mutex guarding the entry
+// map, per-entry admission mutexes guarding model state). Expected
+// diagnostics are pinned in lock_discipline_violating.expected.
+#include <mutex>
+
+#include "runtime/catalog.h"
+
+namespace fkde {
+
+// Takes the per-entry admission mutex while still holding the registry
+// mutex: a thread holding entry->mu_ and waiting on registry_mu_
+// deadlocks against this one (lock-order inversion).
+double LookupAndEstimate(ModelCatalog* catalog, CatalogEntry* entry,
+                         const Box& box) {
+  std::lock_guard<std::mutex> registry_lock(catalog->registry_mu_);
+  std::unique_lock<std::mutex> admission(entry->mu_);
+  return entry->model->EstimateSelectivity(box);
+}
+
+// Re-acquires the registry mutex through a helper scope while the
+// outer guard is still alive: immediate self-deadlock on a
+// non-recursive mutex.
+void TouchTwice(ModelCatalog* catalog) {
+  std::lock_guard<std::mutex> outer(catalog->registry_mu_);
+  {
+    std::lock_guard<std::mutex> inner(catalog->registry_mu_);
+  }
+}
+
+// Blocks on device work while holding the registry mutex: every
+// catalog lookup on every thread stalls behind one model's drain.
+void DrainUnderRegistry(ModelCatalog* catalog, Device* device) {
+  std::lock_guard<std::mutex> lock(catalog->registry_mu_);
+  device->Synchronize();
+}
+
+// Quiesce folds in-flight device passes (it waits on read-backs), so
+// calling it under the registry mutex is the same stall as above.
+void QuiesceUnderRegistry(ModelCatalog* catalog,
+                          KdeSelectivityEstimator* model) {
+  std::lock_guard<std::mutex> lock(catalog->registry_mu_);
+  model->Quiesce();
+}
+
+}  // namespace fkde

@@ -1,0 +1,43 @@
+// fkde-lint fixture: snapshot-completeness violations. This TU is
+// never compiled; it is analyzed by fkde-lint in `ctest -L lint`. It
+// packs a miniature snapshot-friend model class AND its
+// ModelSnapshotAccess codec into one TU (in the production tree the
+// class lives in kde_estimator.h and the codec in kde/snapshot.cc and
+// they only meet in whole-program mode). The save path forgets one
+// member and the restore path forgets two; the annotated member is
+// exempt. Expected diagnostics are pinned in
+// snapshot_completeness_violating.expected.
+#include "common/annotations.h"
+
+namespace fkde {
+
+class FixtureModel {
+ public:
+  double Estimate() const { return alpha_ * beta_ + gamma_; }
+
+ private:
+  friend class ModelSnapshotAccess;
+
+  double alpha_ = 0.0;       // Saved and restored: fine.
+  double beta_ = 0.0;        // Saved, never restored.
+  double gamma_ = 0.0;       // Never saved, never restored.
+  FKDE_SNAPSHOT_EXCLUDE("rebuilt from alpha_ by the constructor")
+  double derived_ = 0.0;     // Annotated: exempt from both paths.
+};
+
+class ModelSnapshotAccess {
+ public:
+  static void Snapshot(Writer& w, const FixtureModel* m);
+  static void Restore(Reader& r, FixtureModel* m);
+};
+
+void ModelSnapshotAccess::Snapshot(Writer& w, const FixtureModel* m) {
+  w.F64(m->alpha_);
+  w.F64(m->beta_);
+}
+
+void ModelSnapshotAccess::Restore(Reader& r, FixtureModel* m) {
+  m->alpha_ = r.F64();
+}
+
+}  // namespace fkde

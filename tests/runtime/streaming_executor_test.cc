@@ -243,5 +243,40 @@ TEST(StreamingExecutor, RunCatalogStreamsThenEvictsCleanly) {
   EXPECT_LE(estimate, 1.0);
 }
 
+// Regression: ticket ids are session-local. The counter used to carry
+// across streaming sessions, which made it hidden persistent state — a
+// snapshot-restored model (whose counter starts fresh) would hand out
+// different ids than the original for the same admission schedule.
+// Every EnableStreaming now restarts ids at 0.
+TEST(StreamingExecutor, TicketIdsRestartEachSession) {
+  Rig rig(8);
+  DeviceGroupOptions group_options;
+  group_options.hazard_mode = HazardMode::kStrict;
+  auto group = BuildDeviceGroup("gpu", group_options).MoveValueOrDie();
+  auto model = KdeSelectivityEstimator::Create(
+                   KdeSelectivityEstimator::Mode::kAdaptive, group.get(),
+                   &rig.table, rig.config)
+                   .MoveValueOrDie();
+
+  ASSERT_TRUE(model->EnableStreaming(2).ok());
+  for (std::size_t k = 0; k < 3; ++k) {
+    const StreamedQuery& q = rig.workload[k];
+    const std::uint64_t ticket = model->StreamBegin(q.box);
+    EXPECT_EQ(ticket, static_cast<std::uint64_t>(k));
+    model->StreamDeliver(ticket);
+    model->StreamFeedback(ticket, q.truth);
+  }
+  model->DisableStreaming();
+
+  // A second session on the same model starts over at ticket 0 — the
+  // same ids a freshly restored copy of the model would hand out.
+  ASSERT_TRUE(model->EnableStreaming(2).ok());
+  const std::uint64_t first = model->StreamBegin(rig.workload[3].box);
+  EXPECT_EQ(first, 0u);
+  model->StreamDeliver(first);
+  model->StreamRetire(first);
+  model->DisableStreaming();
+}
+
 }  // namespace
 }  // namespace fkde

@@ -1,5 +1,6 @@
 /// \file checks.cc
-/// \brief Implementations of the four fkde-lint checks over SourceFile.
+/// \brief Implementations of the seven fkde-lint checks over
+/// SourceFile, optionally linked through a whole-program index.
 
 #include "checks.h"
 
@@ -60,8 +61,24 @@ struct Use {
   bool from_summary = false;
 };
 
+/// Resolves a callee name to a view summary: same-TU summaries first,
+/// then the whole-program index (null in per-TU mode).
+const ViewSummary* ResolveView(const SourceFile& sf,
+                               const ProgramIndex* program,
+                               const std::string& callee) {
+  auto sit = sf.summaries.find(callee);
+  if (sit != sf.summaries.end() && !sit->second.keys.empty()) {
+    return &sit->second;
+  }
+  if (program) {
+    const ViewSummary* vs = program->View(callee);
+    if (vs && !vs->keys.empty()) return vs;
+  }
+  return nullptr;
+}
+
 void CheckAccessSet(const SourceFile& sf, const FunctionInfo& fn,
-                    std::vector<Finding>& out) {
+                    const ProgramIndex* program, std::vector<Finding>& out) {
   const TokenStream& ts = sf.stream;
   for (const LaunchSite& ls : fn.launches) {
     if (ls.forwarded) continue;
@@ -89,9 +106,8 @@ void CheckAccessSet(const SourceFile& sf, const FunctionInfo& fn,
     for (const std::string& c : ls.body.captures) {
       auto cr = fn.call_refs.find(c);
       if (cr != fn.call_refs.end()) {
-        auto sit = sf.summaries.find(cr->second);
-        if (sit != sf.summaries.end() && !sit->second.keys.empty()) {
-          for (const auto& [key, cond] : sit->second.keys) {
+        if (const ViewSummary* vs = ResolveView(sf, program, cr->second)) {
+          for (const auto& [key, cond] : vs->keys) {
             add_use(key, true);
           }
           continue;
@@ -113,9 +129,8 @@ void CheckAccessSet(const SourceFile& sf, const FunctionInfo& fn,
         const std::string id(ts.tokens[j].text);
         auto cr = fn.call_refs.find(id);
         if (cr != fn.call_refs.end()) {
-          auto sit = sf.summaries.find(cr->second);
-          if (sit != sf.summaries.end() && !sit->second.keys.empty()) {
-            for (const auto& [key, cond] : sit->second.keys) {
+          if (const ViewSummary* vs = ResolveView(sf, program, cr->second)) {
+            for (const auto& [key, cond] : vs->keys) {
               add_use(key, true);
             }
             continue;
@@ -157,7 +172,22 @@ void CheckAccessSet(const SourceFile& sf, const FunctionInfo& fn,
 // ------------------------------------------------------------------ //
 // readback-sync
 
+/// True when a call after `token` drains queued work: the callee's
+/// facts say it calls Finish()/Synchronize (e.g. `Drain()` helpers
+/// defined in another TU).
+bool LaterDrainingCall(const FunctionInfo& fn, const ProgramIndex* program,
+                       std::size_t token) {
+  if (!program) return false;
+  for (const CallSite& c : fn.calls) {
+    if (c.token <= token || c.name == fn.name) continue;
+    const FunctionFacts* f = program->Facts(c.name);
+    if (f && f->drains) return true;
+  }
+  return false;
+}
+
 void CheckReadbackSync(const SourceFile& sf, const FunctionInfo& fn,
+                       const ProgramIndex* program,
                        std::vector<Finding>& out) {
   for (const ReadbackSite& rb : fn.readbacks) {
     if (rb.chained_wait) continue;
@@ -181,6 +211,7 @@ void CheckReadbackSync(const SourceFile& sf, const FunctionInfo& fn,
           }
         }
       }
+      if (!ordered) ordered = LaterDrainingCall(fn, program, rb.token);
       if (!ordered) {
         Emit(out, sf, "readback-sync", rb.line,
              "EnqueueCopyToHost result is discarded and no later "
@@ -234,9 +265,9 @@ bool IsOwningContainer(std::string_view id) {
   return false;
 }
 
-void ScanHotRegion(const SourceFile& sf, std::size_t begin,
-                   std::size_t end, const std::string& context,
-                   std::vector<Finding>& out) {
+void ScanHotRegion(const SourceFile& sf, const ProgramIndex* program,
+                   std::size_t begin, std::size_t end,
+                   const std::string& context, std::vector<Finding>& out) {
   const auto& toks = sf.stream.tokens;
   for (std::size_t j = begin + 1; j < end; ++j) {
     const Token& t = toks[j];
@@ -261,6 +292,16 @@ void ScanHotRegion(const SourceFile& sf, std::size_t begin,
           Emit(out, sf, "hot-alloc", t.line,
                "allocating container call '" + std::string(g) +
                    "' inside " + context);
+          continue;
+        }
+      }
+      // Interprocedural: a callee whose summary says it allocates.
+      if (program && !GrowthCall(t.text)) {
+        const FunctionFacts* f = program->Facts(std::string(t.text));
+        if (f && f->allocates) {
+          Emit(out, sf, "hot-alloc", t.line,
+               "call to '" + std::string(t.text) +
+                   "', which allocates, inside " + context);
           continue;
         }
       }
@@ -293,11 +334,11 @@ void ScanHotRegion(const SourceFile& sf, std::size_t begin,
 }
 
 void CheckHotAlloc(const SourceFile& sf, const FunctionInfo& fn,
-                   std::vector<Finding>& out) {
+                   const ProgramIndex* program, std::vector<Finding>& out) {
   std::set<std::size_t> seen;
   if (fn.hot) {
     seen.insert(fn.body_begin);
-    ScanHotRegion(sf, fn.body_begin, fn.body_end,
+    ScanHotRegion(sf, program, fn.body_begin, fn.body_end,
                   "FKDE_HOT function '" + fn.name + "'", out);
   }
   for (const LaunchSite& ls : fn.launches) {
@@ -305,7 +346,7 @@ void CheckHotAlloc(const SourceFile& sf, const FunctionInfo& fn,
     if (!seen.insert(ls.body.body_begin).second) continue;
     const std::string kname =
         ls.kernel_name.empty() ? fn.name : ls.kernel_name;
-    ScanHotRegion(sf, ls.body.body_begin, ls.body.body_end,
+    ScanHotRegion(sf, program, ls.body.body_begin, ls.body.body_end,
                   "kernel '" + kname + "'", out);
   }
 }
@@ -314,6 +355,7 @@ void CheckHotAlloc(const SourceFile& sf, const FunctionInfo& fn,
 // scratch-lifetime
 
 void CheckScratchLifetime(const SourceFile& sf, const FunctionInfo& fn,
+                          const ProgramIndex* program,
                           std::vector<Finding>& out) {
   const auto& toks = sf.stream.tokens;
   for (const ScratchSite& sc : fn.scratches) {
@@ -366,6 +408,10 @@ void CheckScratchLifetime(const SourceFile& sf, const FunctionInfo& fn,
     for (std::size_t p : fn.blocking_points) {
       if (p >= last_async) drained = true;
     }
+    // A call into another TU that blocks or drains counts too.
+    if (!drained && LaterDrainingCall(fn, program, last_async - 1)) {
+      drained = true;
+    }
     if (drained) continue;
     Emit(out, sf, "scratch-lifetime", sc.line,
          "scratch '" + sc.lhs_terminal +
@@ -374,18 +420,191 @@ void CheckScratchLifetime(const SourceFile& sf, const FunctionInfo& fn,
   }
 }
 
+// ------------------------------------------------------------------ //
+// lock-discipline
+
+/// Naming convention (documented in README.md): the catalog-level
+/// registry lock is any mutex whose name contains "registry". Plain
+/// worker/device mutexes (`mu_`, `pool_mu_`) are admission-level.
+bool IsRegistryKey(const std::string& key) {
+  return key.find("registry") != std::string::npos;
+}
+
+void CheckLockDiscipline(const SourceFile& sf, const FunctionInfo& fn,
+                         const ProgramIndex* program,
+                         std::vector<Finding>& out) {
+  const auto& toks = sf.stream.tokens;
+  std::set<std::size_t> flagged;  // Dedup across the two scans below.
+  for (const LockSite& lk : fn.locks) {
+    if (!IsRegistryKey(lk.mutex_key) || lk.try_lock) continue;
+    const std::size_t begin = lk.token;
+    const std::size_t end = lk.scope_end;
+    for (const LockSite& other : fn.locks) {
+      if (other.token <= begin || other.token >= end) continue;
+      if (other.try_lock || !flagged.insert(other.token).second) continue;
+      if (IsRegistryKey(other.mutex_key)) {
+        Emit(out, sf, "lock-discipline", other.line,
+             "registry mutex '" + other.mutex_text +
+                 "' re-acquired while '" + lk.mutex_text +
+                 "' is already held (self-deadlock)");
+      } else {
+        Emit(out, sf, "lock-discipline", other.line,
+             "per-entry mutex '" + other.mutex_text +
+                 "' acquired while registry mutex '" + lk.mutex_text +
+                 "' is held (lock-order inversion: admission locks must "
+                 "be taken outside the registry lock)");
+      }
+    }
+    for (std::size_t p : fn.blocking_points) {
+      if (p <= begin || p >= end) continue;
+      if (!flagged.insert(p).second) continue;
+      Emit(out, sf, "lock-discipline", toks[p].line,
+           "blocking call '" + std::string(toks[p].text) +
+               "' while holding registry mutex '" + lk.mutex_text + "'");
+    }
+    for (const CallSite& c : fn.calls) {
+      if (c.token <= begin || c.token >= end) continue;
+      if (flagged.count(c.token)) continue;
+      if (c.name == "Quiesce") {
+        flagged.insert(c.token);
+        Emit(out, sf, "lock-discipline", c.line,
+             "blocking call 'Quiesce' while holding registry mutex '" +
+                 lk.mutex_text + "'");
+        continue;
+      }
+      if (!program || c.name == fn.name) continue;
+      const FunctionFacts* f = program->Facts(c.name);
+      if (!f) continue;
+      if (f->acquires_registry) {
+        flagged.insert(c.token);
+        Emit(out, sf, "lock-discipline", c.line,
+             "call to '" + c.name +
+                 "' re-acquires the registry mutex while '" +
+                 lk.mutex_text + "' is held (self-deadlock)");
+      } else if (f->acquires_admission) {
+        flagged.insert(c.token);
+        Emit(out, sf, "lock-discipline", c.line,
+             "call to '" + c.name +
+                 "' acquires a per-entry mutex while registry mutex '" +
+                 lk.mutex_text + "' is held (lock-order inversion)");
+      } else if (f->blocks || f->quiesces) {
+        flagged.insert(c.token);
+        Emit(out, sf, "lock-discipline", c.line,
+             "call to blocking '" + c.name +
+                 "' while holding registry mutex '" + lk.mutex_text + "'");
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------ //
+// streaming-lifecycle
+
+bool IsStreamApiName(const std::string& name) {
+  return name == "EnableStreaming" || name == "DisableStreaming" ||
+         name == "StreamBegin" || name == "StreamDeliver" ||
+         name == "StreamFeedback" || name == "StreamRetire";
+}
+
+void CheckStreamingLifecycle(const SourceFile& sf, const FunctionInfo& fn,
+                             const ProgramIndex* program,
+                             std::vector<Finding>& out) {
+  // The API definitions (and wrappers forwarding under the same name)
+  // are the protocol's implementation, not a client of it.
+  if (IsStreamApiName(fn.name) || fn.name == "Quiesce") return;
+  std::vector<const CallSite*> begins, retires, enables, disables;
+  for (const CallSite& c : fn.calls) {
+    if (c.name == "StreamBegin") begins.push_back(&c);
+    if (c.name == "StreamRetire" || c.name == "StreamFeedback") {
+      retires.push_back(&c);
+    }
+    if (c.name == "EnableStreaming") enables.push_back(&c);
+    if (c.name == "DisableStreaming") disables.push_back(&c);
+  }
+  // Helper calls whose facts retire/disable on our behalf.
+  bool helper_retires = false;
+  bool helper_disables = false;
+  std::size_t last_retire_tok = 0;
+  for (const CallSite& c : fn.calls) {
+    if (program && !IsStreamApiName(c.name) && c.name != fn.name) {
+      const FunctionFacts* f = program->Facts(c.name);
+      if (f && f->retires_stream) {
+        helper_retires = true;
+        last_retire_tok = std::max(last_retire_tok, c.token);
+      }
+      if (f && f->disables_stream) helper_disables = true;
+    }
+  }
+  for (const CallSite* r : retires) {
+    last_retire_tok = std::max(last_retire_tok, r->token);
+  }
+
+  if (!begins.empty()) {
+    if (retires.empty() && !helper_retires) {
+      Emit(out, sf, "streaming-lifecycle", begins.front()->line,
+           "StreamBegin in '" + fn.name +
+               "' is never matched by StreamRetire/StreamFeedback; the "
+               "ticket cannot retire on any path");
+    }
+    // The statically-open region: from the first begin to the last
+    // retire (or the end of the function when nothing retires).
+    const std::size_t open_begin = begins.front()->token;
+    const std::size_t open_end =
+        last_retire_tok > 0 ? last_retire_tok : fn.body_end;
+    for (const CallSite& c : fn.calls) {
+      if (c.token <= open_begin || c.token >= open_end) continue;
+      bool bad = c.name == "Quiesce" || c.name == "SnapshotModel" ||
+                 c.name == "SaveSnapshot" || c.name == "Evict";
+      if (!bad && program && !IsStreamApiName(c.name) &&
+          c.name != fn.name) {
+        const FunctionFacts* f = program->Facts(c.name);
+        bad = f && f->quiesces;
+      }
+      if (bad) {
+        Emit(out, sf, "streaming-lifecycle", c.line,
+             "'" + c.name +
+                 "' is reachable while a streamed ticket is statically "
+                 "open (between StreamBegin and the last retire)");
+      }
+    }
+  }
+  for (const CallSite* e : enables) {
+    bool matched = helper_disables;
+    for (const CallSite* d : disables) {
+      if (d->base == e->base) matched = true;
+    }
+    if (!matched) {
+      Emit(out, sf, "streaming-lifecycle", e->line,
+           "EnableStreaming on '" +
+               (e->base.empty() ? std::string("this") : e->base) +
+               "' has no matching DisableStreaming in '" + fn.name + "'");
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> RunChecks(const SourceFile& sf,
-                               const std::vector<std::string>& enabled) {
+                               const std::vector<std::string>& enabled,
+                               const ProgramIndex* program) {
   std::vector<Finding> out;
   if (sf.io_error) return out;
   for (const FunctionInfo& fn : sf.functions) {
-    if (Enabled(enabled, "access-set")) CheckAccessSet(sf, fn, out);
-    if (Enabled(enabled, "readback-sync")) CheckReadbackSync(sf, fn, out);
-    if (Enabled(enabled, "hot-alloc")) CheckHotAlloc(sf, fn, out);
+    if (Enabled(enabled, "access-set")) {
+      CheckAccessSet(sf, fn, program, out);
+    }
+    if (Enabled(enabled, "readback-sync")) {
+      CheckReadbackSync(sf, fn, program, out);
+    }
+    if (Enabled(enabled, "hot-alloc")) CheckHotAlloc(sf, fn, program, out);
     if (Enabled(enabled, "scratch-lifetime")) {
-      CheckScratchLifetime(sf, fn, out);
+      CheckScratchLifetime(sf, fn, program, out);
+    }
+    if (Enabled(enabled, "lock-discipline")) {
+      CheckLockDiscipline(sf, fn, program, out);
+    }
+    if (Enabled(enabled, "streaming-lifecycle")) {
+      CheckStreamingLifecycle(sf, fn, program, out);
     }
   }
   std::sort(out.begin(), out.end(),
@@ -393,6 +612,51 @@ std::vector<Finding> RunChecks(const SourceFile& sf,
               if (a.line != b.line) return a.line < b.line;
               return a.check < b.check;
             });
+  return out;
+}
+
+std::vector<Finding> RunProgramChecks(
+    const ProgramIndex& index, const std::vector<std::string>& enabled) {
+  std::vector<Finding> out;
+  if (!Enabled(enabled, "snapshot-completeness")) return out;
+  // Only meaningful when the index saw both a snapshot-friend class and
+  // the codec: a header analyzed alone stays silent.
+  if (!index.has_codec || index.snapshot_classes.empty()) return out;
+  auto basename = [](const std::string& p) {
+    const std::size_t pos = p.find_last_of('/');
+    return pos == std::string::npos ? p : p.substr(pos + 1);
+  };
+  for (const auto& [path, cls] : index.snapshot_classes) {
+    for (const SnapshotMember& mb : cls.members) {
+      if (mb.excluded) continue;
+      if (!index.save_fields.count(mb.name)) {
+        Finding f;
+        f.check = "snapshot-completeness";
+        f.path = path;
+        f.line = mb.line;
+        f.message = "persistent member '" + mb.name + "' of '" + cls.name +
+                    "' is never written by the snapshot save path "
+                    "(ModelSnapshotAccess::Snapshot in " +
+                    basename(index.codec_path) +
+                    "); serialize it or annotate it with "
+                    "FKDE_SNAPSHOT_EXCLUDE(reason)";
+        out.push_back(std::move(f));
+      }
+      if (!index.restore_fields.count(mb.name)) {
+        Finding f;
+        f.check = "snapshot-completeness";
+        f.path = path;
+        f.line = mb.line;
+        f.message = "persistent member '" + mb.name + "' of '" + cls.name +
+                    "' is never restored by ModelSnapshotAccess::Restore "
+                    "in " +
+                    basename(index.codec_path) +
+                    "; restore it or annotate it with "
+                    "FKDE_SNAPSHOT_EXCLUDE(reason)";
+        out.push_back(std::move(f));
+      }
+    }
+  }
   return out;
 }
 

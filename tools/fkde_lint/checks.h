@@ -1,5 +1,5 @@
 /// \file checks.h
-/// \brief The four fkde-lint checks and their findings.
+/// \brief The seven fkde-lint checks and their findings.
 ///
 /// Check names (used in diagnostics, `--checks`, and the
 /// `FKDE_LINT_SUPPRESS(name)` escape hatch):
@@ -13,6 +13,25 @@
 ///                          FKDE_HOT functions.
 ///   * `scratch-lifetime` — AcquireScratch handles are parked, held by
 ///                          the kernel, or outlive a blocking point.
+///   * `lock-discipline`  — the catalog registry mutex (any mutex whose
+///                          name contains "registry") is never held
+///                          across a per-entry mutex acquire, a blocking
+///                          point, or a re-acquire of itself.
+///   * `streaming-lifecycle` — StreamBegin is matched by
+///                          StreamRetire/StreamFeedback, EnableStreaming
+///                          by DisableStreaming, and no Quiesce/snapshot
+///                          call is reachable while a ticket is
+///                          statically open.
+///   * `snapshot-completeness` — every persistent member of a class
+///                          declaring `friend class ModelSnapshotAccess`
+///                          is written by both the save and restore
+///                          paths or carries FKDE_SNAPSHOT_EXCLUDE.
+///
+/// The first six run per function; when a `ProgramIndex` is supplied
+/// they additionally resolve out-of-TU callees through function facts
+/// and cross-TU view summaries. snapshot-completeness is a
+/// program-level check over the merged index (per-TU invocations get a
+/// single-TU index, so it only fires when class and codec share a TU).
 
 #ifndef FKDE_TOOLS_LINT_CHECKS_H_
 #define FKDE_TOOLS_LINT_CHECKS_H_
@@ -21,11 +40,12 @@
 #include <vector>
 
 #include "model.h"
+#include "summary.h"
 
 namespace fkde_lint {
 
 struct Finding {
-  std::string check;    ///< One of the four check names.
+  std::string check;    ///< One of the seven check names.
   std::string path;
   int line = 0;
   std::string message;
@@ -33,13 +53,28 @@ struct Finding {
 };
 
 inline constexpr const char* kAllChecks[] = {
-    "access-set", "readback-sync", "hot-alloc", "scratch-lifetime"};
+    "access-set",      "readback-sync",      "hot-alloc",
+    "scratch-lifetime", "lock-discipline",   "streaming-lifecycle",
+    "snapshot-completeness"};
 
-/// Runs every check in `enabled` (empty = all) over one modeled file.
-/// Findings covered by a FKDE_LINT_SUPPRESS comment are returned with
-/// `suppressed = true` so the report can count them.
+/// Runs every per-function check in `enabled` (empty = all) over one
+/// modeled file. Findings covered by a FKDE_LINT_SUPPRESS comment are
+/// returned with `suppressed = true` so the report can count them.
+/// `program` may be null (per-TU mode): out-of-TU callees stay opaque.
 std::vector<Finding> RunChecks(const SourceFile& sf,
-                               const std::vector<std::string>& enabled);
+                               const std::vector<std::string>& enabled,
+                               const ProgramIndex* program);
+
+inline std::vector<Finding> RunChecks(
+    const SourceFile& sf, const std::vector<std::string>& enabled) {
+  return RunChecks(sf, enabled, nullptr);
+}
+
+/// Program-level checks over the merged index (today:
+/// snapshot-completeness). FKDE_SNAPSHOT_EXCLUDE is the suppression
+/// mechanism here — line suppressions don't apply.
+std::vector<Finding> RunProgramChecks(
+    const ProgramIndex& index, const std::vector<std::string>& enabled);
 
 }  // namespace fkde_lint
 

@@ -93,15 +93,30 @@ TokenStream Tokenize(std::string_view src) {
           {src.substr(start, i - start), start_line, line});
       continue;
     }
-    // Raw string literal: R"delim( ... )delim".
+    // Raw string literal: R"delim( ... )delim", with optional encoding
+    // prefix (u8R, uR, UR, LR). The prefix must be consumed here — if it
+    // falls through to the identifier rule, the payload lexes as an
+    // ordinary string that ends at the first inner quote and every
+    // bracket after it desynchronizes.
+    std::size_t rpfx = std::string_view::npos;
     if (c == 'R' && peek(1) == '"') {
-      std::size_t d = i + 2;
-      while (d < n && src[d] != '(' && src[d] != '\n' && d - i < 20) ++d;
+      rpfx = 0;
+    } else if ((c == 'u' || c == 'U' || c == 'L') && peek(1) == 'R' &&
+               peek(2) == '"') {
+      rpfx = 1;
+    } else if (c == 'u' && peek(1) == '8' && peek(2) == 'R' &&
+               peek(3) == '"') {
+      rpfx = 2;
+    }
+    if (rpfx != std::string_view::npos) {
+      const std::size_t r = i + rpfx;  // Position of 'R'.
+      std::size_t d = r + 2;
+      while (d < n && src[d] != '(' && src[d] != '\n' && d - r < 20) ++d;
       if (d < n && src[d] == '(') {
         std::string closer;
-        closer.reserve(d - i);
+        closer.reserve(d - r);
         closer.push_back(')');
-        closer.append(src.substr(i + 2, d - (i + 2)));
+        closer.append(src.substr(r + 2, d - (r + 2)));
         closer.push_back('"');
         const std::size_t end = src.find(closer, d + 1);
         const std::size_t stop =
@@ -144,7 +159,18 @@ TokenStream Tokenize(std::string_view src) {
       const std::size_t start = i;
       while (i < n) {
         const char d = src[i];
-        if (IsIdentChar(d) || d == '.' || d == '\'') {
+        if (d == '\'') {
+          // C++14 digit separator: only valid between alphanumerics.
+          // A bare quote after a number opens a char literal — eating
+          // it would swallow the literal and desynchronize the stream.
+          if (i + 1 < n &&
+              std::isalnum(static_cast<unsigned char>(src[i + 1]))) {
+            i += 2;
+            continue;
+          }
+          break;
+        }
+        if (IsIdentChar(d) || d == '.') {
           ++i;
         } else if ((d == '+' || d == '-') && i > start &&
                    (src[i - 1] == 'e' || src[i - 1] == 'E' ||

@@ -6,14 +6,28 @@
 ///     -p <dir|compile_commands.json>  analyze every "file" entry of an
 ///                                     exported compilation database
 ///     --filter <prefix>    keep only database files under this prefix
-///     --headers <dir>      also analyze every *.h under dir (recursive)
+///                          (repeatable; a file passes if any matches)
+///     --headers <dir>      also analyze every *.h under dir (recursive,
+///                          repeatable)
 ///     --checks a,b,c       run a subset of checks
+///     --whole-program      two-pass mode: summarize every input TU,
+///                          link the summaries into a program index,
+///                          and run the checks interprocedurally
+///     --emit-summaries <dir>  write one .sum file per TU (pass 1
+///                          artifact; checks still run)
+///     --summaries <dir|file>  load serialized summaries into the
+///                          program index (repeatable; implies
+///                          --whole-program linking)
+///     --baseline <report.json>  findings matching a committed report
+///                          (by check + file basename + message) are
+///                          counted but do not fail the run
 ///     --json <path>        write the findings report as JSON
 ///     --expect <path>      fixture mode: compare findings against an
 ///                          expectation file (lines of
 ///                          `<basename>:<line>: [<check>] <substring>`);
 ///                          exit 0 iff they match exactly
-///     --expect-clean       exit 0 iff there are no unsuppressed findings
+///     --expect-clean       exit 0 iff there are no unsuppressed,
+///                          non-baselined findings
 ///
 /// Exit codes: 0 success/clean, 1 findings or expectation mismatch,
 /// 2 usage or I/O error.
@@ -29,10 +43,14 @@
 
 #include "checks.h"
 #include "model.h"
+#include "summary.h"
 
 namespace {
 
 using fkde_lint::Finding;
+using fkde_lint::ProgramIndex;
+using fkde_lint::SourceFile;
+using fkde_lint::TuSummary;
 
 std::string Basename(const std::string& path) {
   const std::size_t pos = path.find_last_of('/');
@@ -138,15 +156,116 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+std::string JsonUnescape(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      out.push_back(s[i] == 'n' ? '\n' : s[i]);
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+/// One baseline entry: check + file basename + message. Line numbers
+/// deliberately don't participate — unrelated edits shifting a known
+/// finding must not break the gate.
+struct BaselineEntry {
+  std::string check;
+  std::string basename;
+  std::string message;
+};
+
+/// Parses the tool's own --json output (no JSON library: scans for the
+/// "check"/"file"/"message" string values of each findings object).
+std::vector<BaselineEntry> LoadBaseline(const std::string& path, bool& ok) {
+  std::vector<BaselineEntry> out;
+  std::ifstream in(path);
+  if (!in) {
+    ok = false;
+    return out;
+  }
+  ok = true;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  auto value_after = [&](const std::string& key, std::size_t from,
+                         std::size_t limit, std::string* val) {
+    std::size_t pos = text.find("\"" + key + "\"", from);
+    if (pos == std::string::npos || pos > limit) return false;
+    pos = text.find('"', pos + key.size() + 2);
+    if (pos == std::string::npos) return false;
+    ++pos;
+    std::string raw;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) {
+        raw.push_back(text[pos]);
+        ++pos;
+      }
+      raw.push_back(text[pos]);
+      ++pos;
+    }
+    *val = JsonUnescape(raw);
+    return true;
+  };
+  std::size_t pos = 0;
+  while ((pos = text.find("{\"check\"", pos)) != std::string::npos) {
+    const std::size_t end = text.find('}', pos);
+    if (end == std::string::npos) break;
+    BaselineEntry e;
+    std::string file;
+    if (value_after("check", pos, end, &e.check) &&
+        value_after("file", pos, end, &file) &&
+        value_after("message", pos, end, &e.message)) {
+      e.basename = Basename(file);
+      out.push_back(std::move(e));
+    }
+    pos = end;
+  }
+  return out;
+}
+
+/// Turns a TU path into a summary file name: slashes become '_'.
+std::string SummaryFileName(const std::string& path) {
+  std::string name = path;
+  for (char& c : name) {
+    if (c == '/' || c == '\\') c = '_';
+  }
+  return name + ".sum";
+}
+
+std::vector<std::string> SummaryInputs(const std::string& arg) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  if (std::filesystem::is_directory(arg, ec)) {
+    for (const auto& entry :
+         std::filesystem::recursive_directory_iterator(arg, ec)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".sum") {
+        out.push_back(entry.path().string());
+      }
+    }
+    std::sort(out.begin(), out.end());
+  } else {
+    out.push_back(arg);
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> files;
   std::vector<std::string> checks;
-  std::string filter;
+  std::vector<std::string> filters;
+  std::vector<std::string> summary_inputs;
   std::string json_path;
   std::string expect_path;
+  std::string emit_dir;
+  std::string baseline_path;
   bool expect_clean = false;
+  bool whole_program = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -169,7 +288,7 @@ int main(int argc, char** argv) {
       }
       files.insert(files.end(), db.begin(), db.end());
     } else if (arg == "--filter") {
-      filter = next("--filter");
+      filters.push_back(next("--filter"));
     } else if (arg == "--headers") {
       auto hs = HeaderFiles(next("--headers"));
       files.insert(files.end(), hs.begin(), hs.end());
@@ -185,6 +304,16 @@ int main(int argc, char** argv) {
       expect_path = next("--expect");
     } else if (arg == "--expect-clean") {
       expect_clean = true;
+    } else if (arg == "--whole-program") {
+      whole_program = true;
+    } else if (arg == "--emit-summaries") {
+      emit_dir = next("--emit-summaries");
+    } else if (arg == "--summaries") {
+      auto in = SummaryInputs(next("--summaries"));
+      summary_inputs.insert(summary_inputs.end(), in.begin(), in.end());
+      whole_program = true;  // Loaded summaries imply linking.
+    } else if (arg == "--baseline") {
+      baseline_path = next("--baseline");
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "fkde-lint: unknown option " << arg << "\n";
       return 2;
@@ -192,36 +321,135 @@ int main(int argc, char** argv) {
       files.push_back(arg);
     }
   }
-  if (!filter.empty()) {
+  if (!filters.empty()) {
     std::erase_if(files, [&](const std::string& f) {
-      return f.compare(0, filter.size(), filter) != 0;
+      for (const std::string& p : filters) {
+        if (f.compare(0, p.size(), p) == 0) return false;
+      }
+      return true;
     });
   }
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
-  if (files.empty()) {
+  if (files.empty() && summary_inputs.empty()) {
     std::cerr << "fkde-lint: no input files\n";
     return 2;
   }
 
-  std::vector<Finding> all;
   int io_errors = 0;
+
+  // Pass 1: model every TU and distill its summary.
+  std::vector<SourceFile> models;
+  std::vector<TuSummary> summaries;
+  models.reserve(files.size());
   for (const std::string& f : files) {
-    const fkde_lint::SourceFile sf = fkde_lint::BuildModel(f);
+    SourceFile sf = fkde_lint::BuildModel(f);
     if (sf.io_error) {
       std::cerr << "fkde-lint: cannot read " << f << "\n";
       ++io_errors;
       continue;
     }
-    auto fs = fkde_lint::RunChecks(sf, checks);
-    all.insert(all.end(), fs.begin(), fs.end());
+    summaries.push_back(fkde_lint::Summarize(sf));
+    models.push_back(std::move(sf));
+  }
+  for (const std::string& f : summary_inputs) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
+      std::cerr << "fkde-lint: cannot read summary " << f << "\n";
+      ++io_errors;
+      continue;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    TuSummary tu;
+    if (!fkde_lint::ParseTuSummary(ss.str(), &tu)) {
+      std::cerr << "fkde-lint: malformed summary " << f << "\n";
+      ++io_errors;
+      continue;
+    }
+    summaries.push_back(std::move(tu));
+  }
+
+  if (!emit_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(emit_dir, ec);
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      const std::string out_path =
+          emit_dir + "/" + SummaryFileName(models[i].path);
+      std::ofstream out(out_path, std::ios::binary);
+      if (!out) {
+        std::cerr << "fkde-lint: cannot write " << out_path << "\n";
+        ++io_errors;
+        continue;
+      }
+      out << fkde_lint::SerializeTuSummary(summaries[i]);
+    }
+  }
+
+  // Pass 2: link and check.
+  std::vector<Finding> all;
+  if (whole_program) {
+    ProgramIndex index;
+    for (const TuSummary& tu : summaries) index.Add(tu);
+    for (const SourceFile& sf : models) {
+      auto fs = fkde_lint::RunChecks(sf, checks, &index);
+      all.insert(all.end(), fs.begin(), fs.end());
+    }
+    auto ps = fkde_lint::RunProgramChecks(index, checks);
+    all.insert(all.end(), ps.begin(), ps.end());
+  } else {
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      auto fs = fkde_lint::RunChecks(models[i], checks, nullptr);
+      all.insert(all.end(), fs.begin(), fs.end());
+      // snapshot-completeness still fires per-TU when one TU holds both
+      // the friend-declaring class and the codec (the fixture shape).
+      ProgramIndex single;
+      single.Add(summaries[i]);
+      auto ps = fkde_lint::RunProgramChecks(single, checks);
+      all.insert(all.end(), ps.begin(), ps.end());
+    }
+  }
+
+  // Baseline filtering: a finding present in the committed report is
+  // reported but does not fail the run.
+  int baselined = 0;
+  std::vector<bool> is_baselined(all.size(), false);
+  if (!baseline_path.empty()) {
+    bool loaded = false;
+    auto baseline = LoadBaseline(baseline_path, loaded);
+    if (!loaded) {
+      std::cerr << "fkde-lint: cannot read baseline " << baseline_path
+                << "\n";
+      return 2;
+    }
+    std::vector<bool> used(baseline.size(), false);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (all[i].suppressed) continue;
+      for (std::size_t b = 0; b < baseline.size(); ++b) {
+        if (used[b] || baseline[b].check != all[i].check ||
+            baseline[b].basename != Basename(all[i].path) ||
+            baseline[b].message != all[i].message) {
+          continue;
+        }
+        used[b] = true;
+        is_baselined[i] = true;
+        ++baselined;
+        break;
+      }
+    }
   }
 
   int unsuppressed = 0;
   int suppressed = 0;
-  for (const Finding& f : all) {
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const Finding& f = all[i];
     if (f.suppressed) {
       ++suppressed;
+      continue;
+    }
+    if (is_baselined[i]) {
+      std::cout << f.path << ":" << f.line << ": [" << f.check
+                << "] (baselined) " << f.message << "\n";
       continue;
     }
     ++unsuppressed;
@@ -233,14 +461,17 @@ int main(int argc, char** argv) {
     std::ofstream out(json_path);
     out << "{\n  \"files\": " << files.size()
         << ",\n  \"suppressed\": " << suppressed
+        << ",\n  \"baselined\": " << baselined
         << ",\n  \"findings\": [\n";
     bool first = true;
-    for (const Finding& f : all) {
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const Finding& f = all[i];
       if (f.suppressed) continue;
       if (!first) out << ",\n";
       first = false;
       out << "    {\"check\": \"" << f.check << "\", \"file\": \""
           << JsonEscape(f.path) << "\", \"line\": " << f.line
+          << ", \"baselined\": " << (is_baselined[i] ? "true" : "false")
           << ", \"message\": \"" << JsonEscape(f.message) << "\"}";
     }
     out << "\n  ]\n}\n";
@@ -255,8 +486,9 @@ int main(int argc, char** argv) {
       return 2;
     }
     bool failed = false;
-    for (const Finding& f : all) {
-      if (f.suppressed) continue;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const Finding& f = all[i];
+      if (f.suppressed || is_baselined[i]) continue;
       bool matched = false;
       for (Expectation& e : expectations) {
         if (e.matched || e.basename != Basename(f.path) ||
@@ -292,7 +524,7 @@ int main(int argc, char** argv) {
 
   std::cerr << "fkde-lint: " << files.size() << " file(s), "
             << unsuppressed << " finding(s), " << suppressed
-            << " suppressed\n";
+            << " suppressed, " << baselined << " baselined\n";
   if (io_errors > 0) return 2;
   if (expect_clean) return unsuppressed == 0 ? 0 : 1;
   return unsuppressed == 0 ? 0 : 1;

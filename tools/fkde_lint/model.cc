@@ -147,6 +147,7 @@ class Extractor {
     RegisterParams();
     StatementPass();
     SyncPass();
+    CallLockFieldPass();
     LaunchPass();
     Finalize();
   }
@@ -803,6 +804,114 @@ class Extractor {
     }
   }
 
+  // --------------------------------------------------------------- //
+
+  /// Records every named call site, scoped-lock acquisition, and
+  /// trailing-underscore member reference — the raw material for the
+  /// lock-discipline and streaming-lifecycle checks and for
+  /// interprocedural function facts.
+  void CallLockFieldPass() {
+    for (std::size_t j = fn_.body_begin + 1; j < fn_.body_end; ++j) {
+      const Token& t = Tok(j);
+      if (t.kind != TokKind::kIdent) continue;
+      const std::string_view id = t.text;
+      if (id.size() > 1 && id.back() == '_') {
+        fn_.fields.insert(std::string(id));
+      }
+      if (id == "lock_guard" || id == "unique_lock" ||
+          id == "scoped_lock") {
+        RecordLock(j);
+        continue;
+      }
+      if (j + 1 < fn_.body_end && IsPunct(Tok(j + 1), "(") &&
+          !IsControlKeyword(id)) {
+        CallSite cs;
+        cs.name.assign(id);
+        cs.token = j;
+        cs.line = t.line;
+        cs.member =
+            IsPunct(Tok(j - 1), ".") || IsPunct(Tok(j - 1), "->");
+        if (cs.member && j >= 2) cs.base = PostfixChainBase(j - 2);
+        fn_.calls.push_back(std::move(cs));
+      }
+    }
+  }
+
+  /// Token index of the '}' closing the innermost brace scope that
+  /// contains `pos` (the function's own '}' when unnested).
+  std::size_t EnclosingScopeEnd(std::size_t pos) const {
+    std::size_t best = fn_.body_end;
+    for (std::size_t i = fn_.body_begin + 1; i < pos; ++i) {
+      if (!IsPunct(Tok(i), "{")) continue;
+      const std::size_t m = Match(i);
+      if (m > pos && m <= fn_.body_end && m < best) best = m;
+    }
+    return best;
+  }
+
+  /// `j` names lock_guard / unique_lock / scoped_lock. Parses
+  /// `<...> var(mutex[, policy])` and records one LockSite per mutex
+  /// argument (scoped_lock may take several).
+  void RecordLock(std::size_t j) {
+    std::size_t k = j + 1;
+    if (k < fn_.body_end && IsPunct(Tok(k), "<")) {
+      int depth = 0;
+      while (k < fn_.body_end) {
+        if (IsPunct(Tok(k), "<")) {
+          ++depth;
+        } else if (IsPunct(Tok(k), ">")) {
+          if (--depth == 0) {
+            ++k;
+            break;
+          }
+        } else if (IsPunct(Tok(k), ">>")) {
+          depth -= 2;
+          if (depth <= 0) {
+            ++k;
+            break;
+          }
+        }
+        ++k;
+      }
+    }
+    if (k >= fn_.body_end || Tok(k).kind != TokKind::kIdent) return;
+    ++k;
+    if (k >= fn_.body_end || !IsPunct(Tok(k), "(")) return;
+    const std::size_t close = Match(k);
+    if (close <= k) return;
+    const auto args = SplitArgs(k + 1, close);
+    if (args.empty()) return;
+    bool try_lock = false;
+    for (std::size_t a = 1; a < args.size(); ++a) {
+      for (std::size_t p = args[a].first; p < args[a].second; ++p) {
+        if (Tok(p).kind == TokKind::kIdent &&
+            (Tok(p).text == "try_to_lock" || Tok(p).text == "defer_lock")) {
+          try_lock = true;
+        }
+      }
+    }
+    const bool multi = Tok(j).text == "scoped_lock";
+    const std::size_t scope_end = EnclosingScopeEnd(j);
+    const std::size_t count = multi ? args.size() : 1;
+    for (std::size_t a = 0; a < count && a < args.size(); ++a) {
+      if (args[a].second <= args[a].first) continue;
+      const std::string key =
+          TerminalKey(ts_, args[a].first, args[a].second);
+      if (key.empty() || key == "try_to_lock" || key == "defer_lock" ||
+          key == "adopt_lock") {
+        continue;
+      }
+      LockSite lk;
+      lk.mutex_key = key;
+      lk.mutex_text = Slice(args[a].first, args[a].second - 1);
+      lk.token = j;
+      lk.scope_end = scope_end;
+      lk.line = Tok(j).line;
+      lk.try_lock = try_lock;
+      fn_.locks.push_back(std::move(lk));
+    }
+  }
+
   /// First identifier of the postfix chain ending at token `k`
   /// (`done[si].Wait()` from the `]`/ident before `.Wait` -> "done").
   std::string PostfixChainBase(std::size_t k) const {
@@ -1117,6 +1226,145 @@ std::vector<FnCandidate> FindFunctions(const TokenStream& ts) {
   return top;
 }
 
+/// Finds classes declaring `friend class ModelSnapshotAccess` and
+/// collects their persistent members (trailing-underscore names at
+/// class scope). A member may be excluded from the snapshot audit by a
+/// preceding `FKDE_SNAPSHOT_EXCLUDE("reason")` macro or a
+/// `// FKDE_SNAPSHOT_EXCLUDE(reason)` comment on the same or previous
+/// line. Also flags the TU that defines the codec class itself.
+void ScanSnapshotClasses(SourceFile& sf) {
+  const TokenStream& ts = sf.stream;
+  const auto& toks = ts.tokens;
+
+  std::map<int, std::string> comment_excludes;
+  for (const Comment& c : ts.comments) {
+    const std::size_t pos = c.text.find("FKDE_SNAPSHOT_EXCLUDE");
+    if (pos == std::string_view::npos) continue;
+    std::string reason;
+    const std::size_t open = c.text.find('(', pos);
+    const std::size_t closep = c.text.rfind(')');
+    if (open != std::string_view::npos &&
+        closep != std::string_view::npos && closep > open) {
+      reason.assign(c.text.substr(open + 1, closep - open - 1));
+    }
+    // Covers a member on the comment's own line(s) or the next one.
+    for (int line = c.line; line <= c.end_line + 1; ++line) {
+      comment_excludes[line] = reason;
+    }
+  }
+
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!IsIdent(toks[i], "class") && !IsIdent(toks[i], "struct")) continue;
+    if (toks[i + 1].kind != TokKind::kIdent) continue;
+    const std::string name(toks[i + 1].text);
+    // Find the class body '{', bailing on forward declarations and
+    // template-parameter uses of the keyword.
+    std::size_t b = i + 2;
+    while (b < toks.size() && !IsPunct(toks[b], "{") &&
+           !IsPunct(toks[b], ";") && !IsPunct(toks[b], "(") &&
+           !IsPunct(toks[b], ">") && !IsPunct(toks[b], ",")) {
+      ++b;
+    }
+    if (b >= toks.size() || !IsPunct(toks[b], "{")) continue;
+    const std::size_t end = ts.match[b];
+    if (end <= b) continue;
+    if (name == "ModelSnapshotAccess") sf.defines_snapshot_codec = true;
+
+    bool is_snapshot_class = false;
+    for (std::size_t k = b + 1; k + 2 < end; ++k) {
+      if (IsIdent(toks[k], "friend") && IsIdent(toks[k + 1], "class") &&
+          IsIdent(toks[k + 2], "ModelSnapshotAccess")) {
+        is_snapshot_class = true;
+        break;
+      }
+    }
+    if (!is_snapshot_class) continue;
+
+    SnapshotClassInfo info;
+    info.name = name;
+    info.line = toks[i].line;
+    bool pending_exclude = false;
+    std::string pending_reason;
+    std::size_t k = b + 1;
+    while (k < end) {
+      const Token& t = toks[k];
+      if (IsIdent(t, "FKDE_SNAPSHOT_EXCLUDE") && k + 1 < end &&
+          IsPunct(toks[k + 1], "(")) {
+        const std::size_t m = ts.match[k + 1];
+        pending_exclude = true;
+        pending_reason.clear();
+        if (m > k + 2 && toks[k + 2].kind == TokKind::kString) {
+          std::string_view lit = toks[k + 2].text;
+          if (lit.size() >= 2) {
+            pending_reason.assign(lit.substr(1, lit.size() - 2));
+          }
+        }
+        k = m > k + 1 ? m + 1 : k + 2;
+        continue;
+      }
+      if (IsPunct(t, "(")) {
+        // Member function: skip parameters, qualifiers, and any inline
+        // body so its local mentions don't read as data members.
+        const std::size_t m = ts.match[k];
+        if (m <= k) {
+          ++k;
+          continue;
+        }
+        std::size_t j = m + 1;
+        for (int guard = 0; guard < 32 && j < end; ++guard) {
+          if (IsIdent(toks[j], "const") || IsIdent(toks[j], "override") ||
+              IsIdent(toks[j], "final") || IsIdent(toks[j], "noexcept") ||
+              IsPunct(toks[j], "&") || IsPunct(toks[j], "&&")) {
+            ++j;
+            continue;
+          }
+          if (IsPunct(toks[j], "->")) {
+            while (j < end && !IsPunct(toks[j], "{") &&
+                   !IsPunct(toks[j], ";")) {
+              ++j;
+            }
+            continue;
+          }
+          if (IsPunct(toks[j], "{")) {
+            const std::size_t bm = ts.match[j];
+            j = bm > j ? bm + 1 : j + 1;
+          }
+          break;
+        }
+        k = j;
+        continue;
+      }
+      if (IsPunct(t, "{")) {
+        // Nested class/enum body or a brace initializer.
+        const std::size_t m = ts.match[k];
+        k = m > k ? m + 1 : k + 1;
+        continue;
+      }
+      if (t.kind == TokKind::kIdent && t.text.size() > 1 &&
+          t.text.back() == '_' && k + 1 < end &&
+          (IsPunct(toks[k + 1], ";") || IsPunct(toks[k + 1], "=") ||
+           IsPunct(toks[k + 1], "{"))) {
+        SnapshotMember mb;
+        mb.name.assign(t.text);
+        mb.line = t.line;
+        if (pending_exclude) {
+          mb.excluded = true;
+          mb.reason = pending_reason;
+        } else if (auto ce = comment_excludes.find(t.line);
+                   ce != comment_excludes.end()) {
+          mb.excluded = true;
+          mb.reason = ce->second;
+        }
+        info.members.push_back(std::move(mb));
+        pending_exclude = false;
+        pending_reason.clear();
+      }
+      ++k;
+    }
+    sf.snapshot_classes.push_back(std::move(info));
+  }
+}
+
 void ParseSuppressions(const TokenStream& ts,
                        std::map<int, std::set<std::string>>& out) {
   constexpr std::string_view kTag = "FKDE_LINT_SUPPRESS";
@@ -1160,6 +1408,7 @@ SourceFile BuildModel(const std::string& path) {
   sf.contents = ss.str();
   sf.stream = Tokenize(sf.contents);
   ParseSuppressions(sf.stream, sf.suppressions);
+  ScanSnapshotClasses(sf);
 
   for (const FnCandidate& c : FindFunctions(sf.stream)) {
     FunctionInfo fn;

@@ -112,6 +112,30 @@ struct ScratchSite {
   std::string lhs_terminal;
 };
 
+/// One named call site inside a function body (free or member call).
+/// The raw material for interprocedural linking: lock-discipline and
+/// streaming-lifecycle resolve these names against per-TU function
+/// facts when a whole-program index is available.
+struct CallSite {
+  std::string name;          ///< Callee identifier.
+  std::string base;          ///< Receiver base ident ("" for free calls).
+  std::size_t token = 0;     ///< Token index of the callee ident.
+  int line = 0;
+  bool member = false;       ///< Preceded by '.' or '->'.
+};
+
+/// One scoped-lock acquisition: `std::lock_guard<std::mutex> l(mu);`
+/// (also unique_lock / scoped_lock). The guard's lifetime is the
+/// innermost enclosing brace scope.
+struct LockSite {
+  std::string mutex_key;     ///< Terminal key of the mutex expression.
+  std::string mutex_text;    ///< Source text of the mutex arg, for messages.
+  std::size_t token = 0;     ///< Token index of the guard-type ident.
+  std::size_t scope_end = 0; ///< Token index of the enclosing scope's '}'.
+  int line = 0;
+  bool try_lock = false;     ///< try_to_lock / defer_lock — non-blocking.
+};
+
 /// One analyzed function (or method) definition.
 struct FunctionInfo {
   std::string name;          ///< Terminal identifier (no qualifiers).
@@ -176,6 +200,12 @@ struct FunctionInfo {
   std::vector<std::pair<std::size_t, std::size_t>> async_arg_spans;
   /// Names returned from this function.
   std::set<std::string> returned;
+  /// Every named call site in the body, in token order.
+  std::vector<CallSite> calls;
+  /// Scoped-lock acquisitions (lock_guard/unique_lock/scoped_lock).
+  std::vector<LockSite> locks;
+  /// Member names (trailing '_') referenced anywhere in the body.
+  std::set<std::string> fields;
 
   /// Resolved union-find lookup (const: path not compressed).
   std::string Find(const std::string& key) const;
@@ -187,6 +217,22 @@ struct FunctionInfo {
 struct ViewSummary {
   /// key -> conditional (guarded by if/?:).
   std::map<std::string, bool> keys;
+};
+
+/// One persistent data member of a snapshot-friend class.
+struct SnapshotMember {
+  std::string name;
+  int line = 0;
+  bool excluded = false;   ///< Carries FKDE_SNAPSHOT_EXCLUDE(reason).
+  std::string reason;
+};
+
+/// A class granting `friend class ModelSnapshotAccess` — its members
+/// are the persistence surface the snapshot-completeness check audits.
+struct SnapshotClassInfo {
+  std::string name;
+  int line = 0;
+  std::vector<SnapshotMember> members;
 };
 
 /// Fully extracted model of one translation unit.
@@ -202,6 +248,11 @@ struct SourceFile {
   /// `// FKDE_LINT_SUPPRESS(check): reason` comments. A suppression on
   /// line L covers findings on L and L+1.
   std::map<int, std::set<std::string>> suppressions;
+  /// Classes declaring `friend class ModelSnapshotAccess`.
+  std::vector<SnapshotClassInfo> snapshot_classes;
+  /// True when this TU defines `class ModelSnapshotAccess { ... }` —
+  /// i.e. it is the snapshot codec TU.
+  bool defines_snapshot_codec = false;
   bool io_error = false;
 };
 
